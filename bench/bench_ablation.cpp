@@ -1,0 +1,167 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. profit gate off (Decider accepts every selected pair)
+//   2. cool-down off (threads may swap in consecutive quanta)
+//   3. rotation off (strict placement-rule violators only)
+//   4. paper-literal symmetric moving-mean CoreBW filter
+//   5. free-core migration off
+//   6. fairness-threshold sweep
+// Each variant runs one workload per class; reported as geomean fairness /
+// speedup vs CFS and mean swaps.
+#include "common.hpp"
+
+#include "workload/workloads.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::core::DikeConfig;
+using dike::exp::RunMetrics;
+using dike::exp::SchedulerKind;
+
+const std::vector<int> kWorkloads{2, 7, 13};
+
+struct VariantResult {
+  double fairnessGeomean = 0.0;
+  double speedupGeomean = 0.0;
+  double meanSwaps = 0.0;
+};
+
+VariantResult runVariant(const DikeConfig& cfg, const BenchOptions& opts) {
+  std::vector<double> fairnessRatios;
+  std::vector<double> speedups;
+  std::vector<double> swaps;
+  for (const int workloadId : kWorkloads) {
+    dike::exp::RunSpec spec;
+    spec.workloadId = workloadId;
+    spec.scale = opts.scale;
+    spec.seed = opts.seed;
+
+    spec.kind = SchedulerKind::Cfs;
+    const RunMetrics baseline = dike::exp::runWorkload(spec);
+
+    spec.kind = SchedulerKind::Dike;
+    spec.dikeConfig = cfg;
+    const RunMetrics m = dike::exp::runWorkload(spec);
+
+    fairnessRatios.push_back(m.fairness / baseline.fairness);
+    speedups.push_back(dike::exp::speedup(baseline.makespan, m.makespan));
+    swaps.push_back(static_cast<double>(m.swaps));
+  }
+  return VariantResult{dike::util::geometricMean(fairnessRatios),
+                       dike::util::geometricMean(speedups),
+                       dike::util::mean(swaps)};
+}
+
+void addRow(dike::util::TextTable& table, std::string_view name,
+            const VariantResult& r) {
+  table.newRow()
+      .cell(name)
+      .cellPercent(r.fairnessGeomean - 1.0, 1)
+      .cell(r.speedupGeomean, 3)
+      .cell(r.meanSwaps, 1);
+}
+
+void runAblations(const BenchOptions& opts) {
+  std::printf(
+      "=== Ablations (wl2/wl7/wl13; geomean vs CFS baseline) ===\n");
+  dike::util::TextTable table{
+      {"variant", "fairness-gain", "speedup", "swaps"}};
+
+  addRow(table, "dike (full)", runVariant(DikeConfig{}, opts));
+
+  {
+    DikeConfig cfg;
+    cfg.requirePositiveProfit = false;
+    addRow(table, "no profit gate", runVariant(cfg, opts));
+  }
+  {
+    DikeConfig cfg;
+    cfg.cooldownQuanta = 0;
+    cfg.minCooldownMs = 0;
+    addRow(table, "no cool-down", runVariant(cfg, opts));
+  }
+  {
+    DikeConfig cfg;
+    cfg.rotateWhenNoViolator = false;
+    addRow(table, "no rotation", runVariant(cfg, opts));
+  }
+  {
+    DikeConfig cfg;
+    cfg.observer.symmetricMovingMean = false;
+    addRow(table, "high-water CoreBW", runVariant(cfg, opts));
+  }
+  {
+    DikeConfig cfg;
+    cfg.useFreeCores = false;
+    addRow(table, "no free-core moves", runVariant(cfg, opts));
+  }
+  table.separator();
+  for (const double theta : {0.01, 0.03, 0.05, 0.10, 0.20}) {
+    DikeConfig cfg;
+    cfg.fairnessThreshold = theta;
+    addRow(table,
+           "theta_f=" + dike::util::formatFixed(theta, 2),
+           runVariant(cfg, opts));
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: removing rotation or free-core moves costs\n"
+      "fairness; removing the cool-down or profit gate inflates swaps for\n"
+      "little gain; tighter theta_f buys fairness with more migrations.\n");
+}
+
+void runPolicyLadder(const BenchOptions& opts) {
+  std::printf(
+      "\n=== Policy ladder (wl2/wl7/wl13): what each ingredient buys ===\n");
+  dike::util::TextTable table{
+      {"policy", "fairness-gain", "speedup", "swaps", "energy-vs-cfs"}};
+  for (const SchedulerKind kind :
+       {SchedulerKind::Suspension, SchedulerKind::Random, SchedulerKind::Dio,
+        SchedulerKind::Dike, SchedulerKind::StaticOracle}) {
+    std::vector<double> fairnessRatios;
+    std::vector<double> speedups;
+    std::vector<double> swaps;
+    std::vector<double> energyRatios;
+    for (const int workloadId : kWorkloads) {
+      dike::exp::RunSpec spec;
+      spec.workloadId = workloadId;
+      spec.scale = opts.scale;
+      spec.seed = opts.seed;
+      spec.kind = SchedulerKind::Cfs;
+      const RunMetrics base = dike::exp::runWorkload(spec);
+      spec.kind = kind;
+      const RunMetrics m = dike::exp::runWorkload(spec);
+      fairnessRatios.push_back(m.fairness / base.fairness);
+      speedups.push_back(dike::exp::speedup(base.makespan, m.makespan));
+      swaps.push_back(static_cast<double>(m.swaps));
+      energyRatios.push_back(m.energyJoules / base.energyJoules);
+    }
+    table.newRow()
+        .cell(toString(kind))
+        .cellPercent(dike::util::geometricMean(fairnessRatios) - 1.0, 1)
+        .cell(dike::util::geometricMean(speedups), 3)
+        .cell(dike::util::mean(swaps), 1)
+        .cellPercent(dike::util::geometricMean(energyRatios) - 1.0, 1);
+  }
+  table.print();
+  std::printf(
+      "\nsuspend equalises by pausing fast threads (Section III-E's rejected\n"
+      "alternative: fair but slow); random isolates blind mixing; dio adds\n"
+      "contention awareness; dike adds prediction + deficit compensation;\n"
+      "static-oracle is the unrealisable ground-truth placement.\n");
+}
+
+void BM_AblationRun(benchmark::State& state) {
+  dike::bench::benchmarkWorkloadRun(state, SchedulerKind::Dike, 2, 0.25, 42);
+}
+BENCHMARK(BM_AblationRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  runAblations(opts);
+  runPolicyLadder(opts);
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 1: performance of each application run standalone versus inside a
+// multi-application workload (under the default scheduler), on both the
+// homogeneous and the heterogeneous machine. The paper's headline examples:
+// in wl2 the memory-intensive jacobi slows 2.3x while the compute-intensive
+// srad slows only 1.25x; stream in wl15 slows 3.4x on the homogeneous
+// machine but 4.6x on the heterogeneous one.
+#include "common.hpp"
+
+#include <map>
+
+#include "workload/workloads.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::exp::RunMetrics;
+using dike::exp::SchedulerKind;
+
+/// Standalone runtime (seconds) of every benchmark on a machine type.
+std::map<std::string, double> standaloneRuntimes(const BenchOptions& opts,
+                                                 bool heterogeneous) {
+  std::map<std::string, double> runtimes;
+  for (const std::string& name : dike::wl::benchmarkNames()) {
+    const RunMetrics m = dike::exp::runStandalone(name, opts.scale, opts.seed,
+                                                  heterogeneous);
+    runtimes[name] = dike::util::ticksToSeconds(m.makespan);
+  }
+  return runtimes;
+}
+
+void runFigure1(const BenchOptions& opts) {
+  std::printf(
+      "=== Figure 1: standalone vs concurrent slowdown (CFS placement) ===\n");
+  const auto aloneHomo = standaloneRuntimes(opts, /*heterogeneous=*/false);
+  const auto aloneHet = standaloneRuntimes(opts, /*heterogeneous=*/true);
+
+  dike::util::TextTable table{{"workload", "app", "class", "standalone(s)",
+                               "homogeneous-x", "heterogeneous-x"}};
+  dike::wl::WorkloadClass lastClass = dike::wl::workloadTable().front().cls;
+  for (const dike::wl::WorkloadSpec& w : dike::wl::workloadTable()) {
+    dike::exp::RunSpec spec;
+    spec.workloadId = w.id;
+    spec.kind = SchedulerKind::Cfs;
+    spec.scale = opts.scale;
+    spec.seed = opts.seed;
+
+    spec.heterogeneous = false;
+    const RunMetrics homo = dike::exp::runWorkload(spec);
+    spec.heterogeneous = true;
+    const RunMetrics het = dike::exp::runWorkload(spec);
+
+    if (w.cls != lastClass) {
+      table.separator();
+      lastClass = w.cls;
+    }
+    for (std::size_t app = 0; app < w.apps.size(); ++app) {
+      const std::string& name = w.apps[app];
+      const double homoRun =
+          dike::util::ticksToSeconds(homo.processes[app].finishTick);
+      const double hetRun =
+          dike::util::ticksToSeconds(het.processes[app].finishTick);
+      table.newRow()
+          .cell(app == 0 ? w.name : "")
+          .cell(name)
+          .cell(dike::wl::isMemoryIntensiveBenchmark(name) ? "M" : "C")
+          .cell(aloneHet.at(name), 1)
+          .cell(homoRun / aloneHomo.at(name), 2)
+          .cell(hetRun / aloneHet.at(name), 2);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nPaper reference: memory-intensive apps degrade far more than\n"
+      "compute-intensive ones (wl2: jacobi 2.3x vs srad 1.25x), and\n"
+      "heterogeneity worsens it (wl15 stream: 3.4x homo -> 4.6x hetero).\n");
+}
+
+void BM_StandaloneRun(benchmark::State& state) {
+  for (auto _ : state) {
+    const RunMetrics m = dike::exp::runStandalone("jacobi", 0.25, 42, true);
+    benchmark::DoNotOptimize(m.makespan);
+  }
+}
+BENCHMARK(BM_StandaloneRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  runFigure1(opts);
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

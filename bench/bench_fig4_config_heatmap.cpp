@@ -1,0 +1,74 @@
+// Figure 4: normalised fairness and performance of every scheduler
+// configuration (swapSize x quantaLength heatmap) for two selected
+// workloads — showing that no single configuration is best for both
+// metrics or both workloads.
+#include "common.hpp"
+
+#include <map>
+
+#include "exp/sweep.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::exp::ConfigResult;
+
+void printHeatmap(const std::vector<ConfigResult>& sweep,
+                  const std::string& workload, bool fairness) {
+  // Normalise to the best configuration of the chosen metric.
+  double best = 0.0;
+  for (const ConfigResult& r : sweep)
+    best = std::max(best, fairness ? r.fairness : r.speedup);
+
+  std::printf("\n--- %s: normalised %s (1.000 = best config) ---\n",
+              workload.c_str(), fairness ? "fairness" : "performance");
+  std::vector<std::string> headers{"quanta\\swap"};
+  for (int swapSize = dike::core::kMinSwapSize;
+       swapSize <= dike::core::kMaxSwapSize; swapSize += 2)
+    headers.push_back(std::to_string(swapSize));
+  dike::util::TextTable table{headers};
+
+  std::map<int, std::map<int, double>> grid;
+  for (const ConfigResult& r : sweep)
+    grid[r.params.quantaLengthMs][r.params.swapSize] =
+        (fairness ? r.fairness : r.speedup) / best;
+
+  for (const int quanta : dike::core::kQuantaLadderMs) {
+    table.newRow().cell(std::to_string(quanta) + "ms");
+    for (int swapSize = dike::core::kMinSwapSize;
+         swapSize <= dike::core::kMaxSwapSize; swapSize += 2)
+      table.cell(grid[quanta][swapSize], 3);
+  }
+  table.print();
+}
+
+void runFigure4(const BenchOptions& opts) {
+  std::printf("=== Figure 4: configuration heatmaps ===\n");
+  // One balanced and one unbalanced workload, as in the paper's subplots.
+  for (const int workloadId : {3, 9}) {
+    const auto sweep =
+        dike::exp::sweepConfigs(workloadId, opts.scale, opts.seed);
+    const std::string name = dike::wl::workload(workloadId).name;
+    printHeatmap(sweep, name, /*fairness=*/true);
+    printHeatmap(sweep, name, /*fairness=*/false);
+  }
+  std::printf(
+      "\nPaper reference: the best cell differs between the fairness and\n"
+      "performance heatmaps of the same workload, and between workloads.\n");
+}
+
+void BM_HeatmapPoint(benchmark::State& state) {
+  dike::bench::benchmarkWorkloadRun(state, dike::exp::SchedulerKind::Dike, 3,
+                                    0.25, 42);
+}
+BENCHMARK(BM_HeatmapPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  runFigure4(opts);
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 5: the optimisation space of scheduler configurations per workload
+// class (B / UC / UM): normalised fairness and performance averaged over
+// the workloads of each class at every lattice point, plus the >= 75%-of-
+// best "top configuration" regions the paper derives Algorithm 2 from.
+#include "common.hpp"
+
+#include <map>
+
+#include "exp/sweep.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::exp::ConfigResult;
+
+struct ClassSweep {
+  // params -> mean normalised fairness / performance over class members.
+  std::map<std::pair<int, int>, double> fairness;
+  std::map<std::pair<int, int>, double> performance;
+};
+
+ClassSweep sweepClass(dike::wl::WorkloadClass cls, const BenchOptions& opts) {
+  ClassSweep out;
+  std::map<std::pair<int, int>, dike::util::OnlineStats> fAcc;
+  std::map<std::pair<int, int>, dike::util::OnlineStats> pAcc;
+  for (const dike::wl::WorkloadSpec* w : dike::wl::workloadsOfClass(cls)) {
+    const auto sweep = dike::exp::sweepConfigs(w->id, opts.scale, opts.seed);
+    double bestF = 0.0;
+    double bestP = 0.0;
+    for (const ConfigResult& r : sweep) {
+      bestF = std::max(bestF, r.fairness);
+      bestP = std::max(bestP, r.speedup);
+    }
+    for (const ConfigResult& r : sweep) {
+      const auto key =
+          std::make_pair(r.params.quantaLengthMs, r.params.swapSize);
+      fAcc[key].add(r.fairness / bestF);
+      pAcc[key].add(r.speedup / bestP);
+    }
+  }
+  for (const auto& [key, stats] : fAcc) out.fairness[key] = stats.mean();
+  for (const auto& [key, stats] : pAcc) out.performance[key] = stats.mean();
+  return out;
+}
+
+void printContour(const std::map<std::pair<int, int>, double>& grid,
+                  std::string_view cls, std::string_view metric) {
+  std::printf("\n--- %s workloads: normalised %s (* marks >= 75%%-of-best "
+              "region used for Algorithm 2) ---\n",
+              std::string{cls}.c_str(), std::string{metric}.c_str());
+  double best = 0.0;
+  double worst = 2.0;
+  for (const auto& [key, v] : grid) {
+    best = std::max(best, v);
+    worst = std::min(worst, v);
+  }
+  const double range = std::max(best - worst, 1e-12);
+
+  std::vector<std::string> headers{"quanta\\swap"};
+  for (int swapSize = dike::core::kMinSwapSize;
+       swapSize <= dike::core::kMaxSwapSize; swapSize += 2)
+    headers.push_back(std::to_string(swapSize));
+  dike::util::TextTable table{headers};
+  for (const int quanta : dike::core::kQuantaLadderMs) {
+    table.newRow().cell(std::to_string(quanta) + "ms");
+    for (int swapSize = dike::core::kMinSwapSize;
+         swapSize <= dike::core::kMaxSwapSize; swapSize += 2) {
+      const double v = grid.at(std::make_pair(quanta, swapSize));
+      std::string cell = dike::util::formatFixed(v, 3);
+      // Top region: within the upper quarter of the class's value range
+      // (the paper's ">= 75% of the best configuration" rule).
+      if ((v - worst) / range >= 0.75) cell += "*";
+      table.cell(cell);
+    }
+  }
+  table.print();
+}
+
+void runFigure5(const BenchOptions& opts) {
+  std::printf("=== Figure 5: optimisation space per workload class ===\n");
+  for (const dike::wl::WorkloadClass cls :
+       {dike::wl::WorkloadClass::Balanced,
+        dike::wl::WorkloadClass::UnbalancedCompute,
+        dike::wl::WorkloadClass::UnbalancedMemory}) {
+    const ClassSweep sweep = sweepClass(cls, opts);
+    printContour(sweep.fairness, toString(cls), "fairness");
+    printContour(sweep.performance, toString(cls), "performance");
+  }
+  std::printf(
+      "\nPaper reference: fairness favours short quanta (and large swapSize\n"
+      "for unbalanced classes); performance favours long quanta — the\n"
+      "opposing gradients Algorithm 2 walks.\n");
+}
+
+void BM_ClassSweepPoint(benchmark::State& state) {
+  dike::bench::benchmarkWorkloadRun(state, dike::exp::SchedulerKind::Dike, 12,
+                                    0.25, 42);
+}
+BENCHMARK(BM_ClassSweepPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  runFigure5(opts);
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Figure 6 (a, b): fairness improvement and speedup of DIO, Dike, Dike-AF
+// and Dike-AP relative to the Linux default scheduler (CFS), for WL1-WL16
+// plus the average and geometric-mean rows the paper reports.
+#include "common.hpp"
+
+#include "workload/workloads.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::exp::RunMetrics;
+using dike::exp::SchedulerKind;
+
+const std::vector<SchedulerKind> kCompared{
+    SchedulerKind::Dio, SchedulerKind::Dike, SchedulerKind::DikeAF,
+    SchedulerKind::DikeAP};
+
+void runFigure6(const BenchOptions& opts) {
+  dike::util::TextTable fairness{{"workload", "class", "cfs-fairness", "dio",
+                                  "dike", "dike-af", "dike-ap"}};
+  dike::util::TextTable perf{
+      {"workload", "class", "dio", "dike", "dike-af", "dike-ap"}};
+
+  std::map<SchedulerKind, std::vector<double>> fairnessRatios;
+  std::map<SchedulerKind, std::vector<double>> speedups;
+  struct CsvRow {
+    std::string workload, cls, scheduler;
+    double fairness, ratio, speedup;
+    long long swaps;
+  };
+  std::vector<CsvRow> csvRows;
+
+  dike::wl::WorkloadClass lastClass =
+      dike::wl::workloadTable().front().cls;
+  for (const dike::wl::WorkloadSpec& w : dike::wl::workloadTable()) {
+    // Average each data point over `reps` independent seeds.
+    dike::util::OnlineStats cfsFairness;
+    std::map<SchedulerKind, dike::util::OnlineStats> fAcc;
+    std::map<SchedulerKind, dike::util::OnlineStats> sAcc;
+    std::map<SchedulerKind, dike::util::OnlineStats> fAbsAcc;
+    std::map<SchedulerKind, dike::util::OnlineStats> swapAcc;
+    const int reps = dike::bench::repsOr(opts, 3);
+    for (int rep = 0; rep < reps; ++rep) {
+      dike::bench::BenchOptions repOpts = opts;
+      repOpts.seed = opts.seed + static_cast<std::uint64_t>(rep) * 1000;
+      const dike::bench::WorkloadRuns runs =
+          dike::bench::runWorkloadAllSchedulers(w.id, repOpts);
+      cfsFairness.add(runs.cfs.fairness);
+      for (const SchedulerKind kind : kCompared) {
+        const RunMetrics& m = runs.byKind.at(kind);
+        fAcc[kind].add(m.fairness / runs.cfs.fairness);
+        sAcc[kind].add(dike::exp::speedup(runs.cfs.makespan, m.makespan));
+        fAbsAcc[kind].add(m.fairness);
+        swapAcc[kind].add(static_cast<double>(m.swaps));
+      }
+    }
+
+    if (w.cls != lastClass) {
+      fairness.separator();
+      perf.separator();
+      lastClass = w.cls;
+    }
+    fairness.newRow().cell(w.name).cell(toString(w.cls)).cell(
+        cfsFairness.mean(), 3);
+    perf.newRow().cell(w.name).cell(toString(w.cls));
+    for (const SchedulerKind kind : kCompared) {
+      const double fRatio = fAcc[kind].mean();
+      const double sp = sAcc[kind].mean();
+      fairness.cellPercent(fRatio - 1.0, 1);
+      perf.cell(sp, 3);
+      fairnessRatios[kind].push_back(fRatio);
+      speedups[kind].push_back(sp);
+      csvRows.push_back(CsvRow{
+          w.name, std::string{toString(w.cls)},
+          std::string{dike::exp::toString(kind)}, fAbsAcc[kind].mean(),
+          fRatio, sp, static_cast<long long>(swapAcc[kind].mean())});
+    }
+  }
+
+  auto appendSummary = [&](dike::util::TextTable& table,
+                           std::map<SchedulerKind, std::vector<double>>& data,
+                           bool percent, int skipCells) {
+    table.separator();
+    table.newRow().cell("average").cell("");
+    for (int i = 0; i < skipCells; ++i) table.cell("");
+    for (const SchedulerKind kind : kCompared) {
+      const double avg = dike::util::mean(data[kind]);
+      if (percent)
+        table.cellPercent(avg - 1.0, 1);
+      else
+        table.cell(avg, 3);
+    }
+    table.newRow().cell("geomean").cell("");
+    for (int i = 0; i < skipCells; ++i) table.cell("");
+    for (const SchedulerKind kind : kCompared) {
+      const double gm = dike::util::geometricMean(data[kind]);
+      if (percent)
+        table.cellPercent(gm - 1.0, 1);
+      else
+        table.cell(gm, 3);
+    }
+  };
+
+  std::printf("=== Figure 6a: fairness improvement over Linux CFS ===\n");
+  appendSummary(fairness, fairnessRatios, true, 1);
+  fairness.print();
+  std::printf(
+      "\nPaper reference (geomean over baseline): DIO +47%%, Dike +65%%, "
+      "Dike-AF +75%%; Dike-AP does not hurt fairness.\n\n");
+
+  std::printf("=== Figure 6b: speedup over Linux CFS ===\n");
+  appendSummary(perf, speedups, false, 0);
+  perf.print();
+  std::printf(
+      "\nPaper reference (geomean): DIO ~1.04, Dike ~1.08, Dike-AP ~1.12.\n");
+
+  if (!opts.csvPath.empty()) {
+    dike::util::CsvFile csv{opts.csvPath};
+    csv.writer().header({"workload", "class", "scheduler", "fairness",
+                         "fairness_vs_cfs", "speedup", "swaps"});
+    for (const CsvRow& r : csvRows)
+      csv.writer().row(r.workload, r.cls, r.scheduler, r.fairness, r.ratio,
+                       r.speedup, r.swaps);
+    std::printf("\nCSV written to %s\n", opts.csvPath.c_str());
+  }
+}
+
+void BM_Fig6WorkloadRun(benchmark::State& state) {
+  dike::bench::benchmarkWorkloadRun(
+      state, SchedulerKind::Dike, static_cast<int>(state.range(0)), 0.25, 42);
+}
+BENCHMARK(BM_Fig6WorkloadRun)->Arg(1)->Arg(7)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  runFigure6(opts);
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 7: minimum, average and maximum prediction error of Dike's
+// closed-loop access-rate predictor across the threads of each workload.
+// The paper reports averages between 0 and 3% with bounds of -9%/+10%, UM
+// workloads being easiest (steady access rates) and UC hardest (bursty
+// compute threads).
+#include "common.hpp"
+
+#include "util/histogram.hpp"
+
+#include "workload/workloads.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::exp::RunMetrics;
+using dike::exp::SchedulerKind;
+
+void runFigure7(const BenchOptions& opts) {
+  std::printf("=== Figure 7: Dike prediction error per workload ===\n");
+  dike::util::TextTable table{
+      {"workload", "class", "min", "avg", "max"}};
+
+  dike::util::Histogram errorHist{-0.20, 0.30, 10};
+  dike::util::OnlineStats classAvg[3];
+  dike::wl::WorkloadClass lastClass = dike::wl::workloadTable().front().cls;
+  for (const dike::wl::WorkloadSpec& w : dike::wl::workloadTable()) {
+    dike::exp::RunSpec spec;
+    spec.workloadId = w.id;
+    spec.kind = SchedulerKind::Dike;
+    spec.scale = opts.scale;
+    spec.seed = opts.seed;
+    const RunMetrics m = dike::exp::runWorkload(spec);
+
+    if (w.cls != lastClass) {
+      table.separator();
+      lastClass = w.cls;
+    }
+    table.newRow().cell(w.name).cell(toString(w.cls));
+    if (m.hasPredictions) {
+      table.cellPercent(m.predErrMin, 1)
+          .cellPercent(m.predErrMean, 1)
+          .cellPercent(m.predErrMax, 1);
+      classAvg[static_cast<int>(w.cls)].add(std::abs(m.predErrMean));
+      errorHist.add(m.predErrMean);
+    } else {
+      table.cell("-").cell("-").cell("-");
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nMean |avg error| by class: B %.1f%%, UC %.1f%%, UM %.1f%%\n",
+      100.0 * classAvg[0].mean(), 100.0 * classAvg[1].mean(),
+      100.0 * classAvg[2].mean());
+  std::printf("\nDistribution of per-workload mean errors:\n%s",
+              errorHist.render(30).c_str());
+  std::printf(
+      "Paper reference: averages within 0..3%%, min/max within -9%%..+10%%;\n"
+      "UM easiest (steady rates), UC hardest (bursty compute phases).\n");
+}
+
+void BM_PredictionRun(benchmark::State& state) {
+  dike::bench::benchmarkWorkloadRun(state, SchedulerKind::Dike, 6, 0.25, 42);
+}
+BENCHMARK(BM_PredictionRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  runFigure7(opts);
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Inspector: print the behavioural model of every benchmark — the phase
+// programs standing in for the paper's Rodinia applications — plus each
+// model's standalone runtime on the simulated testbed. Documentation by
+// tooling: what exactly does "jacobi" mean in this reproduction?
+//
+// Usage:
+//   benchmark_profiles [--benchmark jacobi] [--scale 1.0]
+#include <cstdio>
+
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace {
+
+void printProfile(const std::string& name, double scale) {
+  const dike::wl::BenchmarkSpec spec = dike::wl::makeBenchmark(name, scale);
+  std::printf("%s  [%s]  total %.1f Ginstr/thread%s\n", spec.name.c_str(),
+              spec.memoryIntensive ? "memory-intensive" : "compute-intensive",
+              spec.program.totalInstructions() / 1e9,
+              spec.program.hasBarriers() ? "  (barrier-synchronised)" : "");
+  dike::util::TextTable table{{"phase", "Ginstr", "miss/instr", "miss-ratio",
+                               "working-set(MB)"}};
+  for (const dike::sim::Phase& p : spec.program.phases) {
+    table.newRow()
+        .cell(p.name)
+        .cell(p.instructions / 1e9, 2)
+        .cell(p.memPerInstr, 4)
+        .cell(p.llcMissRatio, 2)
+        .cell(p.workingSetMB, 1);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dike::util::CliArgs args{argc, argv};
+  const double scale = args.getDouble("scale", 1.0);
+
+  if (const auto one = args.get("benchmark")) {
+    printProfile(*one, scale);
+    return 0;
+  }
+
+  std::printf("Benchmark models (scale %.2f):\n\n", scale);
+  for (const std::string& name : dike::wl::benchmarkNames())
+    printProfile(name, scale);
+
+  std::printf("Standalone runtimes on the simulated testbed (8 threads,\n"
+              "spread placement, no co-runners):\n");
+  dike::util::TextTable table{
+      {"benchmark", "class", "runtime(s)", "energy(kJ-model)"}};
+  for (const std::string& name : dike::wl::benchmarkNames()) {
+    const dike::exp::RunMetrics m =
+        dike::exp::runStandalone(name, scale, 42, true);
+    table.newRow()
+        .cell(name)
+        .cell(dike::wl::isMemoryIntensiveBenchmark(name) ? "M" : "C")
+        .cell(dike::util::ticksToSeconds(m.makespan), 1)
+        .cell(m.energyJoules / 1e3, 2);
+  }
+  table.print();
+  return 0;
+}

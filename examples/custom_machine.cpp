@@ -1,0 +1,123 @@
+// Library-API tour: build a custom heterogeneous machine and a custom
+// application mix from scratch (no Table II), then compare schedulers.
+// Models a big.LITTLE-style part: one 4-core 3.0 GHz cluster and one
+// 8-core 1.4 GHz cluster, running a latency-critical streaming service
+// next to batch analytics.
+//
+// Usage:
+//   custom_machine [--seed 42] [--threads 4]
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "core/dike_scheduler.hpp"
+#include "exp/metrics.hpp"
+#include "sched/cfs.hpp"
+#include "sched/dio.hpp"
+#include "sched/placement.hpp"
+#include "sim/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+dike::sim::MachineTopology bigLittle() {
+  const std::array<dike::sim::SocketSpec, 2> sockets{
+      dike::sim::SocketSpec{.physicalCores = 4,
+                            .smtWays = 1,
+                            .freqGhz = 3.0,
+                            .type = dike::sim::CoreType::Fast},
+      dike::sim::SocketSpec{.physicalCores = 8,
+                            .smtWays = 1,
+                            .freqGhz = 1.4,
+                            .type = dike::sim::CoreType::Slow},
+  };
+  return dike::sim::MachineTopology{sockets};
+}
+
+dike::sim::PhaseProgram streamingService() {
+  // Steady, bandwidth-hungry request processing.
+  dike::sim::PhaseProgram p;
+  p.phases = {
+      dike::sim::Phase{"serve", 12e9, 0.024, 0.35, 1.0},
+  };
+  return p;
+}
+
+dike::sim::PhaseProgram batchAnalytics() {
+  // Bursty: long aggregation stretches, short shuffle phases.
+  dike::sim::PhaseProgram p;
+  for (int round = 0; round < 4; ++round) {
+    p.phases.push_back(dike::sim::Phase{"aggregate", 3.2e9, 0.002, 0.03, 1.0});
+    p.phases.push_back(dike::sim::Phase{"shuffle", 0.6e9, 0.009, 0.15, 1.0});
+  }
+  return p;
+}
+
+struct Row {
+  std::string name;
+  double fairness;
+  double seconds;
+  std::int64_t swaps;
+};
+
+Row runUnder(std::unique_ptr<dike::sched::Scheduler> scheduler,
+             std::uint64_t seed, int threadsPerApp) {
+  dike::sim::MachineConfig cfg;
+  cfg.seed = seed;
+  dike::sim::Machine machine{bigLittle(), cfg};
+  machine.addProcess("streaming", streamingService(), threadsPerApp, true);
+  machine.addProcess("analytics", batchAnalytics(), threadsPerApp, false);
+  machine.addProcess("analytics2", batchAnalytics(), threadsPerApp, false);
+  dike::sched::placeRandom(machine, seed);
+
+  dike::sched::SchedulerAdapter adapter{*scheduler};
+  const dike::sim::RunOutcome outcome = dike::sim::runMachine(machine, adapter);
+  Row row;
+  row.name = std::string{scheduler->name()};
+  row.fairness = outcome.timedOut ? 0.0 : dike::exp::fairnessEq4(machine);
+  row.seconds = dike::util::ticksToSeconds(outcome.finishTick);
+  row.swaps = machine.swapCount();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dike::util::CliArgs args{argc, argv};
+  const auto seed = static_cast<std::uint64_t>(args.getInt64("seed", 42));
+  const int threads = args.getInt("threads", 4);
+
+  std::printf(
+      "Custom big.LITTLE machine (4x3.0GHz + 8x1.4GHz), 3 services x %d "
+      "threads.\n\n",
+      threads);
+
+  dike::util::TextTable table{
+      {"scheduler", "fairness", "makespan(s)", "swaps"}};
+  {
+    const Row r = runUnder(std::make_unique<dike::sched::CfsScheduler>(),
+                           seed, threads);
+    table.newRow().cell(r.name).cell(r.fairness, 3).cell(r.seconds, 1).cell(
+        r.swaps);
+  }
+  {
+    const Row r = runUnder(std::make_unique<dike::sched::DioScheduler>(),
+                           seed, threads);
+    table.newRow().cell(r.name).cell(r.fairness, 3).cell(r.seconds, 1).cell(
+        r.swaps);
+  }
+  {
+    const Row r = runUnder(std::make_unique<dike::core::DikeScheduler>(),
+                           seed, threads);
+    table.newRow().cell(r.name).cell(r.fairness, 3).cell(r.seconds, 1).cell(
+        r.swaps);
+  }
+  table.print();
+
+  std::printf(
+      "\nDike needs no knowledge of this machine or mix: the closed loop\n"
+      "discovers the fast cluster and the streaming service's bandwidth\n"
+      "demand from counters alone.\n");
+  return 0;
+}

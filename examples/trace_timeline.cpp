@@ -1,0 +1,101 @@
+// Trace explorer: run one workload under a chosen scheduler with event
+// tracing on, render each thread's core-type occupancy as an ASCII
+// timeline, and print the rotation analysis that explains the fairness
+// outcome (each thread's share of time on fast cores).
+//
+// Usage:
+//   trace_timeline [--workload 2] [--scheduler dike] [--scale 0.3]
+//                  [--seed 42] [--width 72]
+#include <cstdio>
+#include <memory>
+
+#include "core/dike_scheduler.hpp"
+#include "exp/analysis.hpp"
+#include "exp/metrics.hpp"
+#include "sched/cfs.hpp"
+#include "sched/dio.hpp"
+#include "sched/placement.hpp"
+#include "sim/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+std::unique_ptr<dike::sched::Scheduler> makeScheduler(const std::string& name) {
+  if (name == "cfs") return std::make_unique<dike::sched::CfsScheduler>();
+  if (name == "dio") return std::make_unique<dike::sched::DioScheduler>();
+  dike::core::DikeConfig cfg;
+  if (name == "dike-af") cfg.goal = dike::core::AdaptationGoal::Fairness;
+  if (name == "dike-ap") cfg.goal = dike::core::AdaptationGoal::Performance;
+  return std::make_unique<dike::core::DikeScheduler>(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dike::util::CliArgs args{argc, argv};
+  const int workloadId = args.getInt("workload", 2);
+  const std::string schedulerName = args.getOr("scheduler", "dike");
+  const double scale = args.getDouble("scale", 0.3);
+  const auto seed = static_cast<std::uint64_t>(args.getInt64("seed", 42));
+  const int width = args.getInt("width", 72);
+
+  dike::sim::MachineConfig machineCfg;
+  machineCfg.seed = seed;
+  dike::sim::Machine machine{dike::sim::MachineTopology::paperTestbed(),
+                             machineCfg};
+  dike::sim::TraceRecorder trace;
+  machine.setTraceRecorder(&trace);
+
+  dike::wl::addWorkloadProcesses(machine, dike::wl::workload(workloadId),
+                                 scale);
+  dike::sched::placeRandom(machine, seed);
+
+  const std::unique_ptr<dike::sched::Scheduler> scheduler =
+      makeScheduler(schedulerName);
+  dike::sched::SchedulerAdapter adapter{*scheduler};
+  const dike::sim::RunOutcome outcome =
+      dike::sim::runMachine(machine, adapter);
+
+  std::printf(
+      "%s under %s: makespan %.1fs, fairness %.3f, %lld swaps, %zu trace "
+      "events\n\n",
+      dike::wl::workload(workloadId).name.c_str(),
+      std::string{scheduler->name()}.c_str(),
+      dike::util::ticksToSeconds(outcome.finishTick),
+      outcome.timedOut ? 0.0 : dike::exp::fairnessEq4(machine),
+      static_cast<long long>(machine.swapCount()), trace.events().size());
+
+  std::printf("Per-thread core occupancy (F = fast core, s = slow core):\n");
+  for (const dike::sim::SimProcess& proc : machine.processes()) {
+    std::printf("%s%s\n", proc.name.c_str(),
+                proc.memoryIntensive ? " [memory]" : "");
+    for (const int threadId : proc.threadIds) {
+      std::printf("  t%-3d %s\n", threadId,
+                  dike::exp::renderThreadLane(machine, trace, threadId, width)
+                      .c_str());
+    }
+  }
+
+  const dike::exp::ScheduleAnalysis analysis =
+      dike::exp::analyzeSchedule(machine);
+  std::printf("\nRotation analysis:\n");
+  dike::util::TextTable table{{"process", "mean fast-share",
+                               "fast-share CV", "barrier-share"}};
+  for (const dike::exp::ProcessRotation& r : analysis.processes) {
+    table.newRow()
+        .cell(r.name)
+        .cell(r.meanFastShare, 3)
+        .cell(r.fastShareCv, 3)
+        .cell(r.barrierShare, 3);
+  }
+  table.print();
+  std::printf(
+      "\nmachine-wide: %.2f%% of thread time in migration stalls, %.2f%% at "
+      "barriers\n"
+      "A fair schedule shows a small fast-share CV within each process —\n"
+      "siblings got equal time on fast silicon.\n",
+      100.0 * analysis.stallShare, 100.0 * analysis.barrierShare);
+  return 0;
+}

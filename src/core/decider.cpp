@@ -1,0 +1,50 @@
+#include "core/decider.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dike::core {
+
+Decider::Decider(DeciderConfig config) : config_(config) {
+  if (config_.cooldownQuanta < 0)
+    throw std::invalid_argument{"cooldownQuanta must be >= 0"};
+  if (config_.minCooldownMs < 0)
+    throw std::invalid_argument{"minCooldownMs must be >= 0"};
+}
+
+util::Tick Decider::cooldownWindow(util::Tick quantumTicks) const {
+  if (config_.cooldownQuanta == 0 && config_.minCooldownMs == 0) return 0;
+  const util::Tick quantaWindow =
+      config_.cooldownQuanta * std::max<util::Tick>(1, quantumTicks) + 1;
+  const util::Tick floorWindow = util::millisToTicks(config_.minCooldownMs);
+  if (config_.cooldownQuanta == 0) return floorWindow;
+  return std::max(quantaWindow, floorWindow);
+}
+
+bool Decider::shouldSwap(const SwapPrediction& prediction, util::Tick now,
+                         util::Tick quantumTicks) const {
+  if (inCooldown(prediction.pair.lowThread, now, quantumTicks) ||
+      inCooldown(prediction.pair.highThread, now, quantumTicks))
+    return false;
+  if (config_.requirePositiveProfit && prediction.totalProfit < 0.0)
+    return false;
+  return true;
+}
+
+void Decider::recordSwap(const ThreadPair& pair, util::Tick now) {
+  lastMigration_[pair.lowThread] = now;
+  lastMigration_[pair.highThread] = now;
+}
+
+void Decider::recordMigration(int threadId, util::Tick now) {
+  lastMigration_[threadId] = now;
+}
+
+bool Decider::inCooldown(int threadId, util::Tick now,
+                         util::Tick quantumTicks) const {
+  const auto it = lastMigration_.find(threadId);
+  if (it == lastMigration_.end()) return false;
+  return now - it->second < cooldownWindow(quantumTicks);
+}
+
+}  // namespace dike::core

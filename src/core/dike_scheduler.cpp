@@ -1,0 +1,183 @@
+#include "core/dike_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dike::core {
+
+DikeScheduler::DikeScheduler(DikeConfig config)
+    : config_(config),
+      params_(config.params),
+      observer_(config.observer),
+      selector_(SelectorConfig{config.fairnessThreshold,
+                               config.rotateWhenNoViolator,
+                               config.pairRateMargin}),
+      predictor_(PredictorConfig{config.swapOhMs}),
+      decider_(DeciderConfig{config.cooldownQuanta, config.minCooldownMs,
+                             config.requirePositiveProfit}) {
+  if (config_.params.swapSize < kMinSwapSize ||
+      config_.params.swapSize % 2 != 0)
+    throw std::invalid_argument{"swapSize must be an even number >= 2"};
+  if (config_.params.quantaLengthMs <= 0)
+    throw std::invalid_argument{"quantaLengthMs must be > 0"};
+  if (config_.fairnessThreshold <= 0.0)
+    throw std::invalid_argument{"fairnessThreshold must be > 0"};
+}
+
+std::string_view DikeScheduler::name() const {
+  switch (config_.goal) {
+    case AdaptationGoal::None: return "dike";
+    case AdaptationGoal::Fairness: return "dike-af";
+    case AdaptationGoal::Performance: return "dike-ap";
+  }
+  return "dike";
+}
+
+util::Tick DikeScheduler::quantumTicks() const {
+  return util::millisToTicks(params_.quantaLengthMs);
+}
+
+void DikeScheduler::onQuantum(sched::SchedulerView& view) {
+  // Close the loop: score the predictions registered last quantum against
+  // the rates just measured.
+  tracker_.scoreQuantum(view.sample(), view.now());
+
+  observer_.observe(makeObservation(view));
+
+  QuantumDecisionStats stats;
+  stats.quantumIndex = quantumIndex_;
+  stats.unfairness = observer_.systemUnfairness();
+  stats.workloadType = observer_.workloadType();
+
+  const bool fair = stats.unfairness < config_.fairnessThreshold;
+  if (!fair) {
+    stats.acted = true;
+
+    // Optimizer: one Algorithm-2 step per (unfair) quantum in adaptive mode.
+    if (config_.goal != AdaptationGoal::None)
+      params_ = optimizer_.optimize(params_, observer_.workloadType(),
+                                    config_.goal);
+
+    // Selector -> Predictor -> Decider -> Migrator. The Selector oversupplies
+    // candidates (2x) because the Decider will reject some on cool-down or
+    // profit; swapSize bounds the swaps actually *executed* per quantum.
+    const int maxSwaps = params_.swapSize / 2;
+    const std::vector<ThreadPair> pairs =
+        selector_.formPairs(observer_, params_.swapSize * 2);
+    stats.pairsConsidered = static_cast<int>(pairs.size());
+    for (const ThreadPair& pair : pairs) {
+      if (stats.swapsExecuted >= maxSwaps) break;
+      const SwapPrediction prediction =
+          predictor_.predict(observer_, pair, params_.quantaLengthMs);
+      if (decider_.inCooldown(pair.lowThread, view.now(), quantumTicks()) ||
+          decider_.inCooldown(pair.highThread, view.now(), quantumTicks())) {
+        ++stats.pairsRejectedCooldown;
+        continue;
+      }
+      if (!decider_.shouldSwap(prediction, view.now(), quantumTicks())) {
+        ++stats.pairsRejectedProfit;
+        continue;
+      }
+      view.swap(pair.lowThread, pair.highThread);
+      decider_.recordSwap(pair, view.now());
+      ++stats.swapsExecuted;
+      ++totalSwaps_;
+      tracker_.setPrediction(pair.lowThread, prediction.predictedRateLow);
+      tracker_.setPrediction(pair.highThread, prediction.predictedRateHigh);
+    }
+  }
+  stats.params = params_;
+
+  if (!fair && config_.useFreeCores) migrateToFreeCores(view);
+
+  // Persistence prediction for every live thread that did not migrate
+  // (migrated threads already carry the predictor's post-swap estimate).
+  for (const ThreadInfo& t : observer_.threadsByAccessRate())
+    tracker_.setPredictionIfAbsent(t.threadId, t.accessRate);
+
+  lastStats_ = stats;
+  ++totals_.quanta;
+  if (stats.acted) ++totals_.actedQuanta;
+  totals_.pairsConsidered += stats.pairsConsidered;
+  totals_.rejectedCooldown += stats.pairsRejectedCooldown;
+  totals_.rejectedProfit += stats.pairsRejectedProfit;
+  totals_.swapsExecuted += stats.swapsExecuted;
+  ++quantumIndex_;
+}
+
+void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view) {
+  // Cores freed by finished applications are exploited directly: promote
+  // starved threads into free high-bandwidth cores; when none is free but
+  // low-bandwidth cores are, demote surplus compute threads to open a
+  // high-bandwidth core for the next quantum. Single migrations (cheaper
+  // than swaps — no partner is displaced); the cooldown still applies.
+  std::vector<int> freeHigh;
+  std::vector<int> freeLow;
+  for (int c = 0; c < view.coreCount(); ++c) {
+    if (view.coreOccupant(c) != -1) continue;
+    (observer_.isHighBandwidthCore(c) ? freeHigh : freeLow).push_back(c);
+  }
+  if (freeHigh.empty() && freeLow.empty()) return;
+
+  const int budget = params_.swapSize / 2;
+  int moved = 0;
+
+  if (!freeHigh.empty()) {
+    // Promotion candidates: threads on low-bandwidth cores — memory-class
+    // violators first, then anyone starved — most starved first.
+    std::vector<const ThreadInfo*> candidates;
+    for (const ThreadInfo& t : observer_.threadsByAccessRate())
+      if (!observer_.isHighBandwidthCore(t.coreId)) candidates.push_back(&t);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ThreadInfo* a, const ThreadInfo* b) {
+                const bool ma = a->cls == ThreadClass::Memory;
+                const bool mb = b->cls == ThreadClass::Memory;
+                if (ma != mb) return ma;
+                if (a->deficit != b->deficit) return a->deficit > b->deficit;
+                return a->threadId < b->threadId;
+              });
+    std::size_t core = 0;
+    for (const ThreadInfo* t : candidates) {
+      if (moved >= budget || core >= freeHigh.size()) break;
+      if (t->cls != ThreadClass::Memory &&
+          t->deficit <= config_.pairRateMargin)
+        continue;  // not a violator and not starved: leave it be
+      if (decider_.inCooldown(t->threadId, view.now(), quantumTicks()))
+        continue;
+      const int dest = freeHigh[core++];
+      view.migrateTo(t->threadId, dest);
+      decider_.recordMigration(t->threadId, view.now());
+      tracker_.setPrediction(t->threadId,
+                             predictor_.predictMigratedRate(observer_, *t, dest));
+      ++moved;
+    }
+  } else {
+    // No free high-bandwidth core: open one by demoting a surplus compute
+    // thread into a free low-bandwidth core.
+    std::vector<const ThreadInfo*> candidates;
+    for (const ThreadInfo& t : observer_.threadsByAccessRate())
+      if (observer_.isHighBandwidthCore(t.coreId) &&
+          t.cls == ThreadClass::Compute &&
+          t.deficit < -config_.pairRateMargin)
+        candidates.push_back(&t);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ThreadInfo* a, const ThreadInfo* b) {
+                if (a->deficit != b->deficit) return a->deficit < b->deficit;
+                return a->threadId < b->threadId;
+              });
+    std::size_t core = 0;
+    for (const ThreadInfo* t : candidates) {
+      if (moved >= budget || core >= freeLow.size()) break;
+      if (decider_.inCooldown(t->threadId, view.now(), quantumTicks()))
+        continue;
+      const int dest = freeLow[core++];
+      view.migrateTo(t->threadId, dest);
+      decider_.recordMigration(t->threadId, view.now());
+      tracker_.setPrediction(t->threadId,
+                             predictor_.predictMigratedRate(observer_, *t, dest));
+      ++moved;
+    }
+  }
+}
+
+}  // namespace dike::core

@@ -1,0 +1,86 @@
+// DikeScheduler: the full pipeline of Figure 3 — Observer -> Selector ->
+// Predictor -> Decider -> Migrator, plus the Optimizer in adaptive modes.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/decider.hpp"
+#include "core/observer.hpp"
+#include "core/optimizer.hpp"
+#include "core/prediction_tracker.hpp"
+#include "core/predictor.hpp"
+#include "core/selector.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dike::core {
+
+/// Statistics about one quantum's decisions (mainly for tests/reports).
+struct QuantumDecisionStats {
+  std::int64_t quantumIndex = 0;
+  double unfairness = 0.0;
+  bool acted = false;       ///< false when the fairness check short-circuited
+  int pairsConsidered = 0;  ///< pairs formed by the Selector
+  int pairsRejectedCooldown = 0;
+  int pairsRejectedProfit = 0;
+  int swapsExecuted = 0;
+  DikeParams params{};      ///< parameters in effect this quantum
+  WorkloadType workloadType = WorkloadType::Balanced;
+};
+
+/// Whole-run decision totals.
+struct DecisionTotals {
+  std::int64_t quanta = 0;
+  std::int64_t actedQuanta = 0;
+  std::int64_t pairsConsidered = 0;
+  std::int64_t rejectedCooldown = 0;
+  std::int64_t rejectedProfit = 0;
+  std::int64_t swapsExecuted = 0;
+};
+
+class DikeScheduler final : public sched::Scheduler {
+ public:
+  explicit DikeScheduler(DikeConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override;
+  [[nodiscard]] util::Tick quantumTicks() const override;
+  void onQuantum(sched::SchedulerView& view) override;
+
+  [[nodiscard]] const DikeConfig& configuration() const noexcept {
+    return config_;
+  }
+  /// Parameters currently in effect (differ from the initial configuration
+  /// in adaptive modes).
+  [[nodiscard]] const DikeParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Observer& observer() const noexcept { return observer_; }
+  [[nodiscard]] const PredictionTracker& predictions() const noexcept {
+    return tracker_;
+  }
+  [[nodiscard]] const QuantumDecisionStats& lastQuantumStats() const noexcept {
+    return lastStats_;
+  }
+  [[nodiscard]] const DecisionTotals& decisionTotals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] std::int64_t totalSwaps() const noexcept {
+    return totalSwaps_;
+  }
+
+ private:
+  void migrateToFreeCores(sched::SchedulerView& view);
+
+  DikeConfig config_;
+  DikeParams params_;
+  Observer observer_;
+  Selector selector_;
+  Predictor predictor_;
+  Decider decider_;
+  Optimizer optimizer_;
+  PredictionTracker tracker_;
+  std::int64_t quantumIndex_ = 0;
+  std::int64_t totalSwaps_ = 0;
+  QuantumDecisionStats lastStats_{};
+  DecisionTotals totals_{};
+};
+
+}  // namespace dike::core

@@ -1,0 +1,191 @@
+#include "core/observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace dike::core {
+
+Observation makeObservation(const sched::SchedulerView& view) {
+  Observation obs;
+  obs.sample = view.sample();
+  const int cores = view.coreCount();
+  obs.coreOccupant.reserve(static_cast<std::size_t>(cores));
+  obs.coreSocket.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    obs.coreOccupant.push_back(view.coreOccupant(c));
+    obs.coreSocket.push_back(view.socketOf(c));
+  }
+  return obs;
+}
+
+Observer::Observer(ObserverConfig config) : config_(config) {}
+
+void Observer::observe(const Observation& obs) {
+  if (coreBwRaw_.empty()) {
+    const std::size_t cores = obs.coreOccupant.size();
+    coreBwRaw_.assign(cores, 0.0);
+    coreBwEffective_.assign(cores, 0.0);
+    highBandwidth_.assign(cores, false);
+    if (config_.symmetricMovingMean)
+      coreBwWindow_.assign(cores, util::MovingMean{config_.movingMeanWindow});
+  }
+
+  classifyThreads(obs.sample);
+  updateCoreBw(obs);
+  partitionCores(obs);
+  computeUnfairness();
+  classifyWorkload();
+  ++observedQuanta_;
+}
+
+void Observer::classifyThreads(const sim::QuantumSample& sample) {
+  threads_.clear();
+  memCount_ = 0;
+  compCount_ = 0;
+  const double periodSec =
+      static_cast<double>(sample.periodTicks) * util::kTickSeconds;
+  for (const sim::ThreadSample& s : sample.threads) {
+    if (s.finished || s.coreId < 0) continue;
+    ThreadInfo info;
+    info.threadId = s.threadId;
+    info.processId = s.processId;
+    info.coreId = s.coreId;
+    info.accessRate = s.accessRate;
+    auto [it, inserted] = threadRate_.try_emplace(
+        s.threadId, util::MovingMean{config_.threadRateWindow});
+    it->second.add(s.accessRate);
+    info.avgAccessRate = it->second.value();
+    cumAccesses_[s.threadId] += s.accessRate * periodSec;
+    cumSeconds_[s.threadId] += periodSec;
+    info.cumAccessRate = cumAccesses_[s.threadId] / cumSeconds_[s.threadId];
+    info.llcMissRatio = s.llcMissRatio;
+    info.cls = s.llcMissRatio > config_.llcMissThreshold ? ThreadClass::Memory
+                                                         : ThreadClass::Compute;
+    (info.cls == ThreadClass::Memory ? memCount_ : compCount_) += 1;
+    threads_.push_back(info);
+  }
+
+  // Deficits: starvation relative to sibling threads of the same process.
+  std::map<int, util::OnlineStats> perProcess;
+  for (const ThreadInfo& t : threads_)
+    perProcess[t.processId].add(t.cumAccessRate);
+  for (ThreadInfo& t : threads_) {
+    const double mean = perProcess[t.processId].mean();
+    t.deficit = mean > config_.processRateFloor
+                    ? 1.0 - t.cumAccessRate / mean
+                    : 0.0;
+  }
+
+  std::sort(threads_.begin(), threads_.end(),
+            [](const ThreadInfo& a, const ThreadInfo& b) {
+              if (a.avgAccessRate != b.avgAccessRate)
+                return a.avgAccessRate < b.avgAccessRate;
+              return a.threadId < b.threadId;
+            });
+}
+
+void Observer::updateCoreBw(const Observation& obs) {
+  // Per-core filter: rise immediately to demonstrated bandwidth, decay
+  // slowly when the core hosts an undemanding thread.
+  for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
+    const double achieved = obs.sample.coreAchievedBw[c];
+    if (obs.coreOccupant[c] < 0 && achieved <= 0.0)
+      continue;  // idle core: keep the last estimate
+    if (config_.symmetricMovingMean) {
+      coreBwWindow_[c].add(achieved);
+      coreBwRaw_[c] = coreBwWindow_[c].value();
+    } else if (achieved >= coreBwRaw_[c]) {
+      coreBwRaw_[c] = achieved;
+    } else {
+      coreBwRaw_[c] = config_.coreBwDecay * coreBwRaw_[c] +
+                      (1.0 - config_.coreBwDecay) * achieved;
+    }
+  }
+
+  // Socket blending: a core can deliver at least `socketShare` of what the
+  // best core on its (homogeneous-silicon) socket has demonstrated.
+  int socketCount = 0;
+  for (int s : obs.coreSocket) socketCount = std::max(socketCount, s + 1);
+  std::vector<double> socketCap(static_cast<std::size_t>(socketCount), 0.0);
+  for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
+    double& cap = socketCap[static_cast<std::size_t>(obs.coreSocket[c])];
+    cap = std::max(cap, coreBwRaw_[c]);
+  }
+  for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
+    const double blended =
+        config_.socketShare *
+        socketCap[static_cast<std::size_t>(obs.coreSocket[c])];
+    coreBwEffective_[c] = std::max(coreBwRaw_[c], blended);
+  }
+}
+
+void Observer::partitionCores(const Observation& obs) {
+  // Rank every core with a bandwidth estimate (occupied now, or exercised
+  // earlier — a freed fast core keeps its capability); top half is "high
+  // bandwidth".
+  std::vector<int> known;
+  known.reserve(coreBwEffective_.size());
+  for (int c = 0; c < static_cast<int>(coreBwEffective_.size()); ++c) {
+    if (obs.coreOccupant[static_cast<std::size_t>(c)] >= 0 ||
+        coreBwEffective_[static_cast<std::size_t>(c)] > 0.0)
+      known.push_back(c);
+  }
+
+  std::fill(highBandwidth_.begin(), highBandwidth_.end(), false);
+  if (known.empty()) return;
+  std::sort(known.begin(), known.end(), [this](int a, int b) {
+    const double ea = coreBwEffective_[static_cast<std::size_t>(a)];
+    const double eb = coreBwEffective_[static_cast<std::size_t>(b)];
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  const std::size_t highCount = (known.size() + 1) / 2;
+  for (std::size_t i = 0; i < highCount; ++i)
+    highBandwidth_[static_cast<std::size_t>(known[i])] = true;
+}
+
+void Observer::computeUnfairness() {
+  // CV of cumulative access rates across each process's live threads:
+  // homogeneous data-parallel threads should accumulate service equally.
+  std::map<int, util::OnlineStats> perProcess;
+  for (const ThreadInfo& t : threads_)
+    perProcess[t.processId].add(t.cumAccessRate);
+
+  // The signal is the *worst* process: one starving application is an
+  // unfair system even when the others are uniform (a mean would dilute it
+  // below theta_f).
+  double worst = 0.0;
+  for (const auto& [pid, stats] : perProcess) {
+    if (stats.count() < 2) continue;
+    if (stats.mean() < config_.processRateFloor) continue;  // noise-dominated
+    worst = std::max(worst, stats.coefficientOfVariation());
+  }
+  unfairness_ = worst;
+}
+
+void Observer::classifyWorkload() {
+  const int total = memCount_ + compCount_;
+  if (total == 0) {
+    type_ = WorkloadType::Balanced;
+    return;
+  }
+  const double tolerance = config_.balanceTolerance * total;
+  const int diff = memCount_ - compCount_;
+  if (std::abs(diff) <= tolerance)
+    type_ = WorkloadType::Balanced;
+  else
+    type_ = diff < 0 ? WorkloadType::UnbalancedCompute
+                     : WorkloadType::UnbalancedMemory;
+}
+
+double Observer::coreBw(int coreId) const {
+  return coreBwEffective_.at(static_cast<std::size_t>(coreId));
+}
+
+bool Observer::isHighBandwidthCore(int coreId) const {
+  return highBandwidth_.at(static_cast<std::size_t>(coreId));
+}
+
+}  // namespace dike::core

@@ -1,0 +1,128 @@
+// Observer: thread classification and core identification (Section III-A).
+//
+// Per quantum the Observer reads each thread's memory access rate and LLC
+// miss ratio from the counter sample, classifies threads as memory- or
+// compute-intensive, maintains the per-core CoreBW bandwidth estimate, and
+// partitions cores into higher- and lower-bandwidth halves. It also
+// computes the current system fairness signal and the online workload-class
+// estimate the Optimizer keys on.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sched/scheduler.hpp"
+#include "util/stats.hpp"
+
+namespace dike::core {
+
+/// One quantum's raw observations, backend-independent: the simulator's
+/// SchedulerView produces one per quantum, and the Linux host driver builds
+/// the same struct from /proc + perf counters — so the entire Dike pipeline
+/// is reusable on live systems.
+struct Observation {
+  sim::QuantumSample sample;
+  std::vector<int> coreOccupant;  ///< thread id per core, -1 when free
+  std::vector<int> coreSocket;    ///< socket id per core
+};
+
+/// Build an Observation from a simulator scheduler view.
+[[nodiscard]] Observation makeObservation(const sched::SchedulerView& view);
+
+enum class ThreadClass { Compute, Memory };
+
+/// Online estimate of the workload mix (Section III-F). This mirrors the
+/// evaluation's B/UC/UM taxonomy but is inferred from counters, never from
+/// ground truth.
+enum class WorkloadType { Balanced, UnbalancedCompute, UnbalancedMemory };
+
+/// Observer's view of one live thread this quantum.
+struct ThreadInfo {
+  int threadId = -1;
+  int processId = -1;
+  int coreId = -1;
+  double accessRate = 0.0;     ///< accesses per second, last quantum
+  double avgAccessRate = 0.0;  ///< moving mean over threadRateWindow quanta
+  double cumAccessRate = 0.0;  ///< accesses per second over the whole run
+  /// Relative starvation versus the process mean cumulative rate:
+  /// positive = this thread has been served less than its siblings,
+  /// negative = more. Homogeneous threads with equal deficits will have
+  /// equal completion times — deficit is the live analogue of Eqn 4.
+  double deficit = 0.0;
+  double llcMissRatio = 0.0;   ///< misses / accesses, last quantum
+  ThreadClass cls = ThreadClass::Compute;
+};
+
+class Observer {
+ public:
+  explicit Observer(ObserverConfig config = {});
+
+  /// Ingest one quantum's counter sample.
+  void observe(const Observation& obs);
+
+  /// True once at least one quantum has been observed.
+  [[nodiscard]] bool ready() const noexcept { return observedQuanta_ > 0; }
+  [[nodiscard]] std::int64_t observedQuanta() const noexcept {
+    return observedQuanta_;
+  }
+
+  /// Live threads observed in the most recent quantum, sorted by ascending
+  /// access rate (the order the Selector consumes).
+  [[nodiscard]] const std::vector<ThreadInfo>& threadsByAccessRate()
+      const noexcept {
+    return threads_;
+  }
+
+  /// CoreBW: the capability estimate for a core (accesses/second).
+  [[nodiscard]] double coreBw(int coreId) const;
+
+  /// Core identification: true if the core is in the higher-bandwidth half
+  /// of currently occupied cores.
+  [[nodiscard]] bool isHighBandwidthCore(int coreId) const;
+
+  /// Fairness signal: the worst, over processes with at least two live
+  /// threads (and a mean access rate above processRateFloor), coefficient
+  /// of variation of their threads' cumulative access rates. Zero when
+  /// every such group is uniform (fair). Homogeneous (data-parallel)
+  /// threads should accumulate service at equal rates — and access rate
+  /// tracks progress on heterogeneous cores where IPC misleads (Section
+  /// III-A) — so divergence means some threads are being starved and will
+  /// finish late (exactly what Eqn 4 penalises).
+  [[nodiscard]] double systemUnfairness() const noexcept {
+    return unfairness_;
+  }
+
+  [[nodiscard]] WorkloadType workloadType() const noexcept { return type_; }
+  [[nodiscard]] int memoryThreadCount() const noexcept { return memCount_; }
+  [[nodiscard]] int computeThreadCount() const noexcept { return compCount_; }
+
+  [[nodiscard]] const ObserverConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void updateCoreBw(const Observation& obs);
+  void classifyThreads(const sim::QuantumSample& sample);
+  void partitionCores(const Observation& obs);
+  void computeUnfairness();
+  void classifyWorkload();
+
+  ObserverConfig config_;
+  std::int64_t observedQuanta_ = 0;
+
+  std::vector<ThreadInfo> threads_;       // live, ascending avg access rate
+  std::unordered_map<int, util::MovingMean> threadRate_;
+  std::unordered_map<int, double> cumAccesses_;
+  std::unordered_map<int, double> cumSeconds_;
+  std::vector<double> coreBwRaw_;         // per-core filtered estimate
+  std::vector<double> coreBwEffective_;   // after socket blending
+  std::vector<util::MovingMean> coreBwWindow_;  // symmetric variant storage
+  std::vector<bool> highBandwidth_;
+  double unfairness_ = 0.0;
+  WorkloadType type_ = WorkloadType::Balanced;
+  int memCount_ = 0;
+  int compCount_ = 0;
+};
+
+}  // namespace dike::core

@@ -1,0 +1,83 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+
+namespace dike::core {
+
+namespace {
+
+/// Index of the closest ladder entry (the ladder is sorted ascending).
+std::size_t ladderIndex(int quantaLengthMs) {
+  std::size_t best = 0;
+  int bestDist = std::abs(kQuantaLadderMs[0] - quantaLengthMs);
+  for (std::size_t i = 1; i < kQuantaLadderMs.size(); ++i) {
+    const int dist = std::abs(kQuantaLadderMs[i] - quantaLengthMs);
+    if (dist < bestDist) {
+      best = i;
+      bestDist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int Optimizer::decreaseQuanta(int quantaLengthMs, int floorMs) {
+  const std::size_t idx = ladderIndex(quantaLengthMs);
+  const int next = idx > 0 ? kQuantaLadderMs[idx - 1] : kQuantaLadderMs[0];
+  return std::max(next, floorMs);  // Math.Max(quantaLength, floor)
+}
+
+int Optimizer::increaseQuanta(int quantaLengthMs, int ceilingMs) {
+  const std::size_t idx = ladderIndex(quantaLengthMs);
+  const int next = idx + 1 < kQuantaLadderMs.size() ? kQuantaLadderMs[idx + 1]
+                                                    : kQuantaLadderMs.back();
+  return std::min(next, ceilingMs);  // Math.Min(quantaLength, ceiling)
+}
+
+int Optimizer::growSwapSize(int swapSize) {
+  return std::min(swapSize + 2, kMaxSwapSize);
+}
+
+DikeParams Optimizer::optimize(DikeParams current, WorkloadType type,
+                               AdaptationGoal goal) const {
+  DikeParams p = current;
+  switch (goal) {
+    case AdaptationGoal::None:
+      return p;
+
+    case AdaptationGoal::Fairness:
+      switch (type) {
+        case WorkloadType::Balanced:
+          p.quantaLengthMs = decreaseQuanta(p.quantaLengthMs, 100);
+          break;
+        case WorkloadType::UnbalancedCompute:
+          p.swapSize = growSwapSize(p.swapSize);
+          p.quantaLengthMs = decreaseQuanta(p.quantaLengthMs, 200);
+          break;
+        case WorkloadType::UnbalancedMemory:
+          p.swapSize = growSwapSize(p.swapSize);
+          p.quantaLengthMs = decreaseQuanta(p.quantaLengthMs, 500);
+          break;
+      }
+      return p;
+
+    case AdaptationGoal::Performance:
+      switch (type) {
+        case WorkloadType::Balanced:
+          p.quantaLengthMs = increaseQuanta(p.quantaLengthMs, 1000);
+          break;
+        case WorkloadType::UnbalancedCompute:
+          p.swapSize = growSwapSize(p.swapSize);
+          p.quantaLengthMs = increaseQuanta(p.quantaLengthMs, 1000);
+          break;
+        case WorkloadType::UnbalancedMemory:
+          p.quantaLengthMs = increaseQuanta(p.quantaLengthMs, 1000);
+          break;
+      }
+      return p;
+  }
+  return p;
+}
+
+}  // namespace dike::core

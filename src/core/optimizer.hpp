@@ -1,0 +1,32 @@
+// Optimizer: online adaptation of the two key scheduling parameters
+// (Section III-F, Algorithm 2).
+//
+// Each invocation moves <swapSize, quantaLength> one step along the rules
+// derived from the paper's contour plots (Figure 5), keyed on the current
+// workload class and the user's adaptation goal. quantaLength moves along
+// the ladder {100, 200, 500, 1000} ms; swapSize moves in steps of 2 within
+// [2, 16].
+#pragma once
+
+#include "core/config.hpp"
+#include "core/observer.hpp"
+
+namespace dike::core {
+
+class Optimizer {
+ public:
+  Optimizer() = default;
+
+  /// Apply one Algorithm-2 step. Called only when the system is unfair
+  /// (lines 1-4 short-circuit otherwise — the caller checks). Returns the
+  /// updated parameters; `goal == None` leaves them untouched.
+  [[nodiscard]] DikeParams optimize(DikeParams current, WorkloadType type,
+                                    AdaptationGoal goal) const;
+
+  /// One ladder step down/up with a floor/ceiling, exposed for tests.
+  [[nodiscard]] static int decreaseQuanta(int quantaLengthMs, int floorMs);
+  [[nodiscard]] static int increaseQuanta(int quantaLengthMs, int ceilingMs);
+  [[nodiscard]] static int growSwapSize(int swapSize);
+};
+
+}  // namespace dike::core

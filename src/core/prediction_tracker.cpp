@@ -1,0 +1,58 @@
+#include "core/prediction_tracker.hpp"
+
+#include <algorithm>
+
+namespace dike::core {
+
+void PredictionTracker::setPrediction(int threadId, double predictedRate) {
+  pending_[threadId] = predictedRate;
+}
+
+void PredictionTracker::setPredictionIfAbsent(int threadId,
+                                              double predictedRate) {
+  pending_.try_emplace(threadId, predictedRate);
+}
+
+void PredictionTracker::scoreQuantum(const sim::QuantumSample& sample,
+                                     util::Tick now) {
+  util::OnlineStats quantum;
+  for (const sim::ThreadSample& s : sample.threads) {
+    const auto it = pending_.find(s.threadId);
+    if (it == pending_.end()) continue;
+    if (s.finished) continue;
+    const double actual = s.accessRate;
+    const double predicted = it->second;
+    if (actual < kMinScoredRate || predicted < kMinScoredRate) continue;
+    const double error =
+        (predicted - actual) / std::max(actual, kDenominatorFloor);
+    quantum.add(error);
+    overall_.add(error);
+    auto [threadIt, inserted] = perThread_.try_emplace(s.threadId);
+    if (inserted) threadOrder_.push_back(s.threadId);
+    threadIt->second.add(error);
+  }
+  pending_.clear();
+
+  if (quantum.count() > 0) {
+    trace_.push_back(PredictionErrorPoint{
+        now, static_cast<int>(quantum.count()), quantum.mean(), quantum.min(),
+        quantum.max()});
+  }
+}
+
+std::vector<double> PredictionTracker::perThreadMeanErrors() const {
+  std::vector<double> means;
+  means.reserve(threadOrder_.size());
+  for (int id : threadOrder_) means.push_back(perThread_.at(id).mean());
+  return means;
+}
+
+void PredictionTracker::reset() {
+  pending_.clear();
+  perThread_.clear();
+  threadOrder_.clear();
+  trace_.clear();
+  overall_.reset();
+}
+
+}  // namespace dike::core

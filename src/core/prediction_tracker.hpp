@@ -1,0 +1,75 @@
+// Prediction-error accounting for the runtime-predictability evaluation
+// (Section IV-C, Figures 7 and 8).
+//
+// Each quantum the scheduler registers a predicted next-quantum access rate
+// for every live thread (its current rate if it stays put — "if a thread
+// stays on the same core, we expect it to keep the same access rate" — or
+// the predictor's post-swap estimate if it migrates). On the next sample
+// the tracker computes signed relative errors against the measured rates.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace dike::core {
+
+/// Per-quantum error aggregate (one point of the Figure 8 time series).
+struct PredictionErrorPoint {
+  util::Tick tick = 0;
+  int samples = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class PredictionTracker {
+ public:
+  /// Access rates below this are not scored: relative error against a
+  /// near-zero denominator is meaningless (idle or nearly idle threads).
+  static constexpr double kMinScoredRate = 1e6;
+  /// Relative errors are computed against max(actual, this floor) so a
+  /// thread dropping to a near-idle rate does not register an unbounded
+  /// error.
+  static constexpr double kDenominatorFloor = 4e6;
+
+  /// Register the predicted access rate for a thread's next quantum.
+  void setPrediction(int threadId, double predictedRate);
+
+  /// Register a prediction only if the thread has none outstanding.
+  void setPredictionIfAbsent(int threadId, double predictedRate);
+
+  /// Score outstanding predictions against the new sample; records one
+  /// trace point (stamped with `now`) and folds the errors into per-thread
+  /// aggregates. Clears the outstanding predictions.
+  void scoreQuantum(const sim::QuantumSample& sample, util::Tick now);
+
+  /// Time series of per-quantum error aggregates (Figure 8).
+  [[nodiscard]] const std::vector<PredictionErrorPoint>& trace()
+      const noexcept {
+    return trace_;
+  }
+
+  /// Mean signed relative error of each thread over the whole run, in
+  /// thread-id order of first appearance (Figure 7 summarises these).
+  [[nodiscard]] std::vector<double> perThreadMeanErrors() const;
+
+  /// All scored errors folded together.
+  [[nodiscard]] const util::OnlineStats& overall() const noexcept {
+    return overall_;
+  }
+
+  void reset();
+
+ private:
+  std::unordered_map<int, double> pending_;
+  std::unordered_map<int, util::OnlineStats> perThread_;
+  std::vector<int> threadOrder_;
+  std::vector<PredictionErrorPoint> trace_;
+  util::OnlineStats overall_;
+};
+
+}  // namespace dike::core

@@ -1,0 +1,73 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dike::core {
+
+namespace {
+
+const ThreadInfo* findThread(const Observer& observer, int threadId) {
+  for (const ThreadInfo& t : observer.threadsByAccessRate())
+    if (t.threadId == threadId) return &t;
+  return nullptr;
+}
+
+}  // namespace
+
+Predictor::Predictor(PredictorConfig config) : config_(config) {
+  if (config_.swapOhMs < 0.0)
+    throw std::invalid_argument{"swapOhMs must be >= 0"};
+}
+
+SwapPrediction Predictor::predict(const Observer& observer,
+                                  const ThreadPair& pair,
+                                  int quantaLengthMs) const {
+  const ThreadInfo* low = findThread(observer, pair.lowThread);
+  const ThreadInfo* high = findThread(observer, pair.highThread);
+  if (low == nullptr || high == nullptr)
+    throw std::invalid_argument{"pair references a thread the observer has not seen"};
+  if (quantaLengthMs <= 0)
+    throw std::invalid_argument{"quantaLengthMs must be > 0"};
+
+  // Eqn 2: Overhead_t = swapOH / quantaLength * AccessRate_t.
+  const double ohFraction = config_.swapOhMs / static_cast<double>(quantaLengthMs);
+  const double overheadLow = ohFraction * low->accessRate;
+  const double overheadHigh = ohFraction * high->accessRate;
+
+  // Eqn 1: profit_t = CoreBW_dest - AccessRate_t - Overhead_t, where each
+  // thread's destination is its partner's current core.
+  const double destBwForLow = observer.coreBw(high->coreId);
+  const double destBwForHigh = observer.coreBw(low->coreId);
+
+  SwapPrediction p;
+  p.pair = pair;
+  p.profitLow = destBwForLow - low->accessRate - overheadLow;
+  p.profitHigh = destBwForHigh - high->accessRate - overheadHigh;
+  p.totalProfit = p.profitLow + p.profitHigh;  // Eqn 3
+
+  p.predictedRateLow = predictMigratedRate(observer, *low, high->coreId);
+  p.predictedRateHigh = predictMigratedRate(observer, *high, low->coreId);
+  return p;
+}
+
+double Predictor::predictMigratedRate(const Observer& observer,
+                                      const ThreadInfo& thread,
+                                      int destCore) const {
+  const double destBw = observer.coreBw(destCore);
+  if (thread.cls == ThreadClass::Memory) {
+    // The paper's assumption: a memory-intensive migrant consumes the new
+    // core's entire demonstrated bandwidth — but it cannot jump past what
+    // its own demand supports, so the closed-loop estimate caps the
+    // capability figure at twice the demonstrated rate.
+    return std::min(destBw, 2.0 * thread.accessRate);
+  }
+  // A compute-intensive migrant keeps its own demand; its rate scales with
+  // the capability ratio between the cores (closed-loop estimate), capped
+  // at what the destination can deliver.
+  const double srcBw = observer.coreBw(thread.coreId);
+  const double ratio = srcBw > 0.0 ? destBw / srcBw : 1.0;
+  return std::min(thread.accessRate * std::clamp(ratio, 0.25, 4.0), destBw);
+}
+
+}  // namespace dike::core

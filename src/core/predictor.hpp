@@ -1,0 +1,58 @@
+// Predictor: the closed-loop swap-profit model (Section III-C, Eqns 1-3).
+//
+// For a candidate pair <t_low, t_high> the predictor estimates each
+// thread's memory access rate after the swap: a migrating thread is assumed
+// to consume its destination core's demonstrated bandwidth (CoreBW), minus
+// the context-switch overhead amortised over the quantum. The model is
+// deliberately simple — its residual error is absorbed by the closed loop,
+// because CoreBW itself is re-measured every quantum.
+#pragma once
+
+#include "core/observer.hpp"
+#include "core/selector.hpp"
+#include "util/types.hpp"
+
+namespace dike::core {
+
+/// The profit estimate for one candidate swap.
+struct SwapPrediction {
+  ThreadPair pair{};
+  double profitLow = 0.0;    ///< Eqn 1 for the low-access thread
+  double profitHigh = 0.0;   ///< Eqn 1 for the high-access thread
+  double totalProfit = 0.0;  ///< Eqn 3
+  /// Post-swap access-rate estimates (used for prediction-error tracking).
+  double predictedRateLow = 0.0;
+  double predictedRateHigh = 0.0;
+};
+
+struct PredictorConfig {
+  /// swapOH: average time a thread spends migrating, in milliseconds.
+  double swapOhMs = 3.0;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(PredictorConfig config = {});
+
+  /// Evaluate Eqns 1-3 for one pair under the current quantum length.
+  [[nodiscard]] SwapPrediction predict(const Observer& observer,
+                                       const ThreadPair& pair,
+                                       int quantaLengthMs) const;
+
+  /// Post-migration access-rate estimate for one thread: a memory-intensive
+  /// migrant is assumed to consume the destination core's demonstrated
+  /// bandwidth (the paper's Eqn 1 assumption); a compute-intensive migrant
+  /// keeps its own demand scaled by the cores' capability ratio.
+  [[nodiscard]] double predictMigratedRate(const Observer& observer,
+                                           const ThreadInfo& thread,
+                                           int destCore) const;
+
+  [[nodiscard]] const PredictorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PredictorConfig config_;
+};
+
+}  // namespace dike::core

@@ -1,0 +1,56 @@
+// Selector: fairness check and pair forming (Section III-B, Algorithm 1).
+//
+// When the system is unfair, the Selector walks the access-rate-sorted
+// thread list from both ends: from the lowest rates it collects placement-
+// rule violators occupying high-bandwidth cores (compute-classified
+// threads), and from the highest rates violators stuck on low-bandwidth
+// cores (memory-classified threads). Matched violators form <t_low, t_high>
+// candidate pairs for the Predictor. When the placement rule is not
+// satisfiable — more threads of one class than cores of the matching kind —
+// the walk falls back to the extreme non-violators on each side, which
+// rotates the over-subscribed class across core types so the rule holds
+// "on average, across several quanta" (Section III-B).
+#pragma once
+
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace dike::core {
+
+/// A candidate swap: the low-access and high-access thread ids.
+struct ThreadPair {
+  int lowThread = -1;
+  int highThread = -1;
+
+  [[nodiscard]] friend bool operator==(const ThreadPair&,
+                                       const ThreadPair&) = default;
+};
+
+struct SelectorConfig {
+  double fairnessThreshold = 0.03;
+  bool rotateWhenNoViolator = true;
+  /// Do not pair threads whose moving-mean rates differ by less than this
+  /// relative margin — swapping equals is pure churn.
+  double pairRateMargin = 0.03;
+};
+
+class Selector {
+ public:
+  explicit Selector(SelectorConfig config = {});
+
+  /// Algorithm 1. Returns at most swapSize/2 pairs (swapSize counts threads
+  /// to migrate; each pair migrates two). Empty when the system is already
+  /// fair or no eligible pairs exist. Every returned thread id is distinct.
+  [[nodiscard]] std::vector<ThreadPair> formPairs(const Observer& observer,
+                                                  int swapSize) const;
+
+  [[nodiscard]] const SelectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SelectorConfig config_;
+};
+
+}  // namespace dike::core

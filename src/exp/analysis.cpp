@@ -1,0 +1,115 @@
+#include "exp/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace dike::exp {
+
+ScheduleAnalysis analyzeSchedule(const sim::Machine& machine) {
+  ScheduleAnalysis out;
+  util::OnlineStats machineRunnable;
+  double totalStall = 0.0;
+  double totalBarrier = 0.0;
+  double totalTime = 0.0;
+
+  std::map<int, util::OnlineStats> fastShareByProcess;
+  std::map<int, double> barrierByProcess;
+  std::map<int, double> timeByProcess;
+
+  for (const sim::SimThread& t : machine.threads()) {
+    ThreadTimeShare share;
+    share.threadId = t.id;
+    share.processId = t.processId;
+    share.runnable = t.runnableTicks;
+    share.stalled = t.stallTicks;
+    share.barrier = t.barrierTicks;
+    share.migrations = t.migrations;
+    const double runnable = static_cast<double>(t.runnableTicks);
+    share.fastShare =
+        runnable > 0.0 ? static_cast<double>(t.fastCoreTicks) / runnable : 0.0;
+    out.threads.push_back(share);
+
+    const double threadTime = static_cast<double>(
+        t.runnableTicks + t.stallTicks + t.barrierTicks);
+    totalStall += static_cast<double>(t.stallTicks);
+    totalBarrier += static_cast<double>(t.barrierTicks);
+    totalTime += threadTime;
+    if (runnable > 0.0) fastShareByProcess[t.processId].add(share.fastShare);
+    barrierByProcess[t.processId] += static_cast<double>(t.barrierTicks);
+    timeByProcess[t.processId] += threadTime;
+  }
+
+  for (const sim::SimProcess& proc : machine.processes()) {
+    ProcessRotation rotation;
+    rotation.processId = proc.id;
+    rotation.name = proc.name;
+    const auto it = fastShareByProcess.find(proc.id);
+    if (it != fastShareByProcess.end()) {
+      rotation.meanFastShare = it->second.mean();
+      rotation.fastShareCv = it->second.coefficientOfVariation();
+      rotation.fastShareStd = it->second.stddev();
+    }
+    const double procTime = timeByProcess[proc.id];
+    rotation.barrierShare =
+        procTime > 0.0 ? barrierByProcess[proc.id] / procTime : 0.0;
+    out.processes.push_back(std::move(rotation));
+  }
+
+  out.stallShare = totalTime > 0.0 ? totalStall / totalTime : 0.0;
+  out.barrierShare = totalTime > 0.0 ? totalBarrier / totalTime : 0.0;
+  return out;
+}
+
+std::string renderThreadLane(const sim::Machine& machine,
+                             const sim::TraceRecorder& trace, int threadId,
+                             int width) {
+  const util::Tick horizon = std::max<util::Tick>(1, machine.now());
+  std::string lane(static_cast<std::size_t>(std::max(1, width)), '.');
+
+  // Build the (tick, core) placement timeline for the thread.
+  struct Segment {
+    util::Tick from;
+    int core;
+  };
+  std::vector<Segment> segments;
+  for (const sim::TraceEvent& e : trace.ofThread(threadId)) {
+    if (e.kind == sim::TraceEventKind::Placement ||
+        e.kind == sim::TraceEventKind::Migration)
+      segments.push_back(Segment{e.tick, e.toCore});
+  }
+  if (segments.empty()) return lane;
+
+  const util::Tick finish = machine.thread(threadId).finished
+                                ? machine.thread(threadId).finishTick
+                                : horizon;
+  for (std::size_t column = 0; column < lane.size(); ++column) {
+    const util::Tick tick = static_cast<util::Tick>(
+        static_cast<double>(column) * static_cast<double>(horizon) /
+        static_cast<double>(lane.size()));
+    if (tick >= finish) break;
+    int core = -1;
+    for (const Segment& s : segments) {
+      if (s.from <= tick) core = s.core;
+    }
+    if (core < 0) continue;
+    lane[column] = machine.topology().core(core).type == sim::CoreType::Fast
+                       ? 'F'
+                       : 's';
+  }
+  return lane;
+}
+
+void writeTraceCsv(const sim::TraceRecorder& trace, std::ostream& out) {
+  util::CsvWriter csv{out};
+  csv.header({"tick", "kind", "thread", "process", "from_core", "to_core",
+              "detail"});
+  for (const sim::TraceEvent& e : trace.events()) {
+    csv.row(static_cast<long long>(e.tick), std::string{toString(e.kind)},
+            e.threadId, e.processId, e.fromCore, e.toCore, e.detail);
+  }
+}
+
+}  // namespace dike::exp

@@ -1,0 +1,64 @@
+// Schedule analysis: turns the engine's per-thread time accounting and
+// trace events into the quantities that explain *why* a schedule was fair
+// (or not) — each thread's share of time on fast cores, migration overhead
+// shares, and barrier waste. Used by tests to verify the rotation mechanism
+// and by the trace_timeline example.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+
+namespace dike::exp {
+
+/// Where one thread's time went.
+struct ThreadTimeShare {
+  int threadId = -1;
+  int processId = -1;
+  util::Tick runnable = 0;
+  util::Tick stalled = 0;   ///< migration stalls
+  util::Tick barrier = 0;   ///< barrier waits
+  int migrations = 0;
+  /// Fraction of runnable time spent on nominally fast cores.
+  double fastShare = 0.0;
+};
+
+/// Rotation quality for one process: homogeneous threads should see the
+/// same fast-core share — its CV is the placement-side analogue of Eq 4.
+struct ProcessRotation {
+  int processId = -1;
+  std::string name;
+  double meanFastShare = 0.0;
+  double fastShareCv = 0.0;
+  /// Standard deviation of fast shares — better conditioned than the CV
+  /// when the mean share is near zero (an all-slow process is perfectly
+  /// equal and should score 0).
+  double fastShareStd = 0.0;
+  double barrierShare = 0.0;  ///< barrier ticks / (runnable+stall+barrier)
+};
+
+struct ScheduleAnalysis {
+  std::vector<ThreadTimeShare> threads;
+  std::vector<ProcessRotation> processes;
+  double stallShare = 0.0;    ///< machine-wide migration-stall time share
+  double barrierShare = 0.0;  ///< machine-wide barrier-wait time share
+};
+
+/// Analyse a (finished or running) machine's accounting counters.
+[[nodiscard]] ScheduleAnalysis analyzeSchedule(const sim::Machine& machine);
+
+/// Render one thread's core-type occupancy as an ASCII lane ('F' fast core,
+/// 's' slow core, '.' not yet placed / finished), sampled into `width`
+/// columns from the trace's placement+migration events.
+[[nodiscard]] std::string renderThreadLane(const sim::Machine& machine,
+                                           const sim::TraceRecorder& trace,
+                                           int threadId, int width = 80);
+
+/// Dump a trace as CSV (tick, kind, thread, process, from_core, to_core,
+/// detail) for external plotting tools.
+void writeTraceCsv(const sim::TraceRecorder& trace, std::ostream& out);
+
+}  // namespace dike::exp

@@ -1,0 +1,191 @@
+#include "exp/config_io.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::exp {
+
+SchedulerKind schedulerKindFromName(std::string_view name) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::Cfs, SchedulerKind::Dio, SchedulerKind::Dike,
+        SchedulerKind::DikeAF, SchedulerKind::DikeAP, SchedulerKind::Random,
+        SchedulerKind::StaticOracle, SchedulerKind::Suspension}) {
+    if (toString(kind) == name) return kind;
+  }
+  throw std::runtime_error{"unknown scheduler: " + std::string{name}};
+}
+
+namespace {
+
+std::vector<int> decodeWorkloads(const util::JsonValue& document) {
+  const auto field = document.get("workloads");
+  std::vector<int> ids;
+  if (!field || (field->isString() && field->asString() == "all")) {
+    for (const wl::WorkloadSpec& w : wl::workloadTable()) ids.push_back(w.id);
+    return ids;
+  }
+  if (field->isString()) {
+    const std::string& cls = field->asString();
+    for (const wl::WorkloadSpec& w : wl::workloadTable())
+      if (toString(w.cls) == cls) ids.push_back(w.id);
+    if (ids.empty())
+      throw std::runtime_error{"unknown workload selector: " + cls};
+    return ids;
+  }
+  if (!field->isArray())
+    throw std::runtime_error{"'workloads' must be an array or selector string"};
+  for (const util::JsonValue& v : field->asArray()) {
+    if (!v.isNumber())
+      throw std::runtime_error{"'workloads' entries must be numbers"};
+    const int id = static_cast<int>(v.asNumber());
+    (void)wl::workload(id);  // validates the range
+    ids.push_back(id);
+  }
+  if (ids.empty()) throw std::runtime_error{"'workloads' is empty"};
+  return ids;
+}
+
+std::vector<SchedulerKind> decodeSchedulers(const util::JsonValue& document) {
+  const auto field = document.get("schedulers");
+  if (!field) return allSchedulerKinds();
+  if (!field->isArray())
+    throw std::runtime_error{"'schedulers' must be an array of names"};
+  std::vector<SchedulerKind> kinds;
+  for (const util::JsonValue& v : field->asArray())
+    kinds.push_back(schedulerKindFromName(v.asString()));
+  if (kinds.empty()) throw std::runtime_error{"'schedulers' is empty"};
+  return kinds;
+}
+
+void decodeMachine(const util::JsonValue& m, sim::MachineConfig& out) {
+  out.smtSharedFactor = m.numberOr("smtSharedFactor", out.smtSharedFactor);
+  out.migrationStallTicks = static_cast<util::Tick>(
+      m.numberOr("migrationStallTicks",
+                 static_cast<double>(out.migrationStallTicks)));
+  out.cacheColdTicks = static_cast<util::Tick>(m.numberOr(
+      "cacheColdTicks", static_cast<double>(out.cacheColdTicks)));
+  out.cacheColdFactor = m.numberOr("cacheColdFactor", out.cacheColdFactor);
+  out.cacheColdSlowdown =
+      m.numberOr("cacheColdSlowdown", out.cacheColdSlowdown);
+  out.conflictSpread = m.numberOr("conflictSpread", out.conflictSpread);
+  out.llcPerSocketMB = m.numberOr("llcPerSocketMB", out.llcPerSocketMB);
+  out.llcPressureFactor =
+      m.numberOr("llcPressureFactor", out.llcPressureFactor);
+  out.memory.controllerAccessesPerSec = m.numberOr(
+      "controllerAccessesPerSec", out.memory.controllerAccessesPerSec);
+  out.memory.socketLinkAccessesPerSec = m.numberOr(
+      "socketLinkAccessesPerSec", out.memory.socketLinkAccessesPerSec);
+  out.measurementNoiseSigma =
+      m.numberOr("measurementNoiseSigma", out.measurementNoiseSigma);
+}
+
+void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {
+  out.params.swapSize = d.intOr("swapSize", out.params.swapSize);
+  out.params.quantaLengthMs =
+      d.intOr("quantaLengthMs", out.params.quantaLengthMs);
+  out.fairnessThreshold =
+      d.numberOr("fairnessThreshold", out.fairnessThreshold);
+  out.swapOhMs = d.numberOr("swapOhMs", out.swapOhMs);
+  out.cooldownQuanta = d.intOr("cooldownQuanta", out.cooldownQuanta);
+  out.minCooldownMs = d.intOr("minCooldownMs", out.minCooldownMs);
+  out.requirePositiveProfit =
+      d.boolOr("requirePositiveProfit", out.requirePositiveProfit);
+  out.rotateWhenNoViolator =
+      d.boolOr("rotateWhenNoViolator", out.rotateWhenNoViolator);
+  out.pairRateMargin = d.numberOr("pairRateMargin", out.pairRateMargin);
+  out.useFreeCores = d.boolOr("useFreeCores", out.useFreeCores);
+}
+
+}  // namespace
+
+ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
+  if (!document.isObject())
+    throw std::runtime_error{"experiment config must be a JSON object"};
+  ExperimentConfig config;
+  config.name = document.stringOr("experiment", config.name);
+  config.workloadIds = decodeWorkloads(document);
+  config.kinds = decodeSchedulers(document);
+  config.scale = document.numberOr("scale", config.scale);
+  if (config.scale <= 0.0) throw std::runtime_error{"'scale' must be > 0"};
+  config.seed =
+      static_cast<std::uint64_t>(document.numberOr("seed", 42.0));
+  config.reps = document.intOr("reps", 1);
+  if (config.reps < 1) throw std::runtime_error{"'reps' must be >= 1"};
+  config.heterogeneous = document.boolOr("heterogeneous", true);
+  if (const auto machine = document.get("machine"))
+    decodeMachine(*machine, config.machine);
+  if (const auto dike = document.get("dike")) decodeDike(*dike, config.dike);
+  return config;
+}
+
+std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
+  std::vector<ExperimentCell> cells;
+  for (const int workloadId : config.workloadIds) {
+    std::map<SchedulerKind, util::OnlineStats> fairness;
+    std::map<SchedulerKind, util::OnlineStats> speedups;
+    std::map<SchedulerKind, util::OnlineStats> swaps;
+    std::map<SchedulerKind, util::OnlineStats> makespans;
+
+    for (int rep = 0; rep < config.reps; ++rep) {
+      RunSpec spec;
+      spec.workloadId = workloadId;
+      spec.scale = config.scale;
+      spec.seed = config.seed + static_cast<std::uint64_t>(rep) * 1000;
+      spec.heterogeneous = config.heterogeneous;
+      spec.machine = config.machine;
+      spec.params = config.dike.params;
+      spec.dikeConfig = config.dike;
+
+      spec.kind = SchedulerKind::Cfs;
+      const RunMetrics baseline = runWorkload(spec);
+
+      for (const SchedulerKind kind : config.kinds) {
+        spec.kind = kind;
+        const RunMetrics m =
+            kind == SchedulerKind::Cfs ? baseline : runWorkload(spec);
+        fairness[kind].add(m.fairness);
+        speedups[kind].add(speedup(baseline.makespan, m.makespan));
+        swaps[kind].add(static_cast<double>(m.swaps));
+        makespans[kind].add(util::ticksToSeconds(m.makespan));
+      }
+    }
+
+    for (const SchedulerKind kind : config.kinds) {
+      ExperimentCell cell;
+      cell.workloadId = workloadId;
+      cell.kind = kind;
+      cell.fairness = fairness[kind].mean();
+      cell.speedupVsCfs = speedups[kind].mean();
+      cell.swaps = swaps[kind].mean();
+      cell.makespanSeconds = makespans[kind].mean();
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+util::JsonValue toJson(const ExperimentConfig& config,
+                       const std::vector<ExperimentCell>& cells) {
+  util::JsonArray rows;
+  for (const ExperimentCell& cell : cells) {
+    util::JsonObject row;
+    row.emplace("workload", wl::workload(cell.workloadId).name);
+    row.emplace("scheduler", std::string{toString(cell.kind)});
+    row.emplace("fairness", cell.fairness);
+    row.emplace("speedup_vs_cfs", cell.speedupVsCfs);
+    row.emplace("swaps", cell.swaps);
+    row.emplace("makespan_s", cell.makespanSeconds);
+    rows.emplace_back(std::move(row));
+  }
+  util::JsonObject doc;
+  doc.emplace("experiment", config.name);
+  doc.emplace("scale", config.scale);
+  doc.emplace("seed", static_cast<double>(config.seed));
+  doc.emplace("reps", config.reps);
+  doc.emplace("results", std::move(rows));
+  return util::JsonValue{std::move(doc)};
+}
+
+}  // namespace dike::exp

@@ -1,0 +1,78 @@
+// JSON experiment configuration: the reproducible-run format behind the
+// dike_run tool (the analogue of the paper's released running scripts).
+//
+// Schema (all fields optional unless noted):
+//   {
+//     "experiment":    "name",
+//     "workloads":     [1, 2, 16] | "all" | "B" | "UC" | "UM",
+//     "schedulers":    ["cfs", "dio", "dike", "dike-af", "dike-ap",
+//                       "random", "static-oracle"],
+//     "scale":         0.5,
+//     "seed":          42,
+//     "reps":          1,
+//     "heterogeneous": true,
+//     "machine": { "smtSharedFactor": .., "migrationStallTicks": ..,
+//                  "cacheColdTicks": .., "cacheColdFactor": ..,
+//                  "cacheColdSlowdown": .., "conflictSpread": ..,
+//                  "llcPerSocketMB": .., "llcPressureFactor": ..,
+//                  "controllerAccessesPerSec": ..,
+//                  "socketLinkAccessesPerSec": ..,
+//                  "measurementNoiseSigma": .. },
+//     "dike":    { "swapSize": .., "quantaLengthMs": ..,
+//                  "fairnessThreshold": .., "swapOhMs": ..,
+//                  "cooldownQuanta": .., "minCooldownMs": ..,
+//                  "requirePositiveProfit": .., "rotateWhenNoViolator": ..,
+//                  "pairRateMargin": .., "useFreeCores": .. }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/json.hpp"
+
+namespace dike::exp {
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  std::vector<int> workloadIds;      // default: all 16
+  std::vector<SchedulerKind> kinds;  // default: the paper's five
+  double scale = 0.5;
+  std::uint64_t seed = 42;
+  int reps = 1;
+  bool heterogeneous = true;
+  sim::MachineConfig machine{};
+  core::DikeConfig dike{};
+};
+
+/// Decode a configuration document. Throws std::runtime_error with a
+/// descriptive message on unknown scheduler names, bad workload selectors,
+/// or out-of-range values.
+[[nodiscard]] ExperimentConfig parseExperimentConfig(
+    const util::JsonValue& document);
+
+/// Parse a scheduler name ("dike-af"...). Throws on unknown names.
+[[nodiscard]] SchedulerKind schedulerKindFromName(std::string_view name);
+
+/// One (workload, scheduler) cell of an experiment, averaged over reps.
+struct ExperimentCell {
+  int workloadId = 0;
+  SchedulerKind kind = SchedulerKind::Cfs;
+  double fairness = 0.0;
+  double speedupVsCfs = 0.0;  ///< 0 when CFS was not part of the experiment
+  double swaps = 0.0;
+  double makespanSeconds = 0.0;
+};
+
+/// Run the full grid. The CFS baseline is always run internally (per
+/// workload and rep) so speedups are well-defined even when "cfs" is not
+/// listed.
+[[nodiscard]] std::vector<ExperimentCell> runExperiment(
+    const ExperimentConfig& config);
+
+/// Serialise results for the "json" output option.
+[[nodiscard]] util::JsonValue toJson(const ExperimentConfig& config,
+                                     const std::vector<ExperimentCell>& cells);
+
+}  // namespace dike::exp

@@ -1,0 +1,69 @@
+#include "exp/dvfs.hpp"
+
+#include <algorithm>
+
+#include "sched/placement.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::exp {
+
+DvfsScript::DvfsScript(sim::QuantumPolicy& inner,
+                       std::vector<FrequencyChange> script)
+    : inner_(&inner), script_(std::move(script)) {
+  std::stable_sort(script_.begin(), script_.end(),
+                   [](const FrequencyChange& a, const FrequencyChange& b) {
+                     return a.atTick < b.atTick;
+                   });
+}
+
+util::Tick DvfsScript::quantumTicks() const { return inner_->quantumTicks(); }
+
+void DvfsScript::onQuantum(sim::Machine& machine) {
+  while (applied_ < static_cast<int>(script_.size()) &&
+         script_[static_cast<std::size_t>(applied_)].atTick <=
+             machine.now()) {
+    const FrequencyChange& change =
+        script_[static_cast<std::size_t>(applied_)];
+    machine.setSocketFrequency(change.socket, change.freqGhz);
+    ++applied_;
+  }
+  inner_->onQuantum(machine);
+}
+
+RunMetrics runDvfsWorkload(const DvfsRunSpec& spec) {
+  RunSpec base;
+  base.workloadId = spec.workloadId;
+  base.kind = spec.kind;
+  base.params = spec.params;
+  base.scale = spec.scale;
+  base.seed = spec.seed;
+
+  sim::MachineConfig machineCfg;
+  machineCfg.seed = spec.seed;
+  sim::Machine machine{sim::MachineTopology::homogeneousTestbed(),
+                       machineCfg};
+  wl::addWorkloadProcesses(machine, wl::workload(spec.workloadId),
+                           spec.scale);
+  sched::placeRandom(machine, spec.seed);
+
+  const std::unique_ptr<sched::Scheduler> scheduler = makeScheduler(base);
+  sched::SchedulerAdapter adapter{*scheduler};
+  DvfsScript script{adapter, spec.script};
+  const sim::RunOutcome outcome = sim::runMachine(machine, script);
+
+  RunMetrics metrics;
+  metrics.scheduler = std::string{scheduler->name()};
+  metrics.workload = wl::workload(spec.workloadId).name + "+dvfs";
+  metrics.makespan = outcome.finishTick;
+  metrics.timedOut = outcome.timedOut;
+  metrics.swaps = machine.swapCount();
+  metrics.migrations = machine.migrationCount();
+  metrics.energyJoules = machine.energyJoules();
+  if (!metrics.timedOut) {
+    metrics.fairness = fairnessEq4(machine);
+    metrics.processes = processResults(machine);
+  }
+  return metrics;
+}
+
+}  // namespace dike::exp

@@ -1,0 +1,98 @@
+#include "exp/dynamic.hpp"
+
+#include <algorithm>
+
+#include "sched/placement.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::exp {
+
+ArrivalInjector::ArrivalInjector(sim::QuantumPolicy& inner,
+                                 std::vector<Arrival> schedule)
+    : inner_(&inner), schedule_(std::move(schedule)) {
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.atTick < b.atTick;
+                   });
+}
+
+util::Tick ArrivalInjector::quantumTicks() const {
+  return inner_->quantumTicks();
+}
+
+void ArrivalInjector::onQuantum(sim::Machine& machine) {
+  while (injected_ < static_cast<int>(schedule_.size())) {
+    const Arrival& next = schedule_[static_cast<std::size_t>(injected_)];
+    if (next.atTick > machine.now()) break;
+
+    // First-fit onto free cores, like OS wakeup placement. If the arrival
+    // does not fit, defer it (and everything behind it) to a later quantum.
+    std::vector<int> freeCores;
+    for (int c = 0; c < machine.topology().coreCount(); ++c)
+      if (machine.coreOccupant(c) == -1) freeCores.push_back(c);
+    if (static_cast<int>(freeCores.size()) < next.threads) break;
+
+    const wl::BenchmarkSpec bench =
+        wl::makeBenchmark(next.benchmark, next.scale);
+    const int processId = machine.addProcess(bench.name, bench.program,
+                                             next.threads,
+                                             bench.memoryIntensive);
+    const auto& threadIds = machine.process(processId).threadIds;
+    for (std::size_t i = 0; i < threadIds.size(); ++i)
+      machine.placeThread(threadIds[i], freeCores[i]);
+    ++injected_;
+  }
+  inner_->onQuantum(machine);
+}
+
+RunMetrics runDynamicWorkload(const DynamicRunSpec& spec) {
+  RunSpec base;
+  base.workloadId = spec.workloadId;
+  base.kind = spec.kind;
+  base.params = spec.params;
+  base.scale = spec.scale;
+  base.seed = spec.seed;
+
+  sim::MachineConfig machineCfg;
+  machineCfg.seed = spec.seed;
+  sim::Machine machine{sim::MachineTopology::paperTestbed(), machineCfg};
+  wl::addWorkloadProcesses(machine, wl::workload(spec.workloadId),
+                           spec.scale);
+  sched::placeRandom(machine, spec.seed);
+
+  const std::unique_ptr<sched::Scheduler> scheduler = makeScheduler(base);
+  sched::SchedulerAdapter adapter{*scheduler};
+  ArrivalInjector injector{adapter, spec.arrivals};
+
+  // Like sim::runMachine, but the run is not over while arrivals are
+  // outstanding (the machine may be momentarily idle between waves).
+  constexpr util::Tick kMaxTicks = 4'000'000;
+  util::Tick nextQuantumAt = injector.quantumTicks();
+  while ((!machine.allFinished() || injector.pendingArrivals() > 0) &&
+         machine.now() < kMaxTicks) {
+    machine.step();
+    if (machine.now() >= nextQuantumAt) {
+      if (machine.allFinished() && injector.pendingArrivals() == 0) break;
+      injector.onQuantum(machine);
+      nextQuantumAt =
+          machine.now() + std::max<util::Tick>(1, injector.quantumTicks());
+    }
+  }
+
+  RunMetrics metrics;
+  metrics.scheduler = std::string{scheduler->name()};
+  metrics.workload = wl::workload(spec.workloadId).name + "+dynamic";
+  metrics.makespan = machine.now();
+  metrics.timedOut = !machine.allFinished();
+  metrics.swaps = machine.swapCount();
+  metrics.migrations = machine.migrationCount();
+  metrics.energyJoules = machine.energyJoules();
+  if (!metrics.timedOut) {
+    metrics.fairness = fairnessEq4(machine);
+    metrics.processes = processResults(machine);
+  }
+  return metrics;
+}
+
+}  // namespace dike::exp

@@ -1,0 +1,62 @@
+// Open-system (dynamic) workloads: applications arriving while the machine
+// runs — the situation the paper's adaptation explicitly targets ("the
+// optimal configuration may change as ... new applications enter the
+// system, or old applications exit", Section II).
+//
+// Arrivals are injected at quantum boundaries (an OS notices new runnable
+// threads at scheduling-tick granularity) and placed on free cores
+// first-fit, like wakeup balancing would. Arrivals that do not fit are
+// deferred to the next boundary with free capacity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "sim/machine.hpp"
+
+namespace dike::exp {
+
+/// One scheduled arrival.
+struct Arrival {
+  util::Tick atTick = 0;
+  std::string benchmark;  ///< a workload/benchmarks.hpp model name
+  int threads = 8;
+  double scale = 1.0;
+};
+
+/// QuantumPolicy decorator that injects arrivals before delegating to the
+/// real scheduler's quantum handler.
+class ArrivalInjector final : public sim::QuantumPolicy {
+ public:
+  ArrivalInjector(sim::QuantumPolicy& inner, std::vector<Arrival> schedule);
+
+  [[nodiscard]] util::Tick quantumTicks() const override;
+  void onQuantum(sim::Machine& machine) override;
+
+  /// Arrivals still waiting (due but no free cores, or not yet due).
+  [[nodiscard]] int pendingArrivals() const noexcept {
+    return static_cast<int>(schedule_.size()) - injected_;
+  }
+  [[nodiscard]] int injectedArrivals() const noexcept { return injected_; }
+
+ private:
+  sim::QuantumPolicy* inner_;
+  std::vector<Arrival> schedule_;  // sorted by atTick
+  int injected_ = 0;
+};
+
+/// A dynamic-workload experiment: a Table-II base workload plus arrivals.
+struct DynamicRunSpec {
+  int workloadId = 2;
+  SchedulerKind kind = SchedulerKind::Cfs;
+  std::vector<Arrival> arrivals;
+  double scale = 0.5;
+  std::uint64_t seed = 42;
+  core::DikeParams params = core::defaultParams();
+};
+
+/// Run it; RunMetrics::processes includes the arrived applications.
+[[nodiscard]] RunMetrics runDynamicWorkload(const DynamicRunSpec& spec);
+
+}  // namespace dike::exp

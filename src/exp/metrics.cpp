@@ -1,0 +1,51 @@
+#include "exp/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace dike::exp {
+
+std::vector<ProcessResult> processResults(const sim::Machine& machine) {
+  std::vector<ProcessResult> results;
+  results.reserve(machine.processes().size());
+  for (const sim::SimProcess& proc : machine.processes()) {
+    ProcessResult r;
+    r.processId = proc.id;
+    r.name = proc.name;
+    r.memoryIntensive = proc.memoryIntensive;
+    r.finishTick = proc.finishTick;
+    util::OnlineStats stats;
+    for (int id : proc.threadIds) {
+      const sim::SimThread& t = machine.thread(id);
+      if (!t.finished)
+        throw std::logic_error{"processResults: thread " + std::to_string(id) +
+                               " has not finished"};
+      r.threadFinishTicks.push_back(t.finishTick);
+      stats.add(static_cast<double>(t.finishTick - t.startTick));
+    }
+    r.runtimeCv = stats.coefficientOfVariation();
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+double fairnessEq4(const sim::Machine& machine) {
+  util::OnlineStats cvs;
+  for (const ProcessResult& r : processResults(machine)) cvs.add(r.runtimeCv);
+  if (cvs.empty()) throw std::logic_error{"fairnessEq4: machine has no processes"};
+  return 1.0 - cvs.mean();
+}
+
+double relativeImprovement(double a, double b) noexcept {
+  if (b == 0.0) return 0.0;
+  return (a - b) / b;
+}
+
+double speedup(util::Tick baselineTicks, util::Tick candidateTicks) noexcept {
+  if (candidateTicks <= 0) return 0.0;
+  return static_cast<double>(baselineTicks) /
+         static_cast<double>(candidateTicks);
+}
+
+}  // namespace dike::exp

@@ -1,0 +1,43 @@
+// Evaluation metrics (Section IV-A).
+//
+// Fairness (Eqn 4): 1 - (1/n) * sum_i cv_i, where cv_i is the coefficient
+// of variation of benchmark i's thread *runtimes* (finish - first
+// placement) — homogeneous threads of a data-parallel application should
+// take equally long. For workloads where everything starts at t=0 this is
+// the completion-time CV; with dynamic arrivals it stays well-defined.
+// Performance: workload makespan, reported as speedup over a baseline run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/types.hpp"
+
+namespace dike::exp {
+
+/// Completion statistics for one process of a finished run.
+struct ProcessResult {
+  int processId = -1;
+  std::string name;
+  bool memoryIntensive = false;
+  util::Tick finishTick = 0;
+  double runtimeCv = 0.0;  ///< cv_i of Eqn 4
+  std::vector<util::Tick> threadFinishTicks;
+};
+
+/// Eqn 4 over a finished machine. Throws if any thread is unfinished.
+[[nodiscard]] double fairnessEq4(const sim::Machine& machine);
+
+/// Per-process completion details of a finished machine.
+[[nodiscard]] std::vector<ProcessResult> processResults(
+    const sim::Machine& machine);
+
+/// Relative improvement (a - b) / b.
+[[nodiscard]] double relativeImprovement(double a, double b) noexcept;
+
+/// Speedup of `candidateTicks` relative to `baselineTicks` (>1 is faster).
+[[nodiscard]] double speedup(util::Tick baselineTicks,
+                             util::Tick candidateTicks) noexcept;
+
+}  // namespace dike::exp

@@ -1,0 +1,97 @@
+// Experiment runner: one (workload, scheduler, configuration) simulation,
+// returning the metrics every figure and table is built from.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dike_scheduler.hpp"
+#include "core/prediction_tracker.hpp"
+#include "exp/metrics.hpp"
+#include "sim/machine.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::exp {
+
+/// The scheduling policies of the evaluation (Section IV-A), plus two
+/// references: Random (blind mixing control) and StaticOracle (ground-truth
+/// ideal placement under a no-op scheduler — an unrealisable upper bound
+/// for placement-only policies).
+enum class SchedulerKind {
+  Cfs, Dio, Dike, DikeAF, DikeAP, Random, StaticOracle,
+  /// Suspension-based progress equalisation — the enforcement Section
+  /// III-E argues against; kept as a measurable reference.
+  Suspension,
+};
+
+[[nodiscard]] std::string_view toString(SchedulerKind kind) noexcept;
+/// The paper's five policies (Random/StaticOracle are opt-in references).
+[[nodiscard]] const std::vector<SchedulerKind>& allSchedulerKinds();
+
+/// One experiment's inputs.
+struct RunSpec {
+  /// Workload id (1..16) from Table II. Ignored when customWorkload is set.
+  int workloadId = 1;
+  /// A workload outside the table (e.g. from wl::randomWorkload).
+  std::optional<wl::WorkloadSpec> customWorkload;
+  SchedulerKind kind = SchedulerKind::Cfs;
+  /// Dike's <swapSize, quantaLength> (ignored by CFS; DIO uses the quantum).
+  core::DikeParams params = core::defaultParams();
+  /// Full Dike configuration override (ablations). When set, `params` and
+  /// the goal implied by `kind` are written into a copy of this config.
+  std::optional<core::DikeConfig> dikeConfig;
+  /// Instruction-budget multiplier (sweeps use < 1 to run faster).
+  double scale = 1.0;
+  /// Seed for initial placement and measurement noise.
+  std::uint64_t seed = 42;
+  /// false = the homogeneous machine (both sockets fast), Figure 1 only.
+  bool heterogeneous = true;
+  /// Engine overrides (memory capacities, migration costs...).
+  sim::MachineConfig machine{};
+  /// Threads per application (the paper uses 8).
+  int threadsPerApp = 8;
+};
+
+/// One experiment's outputs.
+struct RunMetrics {
+  std::string scheduler;
+  std::string workload;
+  util::Tick makespan = 0;
+  bool timedOut = false;
+  double fairness = 0.0;  ///< Eqn 4
+  std::int64_t swaps = 0;
+  std::int64_t migrations = 0;
+  double energyJoules = 0.0;  ///< extension metric (MachineConfig power model)
+  std::vector<ProcessResult> processes;
+
+  /// Decision-pipeline totals (Dike variants only).
+  core::DecisionTotals decisions{};
+
+  // Prediction-error statistics (Dike variants only).
+  bool hasPredictions = false;
+  double predErrMean = 0.0;
+  double predErrMin = 0.0;
+  double predErrMax = 0.0;
+  std::vector<core::PredictionErrorPoint> predTrace;
+};
+
+/// Instantiate the scheduler a RunSpec names (public so composed runners —
+/// e.g. exp/dynamic.hpp — can reuse the construction rules).
+[[nodiscard]] std::unique_ptr<sched::Scheduler> makeScheduler(
+    const RunSpec& spec);
+
+/// Run one workload under one scheduler.
+[[nodiscard]] RunMetrics runWorkload(const RunSpec& spec);
+
+/// Run a single benchmark standalone (8 threads, spread placement, no
+/// contention from other applications) — the Figure 1 reference point.
+[[nodiscard]] RunMetrics runStandalone(const std::string& benchmark,
+                                       double scale = 1.0,
+                                       std::uint64_t seed = 42,
+                                       bool heterogeneous = true,
+                                       int threads = 8);
+
+}  // namespace dike::exp

@@ -1,0 +1,64 @@
+#include "exp/sweep.hpp"
+
+#include <stdexcept>
+
+namespace dike::exp {
+
+std::vector<core::DikeParams> configLattice() {
+  std::vector<core::DikeParams> lattice;
+  for (const int quanta : core::kQuantaLadderMs) {
+    for (int swapSize = core::kMinSwapSize; swapSize <= core::kMaxSwapSize;
+         swapSize += 2) {
+      lattice.push_back(core::DikeParams{swapSize, quanta});
+    }
+  }
+  return lattice;
+}
+
+std::vector<ConfigResult> sweepConfigs(int workloadId, double scale,
+                                       std::uint64_t seed) {
+  RunSpec spec;
+  spec.workloadId = workloadId;
+  spec.scale = scale;
+  spec.seed = seed;
+
+  spec.kind = SchedulerKind::Cfs;
+  const RunMetrics baseline = runWorkload(spec);
+
+  std::vector<ConfigResult> results;
+  spec.kind = SchedulerKind::Dike;
+  for (const core::DikeParams& params : configLattice()) {
+    spec.params = params;
+    const RunMetrics m = runWorkload(spec);
+    ConfigResult r;
+    r.params = params;
+    r.fairness = m.fairness;
+    r.speedup = speedup(baseline.makespan, m.makespan);
+    r.swaps = m.swaps;
+    results.push_back(r);
+  }
+  return results;
+}
+
+SweepExtremes findExtremes(const std::vector<ConfigResult>& sweep) {
+  if (sweep.empty()) throw std::invalid_argument{"empty sweep"};
+  SweepExtremes e;
+  e.bestFairness = e.bestPerformance = e.worstFairness = e.worstPerformance =
+      sweep.front();
+  bool haveDefault = false;
+  for (const ConfigResult& r : sweep) {
+    if (r.fairness > e.bestFairness.fairness) e.bestFairness = r;
+    if (r.fairness < e.worstFairness.fairness) e.worstFairness = r;
+    if (r.speedup > e.bestPerformance.speedup) e.bestPerformance = r;
+    if (r.speedup < e.worstPerformance.speedup) e.worstPerformance = r;
+    if (r.params == core::defaultParams()) {
+      e.defaultConfig = r;
+      haveDefault = true;
+    }
+  }
+  if (!haveDefault)
+    throw std::logic_error{"sweep does not include the default <8,500>"};
+  return e;
+}
+
+}  // namespace dike::exp

@@ -1,0 +1,42 @@
+// Scheduler-configuration sweeps over the paper's 32-point parameter space
+// (swapSize x quantaLength) — the machinery behind Figures 2, 4 and 5.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "exp/runner.hpp"
+
+namespace dike::exp {
+
+/// Outcome of one configuration point for one workload.
+struct ConfigResult {
+  core::DikeParams params{};
+  double fairness = 0.0;
+  double speedup = 0.0;  ///< vs the CFS baseline of the same workload/seed
+  std::int64_t swaps = 0;
+};
+
+/// The paper's configuration lattice: swapSize in {2,4,...,16}, quantaLength
+/// in {100,200,500,1000} — 32 points.
+[[nodiscard]] std::vector<core::DikeParams> configLattice();
+
+/// Run the non-adaptive Dike at every lattice point for one workload.
+/// The CFS baseline is run once with the same seed/scale for the speedups.
+[[nodiscard]] std::vector<ConfigResult> sweepConfigs(int workloadId,
+                                                     double scale,
+                                                     std::uint64_t seed);
+
+/// Extremes of a sweep, as normalised ratios against the best point
+/// (Figure 2 reports optimal / default / worst).
+struct SweepExtremes {
+  ConfigResult bestFairness{};
+  ConfigResult bestPerformance{};
+  ConfigResult defaultConfig{};
+  ConfigResult worstFairness{};
+  ConfigResult worstPerformance{};
+};
+
+[[nodiscard]] SweepExtremes findExtremes(const std::vector<ConfigResult>& sweep);
+
+}  // namespace dike::exp

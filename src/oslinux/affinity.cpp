@@ -1,0 +1,57 @@
+#include "oslinux/affinity.hpp"
+
+#include <sched.h>
+
+#include <cerrno>
+
+namespace dike::oslinux {
+
+namespace {
+
+std::error_code lastError() {
+  return std::error_code{errno, std::generic_category()};
+}
+
+}  // namespace
+
+std::error_code setAffinity(pid_t tid, std::span<const int> cpus) {
+  if (cpus.empty())
+    return std::make_error_code(std::errc::invalid_argument);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE)
+      return std::make_error_code(std::errc::invalid_argument);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+  }
+  if (sched_setaffinity(tid, sizeof set, &set) != 0) return lastError();
+  return {};
+}
+
+std::error_code pinToCpu(pid_t tid, int cpu) {
+  const int cpus[1] = {cpu};
+  return setAffinity(tid, cpus);
+}
+
+std::error_code getAffinity(pid_t tid, std::vector<int>& cpus) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(tid, sizeof set, &set) != 0) return lastError();
+  cpus.clear();
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+    if (CPU_ISSET(static_cast<unsigned>(cpu), &set)) cpus.push_back(cpu);
+  return {};
+}
+
+std::error_code swapPinnedCpus(pid_t tidA, pid_t tidB) {
+  std::vector<int> cpusA;
+  std::vector<int> cpusB;
+  if (auto ec = getAffinity(tidA, cpusA)) return ec;
+  if (auto ec = getAffinity(tidB, cpusB)) return ec;
+  if (cpusA.size() != 1 || cpusB.size() != 1)
+    return std::make_error_code(std::errc::invalid_argument);
+  if (auto ec = pinToCpu(tidA, cpusB.front())) return ec;
+  return pinToCpu(tidB, cpusA.front());
+}
+
+}  // namespace dike::oslinux

@@ -1,0 +1,102 @@
+#include "oslinux/cpufreq.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "oslinux/cpulist.hpp"
+
+namespace dike::oslinux {
+
+namespace {
+
+std::optional<std::string> readTrimmed(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::string content{std::istreambuf_iterator<char>{in},
+                      std::istreambuf_iterator<char>{}};
+  while (!content.empty() &&
+         (content.back() == '\n' || content.back() == ' ' ||
+          content.back() == '\r'))
+    content.pop_back();
+  return content;
+}
+
+std::optional<double> readKhzAsGhz(const std::filesystem::path& path) {
+  const auto text = readTrimmed(path);
+  if (!text) return std::nullopt;
+  try {
+    return std::stod(*text) / 1e6;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<CpufreqPolicy> readCpufreqPolicy(
+    int cpu, const std::filesystem::path& root) {
+  const std::filesystem::path dir =
+      root / ("cpu" + std::to_string(cpu)) / "cpufreq";
+  CpufreqPolicy policy;
+  policy.cpu = cpu;
+
+  const auto governor = readTrimmed(dir / "scaling_governor");
+  const auto minFreq = readKhzAsGhz(dir / "scaling_min_freq");
+  const auto maxFreq = readKhzAsGhz(dir / "scaling_max_freq");
+  if (!governor || !minFreq || !maxFreq) return std::nullopt;
+  policy.governor = *governor;
+  policy.minFreqGhz = *minFreq;
+  policy.maxFreqGhz = *maxFreq;
+  policy.curFreqGhz = readKhzAsGhz(dir / "scaling_cur_freq").value_or(0.0);
+  policy.hwMaxFreqGhz = readKhzAsGhz(dir / "cpuinfo_max_freq").value_or(0.0);
+  return policy;
+}
+
+std::vector<CpufreqPolicy> readAllCpufreqPolicies(
+    const std::filesystem::path& root) {
+  std::vector<CpufreqPolicy> policies;
+  std::ifstream onlineFile{root / "online"};
+  if (!onlineFile) return policies;
+  std::string onlineText{std::istreambuf_iterator<char>{onlineFile},
+                         std::istreambuf_iterator<char>{}};
+  const auto online = parseCpuList(onlineText);
+  if (!online) return policies;
+  for (const int cpu : *online) {
+    if (auto policy = readCpufreqPolicy(cpu, root))
+      policies.push_back(std::move(*policy));
+  }
+  return policies;
+}
+
+SpeedPartition partitionBySpeed(const std::vector<CpufreqPolicy>& policies) {
+  SpeedPartition partition;
+  if (policies.size() < 2) return partition;
+  double lo = policies.front().maxFreqGhz;
+  double hi = lo;
+  for (const CpufreqPolicy& p : policies) {
+    lo = std::min(lo, p.maxFreqGhz);
+    hi = std::max(hi, p.maxFreqGhz);
+  }
+  if (hi - lo < 1e-9) return partition;  // homogeneous
+  const double midpoint = (lo + hi) / 2.0;
+  for (const CpufreqPolicy& p : policies)
+    (p.maxFreqGhz >= midpoint ? partition.fast : partition.slow)
+        .push_back(p.cpu);
+  return partition;
+}
+
+std::error_code writeMaxFrequency(int cpu, double freqGhz,
+                                  const std::filesystem::path& root) {
+  if (freqGhz <= 0.0)
+    return std::make_error_code(std::errc::invalid_argument);
+  const std::filesystem::path path = root / ("cpu" + std::to_string(cpu)) /
+                                     "cpufreq" / "scaling_max_freq";
+  std::ofstream out{path};
+  if (!out) return std::make_error_code(std::errc::permission_denied);
+  out << static_cast<long long>(freqGhz * 1e6);
+  out.flush();
+  if (!out) return std::make_error_code(std::errc::io_error);
+  return {};
+}
+
+}  // namespace dike::oslinux

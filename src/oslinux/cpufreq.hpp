@@ -1,0 +1,51 @@
+// cpufreq sysfs access: reading (and, with privileges, writing) per-cpu
+// frequency policy — how the paper's authors *built* their heterogeneous
+// testbed ("we set one socket to the minimum CPU frequency, and on the
+// other we enable TurboBoost"). Reads take an injectable root for fixture
+// testing, like host_topology.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <system_error>
+#include <vector>
+
+namespace dike::oslinux {
+
+struct CpufreqPolicy {
+  int cpu = -1;
+  std::string governor;      ///< e.g. "performance", "powersave"
+  double minFreqGhz = 0.0;   ///< scaling_min_freq
+  double maxFreqGhz = 0.0;   ///< scaling_max_freq
+  double curFreqGhz = 0.0;   ///< scaling_cur_freq (0 when unreadable)
+  double hwMaxFreqGhz = 0.0; ///< cpuinfo_max_freq (0 when unreadable)
+};
+
+/// Read one cpu's policy from `root`/cpu<N>/cpufreq. Returns std::nullopt
+/// when the directory or its mandatory files are missing (no cpufreq
+/// driver, containers).
+[[nodiscard]] std::optional<CpufreqPolicy> readCpufreqPolicy(
+    int cpu, const std::filesystem::path& root = "/sys/devices/system/cpu");
+
+/// Read policies for all online cpus (skips cpus without cpufreq).
+[[nodiscard]] std::vector<CpufreqPolicy> readAllCpufreqPolicies(
+    const std::filesystem::path& root = "/sys/devices/system/cpu");
+
+/// Partition cpus into nominally fast and slow halves by scaling_max_freq —
+/// how an operator would check a heterogeneous setup like the paper's.
+/// Returns {fast, slow}; empty when fewer than two distinct speeds exist.
+struct SpeedPartition {
+  std::vector<int> fast;
+  std::vector<int> slow;
+};
+[[nodiscard]] SpeedPartition partitionBySpeed(
+    const std::vector<CpufreqPolicy>& policies);
+
+/// Write scaling_max_freq for one cpu (requires root; callers must expect
+/// and handle EACCES). Frequency in GHz.
+[[nodiscard]] std::error_code writeMaxFrequency(
+    int cpu, double freqGhz,
+    const std::filesystem::path& root = "/sys/devices/system/cpu");
+
+}  // namespace dike::oslinux

@@ -1,0 +1,74 @@
+#include "oslinux/cpulist.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace dike::oslinux {
+
+namespace {
+
+void skipSpace(std::string_view& s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+}
+
+std::optional<int> parseInt(std::string_view& s) {
+  skipSpace(s);
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s.front())))
+    return std::nullopt;
+  long value = 0;
+  std::size_t used = 0;
+  while (used < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[used]))) {
+    value = value * 10 + (s[used] - '0');
+    if (value > 1'000'000) return std::nullopt;  // implausible cpu id
+    ++used;
+  }
+  s.remove_prefix(used);
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> parseCpuList(std::string_view text) {
+  std::vector<int> cpus;
+  skipSpace(text);
+  if (text.empty()) return cpus;  // empty list is valid (no cpus)
+  for (;;) {
+    const auto lo = parseInt(text);
+    if (!lo) return std::nullopt;
+    int hi = *lo;
+    skipSpace(text);
+    if (!text.empty() && text.front() == '-') {
+      text.remove_prefix(1);
+      const auto parsed = parseInt(text);
+      if (!parsed || *parsed < *lo) return std::nullopt;
+      hi = *parsed;
+    }
+    for (int cpu = *lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+    skipSpace(text);
+    if (text.empty()) break;
+    if (text.front() != ',') return std::nullopt;
+    text.remove_prefix(1);
+  }
+  return cpus;
+}
+
+std::string formatCpuList(const std::vector<int>& cpus) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < cpus.size()) {
+    std::size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(cpus[i]);
+    if (j > i) {
+      out += '-';
+      out += std::to_string(cpus[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace dike::oslinux

@@ -1,0 +1,19 @@
+// Parsing of the kernel's cpulist format ("0-3,8,10-11"), used throughout
+// /sys/devices/system/cpu.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace dike::oslinux {
+
+/// Parse a cpulist string. Returns std::nullopt on malformed input.
+/// Whitespace (including the trailing newline sysfs emits) is tolerated.
+[[nodiscard]] std::optional<std::vector<int>> parseCpuList(
+    std::string_view text);
+
+/// Render a sorted cpu id vector back into compact cpulist form.
+[[nodiscard]] std::string formatCpuList(const std::vector<int>& cpus);
+
+}  // namespace dike::oslinux

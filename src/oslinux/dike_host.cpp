@@ -1,0 +1,274 @@
+#include "oslinux/dike_host.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "oslinux/affinity.hpp"
+#include "oslinux/procstat.hpp"
+#include "util/log.hpp"
+
+namespace dike::oslinux {
+
+namespace {
+
+double clockTicksPerSecond() {
+  const long hz = ::sysconf(_SC_CLK_TCK);
+  return hz > 0 ? static_cast<double>(hz) : 100.0;
+}
+
+}  // namespace
+
+DikeHost::DikeHost(HostConfig config)
+    : config_(config),
+      observer_(config.dike.observer),
+      selector_(core::SelectorConfig{config.dike.fairnessThreshold,
+                                     config.dike.rotateWhenNoViolator,
+                                     config.dike.pairRateMargin}),
+      predictor_(core::PredictorConfig{config.dike.swapOhMs}),
+      decider_(core::DeciderConfig{config.dike.cooldownQuanta,
+                                   config.dike.minCooldownMs,
+                                   config.dike.requirePositiveProfit}) {}
+
+std::error_code DikeHost::addProcess(pid_t pid) {
+  const std::vector<pid_t> tids = listThreads(pid);
+  if (tids.empty())
+    return std::make_error_code(std::errc::no_such_process);
+  for (const pid_t tid : tids) {
+    if (threads_.count(tid) != 0) continue;
+    HostThread t;
+    t.pid = pid;
+    t.tid = tid;
+    t.denseId = nextDenseId_++;
+    if (config_.usePerf) {
+      std::error_code ec;
+      t.llcMisses = PerfCounter::open(PerfEventKind::LlcMisses, tid, ec);
+      if (!ec) t.llcRefs = PerfCounter::open(PerfEventKind::LlcReferences, tid, ec);
+      if (t.llcMisses && t.llcRefs) perfActive_ = true;
+    }
+    threads_.emplace(tid, std::move(t));
+  }
+  return {};
+}
+
+std::error_code DikeHost::initialize() {
+  if (threads_.empty())
+    return std::make_error_code(std::errc::invalid_argument);
+
+  // Discover schedulable cpus and their sockets.
+  cpus_ = config_.cpus;
+  cpuSocket_.clear();
+  const auto topology = readHostTopology();
+  if (cpus_.empty()) {
+    if (topology) {
+      for (const HostCpu& c : topology->cpus) cpus_.push_back(c.id);
+    } else {
+      const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+      for (int c = 0; c < std::max(1L, n); ++c) cpus_.push_back(c);
+    }
+  }
+  for (const int cpu : cpus_) {
+    int socket = 0;
+    if (topology) {
+      for (const HostCpu& c : topology->cpus)
+        if (c.id == cpu) socket = std::max(0, c.package);
+    }
+    cpuSocket_.push_back(socket);
+  }
+
+  // Initial placement: round-robin pinning (the CFS-agnostic starting
+  // point; Dike corrects it from here).
+  std::size_t next = 0;
+  for (auto& [tid, thread] : threads_) {
+    const int cpu = cpus_[next % cpus_.size()];
+    if (const std::error_code ec = pinToCpu(tid, cpu)) return ec;
+    thread.cpu = static_cast<int>(next % cpus_.size());
+    ++next;
+  }
+  lastSample_ = std::chrono::steady_clock::now();
+  initialized_ = true;
+  return {};
+}
+
+void DikeHost::adoptNewThreads() {
+  // Processes may spawn workers after registration (OpenMP teams start at
+  // the first parallel region). Adopt them and pin to the least-loaded cpu.
+  std::vector<pid_t> pids;
+  for (const auto& [tid, t] : threads_)
+    if (std::find(pids.begin(), pids.end(), t.pid) == pids.end())
+      pids.push_back(t.pid);
+  for (const pid_t pid : pids) {
+    for (const pid_t tid : listThreads(pid)) {
+      if (threads_.count(tid) != 0) continue;
+      HostThread t;
+      t.pid = pid;
+      t.tid = tid;
+      t.denseId = nextDenseId_++;
+      if (config_.usePerf) {
+        std::error_code ec;
+        t.llcMisses = PerfCounter::open(PerfEventKind::LlcMisses, tid, ec);
+        if (!ec)
+          t.llcRefs = PerfCounter::open(PerfEventKind::LlcReferences, tid, ec);
+      }
+      const int cpuIdx = leastLoadedCpuIndex();
+      if (!pinToCpu(tid, cpus_[static_cast<std::size_t>(cpuIdx)]))
+        t.cpu = cpuIdx;
+      threads_.emplace(tid, std::move(t));
+    }
+  }
+}
+
+int DikeHost::leastLoadedCpuIndex() const {
+  std::vector<int> load(cpus_.size(), 0);
+  for (const auto& [tid, t] : threads_)
+    if (t.cpu >= 0) ++load[static_cast<std::size_t>(t.cpu)];
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(load.size()); ++i)
+    if (load[static_cast<std::size_t>(i)] <
+        load[static_cast<std::size_t>(best)])
+      best = i;
+  return best;
+}
+
+void DikeHost::pruneDeadThreads() {
+  for (auto it = threads_.begin(); it != threads_.end();) {
+    if (readProcStat(it->second.pid, it->first).has_value())
+      ++it;
+    else
+      it = threads_.erase(it);
+  }
+}
+
+core::Observation DikeHost::sampleObservation(double periodSeconds) {
+  core::Observation obs;
+  obs.sample.periodTicks =
+      std::max<util::Tick>(1, static_cast<util::Tick>(periodSeconds * 1e3));
+  obs.sample.coreAchievedBw.assign(cpus_.size(), 0.0);
+  obs.coreOccupant.assign(cpus_.size(), -1);
+  obs.coreSocket = cpuSocket_;
+
+  const double tickHz = clockTicksPerSecond();
+  for (auto& [tid, t] : threads_) {
+    const auto stat = readProcStat(t.pid, tid);
+    if (!stat) continue;
+
+    sim::ThreadSample s;
+    s.threadId = t.denseId;
+    s.processId = static_cast<int>(t.pid);
+    s.coreId = t.cpu;
+
+    const unsigned long long utime = stat->utimeTicks + stat->stimeTicks;
+    const double utimeRate =
+        t.haveBaseline && utime >= t.lastUtime
+            ? static_cast<double>(utime - t.lastUtime) / tickHz / periodSeconds
+            : 0.0;
+    t.lastUtime = utime;
+
+    bool perfOk = false;
+    if (t.llcMisses && t.llcRefs) {
+      const auto misses = t.llcMisses->readDelta();
+      const auto refs = t.llcRefs->readDelta();
+      if (misses && refs && t.haveBaseline) {
+        s.accessRate = static_cast<double>(*misses) / periodSeconds;
+        s.llcMissRatio =
+            *refs > 0 ? std::clamp(static_cast<double>(*misses) /
+                                       static_cast<double>(*refs),
+                                   0.0, 1.0)
+                      : 0.0;
+        perfOk = true;
+      }
+    }
+    if (!perfOk) {
+      // Proxy mode: cpu-time progress as the rate signal; classify as
+      // compute so Dike equalises progress rather than chasing bandwidth.
+      s.accessRate = utimeRate * 1e9;
+      s.llcMissRatio = 0.05;
+    }
+    s.accesses = s.accessRate * periodSeconds;
+    t.haveBaseline = true;
+
+    if (t.cpu >= 0) {
+      obs.sample.coreAchievedBw[static_cast<std::size_t>(t.cpu)] +=
+          s.accessRate;
+      obs.coreOccupant[static_cast<std::size_t>(t.cpu)] = t.denseId;
+    }
+    obs.sample.threads.push_back(s);
+  }
+  return obs;
+}
+
+HostQuantumReport DikeHost::runQuantum() {
+  HostQuantumReport report;
+  report.perfActive = perfActive_;
+  if (!initialized_) return report;
+
+  pruneDeadThreads();
+  adoptNewThreads();
+  report.liveThreads = managedThreadCount();
+  if (threads_.empty()) return report;
+
+  const auto now = std::chrono::steady_clock::now();
+  const double periodSeconds = std::max(
+      1e-3, std::chrono::duration<double>(now - lastSample_).count());
+  lastSample_ = now;
+
+  observer_.observe(sampleObservation(periodSeconds));
+  report.unfairness = observer_.systemUnfairness();
+
+  if (report.unfairness < config_.dike.fairnessThreshold) {
+    ++quantumIndex_;
+    return report;
+  }
+
+  const util::Tick quantaTicks =
+      util::millisToTicks(config_.dike.params.quantaLengthMs);
+  const util::Tick nowTicks = quantumIndex_ * quantaTicks;
+  const auto pairs =
+      selector_.formPairs(observer_, config_.dike.params.swapSize * 2);
+  const int maxSwaps = config_.dike.params.swapSize / 2;
+
+  for (const core::ThreadPair& pair : pairs) {
+    if (report.swapsExecuted >= maxSwaps) break;
+    const core::SwapPrediction prediction = predictor_.predict(
+        observer_, pair, config_.dike.params.quantaLengthMs);
+    if (!decider_.shouldSwap(prediction, nowTicks, quantaTicks)) continue;
+
+    // Map dense ids back to tids.
+    HostThread* low = nullptr;
+    HostThread* high = nullptr;
+    for (auto& [tid, t] : threads_) {
+      if (t.denseId == pair.lowThread) low = &t;
+      if (t.denseId == pair.highThread) high = &t;
+    }
+    if (low == nullptr || high == nullptr || low->cpu < 0 || high->cpu < 0)
+      continue;
+
+    if (pinToCpu(low->tid, cpus_[static_cast<std::size_t>(high->cpu)]))
+      continue;
+    if (pinToCpu(high->tid, cpus_[static_cast<std::size_t>(low->cpu)])) {
+      // Roll the first pin back on partial failure.
+      (void)pinToCpu(low->tid, cpus_[static_cast<std::size_t>(low->cpu)]);
+      continue;
+    }
+    std::swap(low->cpu, high->cpu);
+    decider_.recordSwap(pair, nowTicks);
+    ++report.swapsExecuted;
+    ++swaps_;
+    util::logDebug("dike-host: swapped tid ", low->tid, " <-> ", high->tid);
+  }
+  ++quantumIndex_;
+  return report;
+}
+
+void DikeHost::runFor(std::chrono::milliseconds duration) {
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  const auto quantum =
+      std::chrono::milliseconds(config_.dike.params.quantaLengthMs);
+  while (std::chrono::steady_clock::now() < deadline && !threads_.empty()) {
+    std::this_thread::sleep_for(quantum);
+    (void)runQuantum();
+  }
+}
+
+}  // namespace dike::oslinux

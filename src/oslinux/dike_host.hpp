@@ -1,0 +1,115 @@
+// DikeHost: the real-Linux enforcement backend.
+//
+// Runs the same Observer -> Selector -> Predictor -> Decider pipeline as the
+// simulator backend (src/core), but sources its Observation from live
+// /proc and perf counters and enforces decisions with sched_setaffinity —
+// the "easy wrapper" deployment the paper released for Linux/x86.
+//
+// Counter sourcing:
+//  * With perf available, per-thread LLC misses/references give the access
+//    rate and miss ratio directly (the paper's configuration).
+//  * Without perf (containers), utime progress becomes the rate proxy and
+//    every thread classifies as compute-intensive: Dike degrades to pure
+//    progress equalisation, which is still meaningful on heterogeneous
+//    cpus.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <system_error>
+#include <vector>
+
+#include "core/decider.hpp"
+#include "core/observer.hpp"
+#include "core/predictor.hpp"
+#include "core/selector.hpp"
+#include "oslinux/host_topology.hpp"
+#include "oslinux/perf.hpp"
+
+namespace dike::oslinux {
+
+struct HostConfig {
+  core::DikeConfig dike{};
+  /// Try to open perf counters per thread (falls back silently if denied).
+  bool usePerf = true;
+  /// Restrict scheduling to these cpus (empty = all online cpus).
+  std::vector<int> cpus;
+};
+
+/// One managed thread's bookkeeping.
+struct HostThread {
+  pid_t pid = 0;
+  pid_t tid = 0;
+  int denseId = -1;  ///< id used inside the core pipeline
+  int cpu = -1;      ///< cpu the thread is pinned to
+  unsigned long long lastUtime = 0;
+  bool haveBaseline = false;
+  std::optional<PerfCounter> llcMisses;
+  std::optional<PerfCounter> llcRefs;
+};
+
+struct HostQuantumReport {
+  double unfairness = 0.0;
+  int liveThreads = 0;
+  int swapsExecuted = 0;
+  bool perfActive = false;
+};
+
+class DikeHost {
+ public:
+  explicit DikeHost(HostConfig config = {});
+
+  /// Register a process: all of its current threads become managed.
+  [[nodiscard]] std::error_code addProcess(pid_t pid);
+
+  /// Discover topology and pin every managed thread to its own cpu
+  /// (round-robin when threads outnumber cpus).
+  [[nodiscard]] std::error_code initialize();
+
+  /// One scheduling quantum: sample counters, run the Dike pipeline, and
+  /// enforce swaps via affinity. Dead threads are pruned and threads
+  /// spawned since the last quantum (e.g. late OpenMP workers) are adopted
+  /// and pinned.
+  HostQuantumReport runQuantum();
+
+  /// Convenience loop: run quanta of the configured length until the
+  /// deadline passes or no managed thread remains.
+  void runFor(std::chrono::milliseconds duration);
+
+  [[nodiscard]] int managedThreadCount() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] std::int64_t totalSwaps() const noexcept { return swaps_; }
+  [[nodiscard]] const core::Observer& observer() const noexcept {
+    return observer_;
+  }
+  [[nodiscard]] const std::vector<int>& cpus() const noexcept { return cpus_; }
+  [[nodiscard]] bool perfActive() const noexcept { return perfActive_; }
+
+ private:
+  void pruneDeadThreads();
+  void adoptNewThreads();
+  [[nodiscard]] int leastLoadedCpuIndex() const;
+  [[nodiscard]] core::Observation sampleObservation(double periodSeconds);
+
+  HostConfig config_;
+  core::Observer observer_;
+  core::Selector selector_;
+  core::Predictor predictor_;
+  core::Decider decider_;
+
+  std::vector<int> cpus_;           // schedulable cpus, dense order
+  std::vector<int> cpuSocket_;      // socket per cpus_ index
+  std::map<pid_t, HostThread> threads_;
+  int nextDenseId_ = 0;
+  std::int64_t swaps_ = 0;
+  std::int64_t quantumIndex_ = 0;
+  bool perfActive_ = false;
+  bool initialized_ = false;
+  std::chrono::steady_clock::time_point lastSample_{};
+};
+
+}  // namespace dike::oslinux

@@ -1,0 +1,78 @@
+#include "oslinux/host_topology.hpp"
+
+#include <fstream>
+#include <string>
+
+#include "oslinux/cpulist.hpp"
+
+namespace dike::oslinux {
+
+namespace {
+
+std::optional<std::string> readFile(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::string content{std::istreambuf_iterator<char>{in},
+                      std::istreambuf_iterator<char>{}};
+  return content;
+}
+
+std::optional<long> readLong(const std::filesystem::path& path) {
+  const auto content = readFile(path);
+  if (!content) return std::nullopt;
+  try {
+    return std::stol(*content);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int HostTopology::socketCount() const {
+  int count = 0;
+  for (const HostCpu& c : cpus) count = std::max(count, c.package + 1);
+  return count;
+}
+
+std::vector<int> HostTopology::smtSiblings(int cpuId) const {
+  const HostCpu* self = nullptr;
+  for (const HostCpu& c : cpus)
+    if (c.id == cpuId) self = &c;
+  std::vector<int> siblings;
+  if (self == nullptr) return siblings;
+  for (const HostCpu& c : cpus)
+    if (c.package == self->package && c.coreId == self->coreId)
+      siblings.push_back(c.id);
+  return siblings;
+}
+
+std::optional<HostTopology> readHostTopology(
+    const std::filesystem::path& root) {
+  const auto onlineText = readFile(root / "online");
+  if (!onlineText) return std::nullopt;
+  const auto online = parseCpuList(*onlineText);
+  if (!online || online->empty()) return std::nullopt;
+
+  HostTopology topo;
+  for (int cpu : *online) {
+    const std::filesystem::path cpuDir = root / ("cpu" + std::to_string(cpu));
+    HostCpu info;
+    info.id = cpu;
+    if (const auto pkg = readLong(cpuDir / "topology/physical_package_id"))
+      info.package = static_cast<int>(*pkg);
+    else
+      return std::nullopt;
+    if (const auto core = readLong(cpuDir / "topology/core_id"))
+      info.coreId = static_cast<int>(*core);
+    else
+      return std::nullopt;
+    // Frequency is optional (not exposed in VMs/containers).
+    if (const auto khz = readLong(cpuDir / "cpufreq/cpuinfo_max_freq"))
+      info.maxFreqGhz = static_cast<double>(*khz) / 1e6;
+    topo.cpus.push_back(info);
+  }
+  return topo;
+}
+
+}  // namespace dike::oslinux

@@ -1,0 +1,33 @@
+// Host CPU topology discovery from sysfs, with an injectable root so tests
+// can run against fixture trees. Gives the Linux host driver the same
+// socket/physical-core structure the simulator's MachineTopology provides.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+namespace dike::oslinux {
+
+struct HostCpu {
+  int id = -1;
+  int package = -1;       ///< physical_package_id (socket)
+  int coreId = -1;        ///< core_id within the package
+  double maxFreqGhz = 0;  ///< cpufreq/cpuinfo_max_freq, 0 when unavailable
+};
+
+struct HostTopology {
+  std::vector<HostCpu> cpus;  ///< online cpus, ascending id
+
+  [[nodiscard]] int socketCount() const;
+  /// Cpus sharing (package, coreId) with `cpuId` — its SMT siblings,
+  /// including itself.
+  [[nodiscard]] std::vector<int> smtSiblings(int cpuId) const;
+};
+
+/// Read the topology under `root` (default: the live sysfs path). Returns
+/// std::nullopt when the tree is unreadable or inconsistent.
+[[nodiscard]] std::optional<HostTopology> readHostTopology(
+    const std::filesystem::path& root = "/sys/devices/system/cpu");
+
+}  // namespace dike::oslinux

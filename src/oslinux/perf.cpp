@@ -1,0 +1,111 @@
+#include "oslinux/perf.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace dike::oslinux {
+
+namespace {
+
+long perfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int groupFd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, groupFd, flags);
+}
+
+void fillAttr(perf_event_attr& attr, PerfEventKind kind) {
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  switch (kind) {
+    case PerfEventKind::LlcMisses:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_LL |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case PerfEventKind::LlcReferences:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_LL |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16);
+      break;
+    case PerfEventKind::Instructions:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case PerfEventKind::CpuCycles:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+  }
+}
+
+}  // namespace
+
+std::optional<PerfCounter> PerfCounter::open(PerfEventKind kind, pid_t tid,
+                                             std::error_code& ec) {
+  perf_event_attr attr;
+  fillAttr(attr, kind);
+  const long fd = perfEventOpen(&attr, tid, /*cpu=*/-1, /*groupFd=*/-1, 0);
+  if (fd < 0) {
+    ec = std::error_code{errno, std::generic_category()};
+    return std::nullopt;
+  }
+  ec = {};
+  return PerfCounter{static_cast<int>(fd)};
+}
+
+PerfCounter::PerfCounter(PerfCounter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), last_(other.last_) {}
+
+PerfCounter& PerfCounter::operator=(PerfCounter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    last_ = other.last_;
+  }
+  return *this;
+}
+
+PerfCounter::~PerfCounter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<std::uint64_t> PerfCounter::read() const {
+  std::uint64_t value = 0;
+  if (::read(fd_, &value, sizeof value) != sizeof value) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> PerfCounter::readDelta() {
+  const auto current = read();
+  if (!current) return std::nullopt;
+  const std::uint64_t delta = *current - last_;
+  last_ = *current;
+  return delta;
+}
+
+std::error_code PerfCounter::reset() const {
+  if (ioctl(fd_, PERF_EVENT_IOC_RESET, 0) != 0)
+    return std::error_code{errno, std::generic_category()};
+  return {};
+}
+
+bool perfLikelyAvailable() {
+  std::ifstream in{"/proc/sys/kernel/perf_event_paranoid"};
+  if (!in) return false;
+  int level = 0;
+  in >> level;
+  return in.good() && level <= 2;
+}
+
+}  // namespace dike::oslinux

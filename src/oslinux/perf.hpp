@@ -1,0 +1,58 @@
+// perf_event_open wrapper for the hardware counters the paper's Observer
+// reads (LLC misses and references per thread). Opening may legitimately
+// fail — containers and locked-down hosts deny perf — so construction goes
+// through a factory returning std::error_code and callers degrade to the
+// /proc-based proxy signals.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <system_error>
+
+namespace dike::oslinux {
+
+enum class PerfEventKind {
+  LlcMisses,
+  LlcReferences,
+  Instructions,
+  CpuCycles,
+};
+
+/// RAII handle on one perf counter attached to one thread.
+class PerfCounter {
+ public:
+  /// Open a counting (non-sampling) event on `tid` (0 = calling thread).
+  [[nodiscard]] static std::optional<PerfCounter> open(PerfEventKind kind,
+                                                       pid_t tid,
+                                                       std::error_code& ec);
+
+  PerfCounter(PerfCounter&& other) noexcept;
+  PerfCounter& operator=(PerfCounter&& other) noexcept;
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+  ~PerfCounter();
+
+  /// Current counter value; std::nullopt on read failure.
+  [[nodiscard]] std::optional<std::uint64_t> read() const;
+
+  /// Value change since the previous readDelta/read call on this object.
+  [[nodiscard]] std::optional<std::uint64_t> readDelta();
+
+  [[nodiscard]] std::error_code reset() const;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit PerfCounter(int fd) noexcept : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint64_t last_ = 0;
+};
+
+/// True if the kernel is likely to permit opening perf counters
+/// (perf_event_paranoid <= 2 and the syscall is available).
+[[nodiscard]] bool perfLikelyAvailable();
+
+}  // namespace dike::oslinux

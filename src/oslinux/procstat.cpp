@@ -1,0 +1,117 @@
+#include "oslinux/procstat.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace dike::oslinux {
+
+namespace {
+
+/// Split the remainder (after comm) into whitespace-separated fields.
+std::vector<std::string_view> splitFields(std::string_view text) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ' && text[j] != '\n') ++j;
+    if (j > i) fields.push_back(text.substr(i, j - i));
+    i = j + 1;
+  }
+  return fields;
+}
+
+std::optional<unsigned long long> toULL(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  unsigned long long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<unsigned long long>(c - '0');
+  }
+  return value;
+}
+
+std::optional<long long> toLL(std::string_view s) {
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  const auto v = toULL(s);
+  if (!v) return std::nullopt;
+  const auto signedValue = static_cast<long long>(*v);
+  return negative ? -signedValue : signedValue;
+}
+
+}  // namespace
+
+std::optional<ProcStat> parseProcStat(std::string_view line) {
+  // Format: pid (comm) state ppid ... — comm may contain spaces and parens,
+  // so anchor on the *last* closing paren.
+  const std::size_t open = line.find('(');
+  const std::size_t close = line.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open)
+    return std::nullopt;
+
+  ProcStat out;
+  const auto pid = toLL(std::string_view{line.substr(0, open > 0 ? open - 1 : 0)});
+  if (!pid) return std::nullopt;
+  out.pid = static_cast<pid_t>(*pid);
+  out.comm = line.substr(open + 1, close - open - 1);
+
+  const std::vector<std::string_view> fields =
+      splitFields(line.substr(close + 1));
+  // Field indices after comm (0-based): 0=state, 7=minflt, 9=majflt,
+  // 11=utime, 12=stime, 36=processor (fields 3..52 of proc(5), shifted by 3).
+  if (fields.size() < 37) return std::nullopt;
+  if (fields[0].size() != 1) return std::nullopt;
+  out.state = fields[0].front();
+
+  const auto minflt = toULL(fields[7]);
+  const auto majflt = toULL(fields[9]);
+  const auto utime = toULL(fields[11]);
+  const auto stime = toULL(fields[12]);
+  const auto processor = toLL(fields[36]);
+  if (!minflt || !majflt || !utime || !stime || !processor)
+    return std::nullopt;
+  out.minflt = *minflt;
+  out.majflt = *majflt;
+  out.utimeTicks = *utime;
+  out.stimeTicks = *stime;
+  out.processor = static_cast<int>(*processor);
+  return out;
+}
+
+std::optional<ProcStat> readProcStat(pid_t pid, pid_t tid) {
+  std::string path = "/proc/" + std::to_string(pid);
+  if (tid != 0) path += "/task/" + std::to_string(tid);
+  path += "/stat";
+
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  static thread_local std::string buffer;
+  std::getline(in, buffer);
+  return parseProcStat(buffer);
+}
+
+std::vector<pid_t> listThreads(pid_t pid) {
+  std::vector<pid_t> tids;
+  const std::filesystem::path dir =
+      "/proc/" + std::to_string(pid) + "/task";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{dir, ec}) {
+    const std::string name = entry.path().filename().string();
+    char* end = nullptr;
+    const long tid = std::strtol(name.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && tid > 0)
+      tids.push_back(static_cast<pid_t>(tid));
+  }
+  std::sort(tids.begin(), tids.end());
+  return tids;
+}
+
+}  // namespace dike::oslinux

@@ -1,0 +1,38 @@
+// /proc/<pid>/stat and /proc/<pid>/task enumeration: the progress-monitoring
+// signals the host driver samples per quantum (utime as a progress proxy,
+// majflt as a coarse memory-pressure proxy when perf counters are
+// unavailable, and the last-run CPU).
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace dike::oslinux {
+
+struct ProcStat {
+  pid_t pid = 0;
+  std::string_view comm{};  ///< points into the parsed buffer; copy to keep
+  char state = '?';
+  unsigned long long minflt = 0;
+  unsigned long long majflt = 0;
+  unsigned long long utimeTicks = 0;
+  unsigned long long stimeTicks = 0;
+  int processor = -1;  ///< CPU the task last ran on
+};
+
+/// Parse one /proc/<pid>/stat line. Handles comm fields containing spaces
+/// and parentheses (the kernel wraps comm in the outermost parens).
+/// Returns std::nullopt for malformed input.
+[[nodiscard]] std::optional<ProcStat> parseProcStat(std::string_view line);
+
+/// Read and parse /proc/<pid>/stat (or /proc/<pid>/task/<tid>/stat).
+[[nodiscard]] std::optional<ProcStat> readProcStat(pid_t pid,
+                                                   pid_t tid = 0);
+
+/// Thread ids of a process, from /proc/<pid>/task.
+[[nodiscard]] std::vector<pid_t> listThreads(pid_t pid);
+
+}  // namespace dike::oslinux

@@ -1,0 +1,18 @@
+#include "sched/cfs.hpp"
+
+#include <stdexcept>
+
+namespace dike::sched {
+
+CfsScheduler::CfsScheduler(util::Tick quantumTicks) : quantum_(quantumTicks) {
+  if (quantum_ < 1) throw std::invalid_argument{"quantum must be >= 1 tick"};
+}
+
+void CfsScheduler::onQuantum(SchedulerView& view) {
+  // With a full one-thread-per-core assignment there is nothing for CFS's
+  // load balancer to move: every runqueue has exactly one task. The sample
+  // is intentionally ignored — CFS is contention-oblivious.
+  (void)view;
+}
+
+}  // namespace dike::sched

@@ -1,0 +1,27 @@
+// Baseline: the Linux completely fair scheduler, as it behaves for the
+// paper's setup (one runnable thread per hardware thread).
+//
+// CFS equalises *CPU time*, which every thread already receives in a
+// one-thread-per-core configuration, so it performs no contention- or
+// heterogeneity-aware migration at all: threads stay wherever wakeup
+// balancing first put them (see placement.hpp). This is the zero-improvement
+// baseline of Figure 6.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dike::sched {
+
+class CfsScheduler final : public Scheduler {
+ public:
+  explicit CfsScheduler(util::Tick quantumTicks = 500);
+
+  [[nodiscard]] std::string_view name() const override { return "cfs"; }
+  [[nodiscard]] util::Tick quantumTicks() const override { return quantum_; }
+  void onQuantum(SchedulerView& view) override;
+
+ private:
+  util::Tick quantum_;
+};
+
+}  // namespace dike::sched

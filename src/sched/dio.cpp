@@ -1,0 +1,47 @@
+#include "sched/dio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dike::sched {
+
+DioScheduler::DioScheduler(util::Tick quantumTicks, int maxPairsPerQuantum)
+    : quantum_(quantumTicks), maxPairs_(maxPairsPerQuantum) {
+  if (quantum_ < 1) throw std::invalid_argument{"quantum must be >= 1 tick"};
+  if (maxPairs_ < 1) throw std::invalid_argument{"maxPairs must be >= 1"};
+}
+
+void DioScheduler::onQuantum(SchedulerView& view) {
+  // Live threads only; a finished thread's core is already free.
+  std::vector<const sim::ThreadSample*> live;
+  for (const sim::ThreadSample& s : view.sample().threads)
+    if (!s.finished && s.coreId >= 0) live.push_back(&s);
+  if (live.size() < 2) return;
+
+  // Sort by LLC miss rate, highest first (DIO's intensity ordering).
+  std::sort(live.begin(), live.end(),
+            [](const sim::ThreadSample* a, const sim::ThreadSample* b) {
+              if (a->llcMissRatio != b->llcMissRatio)
+                return a->llcMissRatio > b->llcMissRatio;
+              if (a->accessRate != b->accessRate)
+                return a->accessRate > b->accessRate;
+              return a->threadId < b->threadId;
+            });
+
+  // Pair top with bottom and swap every pair whose intensities actually
+  // differ — exchanging two threads of equal miss rate redistributes
+  // nothing. (Identical cores cannot occur: each live thread occupies a
+  // distinct core.)
+  constexpr double kEqualMissMargin = 0.02;
+  const std::size_t pairs =
+      std::min(live.size() / 2, static_cast<std::size_t>(maxPairs_));
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const sim::ThreadSample* high = live[i];
+    const sim::ThreadSample* low = live[live.size() - 1 - i];
+    if (high->llcMissRatio - low->llcMissRatio < kEqualMissMargin) continue;
+    view.swap(high->threadId, low->threadId);
+  }
+}
+
+}  // namespace dike::sched

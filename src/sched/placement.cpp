@@ -1,0 +1,91 @@
+#include "sched/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dike::sched {
+
+namespace {
+
+std::vector<int> unplacedThreads(const sim::Machine& machine) {
+  std::vector<int> ids;
+  for (const sim::SimThread& t : machine.threads())
+    if (t.coreId < 0 && !t.finished) ids.push_back(t.id);
+  return ids;
+}
+
+std::vector<int> freeCores(const sim::Machine& machine) {
+  std::vector<int> ids;
+  for (int c = 0; c < machine.topology().coreCount(); ++c)
+    if (machine.coreOccupant(c) == -1) ids.push_back(c);
+  return ids;
+}
+
+void placeInOrder(sim::Machine& machine, const std::vector<int>& threads,
+                  const std::vector<int>& cores) {
+  if (threads.size() > cores.size())
+    throw std::logic_error{"more threads than free cores"};
+  for (std::size_t i = 0; i < threads.size(); ++i)
+    machine.placeThread(threads[i], cores[i]);
+}
+
+}  // namespace
+
+void placeContiguous(sim::Machine& machine) {
+  placeInOrder(machine, unplacedThreads(machine), freeCores(machine));
+}
+
+void placeRandom(sim::Machine& machine, std::uint64_t seed) {
+  std::vector<int> threads = unplacedThreads(machine);
+  std::vector<int> cores = freeCores(machine);
+  util::Rng rng{seed};
+  // Fisher-Yates with our deterministic generator.
+  for (std::size_t i = cores.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(cores[i - 1], cores[j]);
+  }
+  placeInOrder(machine, threads, cores);
+}
+
+void placeSpread(sim::Machine& machine) {
+  std::vector<int> cores = freeCores(machine);
+  const sim::MachineTopology& topo = machine.topology();
+  std::stable_sort(cores.begin(), cores.end(), [&](int a, int b) {
+    const sim::CoreDesc& ca = topo.core(a);
+    const sim::CoreDesc& cb = topo.core(b);
+    if (ca.smtIndex != cb.smtIndex) return ca.smtIndex < cb.smtIndex;
+    if (ca.freqGhz != cb.freqGhz) return ca.freqGhz > cb.freqGhz;
+    return ca.id < cb.id;
+  });
+  placeInOrder(machine, unplacedThreads(machine), cores);
+}
+
+void placeOracle(sim::Machine& machine) {
+  const sim::MachineTopology& topo = machine.topology();
+
+  std::vector<int> cores = freeCores(machine);
+  std::stable_sort(cores.begin(), cores.end(), [&](int a, int b) {
+    const sim::CoreDesc& ca = topo.core(a);
+    const sim::CoreDesc& cb = topo.core(b);
+    if (ca.freqGhz != cb.freqGhz) return ca.freqGhz > cb.freqGhz;
+    return ca.id < cb.id;
+  });
+
+  std::vector<int> threads = unplacedThreads(machine);
+  std::stable_sort(threads.begin(), threads.end(), [&](int a, int b) {
+    const bool ma =
+        machine.process(machine.thread(a).processId).memoryIntensive;
+    const bool mb =
+        machine.process(machine.thread(b).processId).memoryIntensive;
+    if (ma != mb) return ma;  // memory-intensive threads claim fast cores
+    return a < b;
+  });
+
+  placeInOrder(machine, threads, cores);
+}
+
+}  // namespace dike::sched

@@ -1,0 +1,32 @@
+// Initial thread placement policies.
+//
+// Every scheduling policy starts from an initial thread-to-core assignment;
+// contention-aware policies then correct it. The baseline (Linux CFS)
+// placement is modelled as a seeded random assignment: with one runnable
+// thread per hardware thread, CFS keeps threads where its contention- and
+// heterogeneity-oblivious wakeup balancing first put them.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace dike::sched {
+
+/// Thread i on vcore i, in creation order.
+void placeContiguous(sim::Machine& machine);
+
+/// Seeded random permutation of threads onto vcores — the CFS model.
+void placeRandom(sim::Machine& machine, std::uint64_t seed);
+
+/// Spread threads across physical cores before doubling up SMT siblings,
+/// preferring nominally fast cores; models the placement an OS reaches for
+/// an underloaded machine (used for the standalone runs of Figure 1).
+void placeSpread(sim::Machine& machine);
+
+/// Ground-truth oracle: memory-intensive processes' threads onto the
+/// highest-frequency cores first. Not a real policy (uses labels schedulers
+/// cannot see); serves as an upper-bound reference in tests and ablations.
+void placeOracle(sim::Machine& machine);
+
+}  // namespace dike::sched

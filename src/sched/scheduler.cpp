@@ -1,0 +1,53 @@
+#include "sched/scheduler.hpp"
+
+namespace dike::sched {
+
+SchedulerView::SchedulerView(sim::Machine& machine,
+                             const sim::QuantumSample& sample)
+    : machine_(&machine), sample_(&sample) {}
+
+int SchedulerView::coreCount() const {
+  return machine_->topology().coreCount();
+}
+
+int SchedulerView::socketCount() const {
+  return machine_->topology().socketCount();
+}
+
+int SchedulerView::socketOf(int coreId) const {
+  return machine_->topology().core(coreId).socket;
+}
+
+int SchedulerView::coreOccupant(int coreId) const {
+  return machine_->coreOccupant(coreId);
+}
+
+util::Tick SchedulerView::now() const { return machine_->now(); }
+
+void SchedulerView::swap(int threadA, int threadB) {
+  machine_->swapThreads(threadA, threadB);
+  ++swaps_;
+}
+
+void SchedulerView::migrateTo(int threadId, int coreId) {
+  machine_->migrateThread(threadId, coreId);
+  ++migrations_;
+}
+
+void SchedulerView::suspend(int threadId) { machine_->suspendThread(threadId); }
+
+void SchedulerView::resume(int threadId) { machine_->resumeThread(threadId); }
+
+bool SchedulerView::isSuspended(int threadId) const {
+  return machine_->isSuspended(threadId);
+}
+
+void SchedulerAdapter::onQuantum(sim::Machine& machine) {
+  const sim::QuantumSample sample = machine.sampleAndReset();
+  SchedulerView view{machine, sample};
+  scheduler_->onQuantum(view);
+  swaps_ += view.swapsThisQuantum();
+  ++quanta_;
+}
+
+}  // namespace dike::sched

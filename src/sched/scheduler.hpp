@@ -1,0 +1,101 @@
+// Contention-aware scheduler framework.
+//
+// A Scheduler is invoked once per quantum with a SchedulerView: the quantum's
+// performance-counter sample plus the migration interface. The view is the
+// *only* surface schedulers get — they cannot read simulator ground truth
+// (core frequencies, phase programs, true memory intensities), mirroring
+// what a software scheduler can observe on real hardware (Section III:
+// Dike requires no a priori knowledge).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/machine.hpp"
+#include "util/types.hpp"
+
+namespace dike::sched {
+
+/// Per-quantum window a scheduler operates through.
+class SchedulerView {
+ public:
+  SchedulerView(sim::Machine& machine, const sim::QuantumSample& sample);
+
+  /// Counter readings for the quantum that just ended.
+  [[nodiscard]] const sim::QuantumSample& sample() const noexcept {
+    return *sample_;
+  }
+
+  // Observable topology (an OS can always read this from sysfs).
+  [[nodiscard]] int coreCount() const;
+  [[nodiscard]] int socketCount() const;
+  [[nodiscard]] int socketOf(int coreId) const;
+  /// Thread currently occupying a core, or -1.
+  [[nodiscard]] int coreOccupant(int coreId) const;
+
+  [[nodiscard]] util::Tick now() const;
+
+  /// Exchange the cores of two live threads (one swap = two migrations).
+  void swap(int threadA, int threadB);
+
+  /// Move a live thread to a currently free core (a single migration).
+  void migrateTo(int threadId, int coreId);
+
+  /// Suspension enforcement (for policies that pause instead of migrate).
+  void suspend(int threadId);
+  void resume(int threadId);
+  [[nodiscard]] bool isSuspended(int threadId) const;
+
+  /// Swaps performed through this view during the current quantum.
+  [[nodiscard]] std::int64_t swapsThisQuantum() const noexcept {
+    return swaps_;
+  }
+  /// Free-core migrations performed through this view this quantum.
+  [[nodiscard]] std::int64_t migrationsThisQuantum() const noexcept {
+    return migrations_;
+  }
+
+ private:
+  sim::Machine* machine_;
+  const sim::QuantumSample* sample_;
+  std::int64_t swaps_ = 0;
+  std::int64_t migrations_ = 0;
+};
+
+/// Interface all scheduling policies implement (CFS baseline, DIO, Dike).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Current scheduling quantum in ticks; adaptive policies may return a
+  /// different value after each onQuantum call.
+  [[nodiscard]] virtual util::Tick quantumTicks() const = 0;
+
+  /// Make decisions for the quantum that just ended.
+  virtual void onQuantum(SchedulerView& view) = 0;
+};
+
+/// Adapts a Scheduler onto the engine's QuantumPolicy hook, sampling the
+/// machine's counters once per quantum and tracking swap totals.
+class SchedulerAdapter final : public sim::QuantumPolicy {
+ public:
+  explicit SchedulerAdapter(Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  [[nodiscard]] util::Tick quantumTicks() const override {
+    return scheduler_->quantumTicks();
+  }
+
+  void onQuantum(sim::Machine& machine) override;
+
+  [[nodiscard]] std::int64_t totalSwaps() const noexcept { return swaps_; }
+  [[nodiscard]] std::int64_t quantaElapsed() const noexcept { return quanta_; }
+
+ private:
+  Scheduler* scheduler_;
+  std::int64_t swaps_ = 0;
+  std::int64_t quanta_ = 0;
+};
+
+}  // namespace dike::sched

@@ -1,0 +1,28 @@
+// Core/socket descriptors for the simulated machine.
+#pragma once
+
+#include <string_view>
+
+namespace dike::sim {
+
+/// Nominal core class of the heterogeneous machine. The paper's testbed has
+/// one socket at maximum frequency ("fast") and one at minimum ("slow");
+/// schedulers never see this label — they must infer capability from
+/// measured bandwidth, exactly as on the real machine.
+enum class CoreType { Fast, Slow };
+
+[[nodiscard]] constexpr std::string_view toString(CoreType t) noexcept {
+  return t == CoreType::Fast ? "fast" : "slow";
+}
+
+/// One hardware thread (virtual core).
+struct CoreDesc {
+  int id = -1;            ///< dense vcore id, 0..coreCount-1
+  int socket = -1;        ///< socket index
+  int physicalCore = -1;  ///< dense physical-core id across the machine
+  int smtIndex = 0;       ///< position among SMT siblings on the physical core
+  CoreType type = CoreType::Fast;
+  double freqGhz = 0.0;   ///< nominal frequency of the physical core
+};
+
+}  // namespace dike::sim

@@ -1,0 +1,458 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dike::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+Machine::Machine(MachineTopology topology, MachineConfig config)
+    : topology_(std::move(topology)),
+      config_(config),
+      rng_(config.seed),
+      coreToThread_(static_cast<std::size_t>(topology_.coreCount()), -1),
+      coreQuantumAccesses_(static_cast<std::size_t>(topology_.coreCount()),
+                           0.0) {
+  physFreqGhz_.resize(static_cast<std::size_t>(topology_.physicalCoreCount()));
+  for (const CoreDesc& core : topology_.cores())
+    physFreqGhz_[static_cast<std::size_t>(core.physicalCore)] = core.freqGhz;
+  if (config_.smtSharedFactor <= 0.0 || config_.smtSharedFactor > 1.0)
+    throw std::invalid_argument{"smtSharedFactor must be in (0, 1]"};
+  if (config_.migrationStallTicks < 0)
+    throw std::invalid_argument{"migrationStallTicks must be >= 0"};
+}
+
+int Machine::addProcess(std::string name, PhaseProgram program,
+                        int threadCount, bool memoryIntensive) {
+  if (threadCount <= 0) throw std::invalid_argument{"threadCount must be > 0"};
+  program.validate();
+
+  SimProcess proc;
+  proc.id = static_cast<int>(processes_.size());
+  proc.name = std::move(name);
+  proc.program = std::move(program);
+  proc.memoryIntensive = memoryIntensive;
+  for (int i = 0; i < threadCount; ++i) {
+    SimThread t;
+    t.id = static_cast<int>(threads_.size());
+    t.processId = proc.id;
+    t.indexInProcess = i;
+    t.socketConflict.reserve(static_cast<std::size_t>(topology_.socketCount()));
+    for (int s = 0; s < topology_.socketCount(); ++s) {
+      t.socketConflict.push_back(
+          rng_.uniform(1.0 - config_.conflictSpread,
+                       1.0 + config_.conflictSpread));
+    }
+    proc.threadIds.push_back(t.id);
+    threads_.push_back(t);
+  }
+  processes_.push_back(std::move(proc));
+  return processes_.back().id;
+}
+
+void Machine::placeThread(int threadId, int coreId) {
+  SimThread& t = threads_.at(static_cast<std::size_t>(threadId));
+  if (t.coreId >= 0) throw std::logic_error{"thread is already placed"};
+  if (coreToThread_.at(static_cast<std::size_t>(coreId)) != -1)
+    throw std::logic_error{"core is already occupied"};
+  t.coreId = coreId;
+  t.startTick = now_;
+  coreToThread_[static_cast<std::size_t>(coreId)] = threadId;
+  emit(TraceEventKind::Placement, t, -1, coreId);
+}
+
+bool Machine::allFinished() const noexcept {
+  return std::all_of(threads_.begin(), threads_.end(),
+                     [](const SimThread& t) { return t.finished; });
+}
+
+int Machine::runningThreadCount() const noexcept {
+  return static_cast<int>(
+      std::count_if(threads_.begin(), threads_.end(), [](const SimThread& t) {
+        return !t.finished && t.coreId >= 0;
+      }));
+}
+
+void Machine::emit(TraceEventKind kind, const SimThread& t, int fromCore,
+                   int toCore, int detail) {
+  if (trace_ == nullptr) return;
+  TraceEvent e;
+  e.tick = now_;
+  e.kind = kind;
+  e.threadId = t.id;
+  e.processId = t.processId;
+  e.fromCore = fromCore;
+  e.toCore = toCore;
+  e.detail = detail;
+  trace_->record(e);
+}
+
+void Machine::accountTime() {
+  // Energy: idle power for every physical core, plus cubic-in-frequency
+  // dynamic power scaled by each runnable occupant's issue utilisation.
+  double watts = config_.idlePowerW *
+                 static_cast<double>(topology_.physicalCoreCount());
+  for (const SimThread& t : threads_) {
+    if (!isRunnable(t)) continue;
+    const double f =
+        physFreqGhz_[static_cast<std::size_t>(
+            topology_.core(t.coreId).physicalCore)] /
+        std::max(1e-9, config_.refFreqGhz);
+    watts += config_.dynamicPowerW * f * f * f * t.prevUtilization;
+  }
+  energyJ_ += watts * util::kTickSeconds;
+
+  for (SimThread& t : threads_) {
+    if (t.finished || t.coreId < 0) continue;
+    if (t.suspended) {
+      ++t.suspendedTicks;
+    } else if (now_ < t.stallUntilTick) {
+      ++t.stallTicks;
+    } else if (t.waitingAtBarrier) {
+      ++t.barrierTicks;
+    } else {
+      ++t.runnableTicks;
+      if (topology_.core(t.coreId).type == CoreType::Fast)
+        ++t.fastCoreTicks;
+      else
+        ++t.slowCoreTicks;
+    }
+  }
+}
+
+bool Machine::isRunnable(const SimThread& t) const noexcept {
+  return !t.finished && t.coreId >= 0 && now_ >= t.stallUntilTick &&
+         !t.waitingAtBarrier && !t.suspended;
+}
+
+const Phase& Machine::currentPhase(const SimThread& t) const {
+  const auto& phases =
+      processes_[static_cast<std::size_t>(t.processId)].program.phases;
+  const auto idx = std::min(static_cast<std::size_t>(t.phaseIndex),
+                            phases.size() - 1);
+  return phases[idx];
+}
+
+void Machine::step() {
+  const util::Tick tickEnd = now_ + 1;
+  accountTime();
+
+  // LLC pressure: per socket, the summed working sets of resident threads
+  // (stalled and barrier-blocked threads still occupy cache).
+  llcPressureScratch_.assign(static_cast<std::size_t>(topology_.socketCount()),
+                             0.0);
+  for (const SimThread& t : threads_) {
+    if (t.finished || t.coreId < 0) continue;
+    llcPressureScratch_[static_cast<std::size_t>(
+        topology_.core(t.coreId).socket)] += currentPhase(t).workingSetMB;
+  }
+  for (double& mb : llcPressureScratch_) {
+    const double pressure =
+        config_.llcPerSocketMB > 0.0 ? mb / config_.llcPerSocketMB : 0.0;
+    mb = std::min(2.0,
+                  1.0 + config_.llcPressureFactor * std::max(0.0, pressure - 1.0));
+  }
+
+  // SMT pressure: per physical core, the summed previous-tick utilisation
+  // of runnable occupants (a stalled sibling costs its partner little).
+  smtLoadScratch_.assign(
+      static_cast<std::size_t>(topology_.physicalCoreCount()), 0.0);
+  for (const SimThread& t : threads_) {
+    if (isRunnable(t))
+      smtLoadScratch_[static_cast<std::size_t>(
+          topology_.core(t.coreId).physicalCore)] += t.prevUtilization;
+  }
+
+  // Gather issue capacities and memory demands for runnable threads.
+  demandScratch_.clear();
+  capScratch_.clear();
+  activeScratch_.clear();
+  std::vector<int>& activeThreads = activeScratch_;
+  for (SimThread& t : threads_) {
+    if (!isRunnable(t)) continue;
+    const CoreDesc& core = topology_.core(t.coreId);
+    const Phase& phase = currentPhase(t);
+    const double siblingUtil = std::clamp(
+        smtLoadScratch_[static_cast<std::size_t>(core.physicalCore)] -
+            t.prevUtilization,
+        0.0, 1.0);
+    const double smtFactor =
+        1.0 - (1.0 - config_.smtSharedFactor) * siblingUtil;
+    const bool cold = now_ < t.coldUntilTick;
+    const double coldIpc = cold ? config_.cacheColdSlowdown : 1.0;
+    const double coldTraffic = cold ? config_.cacheColdFactor : 1.0;
+    const double conflict =
+        t.socketConflict[static_cast<std::size_t>(core.socket)];
+    const double llcInflate =
+        llcPressureScratch_[static_cast<std::size_t>(core.socket)];
+    const double freqGhz =
+        physFreqGhz_[static_cast<std::size_t>(core.physicalCore)];
+    const double capInstr = freqGhz * 1e9 * phase.ipc * smtFactor * coldIpc *
+                            util::kTickSeconds;
+    capScratch_.push_back(capInstr);
+    demandScratch_.push_back(
+        MemoryDemand{core.socket, capInstr * phase.memPerInstr * coldTraffic *
+                                      conflict * llcInflate});
+    activeThreads.push_back(t.id);
+  }
+
+  const std::vector<double> served =
+      arbitrate(demandScratch_, config_.memory, topology_.socketCount(),
+                util::kTickSeconds);
+
+  for (std::size_t i = 0; i < activeThreads.size(); ++i) {
+    SimThread& t = threads_[static_cast<std::size_t>(activeThreads[i])];
+    const Phase& phase = currentPhase(t);
+    const double capInstr = capScratch_[i];
+    const double cold = now_ < t.coldUntilTick ? config_.cacheColdFactor : 1.0;
+    const double conflict = t.socketConflict[static_cast<std::size_t>(
+        topology_.core(t.coreId).socket)];
+    const double llcInflate = llcPressureScratch_[static_cast<std::size_t>(
+        topology_.core(t.coreId).socket)];
+    const double effMemPerInstr =
+        phase.memPerInstr * cold * conflict * llcInflate;
+    const double memLimited =
+        effMemPerInstr > 0.0 ? served[i] / effMemPerInstr : capInstr;
+    double executed = std::min(capInstr, memLimited);
+
+    // Clip to the current phase boundary.
+    const double phaseRemaining = phase.instructions - t.phaseExecuted;
+    executed = std::min(executed, phaseRemaining);
+
+    // Clip to the next barrier, if the program synchronises.
+    const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
+    const double barrierEvery = proc.program.barrierEveryInstructions;
+    bool hitBarrier = false;
+    if (barrierEvery > 0.0) {
+      const double nextBarrierAt =
+          static_cast<double>(t.barriersPassed + 1) * barrierEvery;
+      const double total = proc.program.totalInstructions();
+      if (nextBarrierAt < total - kEps) {
+        const double toBarrier = nextBarrierAt - t.executed;
+        if (executed >= toBarrier - kEps) {
+          executed = std::max(0.0, toBarrier);
+          hitBarrier = true;
+        }
+      }
+    }
+
+    t.prevUtilization = capInstr > 0.0 ? executed / capInstr : 0.0;
+    advanceThread(t, executed, executed * effMemPerInstr);
+    if (hitBarrier && !t.finished) {
+      ++t.barriersPassed;
+      t.waitingAtBarrier = true;
+      emit(TraceEventKind::BarrierWait, t, -1, -1, t.barriersPassed);
+    }
+  }
+
+  now_ = tickEnd;
+  resolveBarriers();
+}
+
+void Machine::advanceThread(SimThread& t, double executed, double accesses) {
+  t.executed += executed;
+  t.phaseExecuted += executed;
+  t.quantumInstructions += executed;
+  t.quantumAccesses += accesses;
+  t.totalAccesses += accesses;
+  if (t.coreId >= 0)
+    coreQuantumAccesses_[static_cast<std::size_t>(t.coreId)] += accesses;
+
+  const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
+  const auto& phases = proc.program.phases;
+
+  // Phase transition(s): a tick never spans more than one boundary because
+  // executed was clipped to the phase remainder above. Per-phase budgets
+  // use a relative epsilon so accumulated floating error over billions of
+  // instructions cannot strand a thread one tick short of a boundary.
+  if (t.phaseIndex < static_cast<int>(phases.size())) {
+    const Phase& phase = phases[static_cast<std::size_t>(t.phaseIndex)];
+    const double slack = std::max(kEps, phase.instructions * 1e-12);
+    if (t.phaseExecuted >= phase.instructions - slack) {
+      ++t.phaseIndex;
+      t.phaseExecuted = 0.0;
+      if (t.phaseIndex < static_cast<int>(phases.size()))
+        emit(TraceEventKind::PhaseChange, t, -1, -1, t.phaseIndex);
+    }
+  }
+
+  // A thread is done exactly when it has retired every phase — comparing
+  // the cumulative counter against the total budget would double-count the
+  // drift the per-phase clipping already absorbed.
+  if (t.phaseIndex >= static_cast<int>(phases.size())) finishThread(t);
+}
+
+void Machine::finishThread(SimThread& t) {
+  if (t.finished) return;
+  t.finished = true;
+  t.finishTick = now_ + 1;  // completes at the end of the current tick
+  t.waitingAtBarrier = false;
+  if (t.coreId >= 0) coreToThread_[static_cast<std::size_t>(t.coreId)] = -1;
+
+  SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
+  const bool allDone = std::all_of(
+      proc.threadIds.begin(), proc.threadIds.end(), [this](int id) {
+        return threads_[static_cast<std::size_t>(id)].finished;
+      });
+  emit(TraceEventKind::ThreadFinish, t);
+  if (allDone) {
+    proc.finishTick = t.finishTick;
+    emit(TraceEventKind::ProcessFinish, t);
+  }
+}
+
+void Machine::resolveBarriers() {
+  for (const SimProcess& proc : processes_) {
+    if (!proc.program.hasBarriers() || proc.finished()) continue;
+    int minPassed = std::numeric_limits<int>::max();
+    bool anyWaiting = false;
+    for (int id : proc.threadIds) {
+      const SimThread& t = threads_[static_cast<std::size_t>(id)];
+      if (t.finished) continue;
+      minPassed = std::min(minPassed, t.barriersPassed);
+      anyWaiting = anyWaiting || t.waitingAtBarrier;
+    }
+    if (!anyWaiting) continue;
+    for (int id : proc.threadIds) {
+      SimThread& t = threads_[static_cast<std::size_t>(id)];
+      if (!t.finished && t.waitingAtBarrier && t.barriersPassed <= minPassed) {
+        t.waitingAtBarrier = false;
+        emit(TraceEventKind::BarrierRelease, t, -1, -1, t.barriersPassed);
+      }
+    }
+  }
+}
+
+void Machine::applyMigrationStall(SimThread& t, int fromCore) {
+  t.stallUntilTick = now_ + config_.migrationStallTicks;
+  t.coldUntilTick =
+      now_ + config_.migrationStallTicks + config_.cacheColdTicks;
+  ++t.migrations;
+  t.lastMigrationTick = now_;
+  ++migrationCount_;
+  emit(TraceEventKind::Migration, t, fromCore, t.coreId);
+}
+
+void Machine::swapThreads(int threadA, int threadB) {
+  if (threadA == threadB)
+    throw std::invalid_argument{"cannot swap a thread with itself"};
+  SimThread& a = threads_.at(static_cast<std::size_t>(threadA));
+  SimThread& b = threads_.at(static_cast<std::size_t>(threadB));
+  if (a.finished || b.finished)
+    throw std::logic_error{"cannot swap a finished thread"};
+  if (a.coreId < 0 || b.coreId < 0)
+    throw std::logic_error{"cannot swap an unplaced thread"};
+
+  const int coreA = a.coreId;
+  const int coreB = b.coreId;
+  std::swap(a.coreId, b.coreId);
+  coreToThread_[static_cast<std::size_t>(a.coreId)] = a.id;
+  coreToThread_[static_cast<std::size_t>(b.coreId)] = b.id;
+  applyMigrationStall(a, coreA);
+  applyMigrationStall(b, coreB);
+  ++swapCount_;
+}
+
+void Machine::migrateThread(int threadId, int coreId) {
+  SimThread& t = threads_.at(static_cast<std::size_t>(threadId));
+  if (t.finished) throw std::logic_error{"cannot migrate a finished thread"};
+  if (coreToThread_.at(static_cast<std::size_t>(coreId)) != -1)
+    throw std::logic_error{"destination core is occupied"};
+  const int fromCore = t.coreId;
+  if (t.coreId >= 0) coreToThread_[static_cast<std::size_t>(t.coreId)] = -1;
+  t.coreId = coreId;
+  coreToThread_[static_cast<std::size_t>(coreId)] = threadId;
+  applyMigrationStall(t, fromCore);
+}
+
+void Machine::setPhysicalCoreFrequency(int physicalCore, double freqGhz) {
+  if (freqGhz <= 0.0) throw std::invalid_argument{"frequency must be > 0"};
+  physFreqGhz_.at(static_cast<std::size_t>(physicalCore)) = freqGhz;
+}
+
+void Machine::setSocketFrequency(int socket, double freqGhz) {
+  bool any = false;
+  for (const CoreDesc& core : topology_.cores()) {
+    if (core.socket == socket && core.smtIndex == 0) {
+      setPhysicalCoreFrequency(core.physicalCore, freqGhz);
+      any = true;
+    }
+  }
+  if (!any) throw std::out_of_range{"unknown socket"};
+}
+
+double Machine::coreFrequencyGhz(int vcore) const {
+  return physFreqGhz_.at(
+      static_cast<std::size_t>(topology_.core(vcore).physicalCore));
+}
+
+void Machine::suspendThread(int threadId) {
+  SimThread& t = threads_.at(static_cast<std::size_t>(threadId));
+  if (t.finished) throw std::logic_error{"cannot suspend a finished thread"};
+  if (t.suspended) return;
+  t.suspended = true;
+  emit(TraceEventKind::Suspend, t);
+}
+
+void Machine::resumeThread(int threadId) {
+  SimThread& t = threads_.at(static_cast<std::size_t>(threadId));
+  if (!t.suspended) return;
+  t.suspended = false;
+  emit(TraceEventKind::Resume, t);
+}
+
+QuantumSample Machine::sampleAndReset() {
+  QuantumSample sample;
+  sample.periodTicks = std::max<util::Tick>(1, now_ - lastSampleTick_);
+  const double periodSec =
+      static_cast<double>(sample.periodTicks) * util::kTickSeconds;
+
+  sample.threads.reserve(threads_.size());
+  for (SimThread& t : threads_) {
+    ThreadSample s;
+    s.threadId = t.id;
+    s.processId = t.processId;
+    s.coreId = t.coreId;
+    s.finished = t.finished;
+    const double noise = rng_.noiseFactor(config_.measurementNoiseSigma);
+    s.instructions = t.quantumInstructions;
+    s.accesses = t.quantumAccesses;
+    s.accessRate = (t.quantumAccesses / periodSec) * noise;
+    const double ratioNoise = rng_.noiseFactor(config_.measurementNoiseSigma);
+    s.llcMissRatio =
+        std::clamp(currentPhase(t).llcMissRatio * ratioNoise, 0.0, 1.0);
+    sample.threads.push_back(s);
+
+    t.quantumInstructions = 0.0;
+    t.quantumAccesses = 0.0;
+  }
+
+  sample.coreAchievedBw.resize(coreQuantumAccesses_.size());
+  for (std::size_t c = 0; c < coreQuantumAccesses_.size(); ++c) {
+    sample.coreAchievedBw[c] = coreQuantumAccesses_[c] / periodSec;
+    coreQuantumAccesses_[c] = 0.0;
+  }
+  lastSampleTick_ = now_;
+  return sample;
+}
+
+RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
+                      RunLimits limits) {
+  util::Tick nextQuantumAt = policy.quantumTicks();
+  while (!machine.allFinished() && machine.now() < limits.maxTicks) {
+    machine.step();
+    if (machine.now() >= nextQuantumAt) {
+      if (machine.allFinished()) break;
+      policy.onQuantum(machine);
+      nextQuantumAt = machine.now() + std::max<util::Tick>(1, policy.quantumTicks());
+    }
+  }
+  return RunOutcome{machine.now(), !machine.allFinished()};
+}
+
+}  // namespace dike::sim

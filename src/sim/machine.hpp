@@ -1,0 +1,245 @@
+// The simulation engine: a heterogeneous multicore with a shared memory
+// system, advanced in fixed 1 ms ticks.
+//
+// Per tick, every runnable thread computes an issue capacity from its core's
+// frequency (shared with SMT siblings), presents its memory demand, the
+// memory system arbitrates (sim/memory.hpp), and progress is the roofline
+// minimum of compute capacity and served bandwidth. Phase transitions,
+// barriers, migration stalls, and completion are handled inline.
+//
+// Schedulers interact through two surfaces only:
+//   * sampleAndReset(): per-quantum performance-counter readings (with
+//     configurable measurement noise) — the analogue of the hardware
+//     counters the paper's Observer reads, and
+//   * swapThreads()/migrateThread(): affinity manipulation — the analogue of
+//     sched_setaffinity. Each migration costs a cache-warmth stall (swapOH).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/thread.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dike::sim {
+
+/// Engine tuning knobs.
+struct MachineConfig {
+  MemoryParams memory{};
+  /// Issue-capacity floor for a vcore whose SMT sibling is fully issuing.
+  /// The effective factor is utilisation-aware:
+  ///   factor = 1 - (1 - smtSharedFactor) * siblingUtilisation,
+  /// so a sibling stalled on memory (low utilisation) leaves most issue
+  /// slots to its partner, as real SMT cores do.
+  double smtSharedFactor = 0.68;
+  /// Ticks a thread stalls after each migration (the paper's swapOH).
+  util::Tick migrationStallTicks = 3;
+  /// After the stall, the migrated thread runs with a cold cache for this
+  /// many ticks: its LLC-missing traffic is multiplied by cacheColdFactor
+  /// (private-cache contents must be refetched) and its issue rate by
+  /// cacheColdSlowdown (refill stalls cost IPC even for compute-bound
+  /// threads). This cache-warmth loss is what makes excessive migration
+  /// expensive — the overhead DIO pays for swapping every quantum.
+  util::Tick cacheColdTicks = 60;
+  double cacheColdFactor = 2.0;
+  double cacheColdSlowdown = 0.70;
+  /// Shared last-level cache per socket (the paper's machine has 25 MB).
+  /// When the working sets co-located on a socket exceed it, every thread
+  /// there sees its LLC-missing traffic inflated by
+  /// 1 + llcPressureFactor * (pressure - 1), capped at 2x.
+  double llcPerSocketMB = 25.0;
+  double llcPressureFactor = 0.2;
+  /// Placement asymmetry: each (thread, socket) pair draws a persistent
+  /// LLC-missing-traffic factor in [1-spread, 1+spread], modelling page,
+  /// bank, and LLC-set conflicts that depend on where a thread runs. A
+  /// static scheduler locks the draw in for the whole run; migration
+  /// averages it out — the contention-driven unfairness the paper's
+  /// schedulers exist to fix.
+  double conflictSpread = 0.12;
+  /// Multiplicative noise sigma applied to counter readings at sampling time.
+  double measurementNoiseSigma = 0.01;
+  /// Power model (energy is an extension metric, not in the paper): each
+  /// physical core draws idlePowerW always, plus
+  /// dynamicPowerW * (f/refFreqGhz)^3 * utilisation while executing.
+  double idlePowerW = 2.0;
+  double dynamicPowerW = 8.0;
+  double refFreqGhz = 2.33;
+  std::uint64_t seed = 1;
+};
+
+/// One thread's counter reading for the last quantum.
+struct ThreadSample {
+  int threadId = -1;
+  int processId = -1;
+  int coreId = -1;
+  double instructions = 0.0;  ///< retired during the quantum
+  double accesses = 0.0;      ///< LLC-missing accesses during the quantum
+  double accessRate = 0.0;    ///< accesses per second during the quantum
+  double llcMissRatio = 0.0;  ///< classification signal (noisy)
+  bool finished = false;
+};
+
+/// Full counter snapshot for one quantum.
+struct QuantumSample {
+  util::Tick periodTicks = 0;
+  std::vector<ThreadSample> threads;
+  /// Achieved memory bandwidth per vcore (accesses/second) over the quantum.
+  std::vector<double> coreAchievedBw;
+};
+
+class Machine {
+ public:
+  Machine(MachineTopology topology, MachineConfig config);
+
+  /// Register a process with `threadCount` identical threads running
+  /// `program`. Threads are created unplaced. Returns the process id.
+  int addProcess(std::string name, PhaseProgram program, int threadCount,
+                 bool memoryIntensive);
+
+  /// Pin an unplaced thread to a free core (initial placement).
+  void placeThread(int threadId, int coreId);
+
+  /// Advance simulated time by one tick.
+  void step();
+
+  [[nodiscard]] util::Tick now() const noexcept { return now_; }
+  [[nodiscard]] bool allFinished() const noexcept;
+  [[nodiscard]] int runningThreadCount() const noexcept;
+
+  /// Exchange the cores of two live threads. Both threads incur the
+  /// migration stall. Counts as one swap (a pair of migrations), matching
+  /// the paper's Table III accounting.
+  void swapThreads(int threadA, int threadB);
+
+  /// Move one live thread to a free core (single migration, half a swap).
+  void migrateThread(int threadId, int coreId);
+
+  /// Suspension enforcement (the alternative Section III-E argues against):
+  /// a suspended thread holds its core but makes no progress.
+  void suspendThread(int threadId);
+  void resumeThread(int threadId);
+  [[nodiscard]] bool isSuspended(int threadId) const {
+    return thread(threadId).suspended;
+  }
+
+  /// Read and reset per-quantum counters. Applies measurement noise.
+  [[nodiscard]] QuantumSample sampleAndReset();
+
+  /// DVFS: change a physical core's frequency at runtime (both SMT
+  /// siblings are affected). The paper's testbed *is* such a setting — one
+  /// socket pinned to minimum frequency, one to turbo — and Section III-A
+  /// notes core capability is dynamic; this is the knob that makes it so.
+  void setPhysicalCoreFrequency(int physicalCore, double freqGhz);
+  /// Set every physical core of a socket at once.
+  void setSocketFrequency(int socket, double freqGhz);
+  /// Current effective frequency of a vcore (override or nominal).
+  [[nodiscard]] double coreFrequencyGhz(int vcore) const;
+
+  /// Total energy consumed so far (joules), per the MachineConfig power
+  /// model. An extension metric for energy/fairness trade-off studies.
+  [[nodiscard]] double energyJoules() const noexcept { return energyJ_; }
+
+  // Introspection.
+  [[nodiscard]] const MachineTopology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::span<const SimThread> threads() const noexcept {
+    return threads_;
+  }
+  [[nodiscard]] std::span<const SimProcess> processes() const noexcept {
+    return processes_;
+  }
+  [[nodiscard]] const SimThread& thread(int id) const {
+    return threads_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const SimProcess& process(int id) const {
+    return processes_.at(static_cast<std::size_t>(id));
+  }
+  /// Thread occupying a core, or -1.
+  [[nodiscard]] int coreOccupant(int coreId) const {
+    return coreToThread_.at(static_cast<std::size_t>(coreId));
+  }
+  /// Total swaps performed so far (each = one pair of migrations).
+  [[nodiscard]] std::int64_t swapCount() const noexcept { return swapCount_; }
+  [[nodiscard]] std::int64_t migrationCount() const noexcept {
+    return migrationCount_;
+  }
+
+  /// Attach (or detach with nullptr) an event recorder. Off by default;
+  /// recording costs one branch per event when disabled.
+  void setTraceRecorder(TraceRecorder* recorder) noexcept {
+    trace_ = recorder;
+  }
+  [[nodiscard]] TraceRecorder* traceRecorder() const noexcept {
+    return trace_;
+  }
+
+ private:
+  void advanceThread(SimThread& t, double executed, double accesses);
+  void resolveBarriers();
+  void finishThread(SimThread& t);
+  void applyMigrationStall(SimThread& t, int fromCore);
+  void accountTime();
+  void emit(TraceEventKind kind, const SimThread& t, int fromCore = -1,
+            int toCore = -1, int detail = 0);
+  [[nodiscard]] bool isRunnable(const SimThread& t) const noexcept;
+  [[nodiscard]] const Phase& currentPhase(const SimThread& t) const;
+
+  MachineTopology topology_;
+  MachineConfig config_;
+  util::Rng rng_;
+
+  std::vector<SimThread> threads_;
+  std::vector<SimProcess> processes_;
+  std::vector<int> coreToThread_;
+
+  std::vector<double> physFreqGhz_;  // effective per-physical-core frequency
+  TraceRecorder* trace_ = nullptr;
+  util::Tick now_ = 0;
+  util::Tick lastSampleTick_ = 0;
+  std::vector<double> coreQuantumAccesses_;
+  std::int64_t swapCount_ = 0;
+  std::int64_t migrationCount_ = 0;
+  double energyJ_ = 0.0;
+
+  // Scratch buffers reused across ticks to avoid per-tick allocation.
+  std::vector<double> llcPressureScratch_;
+  std::vector<MemoryDemand> demandScratch_;
+  std::vector<double> smtLoadScratch_;
+  std::vector<int> activeScratch_;
+  std::vector<double> capScratch_;
+};
+
+/// Quantum-driven policy hook: the bridge between the engine and the
+/// scheduler layer (dike::sched adapts its Scheduler interface onto this).
+class QuantumPolicy {
+ public:
+  virtual ~QuantumPolicy() = default;
+  /// Current quantum length in ticks (adaptive policies may change it
+  /// between invocations). Must be >= 1.
+  [[nodiscard]] virtual util::Tick quantumTicks() const = 0;
+  /// Invoked at every quantum boundary (and once at t=0 before stepping).
+  virtual void onQuantum(Machine& machine) = 0;
+};
+
+struct RunLimits {
+  util::Tick maxTicks = 4'000'000;  ///< safety net (~66 simulated minutes)
+};
+
+struct RunOutcome {
+  util::Tick finishTick = 0;
+  bool timedOut = false;
+};
+
+/// Drive the machine until every thread completes (or the tick limit hits),
+/// invoking the policy at each quantum boundary.
+RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
+                      RunLimits limits = {});
+
+}  // namespace dike::sim

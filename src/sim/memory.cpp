@@ -1,0 +1,81 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dike::sim {
+
+std::vector<double> waterFill(std::span<const double> demands,
+                              double capacity) {
+  std::vector<double> served(demands.size(), 0.0);
+  if (demands.empty()) return served;
+
+  double total = 0.0;
+  for (double d : demands) {
+    if (d < 0.0) throw std::invalid_argument{"negative memory demand"};
+    total += d;
+  }
+  if (total <= capacity) {
+    std::copy(demands.begin(), demands.end(), served.begin());
+    return served;
+  }
+
+  // Water-filling: process demands in ascending order; a demand at or below
+  // the running fair share is satisfied in full, the rest split the
+  // remaining capacity equally.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] < demands[b];
+  });
+
+  double remaining = capacity;
+  std::size_t left = demands.size();
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t i = order[rank];
+    const double share = remaining / static_cast<double>(left);
+    const double grant = std::min(demands[i], share);
+    served[i] = grant;
+    remaining -= grant;
+    --left;
+  }
+  return served;
+}
+
+std::vector<double> arbitrate(std::span<const MemoryDemand> demands,
+                              const MemoryParams& params, int socketCount,
+                              double tickSeconds) {
+  if (socketCount <= 0) throw std::invalid_argument{"socketCount must be > 0"};
+  const double linkCap = params.socketLinkAccessesPerSec * tickSeconds;
+  const double controllerCap = params.controllerAccessesPerSec * tickSeconds;
+
+  for (const MemoryDemand& d : demands) {
+    if (d.socket < 0 || d.socket >= socketCount)
+      throw std::out_of_range{"demand names an unknown socket"};
+  }
+
+  // Stage 1: per-socket link, max-min within each socket.
+  std::vector<double> afterLink(demands.size(), 0.0);
+  std::vector<double> socketDemands;
+  std::vector<std::size_t> socketMembers;
+  for (int s = 0; s < socketCount; ++s) {
+    socketDemands.clear();
+    socketMembers.clear();
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (demands[i].socket == s) {
+        socketDemands.push_back(demands[i].accesses);
+        socketMembers.push_back(i);
+      }
+    }
+    if (socketMembers.empty()) continue;
+    const std::vector<double> granted = waterFill(socketDemands, linkCap);
+    for (std::size_t k = 0; k < socketMembers.size(); ++k)
+      afterLink[socketMembers[k]] = granted[k];
+  }
+
+  // Stage 2: shared controller, max-min across everything that survived.
+  return waterFill(afterLink, controllerCap);
+}
+
+}  // namespace dike::sim

@@ -1,0 +1,56 @@
+#include "sim/phase.hpp"
+
+#include <stdexcept>
+
+namespace dike::sim {
+
+double PhaseProgram::totalInstructions() const noexcept {
+  double total = 0.0;
+  for (const Phase& p : phases) total += p.instructions;
+  return total;
+}
+
+double PhaseProgram::meanMemPerInstr() const noexcept {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const Phase& p : phases) {
+    total += p.instructions;
+    weighted += p.instructions * p.memPerInstr;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+void PhaseProgram::validate() const {
+  if (phases.empty())
+    throw std::invalid_argument{"phase program has no phases"};
+  for (const Phase& p : phases) {
+    if (p.instructions <= 0.0)
+      throw std::invalid_argument{"phase '" + p.name +
+                                  "' has non-positive instruction budget"};
+    if (p.memPerInstr < 0.0)
+      throw std::invalid_argument{"phase '" + p.name +
+                                  "' has negative memory intensity"};
+    if (p.llcMissRatio < 0.0 || p.llcMissRatio > 1.0)
+      throw std::invalid_argument{"phase '" + p.name +
+                                  "' has miss ratio outside [0, 1]"};
+    if (p.ipc <= 0.0)
+      throw std::invalid_argument{"phase '" + p.name + "' has non-positive IPC"};
+    if (p.workingSetMB < 0.0)
+      throw std::invalid_argument{"phase '" + p.name +
+                                  "' has negative working set"};
+  }
+  if (barrierEveryInstructions < 0.0)
+    throw std::invalid_argument{"negative barrier interval"};
+}
+
+std::vector<Phase> repeatPattern(const std::vector<Phase>& pattern,
+                                 int repeats) {
+  if (repeats < 0) throw std::invalid_argument{"repeats must be >= 0"};
+  std::vector<Phase> out;
+  out.reserve(pattern.size() * static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i)
+    out.insert(out.end(), pattern.begin(), pattern.end());
+  return out;
+}
+
+}  // namespace dike::sim

@@ -1,0 +1,54 @@
+// Phase programs: the behavioural model of a benchmark thread.
+//
+// A thread executes a sequence of phases. Each phase is characterised by an
+// instruction budget and its memory behaviour: LLC-missing accesses per
+// instruction (which drives contention) and the LLC miss ratio (which
+// schedulers read for classification — the paper's 10% threshold from
+// Xie & Loh). This mirrors how the Rodinia applications in the paper move
+// through memory-intensive and compute-intensive execution phases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dike::sim {
+
+/// One execution phase of a thread.
+struct Phase {
+  std::string name;
+  double instructions = 0.0;   ///< instruction budget of this phase
+  double memPerInstr = 0.0;    ///< LLC-missing accesses per instruction
+  double llcMissRatio = 0.0;   ///< misses / LLC accesses (classification signal)
+  double ipc = 1.0;            ///< base IPC on an uncontended core
+  /// Cache-resident working set. When the per-socket sum exceeds the LLC
+  /// capacity, co-located threads evict each other and miss traffic rises
+  /// (MachineConfig::llcPressureFactor).
+  double workingSetMB = 1.0;
+};
+
+/// A thread's full behavioural program: the phase sequence, plus optional
+/// barrier synchronisation with its sibling threads (used by the kmeans
+/// model, whose "excessive inter-thread communication" the paper leans on
+/// to raise contention).
+struct PhaseProgram {
+  std::vector<Phase> phases;
+  /// Threads of the owning process synchronise every this many instructions;
+  /// 0 disables barriers.
+  double barrierEveryInstructions = 0.0;
+
+  [[nodiscard]] double totalInstructions() const noexcept;
+  [[nodiscard]] bool hasBarriers() const noexcept {
+    return barrierEveryInstructions > 0.0;
+  }
+  /// Average memory intensity, weighted by instruction budget.
+  [[nodiscard]] double meanMemPerInstr() const noexcept;
+  /// Throws std::invalid_argument when the program is malformed (no phases,
+  /// non-positive budgets, negative intensities, miss ratio outside [0,1]).
+  void validate() const;
+};
+
+/// Repeat a phase pattern `repeats` times (utility for bursty profiles).
+[[nodiscard]] std::vector<Phase> repeatPattern(const std::vector<Phase>& pattern,
+                                               int repeats);
+
+}  // namespace dike::sim

@@ -1,0 +1,80 @@
+// Thread and process state owned by the simulation engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/phase.hpp"
+#include "util/types.hpp"
+
+namespace dike::sim {
+
+/// Runtime state of one simulated thread. Plain data: the Machine engine is
+/// the only mutator.
+struct SimThread {
+  int id = -1;
+  int processId = -1;
+  int indexInProcess = -1;
+
+  // Progress.
+  double executed = 0.0;       ///< instructions retired so far
+  double phaseExecuted = 0.0;  ///< instructions retired in the current phase
+  int phaseIndex = 0;
+
+  // Placement.
+  int coreId = -1;
+
+  // Blocking conditions.
+  util::Tick stallUntilTick = 0;  ///< migration (context-switch) stall
+  util::Tick coldUntilTick = 0;   ///< elevated miss traffic after migration
+  bool suspended = false;         ///< scheduler-imposed pause (Section III-E)
+  bool waitingAtBarrier = false;
+  int barriersPassed = 0;
+
+  // Lifetime.
+  util::Tick startTick = 0;  ///< tick the thread was first placed
+  bool finished = false;
+  util::Tick finishTick = -1;
+
+  // Quantum accumulators (reset by Machine::sampleAndReset).
+  double quantumInstructions = 0.0;
+  double quantumAccesses = 0.0;
+
+  // Lifetime totals.
+  double totalAccesses = 0.0;
+  int migrations = 0;
+  util::Tick lastMigrationTick = -1;
+
+  /// Per-socket LLC-missing-traffic factor (page/bank/set conflicts); drawn
+  /// once per thread at creation. See MachineConfig::conflictSpread.
+  std::vector<double> socketConflict;
+
+  /// Issue-slot utilisation in the previous tick (executed / capacity).
+  /// An SMT sibling stalled on memory leaves its slots to the partner.
+  double prevUtilization = 0.0;
+
+  // Time accounting (ticks spent in each state / on each core class).
+  util::Tick runnableTicks = 0;
+  util::Tick stallTicks = 0;        ///< blocked by migration stalls
+  util::Tick barrierTicks = 0;      ///< blocked waiting at barriers
+  util::Tick suspendedTicks = 0;    ///< paused by a suspension scheduler
+  util::Tick fastCoreTicks = 0;     ///< runnable ticks on nominally fast cores
+  util::Tick slowCoreTicks = 0;     ///< runnable ticks on nominally slow cores
+};
+
+/// One multi-threaded application (all threads share a phase program, as the
+/// paper's data-parallel Rodinia benchmarks do).
+struct SimProcess {
+  int id = -1;
+  std::string name;
+  PhaseProgram program;
+  /// Ground-truth label used only by workload construction and reports —
+  /// schedulers never see it.
+  bool memoryIntensive = false;
+  std::vector<int> threadIds;
+  util::Tick finishTick = -1;
+
+  [[nodiscard]] bool finished() const noexcept { return finishTick >= 0; }
+};
+
+}  // namespace dike::sim

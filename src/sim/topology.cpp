@@ -1,0 +1,71 @@
+#include "sim/topology.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dike::sim {
+
+MachineTopology::MachineTopology(std::span<const SocketSpec> sockets) {
+  if (sockets.empty()) throw std::invalid_argument{"topology needs >= 1 socket"};
+  int vcoreId = 0;
+  int physId = 0;
+  for (std::size_t s = 0; s < sockets.size(); ++s) {
+    const SocketSpec& spec = sockets[s];
+    if (spec.physicalCores <= 0 || spec.smtWays <= 0 || spec.freqGhz <= 0.0)
+      throw std::invalid_argument{"invalid socket specification"};
+    for (int p = 0; p < spec.physicalCores; ++p, ++physId) {
+      physToVcores_.emplace_back();
+      for (int t = 0; t < spec.smtWays; ++t, ++vcoreId) {
+        CoreDesc core;
+        core.id = vcoreId;
+        core.socket = static_cast<int>(s);
+        core.physicalCore = physId;
+        core.smtIndex = t;
+        core.type = spec.type;
+        core.freqGhz = spec.freqGhz;
+        cores_.push_back(core);
+        physToVcores_.back().push_back(vcoreId);
+        if (spec.type == CoreType::Fast) ++fastCount_;
+      }
+    }
+  }
+  socketCount_ = static_cast<int>(sockets.size());
+  physicalCoreCount_ = physId;
+}
+
+MachineTopology MachineTopology::paperTestbed() {
+  const std::array<SocketSpec, 2> sockets{
+      SocketSpec{.physicalCores = 10, .smtWays = 2, .freqGhz = 2.33,
+                 .type = CoreType::Fast},
+      SocketSpec{.physicalCores = 10, .smtWays = 2, .freqGhz = 1.21,
+                 .type = CoreType::Slow},
+  };
+  return MachineTopology{sockets};
+}
+
+MachineTopology MachineTopology::homogeneousTestbed() {
+  const std::array<SocketSpec, 2> sockets{
+      SocketSpec{.physicalCores = 10, .smtWays = 2, .freqGhz = 2.33,
+                 .type = CoreType::Fast},
+      SocketSpec{.physicalCores = 10, .smtWays = 2, .freqGhz = 2.33,
+                 .type = CoreType::Fast},
+  };
+  return MachineTopology{sockets};
+}
+
+MachineTopology MachineTopology::smallTestbed(int coresPerSocket) {
+  const std::array<SocketSpec, 2> sockets{
+      SocketSpec{.physicalCores = coresPerSocket, .smtWays = 1,
+                 .freqGhz = 2.33, .type = CoreType::Fast},
+      SocketSpec{.physicalCores = coresPerSocket, .smtWays = 1,
+                 .freqGhz = 1.21, .type = CoreType::Slow},
+  };
+  return MachineTopology{sockets};
+}
+
+std::span<const int> MachineTopology::smtGroup(int vcore) const {
+  const CoreDesc& c = core(vcore);
+  return physToVcores_.at(static_cast<std::size_t>(c.physicalCore));
+}
+
+}  // namespace dike::sim

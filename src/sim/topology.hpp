@@ -1,0 +1,63 @@
+// Machine topology: sockets, physical cores, SMT siblings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/core_types.hpp"
+
+namespace dike::sim {
+
+/// Specification of one socket when building a custom topology.
+struct SocketSpec {
+  int physicalCores = 10;
+  int smtWays = 2;
+  double freqGhz = 2.33;
+  CoreType type = CoreType::Fast;
+};
+
+/// Immutable description of the simulated machine's core layout.
+class MachineTopology {
+ public:
+  /// Build from per-socket specifications. Vcore ids are dense, socket by
+  /// socket, physical core by physical core, SMT sibling by sibling.
+  explicit MachineTopology(std::span<const SocketSpec> sockets);
+
+  /// The paper's evaluation platform (Table I): two sockets of 10 physical
+  /// cores each with 2-way SMT; socket 0 at 2.33 GHz (TurboBoost socket),
+  /// socket 1 at 1.21 GHz (minimum frequency) — 40 vcores total.
+  [[nodiscard]] static MachineTopology paperTestbed();
+
+  /// Same layout with both sockets fast — the paper's homogeneous
+  /// comparison point for Figure 1.
+  [[nodiscard]] static MachineTopology homogeneousTestbed();
+
+  /// A small heterogeneous machine (1 socket fast, 1 slow, no SMT) used in
+  /// examples and fast tests.
+  [[nodiscard]] static MachineTopology smallTestbed(int coresPerSocket = 4);
+
+  [[nodiscard]] int coreCount() const noexcept {
+    return static_cast<int>(cores_.size());
+  }
+  [[nodiscard]] int socketCount() const noexcept { return socketCount_; }
+  [[nodiscard]] int physicalCoreCount() const noexcept {
+    return physicalCoreCount_;
+  }
+  [[nodiscard]] const CoreDesc& core(int id) const { return cores_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] std::span<const CoreDesc> cores() const noexcept {
+    return cores_;
+  }
+  /// Vcore ids sharing the given physical core (including `vcore` itself).
+  [[nodiscard]] std::span<const int> smtGroup(int vcore) const;
+  /// Number of vcores whose nominal type is Fast.
+  [[nodiscard]] int fastCoreCount() const noexcept { return fastCount_; }
+
+ private:
+  std::vector<CoreDesc> cores_;
+  std::vector<std::vector<int>> physToVcores_;
+  int socketCount_ = 0;
+  int physicalCoreCount_ = 0;
+  int fastCount_ = 0;
+};
+
+}  // namespace dike::sim

@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace dike::sim {
+
+std::string_view toString(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::Placement: return "placement";
+    case TraceEventKind::Migration: return "migration";
+    case TraceEventKind::PhaseChange: return "phase-change";
+    case TraceEventKind::BarrierWait: return "barrier-wait";
+    case TraceEventKind::BarrierRelease: return "barrier-release";
+    case TraceEventKind::Suspend: return "suspend";
+    case TraceEventKind::Resume: return "resume";
+    case TraceEventKind::ThreadFinish: return "thread-finish";
+    case TraceEventKind::ProcessFinish: return "process-finish";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::clear() noexcept {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::ofKind(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [kind](const TraceEvent& e) { return e.kind == kind; });
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::ofThread(int threadId) const {
+  std::vector<TraceEvent> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [threadId](const TraceEvent& e) {
+                 return e.threadId == threadId;
+               });
+  return out;
+}
+
+std::size_t TraceRecorder::countOf(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [kind](const TraceEvent& e) {
+        return e.kind == kind;
+      }));
+}
+
+}  // namespace dike::sim

@@ -1,0 +1,68 @@
+// Execution tracing: a stream of structured events (migrations, phase
+// changes, barrier waits, completions) plus per-thread time accounting.
+// Used by analysis tooling to verify *why* a schedule is fair — e.g. that
+// Dike's rotation really does equalise each thread's time on fast cores —
+// and by the trace_timeline example to render schedules.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dike::sim {
+
+enum class TraceEventKind {
+  Placement,       ///< initial pin of a thread to a core
+  Migration,       ///< thread moved cores (swap half or free-core move)
+  PhaseChange,     ///< thread entered its next phase
+  BarrierWait,     ///< thread arrived at a barrier and blocked
+  BarrierRelease,  ///< thread released from a barrier
+  Suspend,         ///< scheduler paused the thread (suspension enforcement)
+  Resume,
+  ThreadFinish,
+  ProcessFinish,
+};
+
+[[nodiscard]] std::string_view toString(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  util::Tick tick = 0;
+  TraceEventKind kind = TraceEventKind::Placement;
+  int threadId = -1;
+  int processId = -1;
+  int fromCore = -1;  ///< Migration: previous core; otherwise -1
+  int toCore = -1;    ///< Placement/Migration: new core; otherwise -1
+  int detail = 0;     ///< PhaseChange: new phase index; Barrier*: barrier #
+};
+
+/// Collects events emitted by a Machine. Attach with
+/// Machine::setTraceRecorder; recording is off (and free) by default.
+class TraceRecorder {
+ public:
+  /// Cap on stored events (drops further events once full; `dropped()`
+  /// reports how many). Guards long runs against unbounded growth.
+  explicit TraceRecorder(std::size_t capacity = 1 << 20);
+
+  void record(const TraceEvent& event);
+  void clear() noexcept;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+
+  /// Events of one kind, in time order.
+  [[nodiscard]] std::vector<TraceEvent> ofKind(TraceEventKind kind) const;
+  /// Events touching one thread, in time order.
+  [[nodiscard]] std::vector<TraceEvent> ofThread(int threadId) const;
+  /// Count of events of one kind.
+  [[nodiscard]] std::size_t countOf(TraceEventKind kind) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dike::sim

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dike::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace(std::string{body.substr(0, eq)},
+                     std::string{body.substr(eq + 1)});
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && std::string_view{argv[i + 1]}.rfind("--", 0) != 0) {
+      flags_.emplace(std::string{body}, std::string{argv[i + 1]});
+      ++i;
+    } else {
+      flags_.emplace(std::string{body}, "true");
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::optional<std::string> CliArgs::get(std::string_view name) const {
+  if (auto it = flags_.find(name); it != flags_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::string CliArgs::getOr(std::string_view name,
+                           std::string_view fallback) const {
+  if (auto v = get(name)) return *v;
+  return std::string{fallback};
+}
+
+int CliArgs::getInt(std::string_view name, int fallback) const {
+  if (auto v = get(name)) return std::atoi(v->c_str());
+  return fallback;
+}
+
+std::int64_t CliArgs::getInt64(std::string_view name,
+                               std::int64_t fallback) const {
+  if (auto v = get(name)) return std::atoll(v->c_str());
+  return fallback;
+}
+
+double CliArgs::getDouble(std::string_view name, double fallback) const {
+  if (auto v = get(name)) return std::atof(v->c_str());
+  return fallback;
+}
+
+bool CliArgs::getBool(std::string_view name, bool fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+}  // namespace dike::util

@@ -1,0 +1,43 @@
+// A tiny --flag=value / --flag value argument parser for examples and
+// bench binaries. Not a general-purpose CLI library; just enough to keep the
+// executables dependency-free and consistent.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dike::util {
+
+/// Parses `--name=value`, `--name value`, and bare `--name` boolean flags.
+/// Positional (non-flag) arguments are collected in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] std::string getOr(std::string_view name,
+                                  std::string_view fallback) const;
+  [[nodiscard]] int getInt(std::string_view name, int fallback) const;
+  [[nodiscard]] std::int64_t getInt64(std::string_view name,
+                                      std::int64_t fallback) const;
+  [[nodiscard]] double getDouble(std::string_view name, double fallback) const;
+  [[nodiscard]] bool getBool(std::string_view name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& programName() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dike::util

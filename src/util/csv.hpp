@@ -1,0 +1,68 @@
+// Minimal CSV emission for experiment artefacts (figure series, sweeps).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dike::util {
+
+/// Streams rows of comma-separated values with correct quoting.
+///
+/// Usage:
+///   CsvWriter csv{out};
+///   csv.header({"workload", "fairness"});
+///   csv.row("wl1", 0.92);
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> names);
+  void header(const std::vector<std::string>& names);
+
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    bool first = true;
+    ((writeField(fields, first), first = false), ...);
+    *out_ << '\n';
+  }
+
+  [[nodiscard]] std::ostream& stream() noexcept { return *out_; }
+
+ private:
+  void writeField(std::string_view v, bool first);
+  void writeField(const std::string& v, bool first) {
+    writeField(std::string_view{v}, first);
+  }
+  void writeField(const char* v, bool first) {
+    writeField(std::string_view{v}, first);
+  }
+  void writeField(double v, bool first);
+  void writeField(int v, bool first);
+  void writeField(long v, bool first);
+  void writeField(long long v, bool first);
+  void writeField(unsigned long v, bool first);
+  void writeField(unsigned long long v, bool first);
+
+  std::ostream* out_;
+};
+
+/// Convenience: open a file-backed CSV writer; throws on failure.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path);
+
+  [[nodiscard]] CsvWriter& writer() noexcept { return writer_; }
+
+ private:
+  std::ofstream file_;
+  CsvWriter writer_;
+};
+
+/// Escape a single CSV field per RFC 4180 (quote when needed).
+[[nodiscard]] std::string csvEscape(std::string_view field);
+
+}  // namespace dike::util

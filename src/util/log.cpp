@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace dike::util {
+
+LogLevel Log::level_ = LogLevel::Warn;
+
+void Log::setLevel(LogLevel level) noexcept { level_ = level; }
+
+LogLevel Log::level() noexcept { return level_; }
+
+bool Log::enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(level_);
+}
+
+void Log::write(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::Debug: tag = "DEBUG"; break;
+    case LogLevel::Info: tag = "INFO "; break;
+    case LogLevel::Warn: tag = "WARN "; break;
+    case LogLevel::Error: tag = "ERROR"; break;
+    case LogLevel::Off: return;
+  }
+  std::clog << '[' << tag << "] " << message << '\n';
+}
+
+}  // namespace dike::util

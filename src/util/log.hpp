@@ -1,0 +1,60 @@
+// Leveled logging. Off by default so simulation hot paths stay quiet;
+// examples and the Linux host enable Info or Debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dike::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global log configuration.
+class Log {
+ public:
+  static void setLevel(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept;
+
+  /// Emit one line at the given level (no-op if below the global level).
+  static void write(LogLevel level, std::string_view message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void logDebug(const Args&... args) {
+  if (Log::enabled(LogLevel::Debug))
+    Log::write(LogLevel::Debug, detail::concat(args...));
+}
+
+template <typename... Args>
+void logInfo(const Args&... args) {
+  if (Log::enabled(LogLevel::Info))
+    Log::write(LogLevel::Info, detail::concat(args...));
+}
+
+template <typename... Args>
+void logWarn(const Args&... args) {
+  if (Log::enabled(LogLevel::Warn))
+    Log::write(LogLevel::Warn, detail::concat(args...));
+}
+
+template <typename... Args>
+void logError(const Args&... args) {
+  if (Log::enabled(LogLevel::Error))
+    Log::write(LogLevel::Error, detail::concat(args...));
+}
+
+}  // namespace dike::util

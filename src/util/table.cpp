@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace dike::util {
+
+std::string formatFixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return std::string{buf};
+}
+
+std::string formatSignedPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return std::string{buf};
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Right) {
+  if (!aligns_.empty()) aligns_.front() = Align::Left;
+}
+
+void TextTable::setAlign(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+TextTable& TextTable::newRow() {
+  Row row;
+  row.separatorBefore = pendingSeparator_;
+  pendingSeparator_ = false;
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string_view text) {
+  if (rows_.empty()) newRow();
+  rows_.back().cells.emplace_back(text);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(formatFixed(value, precision));
+}
+
+TextTable& TextTable::cellPercent(double fraction, int precision) {
+  return cell(formatSignedPercent(fraction, precision));
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::separator() {
+  pendingSeparator_ = true;
+  return *this;
+}
+
+std::string TextTable::render() const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size() && c < cols; ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto renderLine = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - std::min(widths[c], text.size());
+      if (c > 0) line += "  ";
+      if (aligns_[c] == Align::Right) line.append(pad, ' ');
+      line += text;
+      if (aligns_[c] == Align::Left && c + 1 < cols) line.append(pad, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::size_t totalWidth = cols >= 1 ? 2 * (cols - 1) : 0;
+  for (auto w : widths) totalWidth += w;
+  const std::string rule(totalWidth, '-');
+
+  std::string out = renderLine(headers_);
+  out += rule;
+  out += '\n';
+  for (const auto& row : rows_) {
+    if (row.separatorBefore) {
+      out += rule;
+      out += '\n';
+    }
+    out += renderLine(row.cells);
+  }
+  return out;
+}
+
+void TextTable::print() const { std::cout << render() << std::flush; }
+
+}  // namespace dike::util

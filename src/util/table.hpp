@@ -1,0 +1,65 @@
+// Aligned plain-text tables for the benchmark harness reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dike::util {
+
+/// Column alignment in rendered tables.
+enum class Align { Left, Right };
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+///
+/// Numeric convenience overloads format with a fixed precision; the caller
+/// controls precision per-cell via `cell(double, precision)`.
+class TextTable {
+ public:
+  /// Begin a table with the given column headers (all right-aligned by
+  /// default except the first column, which is left-aligned).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Override the alignment for a specific column.
+  void setAlign(std::size_t column, Align align);
+
+  /// Start a new row. Subsequent `cell` calls fill it left to right.
+  TextTable& newRow();
+  TextTable& cell(std::string_view text);
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cellPercent(double fraction, int precision = 1);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  /// Insert a horizontal separator before the next row.
+  TextTable& separator();
+
+  /// Render the complete table.
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columnCount() const noexcept {
+    return headers_.size();
+  }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separatorBefore = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pendingSeparator_ = false;
+};
+
+/// Format a double with fixed precision (helper shared with reports).
+[[nodiscard]] std::string formatFixed(double value, int precision);
+/// Format a fraction as a signed percentage, e.g. 0.38 -> "+38.0%".
+[[nodiscard]] std::string formatSignedPercent(double fraction, int precision = 1);
+
+}  // namespace dike::util

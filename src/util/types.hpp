@@ -1,0 +1,44 @@
+// Common scalar types and conversion helpers shared across all Dike modules.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace dike::util {
+
+/// Simulated time in integral ticks. One tick is `kTickSeconds` of simulated
+/// wall-clock time; all scheduling quanta are whole numbers of ticks.
+using Tick = std::int64_t;
+
+/// Duration of one simulator tick in seconds (1 ms).
+inline constexpr double kTickSeconds = 1e-3;
+
+/// Milliseconds per tick (the simulator's native resolution).
+inline constexpr std::int64_t kTickMillis = 1;
+
+[[nodiscard]] constexpr Tick millisToTicks(std::int64_t ms) noexcept {
+  return ms / kTickMillis;
+}
+
+[[nodiscard]] constexpr double ticksToSeconds(Tick t) noexcept {
+  return static_cast<double>(t) * kTickSeconds;
+}
+
+/// Checked narrowing cast: asserts the value is representable in To.
+template <typename To, typename From>
+[[nodiscard]] constexpr To narrow(From v) noexcept {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const To out = static_cast<To>(v);
+  assert(static_cast<From>(out) == v && "narrowing cast lost information");
+  return out;
+}
+
+/// Size of a container as a plain int (indices in this codebase are ints).
+template <typename Container>
+[[nodiscard]] constexpr int isize(const Container& c) noexcept {
+  return static_cast<int>(c.size());
+}
+
+}  // namespace dike::util

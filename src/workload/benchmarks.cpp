@@ -1,0 +1,215 @@
+#include "workload/benchmarks.hpp"
+
+#include <stdexcept>
+
+namespace dike::wl {
+
+namespace {
+
+constexpr double Gi = 1e9;  // giga-instructions
+
+using sim::Phase;
+using sim::PhaseProgram;
+
+/// Initial data-fetch phase shared by all models (Section IV-B: "many
+/// benchmarks have a memory intensive phase in the beginning").
+Phase initPhase(double gi, double s, double memPerInstr = 0.022) {
+  return Phase{.name = "init-fetch",
+               .instructions = gi * Gi * s,
+               .memPerInstr = memPerInstr,
+               .llcMissRatio = 0.32,
+               .ipc = 1.0,
+               .workingSetMB = 1.6};
+}
+
+PhaseProgram jacobiProgram(double s) {
+  // Iterative stencil: steady, heavily memory-bound sweeps.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(1.0, s));
+  std::vector<Phase> sweep{
+      Phase{"sweep-read", 4.0 * Gi * s, 0.024, 0.38, 1.0, 1.6},
+      Phase{"sweep-update", 3.0 * Gi * s, 0.019, 0.30, 1.0, 1.6},
+  };
+  auto body = sim::repeatPattern(sweep, 4);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram streamclusterProgram(double s) {
+  // Clustering over streamed points: memory-bound with medium plateaus.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.8, s));
+  std::vector<Phase> round{
+      Phase{"assign", 3.5 * Gi * s, 0.020, 0.30, 1.0, 1.6},
+      Phase{"recenter", 2.0 * Gi * s, 0.013, 0.16, 1.0, 1.6},
+  };
+  auto body = sim::repeatPattern(round, 5);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram streamOmpProgram(double s) {
+  // STREAM triad: pure bandwidth, the most memory-hungry model.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.6, s));
+  p.phases.push_back(Phase{"triad", 24.0 * Gi * s, 0.030, 0.52, 1.0, 1.6});
+  return p;
+}
+
+PhaseProgram needleProgram(double s) {
+  // Needleman-Wunsch wavefront: memory-bound, intensity ramps with the
+  // diagonal length and back down.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.7, s));
+  p.phases.push_back(Phase{"wave-grow", 6.0 * Gi * s, 0.013, 0.18, 1.0, 1.6});
+  p.phases.push_back(Phase{"wave-peak", 10.0 * Gi * s, 0.019, 0.27, 1.0, 1.6});
+  p.phases.push_back(Phase{"wave-shrink", 6.0 * Gi * s, 0.013, 0.18, 1.0, 1.6});
+  return p;
+}
+
+PhaseProgram leukocyteProgram(double s) {
+  // Cell tracking: long compute stretches with brief frame-load bursts.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.8, s, 0.010));
+  std::vector<Phase> frame{
+      Phase{"track-compute", 5.2 * Gi * s, 0.0022, 0.015, 1.0, 0.9},
+      Phase{"frame-load", 0.5 * Gi * s, 0.008, 0.18, 1.0, 1.5},
+  };
+  auto body = sim::repeatPattern(frame, 5);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram lavaMDProgram(double s) {
+  // N-body within cut-off boxes: almost pure compute, mild neighbour loads.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.9, s, 0.009));
+  std::vector<Phase> box{
+      Phase{"force-compute", 6.4 * Gi * s, 0.0018, 0.012, 1.0, 0.9},
+      Phase{"neighbour-load", 0.7 * Gi * s, 0.006, 0.08, 1.0, 1.5},
+  };
+  auto body = sim::repeatPattern(box, 4);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram hotspotProgram(double s) {
+  // Thermal grid: compute-leaning with moderate periodic grid sweeps.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.8, s, 0.010));
+  std::vector<Phase> iter{
+      Phase{"cell-compute", 3.4 * Gi * s, 0.0025, 0.03, 1.0, 0.9},
+      Phase{"grid-sweep", 1.2 * Gi * s, 0.0065, 0.08, 1.0, 1.5},
+  };
+  auto body = sim::repeatPattern(iter, 6);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram sradProgram(double s) {
+  // Speckle-reducing diffusion: compute phases punctuated by image sweeps
+  // whose miss ratio crosses the 10% classification line — the fluctuation
+  // the paper blames for UC prediction error (Section IV-C).
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.9, s, 0.010));
+  std::vector<Phase> iter{
+      Phase{"diffuse-compute", 3.9 * Gi * s, 0.0024, 0.03, 1.0, 0.9},
+      Phase{"image-sweep", 0.9 * Gi * s, 0.008, 0.14, 1.0, 1.5},
+  };
+  auto body = sim::repeatPattern(iter, 6);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram heartwallProgram(double s) {
+  // Ultrasound tracking: compute-dominated, occasional sample loads.
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.8, s, 0.009));
+  std::vector<Phase> framePair{
+      Phase{"wall-track", 5.2 * Gi * s, 0.0022, 0.02, 1.0, 0.9},
+      Phase{"sample-load", 0.5 * Gi * s, 0.007, 0.11, 1.0, 1.5},
+  };
+  auto body = sim::repeatPattern(framePair, 5);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  return p;
+}
+
+PhaseProgram kmeansProgram(double s) {
+  // Clustering with per-iteration reductions: moderate memory intensity and
+  // barrier synchronisation every iteration (the paper's contention
+  // amplifier in every workload).
+  PhaseProgram p;
+  p.phases.push_back(initPhase(0.7, s));
+  std::vector<Phase> iter{
+      Phase{"assign-points", 2.6 * Gi * s, 0.008, 0.10, 1.0, 1.0},
+      Phase{"update-centroids", 1.0 * Gi * s, 0.0045, 0.05, 1.0, 1.0},
+  };
+  auto body = sim::repeatPattern(iter, 7);
+  p.phases.insert(p.phases.end(), body.begin(), body.end());
+  p.barrierEveryInstructions = 0.2 * Gi * s;
+  return p;
+}
+
+struct Entry {
+  const char* name;
+  bool memoryIntensive;
+  PhaseProgram (*build)(double);
+};
+
+constexpr int kEntryCount = 10;
+const Entry kEntries[kEntryCount] = {
+    {"jacobi", true, jacobiProgram},
+    {"streamcluster", true, streamclusterProgram},
+    {"stream_omp", true, streamOmpProgram},
+    {"needle", true, needleProgram},
+    {"leukocyte", false, leukocyteProgram},
+    {"lavaMD", false, lavaMDProgram},
+    {"hotspot", false, hotspotProgram},
+    {"srad", false, sradProgram},
+    {"heartwall", false, heartwallProgram},
+    {"kmeans", false, kmeansProgram},
+};
+
+const Entry* findEntry(std::string_view name) {
+  for (const Entry& e : kEntries)
+    if (name == e.name) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& benchmarkNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(kEntryCount);
+    for (const Entry& e : kEntries) out.emplace_back(e.name);
+    return out;
+  }();
+  return names;
+}
+
+bool isKnownBenchmark(std::string_view name) {
+  return findEntry(name) != nullptr;
+}
+
+BenchmarkSpec makeBenchmark(std::string_view name, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument{"scale must be > 0"};
+  const Entry* e = findEntry(name);
+  if (e == nullptr)
+    throw std::invalid_argument{"unknown benchmark: " + std::string{name}};
+  BenchmarkSpec spec;
+  spec.name = e->name;
+  spec.memoryIntensive = e->memoryIntensive;
+  spec.program = e->build(scale);
+  spec.program.validate();
+  return spec;
+}
+
+bool isMemoryIntensiveBenchmark(std::string_view name) {
+  const Entry* e = findEntry(name);
+  if (e == nullptr)
+    throw std::invalid_argument{"unknown benchmark: " + std::string{name}};
+  return e->memoryIntensive;
+}
+
+}  // namespace dike::wl

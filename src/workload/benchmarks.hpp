@@ -1,0 +1,48 @@
+// Behavioural models of the Rodinia OpenMP benchmarks used in the paper's
+// evaluation (Table II), plus kmeans (the contention amplifier every
+// workload carries) and stream_omp.
+//
+// The real benchmarks are not available in this environment, so each is
+// modelled as a phase program calibrated to the paper's qualitative
+// descriptions: jacobi / streamcluster / stream / needle are memory
+// intensive with fairly steady access rates; leukocyte / lavaMD / hotspot /
+// srad / heartwall are compute intensive with short bursty memory phases
+// ("short periods of intensive memory access and then long periods with few
+// memory accesses", Section IV-C); every application starts with a
+// memory-heavy initialisation phase ("many benchmarks have a memory
+// intensive phase in the beginning to fetch data", Section IV-B); kmeans
+// barrier-synchronises its threads ("excessive inter-thread communication").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/phase.hpp"
+
+namespace dike::wl {
+
+/// A named benchmark: its per-thread phase program and ground-truth class.
+struct BenchmarkSpec {
+  std::string name;
+  sim::PhaseProgram program;
+  /// Ground truth (paper Table II bold entries); schedulers never see this.
+  bool memoryIntensive = false;
+};
+
+/// All benchmark names this module can build.
+[[nodiscard]] const std::vector<std::string>& benchmarkNames();
+
+/// True if `name` is a known benchmark.
+[[nodiscard]] bool isKnownBenchmark(std::string_view name);
+
+/// Build the model for `name`. `scale` multiplies every instruction budget
+/// (benches use < 1 to shorten sweep runs without changing behaviour
+/// shape). Throws std::invalid_argument for unknown names.
+[[nodiscard]] BenchmarkSpec makeBenchmark(std::string_view name,
+                                          double scale = 1.0);
+
+/// Ground-truth memory intensity per Table II.
+[[nodiscard]] bool isMemoryIntensiveBenchmark(std::string_view name);
+
+}  // namespace dike::wl

@@ -1,0 +1,55 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dike::wl {
+
+WorkloadClass classifyApps(const std::vector<std::string>& apps) {
+  int memory = 0;
+  int compute = 0;
+  for (const std::string& app : apps)
+    (isMemoryIntensiveBenchmark(app) ? memory : compute) += 1;
+  if (memory > compute) return WorkloadClass::UnbalancedMemory;
+  if (compute > memory) return WorkloadClass::UnbalancedCompute;
+  return WorkloadClass::Balanced;
+}
+
+WorkloadSpec randomWorkload(std::uint64_t seed,
+                            RandomWorkloadOptions options) {
+  if (options.minApps < 1 || options.maxApps < options.minApps)
+    throw std::invalid_argument{"invalid app-count range"};
+
+  util::Rng rng{seed};
+  // kmeans is the fixed contention amplifier, never part of the draw.
+  std::vector<std::string> pool;
+  for (const std::string& name : benchmarkNames())
+    if (name != "kmeans") pool.push_back(name);
+  if (!options.allowDuplicates &&
+      options.maxApps > static_cast<int>(pool.size()))
+    throw std::invalid_argument{"maxApps exceeds distinct benchmarks"};
+
+  const int count = static_cast<int>(
+      rng.between(options.minApps, options.maxApps));
+
+  WorkloadSpec spec;
+  spec.id = 0;  // generated specs are outside the 1..16 table
+  spec.name = "rand-" + std::to_string(seed);
+  spec.includeKmeans = options.includeKmeans;
+  std::vector<std::string> remaining = pool;
+  for (int i = 0; i < count; ++i) {
+    if (options.allowDuplicates) {
+      spec.apps.push_back(pool[rng.below(pool.size())]);
+    } else {
+      const auto pick = static_cast<std::size_t>(rng.below(remaining.size()));
+      spec.apps.push_back(remaining[pick]);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  spec.cls = classifyApps(spec.apps);
+  return spec;
+}
+
+}  // namespace dike::wl

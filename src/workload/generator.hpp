@@ -1,0 +1,31 @@
+// Random workload generation: seeded mixes beyond Table II, used to check
+// that scheduler orderings are properties of the policies rather than of
+// the sixteen published mixes (and as fuzz input for property tests).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workloads.hpp"
+
+namespace dike::wl {
+
+struct RandomWorkloadOptions {
+  // Defaults fit the paper's 40-vcore testbed: up to 4 apps + kmeans at 8
+  // threads each.
+  int minApps = 3;
+  int maxApps = 4;
+  bool includeKmeans = true;
+  /// Allow the same benchmark to appear more than once in a mix.
+  bool allowDuplicates = false;
+};
+
+/// Deterministically generate a workload from a seed. The class label is
+/// derived from the drawn mix via classifyApps().
+[[nodiscard]] WorkloadSpec randomWorkload(std::uint64_t seed,
+                                          RandomWorkloadOptions options = {});
+
+/// Class of an arbitrary app list by memory/compute majority (Table II's
+/// taxonomy generalised beyond 4-app mixes).
+[[nodiscard]] WorkloadClass classifyApps(const std::vector<std::string>& apps);
+
+}  // namespace dike::wl

@@ -1,0 +1,107 @@
+#include "workload/workloads.hpp"
+
+#include <stdexcept>
+
+namespace dike::wl {
+
+std::string_view toString(WorkloadClass c) noexcept {
+  switch (c) {
+    case WorkloadClass::Balanced: return "B";
+    case WorkloadClass::UnbalancedCompute: return "UC";
+    case WorkloadClass::UnbalancedMemory: return "UM";
+  }
+  return "?";
+}
+
+namespace {
+
+WorkloadSpec make(int id, WorkloadClass cls,
+                  std::vector<std::string> apps) {
+  WorkloadSpec spec;
+  spec.id = id;
+  spec.name = "wl" + std::to_string(id);
+  spec.cls = cls;
+  spec.apps = std::move(apps);
+  return spec;
+}
+
+std::vector<WorkloadSpec> buildTable() {
+  using enum WorkloadClass;
+  std::vector<WorkloadSpec> t;
+  t.reserve(16);
+  // Table II, verbatim. Memory-intensive members are jacobi, streamcluster,
+  // stream_omp, and needle.
+  t.push_back(make(1, Balanced, {"jacobi", "needle", "leukocyte", "lavaMD"}));
+  t.push_back(make(2, Balanced, {"jacobi", "streamcluster", "hotspot", "srad"}));
+  t.push_back(make(3, Balanced, {"streamcluster", "needle", "hotspot", "lavaMD"}));
+  t.push_back(make(4, Balanced, {"jacobi", "streamcluster", "lavaMD", "heartwall"}));
+  t.push_back(make(5, Balanced, {"streamcluster", "needle", "srad", "hotspot"}));
+  t.push_back(make(6, Balanced, {"jacobi", "needle", "heartwall", "srad"}));
+  t.push_back(make(7, UnbalancedCompute, {"jacobi", "lavaMD", "leukocyte", "srad"}));
+  t.push_back(make(8, UnbalancedCompute, {"needle", "hotspot", "leukocyte", "heartwall"}));
+  t.push_back(make(9, UnbalancedCompute, {"streamcluster", "heartwall", "leukocyte", "srad"}));
+  t.push_back(make(10, UnbalancedCompute, {"jacobi", "hotspot", "leukocyte", "heartwall"}));
+  t.push_back(make(11, UnbalancedCompute, {"needle", "lavaMD", "hotspot", "srad"}));
+  t.push_back(make(12, UnbalancedMemory, {"jacobi", "needle", "streamcluster", "lavaMD"}));
+  t.push_back(make(13, UnbalancedMemory, {"jacobi", "needle", "stream_omp", "leukocyte"}));
+  t.push_back(make(14, UnbalancedMemory, {"streamcluster", "needle", "stream_omp", "lavaMD"}));
+  t.push_back(make(15, UnbalancedMemory, {"jacobi", "streamcluster", "stream_omp", "hotspot"}));
+  t.push_back(make(16, UnbalancedMemory, {"jacobi", "needle", "streamcluster", "srad"}));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& workloadTable() {
+  static const std::vector<WorkloadSpec> table = buildTable();
+  return table;
+}
+
+const WorkloadSpec& workload(int id) {
+  const auto& table = workloadTable();
+  if (id < 1 || id > static_cast<int>(table.size()))
+    throw std::out_of_range{"workload id out of range: " + std::to_string(id)};
+  return table[static_cast<std::size_t>(id - 1)];
+}
+
+const WorkloadSpec& workload(std::string_view name) {
+  for (const WorkloadSpec& w : workloadTable())
+    if (w.name == name) return w;
+  throw std::out_of_range{"unknown workload: " + std::string{name}};
+}
+
+std::vector<const WorkloadSpec*> workloadsOfClass(WorkloadClass cls) {
+  std::vector<const WorkloadSpec*> out;
+  for (const WorkloadSpec& w : workloadTable())
+    if (w.cls == cls) out.push_back(&w);
+  return out;
+}
+
+std::vector<int> addWorkloadProcesses(sim::Machine& machine,
+                                      const WorkloadSpec& spec, double scale,
+                                      int threadsPerApp) {
+  if (threadsPerApp <= 0)
+    throw std::invalid_argument{"threadsPerApp must be > 0"};
+  std::vector<int> processIds;
+  for (const std::string& app : spec.apps) {
+    BenchmarkSpec bench = makeBenchmark(app, scale);
+    processIds.push_back(machine.addProcess(bench.name, bench.program,
+                                            threadsPerApp,
+                                            bench.memoryIntensive));
+  }
+  if (spec.includeKmeans) {
+    BenchmarkSpec bench = makeBenchmark("kmeans", scale);
+    processIds.push_back(machine.addProcess(bench.name, bench.program,
+                                            threadsPerApp,
+                                            bench.memoryIntensive));
+  }
+  return processIds;
+}
+
+int workloadThreadCount(const WorkloadSpec& spec, int threadsPerApp) {
+  const int apps =
+      static_cast<int>(spec.apps.size()) + (spec.includeKmeans ? 1 : 0);
+  return apps * threadsPerApp;
+}
+
+}  // namespace dike::wl

@@ -1,0 +1,55 @@
+// The paper's workload table (Table II): sixteen 4-application mixes in
+// three classes, each additionally carrying an 8-thread kmeans instance.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace dike::wl {
+
+/// Workload classification by compute/memory thread mix (Section III-F).
+enum class WorkloadClass {
+  Balanced,           ///< B: equal memory and compute threads (2M / 2C)
+  UnbalancedCompute,  ///< UC: compute-intensive majority (1M / 3C)
+  UnbalancedMemory,   ///< UM: memory-intensive majority (3M / 1C)
+};
+
+[[nodiscard]] std::string_view toString(WorkloadClass c) noexcept;
+
+/// One row of Table II.
+struct WorkloadSpec {
+  int id = 0;                     ///< 1..16
+  std::string name;               ///< "wl1".."wl16"
+  WorkloadClass cls = WorkloadClass::Balanced;
+  std::vector<std::string> apps;  ///< the four benchmarks
+  bool includeKmeans = true;      ///< every paper workload carries kmeans
+};
+
+/// All sixteen workloads, exactly as in Table II.
+[[nodiscard]] const std::vector<WorkloadSpec>& workloadTable();
+
+/// Lookup by id (1-based) or name ("wl7"). Throws on unknown workloads.
+[[nodiscard]] const WorkloadSpec& workload(int id);
+[[nodiscard]] const WorkloadSpec& workload(std::string_view name);
+
+/// Workloads belonging to one class, in table order.
+[[nodiscard]] std::vector<const WorkloadSpec*> workloadsOfClass(
+    WorkloadClass cls);
+
+/// Instantiate the workload's processes on a machine (threadsPerApp threads
+/// per benchmark plus, if configured, threadsPerApp kmeans threads). Returns
+/// the created process ids in table order. Threads are left unplaced.
+std::vector<int> addWorkloadProcesses(sim::Machine& machine,
+                                      const WorkloadSpec& spec,
+                                      double scale = 1.0,
+                                      int threadsPerApp = 8);
+
+/// Number of threads `addWorkloadProcesses` will create.
+[[nodiscard]] int workloadThreadCount(const WorkloadSpec& spec,
+                                      int threadsPerApp = 8);
+
+}  // namespace dike::wl

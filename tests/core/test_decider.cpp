@@ -1,0 +1,95 @@
+#include "core/decider.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::core {
+namespace {
+
+SwapPrediction prediction(int low, int high, double profit) {
+  SwapPrediction p;
+  p.pair = ThreadPair{low, high};
+  p.totalProfit = profit;
+  return p;
+}
+
+TEST(Decider, AcceptsFreshProfitablePair) {
+  const Decider decider;
+  EXPECT_TRUE(decider.shouldSwap(prediction(0, 1, 1e6), 0, 500));
+}
+
+TEST(Decider, RejectsNegativeProfit) {
+  const Decider decider;
+  EXPECT_FALSE(decider.shouldSwap(prediction(0, 1, -1.0), 0, 500));
+  // Zero profit is not negative: allowed.
+  EXPECT_TRUE(decider.shouldSwap(prediction(0, 1, 0.0), 0, 500));
+}
+
+TEST(Decider, ProfitGateCanBeDisabled) {
+  const Decider decider{DeciderConfig{1, 600, /*requirePositiveProfit=*/false}};
+  EXPECT_TRUE(decider.shouldSwap(prediction(0, 1, -1e9), 0, 500));
+}
+
+TEST(Decider, BlocksConsecutiveQuantaAt500ms) {
+  Decider decider;  // cooldownQuanta=1, minCooldownMs=600
+  decider.recordSwap(ThreadPair{0, 1}, 1000);
+  // Next quantum boundary (t=1500): both blocked.
+  EXPECT_TRUE(decider.inCooldown(0, 1500, 500));
+  EXPECT_TRUE(decider.inCooldown(1, 1500, 500));
+  EXPECT_FALSE(decider.shouldSwap(prediction(0, 2, 1e6), 1500, 500));
+  // Two quanta later: free again.
+  EXPECT_FALSE(decider.inCooldown(0, 2000, 500));
+  EXPECT_TRUE(decider.shouldSwap(prediction(0, 2, 1e6), 2000, 500));
+}
+
+TEST(Decider, WallClockFloorProtectsShortQuanta) {
+  Decider decider;  // minCooldownMs=600
+  decider.recordSwap(ThreadPair{0, 1}, 1000);
+  // At 100 ms quanta, one-quantum cool-down alone would free the thread at
+  // t=1200; the 600 ms floor keeps it blocked until t=1600.
+  EXPECT_TRUE(decider.inCooldown(0, 1200, 100));
+  EXPECT_TRUE(decider.inCooldown(0, 1599, 100));
+  EXPECT_FALSE(decider.inCooldown(0, 1600, 100));
+}
+
+TEST(Decider, LongQuantaExtendBeyondFloor) {
+  Decider decider;
+  decider.recordSwap(ThreadPair{0, 1}, 0);
+  // 1000 ms quanta: "no consecutive quanta" means blocked at t=1000.
+  EXPECT_TRUE(decider.inCooldown(0, 1000, 1000));
+  EXPECT_FALSE(decider.inCooldown(0, 2000, 1000));
+}
+
+TEST(Decider, RecordMigrationCoolsSingleThread) {
+  Decider decider;
+  decider.recordMigration(7, 100);
+  EXPECT_TRUE(decider.inCooldown(7, 400, 500));
+  EXPECT_FALSE(decider.inCooldown(8, 400, 500));
+}
+
+TEST(Decider, ZeroCooldownDisablesEverything) {
+  Decider decider{DeciderConfig{0, 0, true}};
+  decider.recordSwap(ThreadPair{0, 1}, 100);
+  EXPECT_FALSE(decider.inCooldown(0, 100, 500));
+}
+
+TEST(Decider, ZeroQuantaKeepsWallClockFloor) {
+  Decider decider{DeciderConfig{0, 600, true}};
+  decider.recordSwap(ThreadPair{0, 1}, 100);
+  EXPECT_TRUE(decider.inCooldown(0, 500, 500));
+  EXPECT_FALSE(decider.inCooldown(0, 700, 500));
+}
+
+TEST(Decider, ResetClearsHistory) {
+  Decider decider;
+  decider.recordSwap(ThreadPair{0, 1}, 100);
+  decider.reset();
+  EXPECT_FALSE(decider.inCooldown(0, 101, 500));
+}
+
+TEST(Decider, InvalidConfigThrows) {
+  EXPECT_THROW(Decider(DeciderConfig{-1, 600, true}), std::invalid_argument);
+  EXPECT_THROW(Decider(DeciderConfig{1, -1, true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dike::core

@@ -1,0 +1,86 @@
+// Free-core migration: when applications finish, Dike promotes starved
+// threads into the freed high-bandwidth cores (single migrations, not
+// swaps).
+#include <gtest/gtest.h>
+
+#include "core/dike_scheduler.hpp"
+#include "sim/machine.hpp"
+
+namespace dike::core {
+namespace {
+
+sim::PhaseProgram memProgram(double instructions) {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", instructions, 0.02, 0.3, 1.0}};
+  return p;
+}
+
+sim::PhaseProgram computeProgram(double instructions) {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", instructions, 0.001, 0.02, 1.0}};
+  return p;
+}
+
+/// 6 cores (0-2 fast, 3-5 slow). A quick compute app occupies two fast
+/// cores and finishes early; a memory app is split 1 fast / 2 slow and
+/// stays unfair until the freed fast cores are exploited.
+sim::Machine scenario(std::uint64_t seed = 42) {
+  sim::MachineConfig cfg;
+  cfg.seed = seed;
+  sim::Machine m{sim::MachineTopology::smallTestbed(3), cfg};
+  m.addProcess("quick", computeProgram(2.33e6 * 400), 2, false);
+  m.addProcess("memory", memProgram(2.33e6 * 3000), 3, true);
+  m.placeThread(0, 0);  // quick on fast
+  m.placeThread(1, 1);  // quick on fast
+  m.placeThread(2, 2);  // memory on fast
+  m.placeThread(3, 3);  // memory on slow
+  m.placeThread(4, 4);  // memory on slow
+  return m;
+}
+
+std::int64_t singleMigrations(const sim::Machine& m) {
+  return m.migrationCount() - 2 * m.swapCount();
+}
+
+TEST(FreeCores, StarvedThreadsPromotedIntoFreedCores) {
+  sim::Machine m = scenario();
+  DikeConfig cfg;
+  cfg.useFreeCores = true;
+  DikeScheduler scheduler{cfg};
+  sched::SchedulerAdapter adapter{scheduler};
+  const sim::RunOutcome outcome = sim::runMachine(m, adapter);
+  ASSERT_FALSE(outcome.timedOut);
+  // At least one free-core (single) migration happened after `quick` ended.
+  EXPECT_GT(singleMigrations(m), 0);
+  // The memory threads all saw fast-core time.
+  for (int id : m.process(1).threadIds)
+    EXPECT_GT(m.thread(id).fastCoreTicks, 0) << id;
+}
+
+TEST(FreeCores, DisabledConfigNeverSingleMigrates) {
+  sim::Machine m = scenario();
+  DikeConfig cfg;
+  cfg.useFreeCores = false;
+  DikeScheduler scheduler{cfg};
+  sched::SchedulerAdapter adapter{scheduler};
+  const sim::RunOutcome outcome = sim::runMachine(m, adapter);
+  ASSERT_FALSE(outcome.timedOut);
+  EXPECT_EQ(singleMigrations(m), 0);
+}
+
+TEST(FreeCores, PromotionImprovesMemoryAppFinish) {
+  auto finishOfMemoryApp = [](bool useFreeCores) {
+    sim::Machine m = scenario();
+    DikeConfig cfg;
+    cfg.useFreeCores = useFreeCores;
+    DikeScheduler scheduler{cfg};
+    sched::SchedulerAdapter adapter{scheduler};
+    (void)sim::runMachine(m, adapter);
+    return static_cast<double>(m.process(1).finishTick);
+  };
+  // Using the freed fast cores must not hurt, and normally helps.
+  EXPECT_LE(finishOfMemoryApp(true), finishOfMemoryApp(false) * 1.02);
+}
+
+}  // namespace
+}  // namespace dike::core

@@ -1,0 +1,128 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::core {
+namespace {
+
+TEST(Optimizer, LadderHelpers) {
+  EXPECT_EQ(Optimizer::decreaseQuanta(1000, 100), 500);
+  EXPECT_EQ(Optimizer::decreaseQuanta(500, 100), 200);
+  EXPECT_EQ(Optimizer::decreaseQuanta(200, 100), 100);
+  EXPECT_EQ(Optimizer::decreaseQuanta(100, 100), 100);  // at the floor
+  EXPECT_EQ(Optimizer::decreaseQuanta(500, 500), 500);  // class floor binds
+
+  EXPECT_EQ(Optimizer::increaseQuanta(100, 1000), 200);
+  EXPECT_EQ(Optimizer::increaseQuanta(200, 1000), 500);
+  EXPECT_EQ(Optimizer::increaseQuanta(500, 1000), 1000);
+  EXPECT_EQ(Optimizer::increaseQuanta(1000, 1000), 1000);
+
+  EXPECT_EQ(Optimizer::growSwapSize(8), 10);
+  EXPECT_EQ(Optimizer::growSwapSize(16), 16);  // Algorithm 2 cap
+}
+
+TEST(Optimizer, NoneGoalLeavesParamsUntouched) {
+  const Optimizer optimizer;
+  const DikeParams before{8, 500};
+  for (const WorkloadType type :
+       {WorkloadType::Balanced, WorkloadType::UnbalancedCompute,
+        WorkloadType::UnbalancedMemory}) {
+    EXPECT_EQ(optimizer.optimize(before, type, AdaptationGoal::None), before);
+  }
+}
+
+TEST(Optimizer, FairnessBalancedOnlyShrinksQuanta) {
+  const Optimizer optimizer;
+  const DikeParams out = optimizer.optimize(
+      {8, 500}, WorkloadType::Balanced, AdaptationGoal::Fairness);
+  EXPECT_EQ(out.swapSize, 8);
+  EXPECT_EQ(out.quantaLengthMs, 200);
+}
+
+TEST(Optimizer, FairnessUcGrowsSwapAndShrinksQuantaTo200) {
+  const Optimizer optimizer;
+  DikeParams p{8, 1000};
+  p = optimizer.optimize(p, WorkloadType::UnbalancedCompute,
+                         AdaptationGoal::Fairness);
+  EXPECT_EQ(p, (DikeParams{10, 500}));
+  p = optimizer.optimize(p, WorkloadType::UnbalancedCompute,
+                         AdaptationGoal::Fairness);
+  EXPECT_EQ(p, (DikeParams{12, 200}));
+  p = optimizer.optimize(p, WorkloadType::UnbalancedCompute,
+                         AdaptationGoal::Fairness);
+  EXPECT_EQ(p, (DikeParams{14, 200}));  // quanta floored at 200 for UC
+}
+
+TEST(Optimizer, FairnessUmFloorsQuantaAt500) {
+  const Optimizer optimizer;
+  DikeParams p{8, 500};
+  p = optimizer.optimize(p, WorkloadType::UnbalancedMemory,
+                         AdaptationGoal::Fairness);
+  EXPECT_EQ(p, (DikeParams{10, 500}));  // cannot go below 500 for UM
+}
+
+TEST(Optimizer, PerformanceBalancedOnlyGrowsQuanta) {
+  const Optimizer optimizer;
+  DikeParams p{8, 100};
+  p = optimizer.optimize(p, WorkloadType::Balanced,
+                         AdaptationGoal::Performance);
+  EXPECT_EQ(p, (DikeParams{8, 200}));
+}
+
+TEST(Optimizer, PerformanceUcGrowsBoth) {
+  const Optimizer optimizer;
+  DikeParams p{8, 500};
+  p = optimizer.optimize(p, WorkloadType::UnbalancedCompute,
+                         AdaptationGoal::Performance);
+  EXPECT_EQ(p, (DikeParams{10, 1000}));
+}
+
+TEST(Optimizer, PerformanceUmGrowsQuantaOnly) {
+  const Optimizer optimizer;
+  DikeParams p{8, 200};
+  p = optimizer.optimize(p, WorkloadType::UnbalancedMemory,
+                         AdaptationGoal::Performance);
+  EXPECT_EQ(p, (DikeParams{8, 500}));
+}
+
+TEST(Optimizer, OneLadderStepPerInvocation) {
+  // Updating 100 -> 1000 requires three calls (the paper's example).
+  const Optimizer optimizer;
+  DikeParams p{8, 100};
+  int calls = 0;
+  while (p.quantaLengthMs != 1000) {
+    p = optimizer.optimize(p, WorkloadType::Balanced,
+                           AdaptationGoal::Performance);
+    ++calls;
+    ASSERT_LE(calls, 10);
+  }
+  EXPECT_EQ(calls, 3);
+}
+
+// Property: parameters always stay on the legal lattice.
+class OptimizerLatticeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OptimizerLatticeProperty, StaysOnLattice) {
+  const auto [goalIdx, typeIdx] = GetParam();
+  const auto goal = static_cast<AdaptationGoal>(goalIdx);
+  const auto type = static_cast<WorkloadType>(typeIdx);
+  const Optimizer optimizer;
+  DikeParams p{2, 100};
+  for (int step = 0; step < 50; ++step) {
+    p = optimizer.optimize(p, type, goal);
+    EXPECT_GE(p.swapSize, kMinSwapSize);
+    EXPECT_LE(p.swapSize, kMaxSwapSize);
+    EXPECT_EQ(p.swapSize % 2, 0);
+    bool onLadder = false;
+    for (const int q : kQuantaLadderMs) onLadder |= (q == p.quantaLengthMs);
+    EXPECT_TRUE(onLadder) << p.quantaLengthMs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoalsAndTypes, OptimizerLatticeProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace dike::core

@@ -1,0 +1,123 @@
+#include "core/prediction_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::core {
+namespace {
+
+sim::QuantumSample sampleWith(std::initializer_list<std::pair<int, double>> rates,
+                              util::Tick periodTicks = 500) {
+  sim::QuantumSample s;
+  s.periodTicks = periodTicks;
+  for (const auto& [id, rate] : rates) {
+    sim::ThreadSample t;
+    t.threadId = id;
+    t.coreId = 0;
+    t.accessRate = rate;
+    s.threads.push_back(t);
+  }
+  return s;
+}
+
+TEST(PredictionTracker, ScoresRelativeError) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 1.1e7);
+  tracker.scoreQuantum(sampleWith({{0, 1e7}}), 500);
+  ASSERT_EQ(tracker.overall().count(), 1u);
+  EXPECT_NEAR(tracker.overall().mean(), 0.1, 1e-9);
+}
+
+TEST(PredictionTracker, PendingClearedAfterScoring) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 1e7);
+  tracker.scoreQuantum(sampleWith({{0, 1e7}}), 500);
+  tracker.scoreQuantum(sampleWith({{0, 5e7}}), 1000);  // no pending: ignored
+  EXPECT_EQ(tracker.overall().count(), 1u);
+}
+
+TEST(PredictionTracker, SetIfAbsentDoesNotOverwrite) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 2e7);
+  tracker.setPredictionIfAbsent(0, 9e7);
+  tracker.setPredictionIfAbsent(1, 1e7);
+  tracker.scoreQuantum(sampleWith({{0, 2e7}, {1, 1e7}}), 500);
+  EXPECT_EQ(tracker.overall().count(), 2u);
+  EXPECT_NEAR(tracker.overall().mean(), 0.0, 1e-9);
+}
+
+TEST(PredictionTracker, SkipsIdleRates) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 2e7);
+  tracker.setPrediction(1, 1e3);  // prediction below floor
+  tracker.setPrediction(2, 2e7);
+  tracker.scoreQuantum(
+      sampleWith({{0, 1e3 /* actual below floor */}, {1, 2e7}, {2, 2e7}}),
+      500);
+  EXPECT_EQ(tracker.overall().count(), 1u);
+}
+
+TEST(PredictionTracker, SkipsFinishedThreads) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 2e7);
+  sim::QuantumSample s = sampleWith({{0, 2e7}});
+  s.threads[0].finished = true;
+  tracker.scoreQuantum(s, 500);
+  EXPECT_EQ(tracker.overall().count(), 0u);
+}
+
+TEST(PredictionTracker, DenominatorFloorBoundsError) {
+  PredictionTracker tracker;
+  // Actual collapses to just above the scoring floor; the denominator
+  // floor keeps the error bounded.
+  tracker.setPrediction(0, 4e7);
+  tracker.scoreQuantum(sampleWith({{0, 1.5e6}}), 500);
+  ASSERT_EQ(tracker.overall().count(), 1u);
+  EXPECT_NEAR(tracker.overall().mean(),
+              (4e7 - 1.5e6) / PredictionTracker::kDenominatorFloor, 1e-9);
+}
+
+TEST(PredictionTracker, TracePointPerScoredQuantum) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 1e7);
+  tracker.setPrediction(1, 2e7);
+  tracker.scoreQuantum(sampleWith({{0, 1e7}, {1, 1e7}}), 500);
+  ASSERT_EQ(tracker.trace().size(), 1u);
+  const PredictionErrorPoint& p = tracker.trace().front();
+  EXPECT_EQ(p.tick, 500);
+  EXPECT_EQ(p.samples, 2);
+  EXPECT_NEAR(p.min, 0.0, 1e-9);
+  EXPECT_NEAR(p.max, 1.0, 1e-9);
+  EXPECT_NEAR(p.mean, 0.5, 1e-9);
+
+  // A quantum with nothing scorable adds no trace point.
+  tracker.scoreQuantum(sampleWith({{0, 1e7}}), 1000);
+  EXPECT_EQ(tracker.trace().size(), 1u);
+}
+
+TEST(PredictionTracker, PerThreadMeansInFirstSeenOrder) {
+  PredictionTracker tracker;
+  tracker.setPrediction(5, 1.2e7);
+  tracker.setPrediction(3, 2e7);
+  tracker.scoreQuantum(sampleWith({{3, 2e7}, {5, 1e7}}), 500);
+  tracker.setPrediction(5, 1e7);
+  tracker.scoreQuantum(sampleWith({{5, 1e7}}), 1000);
+
+  const std::vector<double> means = tracker.perThreadMeanErrors();
+  ASSERT_EQ(means.size(), 2u);
+  // Order of first appearance within a quantum follows the sample order.
+  EXPECT_NEAR(means[0], 0.0, 1e-9);   // thread 3: exact
+  EXPECT_NEAR(means[1], 0.1, 1e-9);   // thread 5: (+0.2 + 0.0) / 2
+}
+
+TEST(PredictionTracker, ResetClearsEverything) {
+  PredictionTracker tracker;
+  tracker.setPrediction(0, 1e7);
+  tracker.scoreQuantum(sampleWith({{0, 2e7}}), 500);
+  tracker.reset();
+  EXPECT_EQ(tracker.overall().count(), 0u);
+  EXPECT_TRUE(tracker.trace().empty());
+  EXPECT_TRUE(tracker.perThreadMeanErrors().empty());
+}
+
+}  // namespace
+}  // namespace dike::core

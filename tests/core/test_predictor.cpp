@@ -1,0 +1,109 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "observation_builder.hpp"
+
+namespace dike::core {
+namespace {
+
+using testing::ObservationBuilder;
+
+ObserverConfig observerConfig() {
+  ObserverConfig cfg;
+  cfg.processRateFloor = 0.0;
+  cfg.socketShare = 0.0;  // keep CoreBW exactly the achieved values
+  return cfg;
+}
+
+/// Thread 0 (memory, rate 2e7) on core 0; thread 1 (compute, rate 2e6) on
+/// core 2 whose demonstrated bandwidth is pinned to 3e7 via history.
+Observer twoThreadObserver(double bwCore0 = 2e7, double bwCore2 = 3e7) {
+  Observer obs{observerConfig()};
+  ObservationBuilder b{4, 2};
+  b.thread(0, 0, 0, 2e7, 0.30);
+  b.thread(1, 1, 2, 2e6, 0.05);
+  b.coreBw(0, bwCore0);
+  b.coreBw(2, bwCore2);
+  obs.observe(b.get());
+  return obs;
+}
+
+TEST(Predictor, ImplementsEquationsOneToThree) {
+  const Observer obs = twoThreadObserver();
+  const Predictor predictor{PredictorConfig{.swapOhMs = 25.0}};
+  // Pair <low=1 (compute @2e6, core 2), high=0 (memory @2e7, core 0)>.
+  const SwapPrediction p =
+      predictor.predict(obs, ThreadPair{1, 0}, /*quantaLengthMs=*/500);
+
+  const double oh = 25.0 / 500.0;
+  // Eqn 1 for t_l: CoreBW(high's core 0) - rate_l - oh * rate_l.
+  EXPECT_NEAR(p.profitLow, 2e7 - 2e6 - oh * 2e6, 1.0);
+  // Eqn 1 for t_h: CoreBW(low's core 2) - rate_h - oh * rate_h.
+  EXPECT_NEAR(p.profitHigh, 3e7 - 2e7 - oh * 2e7, 1.0);
+  // Eqn 3.
+  EXPECT_NEAR(p.totalProfit, p.profitLow + p.profitHigh, 1e-6);
+}
+
+TEST(Predictor, NegativeProfitWhenDestinationWorse) {
+  // The memory thread would move to a core that demonstrated much less
+  // bandwidth than it currently consumes.
+  const Observer obs = twoThreadObserver(/*bwCore0=*/2e7, /*bwCore2=*/1e6);
+  const Predictor predictor{PredictorConfig{.swapOhMs = 25.0}};
+  const SwapPrediction p = predictor.predict(obs, ThreadPair{1, 0}, 500);
+  EXPECT_LT(p.profitHigh, 0.0);
+  EXPECT_LT(p.totalProfit, 0.0);
+}
+
+TEST(Predictor, ShorterQuantaRaiseOverhead) {
+  const Observer obs = twoThreadObserver();
+  const Predictor predictor{PredictorConfig{.swapOhMs = 25.0}};
+  const SwapPrediction slow = predictor.predict(obs, ThreadPair{1, 0}, 1000);
+  const SwapPrediction fast = predictor.predict(obs, ThreadPair{1, 0}, 100);
+  EXPECT_GT(slow.totalProfit, fast.totalProfit);
+}
+
+TEST(Predictor, MemoryMigrantPredictedAtDestBandwidthCapped) {
+  const Observer obs = twoThreadObserver();
+  const Predictor predictor;
+  const auto& threads = obs.threadsByAccessRate();
+  const ThreadInfo& memory = threads.back();  // rate 2e7, Memory
+  ASSERT_EQ(memory.cls, ThreadClass::Memory);
+
+  // Destination demonstrated 3e7 < 2x its rate: takes the bandwidth figure.
+  EXPECT_NEAR(predictor.predictMigratedRate(obs, memory, 2), 3e7, 1.0);
+  // A destination demonstrating more than twice the rate is capped.
+  Observer obs2 = twoThreadObserver(2e7, 9e7);
+  EXPECT_NEAR(predictor.predictMigratedRate(obs2, memory, 2), 4e7, 1.0);
+}
+
+TEST(Predictor, ComputeMigrantScalesWithCapabilityRatio) {
+  const Observer obs = twoThreadObserver();
+  const Predictor predictor;
+  const ThreadInfo& compute = obs.threadsByAccessRate().front();
+  ASSERT_EQ(compute.cls, ThreadClass::Compute);
+  // Moving from core 2 (bw 3e7) to core 0 (bw 2e7): ratio 2/3.
+  EXPECT_NEAR(predictor.predictMigratedRate(obs, compute, 0),
+              2e6 * (2.0 / 3.0), 1.0);
+}
+
+TEST(Predictor, UnknownThreadThrows) {
+  const Observer obs = twoThreadObserver();
+  const Predictor predictor;
+  EXPECT_THROW(
+      { [[maybe_unused]] auto p = predictor.predict(obs, ThreadPair{1, 99}, 500); },
+      std::invalid_argument);
+}
+
+TEST(Predictor, InvalidArgumentsThrow) {
+  const Observer obs = twoThreadObserver();
+  const Predictor predictor;
+  EXPECT_THROW(
+      { [[maybe_unused]] auto p = predictor.predict(obs, ThreadPair{1, 0}, 0); },
+      std::invalid_argument);
+  EXPECT_THROW(Predictor{PredictorConfig{.swapOhMs = -1.0}},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dike::core

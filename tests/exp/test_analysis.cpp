@@ -1,0 +1,115 @@
+#include "exp/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dike_scheduler.hpp"
+#include "sched/placement.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::exp {
+namespace {
+
+sim::MachineConfig quiet() {
+  sim::MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  return cfg;
+}
+
+sim::PhaseProgram program(double instructions) {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", instructions, 0.0, 0.1, 1.0}};
+  return p;
+}
+
+TEST(Analysis, FastShareReflectsPlacement) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  m.addProcess("p", program(1.21e6 * 20), 2, false);
+  m.placeThread(0, 0);  // fast
+  m.placeThread(1, 2);  // slow
+  while (!m.allFinished()) m.step();
+
+  const ScheduleAnalysis a = analyzeSchedule(m);
+  ASSERT_EQ(a.threads.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.threads[0].fastShare, 1.0);
+  EXPECT_DOUBLE_EQ(a.threads[1].fastShare, 0.0);
+  ASSERT_EQ(a.processes.size(), 1u);
+  EXPECT_NEAR(a.processes[0].meanFastShare, 0.5, 1e-9);
+  EXPECT_NEAR(a.processes[0].fastShareCv, 1.0, 1e-9);  // maximal imbalance
+  EXPECT_DOUBLE_EQ(a.stallShare, 0.0);
+}
+
+TEST(Analysis, StallShareCountsMigrations) {
+  sim::MachineConfig cfg = quiet();
+  cfg.migrationStallTicks = 10;
+  cfg.cacheColdTicks = 0;
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), cfg};
+  m.addProcess("a", program(2.33e6 * 20), 1, false);
+  m.addProcess("b", program(2.33e6 * 20), 1, false);
+  m.placeThread(0, 0);
+  m.placeThread(1, 1);
+  m.step();
+  m.swapThreads(0, 1);
+  while (!m.allFinished()) m.step();
+  const ScheduleAnalysis a = analyzeSchedule(m);
+  EXPECT_GT(a.stallShare, 0.0);
+  EXPECT_EQ(a.threads[0].stalled, 10);
+  EXPECT_EQ(a.threads[0].migrations, 1);
+}
+
+TEST(Analysis, DikeRotationEqualisesFastShares) {
+  // Under Dike, within-process fast-core shares should be far more equal
+  // than under the static CFS placement — the mechanism behind Figure 6a.
+  auto run = [](bool useDike) {
+    sim::MachineConfig cfg;
+    cfg.seed = 42;
+    sim::Machine m{sim::MachineTopology::paperTestbed(), cfg};
+    wl::addWorkloadProcesses(m, wl::workload(2), 0.25);
+    sched::placeRandom(m, 42);
+    if (useDike) {
+      core::DikeScheduler scheduler;
+      sched::SchedulerAdapter adapter{scheduler};
+      (void)sim::runMachine(m, adapter);
+    } else {
+      struct Idle final : sim::QuantumPolicy {
+        util::Tick quantumTicks() const override { return 500; }
+        void onQuantum(sim::Machine&) override {}
+      } idle;
+      (void)sim::runMachine(m, idle);
+    }
+    double worstStd = 0.0;
+    for (const ProcessRotation& r : analyzeSchedule(m).processes)
+      worstStd = std::max(worstStd, r.fastShareStd);
+    return worstStd;
+  };
+  const double cfsStd = run(false);
+  const double dikeStd = run(true);
+  EXPECT_LT(dikeStd, cfsStd * 0.75);
+}
+
+TEST(Analysis, RenderThreadLaneShowsCoreTypes) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  sim::TraceRecorder trace;
+  m.setTraceRecorder(&trace);
+  m.addProcess("a", program(2.33e6 * 20), 1, false);
+  m.addProcess("filler", program(1.21e6 * 200), 1, false);
+  m.placeThread(0, 0);  // fast
+  m.placeThread(1, 2);  // slow (keeps the machine running after t0 ends)
+  for (int i = 0; i < 10; ++i) m.step();
+  m.swapThreads(0, 1);
+  while (!m.allFinished()) m.step();
+
+  const std::string lane = renderThreadLane(m, trace, 0, 40);
+  EXPECT_EQ(lane.size(), 40u);
+  EXPECT_NE(lane.find('F'), std::string::npos);
+  EXPECT_NE(lane.find('s'), std::string::npos);
+  // After the thread finishes, the lane shows '.'.
+  EXPECT_EQ(lane.back(), '.');
+
+  // Unknown thread renders an empty lane.
+  const std::string empty = renderThreadLane(m, trace, 99, 10);
+  EXPECT_EQ(empty, "..........");
+}
+
+}  // namespace
+}  // namespace dike::exp

@@ -1,0 +1,129 @@
+#include "exp/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::exp {
+namespace {
+
+using util::parseJson;
+
+TEST(ConfigIo, DefaultsWhenEmpty) {
+  const ExperimentConfig config = parseExperimentConfig(parseJson("{}"));
+  EXPECT_EQ(config.workloadIds.size(), 16u);
+  EXPECT_EQ(config.kinds, allSchedulerKinds());
+  EXPECT_DOUBLE_EQ(config.scale, 0.5);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_EQ(config.reps, 1);
+  EXPECT_TRUE(config.heterogeneous);
+}
+
+TEST(ConfigIo, WorkloadSelectors) {
+  EXPECT_EQ(parseExperimentConfig(parseJson(R"({"workloads":"all"})"))
+                .workloadIds.size(),
+            16u);
+  EXPECT_EQ(parseExperimentConfig(parseJson(R"({"workloads":"B"})"))
+                .workloadIds.size(),
+            6u);
+  EXPECT_EQ(parseExperimentConfig(parseJson(R"({"workloads":"UC"})"))
+                .workloadIds,
+            (std::vector<int>{7, 8, 9, 10, 11}));
+  EXPECT_EQ(parseExperimentConfig(parseJson(R"({"workloads":[3,12]})"))
+                .workloadIds,
+            (std::vector<int>{3, 12}));
+}
+
+TEST(ConfigIo, SchedulerNames) {
+  const ExperimentConfig config = parseExperimentConfig(
+      parseJson(R"({"schedulers":["dike-af","random","static-oracle"]})"));
+  EXPECT_EQ(config.kinds,
+            (std::vector<SchedulerKind>{SchedulerKind::DikeAF,
+                                        SchedulerKind::Random,
+                                        SchedulerKind::StaticOracle}));
+  EXPECT_EQ(schedulerKindFromName("cfs"), SchedulerKind::Cfs);
+  EXPECT_THROW({ [[maybe_unused]] auto k = schedulerKindFromName("bogus"); },
+               std::runtime_error);
+}
+
+TEST(ConfigIo, MachineAndDikeOverrides) {
+  const ExperimentConfig config = parseExperimentConfig(parseJson(R"({
+    "machine": {"conflictSpread": 0.05, "llcPerSocketMB": 12,
+                "controllerAccessesPerSec": 1e8},
+    "dike": {"swapSize": 4, "quantaLengthMs": 200,
+             "fairnessThreshold": 0.1, "useFreeCores": false}
+  })"));
+  EXPECT_DOUBLE_EQ(config.machine.conflictSpread, 0.05);
+  EXPECT_DOUBLE_EQ(config.machine.llcPerSocketMB, 12.0);
+  EXPECT_DOUBLE_EQ(config.machine.memory.controllerAccessesPerSec, 1e8);
+  EXPECT_EQ(config.dike.params.swapSize, 4);
+  EXPECT_EQ(config.dike.params.quantaLengthMs, 200);
+  EXPECT_DOUBLE_EQ(config.dike.fairnessThreshold, 0.1);
+  EXPECT_FALSE(config.dike.useFreeCores);
+  // Untouched fields keep their defaults.
+  EXPECT_DOUBLE_EQ(config.dike.swapOhMs, core::DikeConfig{}.swapOhMs);
+}
+
+TEST(ConfigIo, RejectsInvalidDocuments) {
+  for (const char* bad : {
+           "[]",
+           R"({"workloads":"XX"})",
+           R"({"workloads":[99]})",
+           R"({"workloads":[]})",
+           R"({"workloads":["wl1"]})",
+           R"({"schedulers":["nope"]})",
+           R"({"schedulers":[]})",
+           R"({"schedulers":"dike"})",
+           R"({"scale":0})",
+           R"({"reps":0})",
+       }) {
+    EXPECT_THROW(
+        { [[maybe_unused]] auto c = parseExperimentConfig(parseJson(bad)); },
+        std::exception)
+        << bad;
+  }
+}
+
+TEST(ConfigIo, RunExperimentProducesGrid) {
+  ExperimentConfig config;
+  config.workloadIds = {2};
+  config.kinds = {SchedulerKind::Cfs, SchedulerKind::Dike};
+  config.scale = 0.1;
+  const std::vector<ExperimentCell> cells = runExperiment(config);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].kind, SchedulerKind::Cfs);
+  EXPECT_DOUBLE_EQ(cells[0].speedupVsCfs, 1.0);
+  EXPECT_EQ(cells[1].kind, SchedulerKind::Dike);
+  EXPECT_GT(cells[1].fairness, 0.0);
+  EXPECT_GT(cells[1].speedupVsCfs, 0.0);
+}
+
+TEST(ConfigIo, SpeedupsDefinedWithoutCfsListed) {
+  ExperimentConfig config;
+  config.workloadIds = {2};
+  config.kinds = {SchedulerKind::Dike};
+  config.scale = 0.1;
+  const std::vector<ExperimentCell> cells = runExperiment(config);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_GT(cells[0].speedupVsCfs, 0.5);
+  EXPECT_LT(cells[0].speedupVsCfs, 2.0);
+}
+
+TEST(ConfigIo, ToJsonRoundTrips) {
+  ExperimentConfig config;
+  config.name = "t";
+  config.workloadIds = {1};
+  config.kinds = {SchedulerKind::Cfs};
+  ExperimentCell cell;
+  cell.workloadId = 1;
+  cell.kind = SchedulerKind::Cfs;
+  cell.fairness = 0.9;
+  const util::JsonValue doc = toJson(config, {cell});
+  const util::JsonValue reparsed = util::parseJson(doc.dump());
+  EXPECT_EQ(reparsed.stringOr("experiment", ""), "t");
+  const util::JsonArray results = reparsed.get("results")->asArray();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].stringOr("workload", ""), "wl1");
+  EXPECT_DOUBLE_EQ(results[0].numberOr("fairness", 0.0), 0.9);
+}
+
+}  // namespace
+}  // namespace dike::exp

@@ -1,0 +1,87 @@
+#include "exp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace dike::exp {
+namespace {
+
+sim::PhaseProgram program(double instructions) {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", instructions, 0.0, 0.0, 1.0}};
+  return p;
+}
+
+sim::MachineConfig quiet() {
+  sim::MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  return cfg;
+}
+
+TEST(Metrics, PerfectFairnessWhenThreadsFinishTogether) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  m.addProcess("p", program(2.33e6 * 10), 2, false);
+  m.placeThread(0, 0);  // both fast cores
+  m.placeThread(1, 1);
+  while (!m.allFinished()) m.step();
+  EXPECT_NEAR(fairnessEq4(m), 1.0, 1e-9);
+}
+
+TEST(Metrics, SplitPlacementLowersFairness) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  m.addProcess("p", program(2.33e6 * 10), 2, false);
+  m.placeThread(0, 0);  // fast
+  m.placeThread(1, 2);  // slow: finishes ~1.93x later
+  while (!m.allFinished()) m.step();
+  const double fairness = fairnessEq4(m);
+  EXPECT_LT(fairness, 0.75);
+  EXPECT_GT(fairness, 0.5);
+
+  const auto results = processResults(m);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].threadFinishTicks.size(), 2u);
+  EXPECT_GT(results[0].runtimeCv, 0.25);
+}
+
+TEST(Metrics, UnfinishedMachineThrows) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  m.addProcess("p", program(1e12), 1, false);
+  m.placeThread(0, 0);
+  m.step();
+  EXPECT_THROW({ [[maybe_unused]] auto r = processResults(m); },
+               std::logic_error);
+  EXPECT_THROW({ [[maybe_unused]] double f = fairnessEq4(m); },
+               std::logic_error);
+}
+
+TEST(Metrics, EmptyMachineThrows) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  EXPECT_THROW({ [[maybe_unused]] double f = fairnessEq4(m); },
+               std::logic_error);
+}
+
+TEST(Metrics, ProcessResultCarriesIdentity) {
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), quiet()};
+  m.addProcess("alpha", program(2.33e6), 1, true);
+  m.placeThread(0, 0);
+  while (!m.allFinished()) m.step();
+  const auto results = processResults(m);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "alpha");
+  EXPECT_TRUE(results[0].memoryIntensive);
+  EXPECT_EQ(results[0].finishTick, m.process(0).finishTick);
+}
+
+TEST(Metrics, Helpers) {
+  EXPECT_DOUBLE_EQ(relativeImprovement(1.2, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(relativeImprovement(0.8, 1.0), -0.2);
+  EXPECT_DOUBLE_EQ(relativeImprovement(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(speedup(100, 200), 0.5);
+  EXPECT_DOUBLE_EQ(speedup(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace dike::exp

@@ -1,0 +1,130 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.hpp"
+
+namespace dike::exp {
+namespace {
+
+RunSpec quickSpec(SchedulerKind kind, int workloadId = 2) {
+  RunSpec spec;
+  spec.workloadId = workloadId;
+  spec.kind = kind;
+  spec.scale = 0.12;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(Runner, SchedulerKindNames) {
+  EXPECT_EQ(toString(SchedulerKind::Cfs), "cfs");
+  EXPECT_EQ(toString(SchedulerKind::Dio), "dio");
+  EXPECT_EQ(toString(SchedulerKind::Dike), "dike");
+  EXPECT_EQ(toString(SchedulerKind::DikeAF), "dike-af");
+  EXPECT_EQ(toString(SchedulerKind::DikeAP), "dike-ap");
+  EXPECT_EQ(allSchedulerKinds().size(), 5u);
+}
+
+TEST(Runner, CompletesAndReportsMetrics) {
+  const RunMetrics m = runWorkload(quickSpec(SchedulerKind::Cfs));
+  EXPECT_FALSE(m.timedOut);
+  EXPECT_GT(m.makespan, 0);
+  EXPECT_GT(m.fairness, 0.0);
+  EXPECT_LE(m.fairness, 1.0);
+  EXPECT_EQ(m.swaps, 0);  // CFS never migrates
+  EXPECT_EQ(m.processes.size(), 5u);
+  EXPECT_EQ(m.workload, "wl2");
+  EXPECT_EQ(m.scheduler, "cfs");
+  EXPECT_FALSE(m.hasPredictions);
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const RunMetrics a = runWorkload(quickSpec(SchedulerKind::Dike));
+  const RunMetrics b = runWorkload(quickSpec(SchedulerKind::Dike));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.swaps, b.swaps);
+}
+
+TEST(Runner, SeedChangesOutcome) {
+  RunSpec spec = quickSpec(SchedulerKind::Cfs);
+  const RunMetrics a = runWorkload(spec);
+  spec.seed = 43;
+  const RunMetrics b = runWorkload(spec);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(Runner, DikeVariantsReportDecisionsAndPredictions) {
+  const RunMetrics m = runWorkload(quickSpec(SchedulerKind::Dike));
+  EXPECT_TRUE(m.hasPredictions);
+  EXPECT_GT(m.decisions.quanta, 0);
+  EXPECT_GE(m.predErrMax, m.predErrMean);
+  EXPECT_LE(m.predErrMin, m.predErrMean);
+  EXPECT_FALSE(m.predTrace.empty());
+}
+
+TEST(Runner, DikeConfigOverrideIsHonoured) {
+  RunSpec spec = quickSpec(SchedulerKind::Dike);
+  core::DikeConfig cfg;
+  cfg.rotateWhenNoViolator = false;
+  cfg.useFreeCores = false;
+  cfg.fairnessThreshold = 5.0;  // system always "fair": no swaps at all
+  spec.dikeConfig = cfg;
+  const RunMetrics m = runWorkload(spec);
+  EXPECT_EQ(m.swaps, 0);
+  EXPECT_EQ(m.migrations, 0);
+}
+
+TEST(Runner, StandaloneRunsSingleProcess) {
+  const RunMetrics m = runStandalone("jacobi", 0.12, 42, true);
+  EXPECT_FALSE(m.timedOut);
+  EXPECT_EQ(m.processes.size(), 1u);
+  EXPECT_EQ(m.processes[0].name, "jacobi");
+  // Standalone on spread placement is nearly perfectly fair.
+  EXPECT_GT(m.fairness, 0.95);
+}
+
+TEST(Runner, StandaloneFasterThanConcurrent) {
+  const RunMetrics alone = runStandalone("jacobi", 0.12, 42, true);
+  const RunMetrics loaded = runWorkload(quickSpec(SchedulerKind::Cfs, 2));
+  // jacobi is process 0 of wl2.
+  EXPECT_LT(alone.processes[0].finishTick, loaded.processes[0].finishTick);
+}
+
+TEST(Sweep, LatticeIs32Points) {
+  const auto lattice = configLattice();
+  EXPECT_EQ(lattice.size(), 32u);
+  bool hasDefault = false;
+  for (const core::DikeParams& p : lattice)
+    hasDefault |= (p == core::defaultParams());
+  EXPECT_TRUE(hasDefault);
+}
+
+TEST(Sweep, FindExtremesIdentifiesBestAndWorst) {
+  std::vector<ConfigResult> sweep;
+  for (const core::DikeParams& p : configLattice()) {
+    ConfigResult r;
+    r.params = p;
+    r.fairness = 0.5 + 0.01 * p.swapSize;          // best at swapSize 16
+    r.speedup = 1.0 + 0.0001 * p.quantaLengthMs;   // best at 1000 ms
+    sweep.push_back(r);
+  }
+  const SweepExtremes e = findExtremes(sweep);
+  EXPECT_EQ(e.bestFairness.params.swapSize, 16);
+  EXPECT_EQ(e.worstFairness.params.swapSize, 2);
+  EXPECT_EQ(e.bestPerformance.params.quantaLengthMs, 1000);
+  EXPECT_EQ(e.worstPerformance.params.quantaLengthMs, 100);
+  EXPECT_EQ(e.defaultConfig.params, core::defaultParams());
+}
+
+TEST(Sweep, FindExtremesRejectsBadInput) {
+  EXPECT_THROW({ [[maybe_unused]] auto e = findExtremes({}); },
+               std::invalid_argument);
+  std::vector<ConfigResult> noDefault(1);
+  noDefault[0].params = core::DikeParams{2, 100};
+  EXPECT_THROW({ [[maybe_unused]] auto e = findExtremes(noDefault); },
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dike::exp

@@ -1,0 +1,144 @@
+#include "oslinux/cpufreq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace dike::oslinux {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CpufreqTree {
+ public:
+  CpufreqTree() {
+    root_ = fs::temp_directory_path() /
+            ("dike_cpufreq_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++));
+    fs::create_directories(root_);
+  }
+  ~CpufreqTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void write(const std::string& rel, const std::string& content) const {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out{path};
+    out << content;
+  }
+
+  void addCpu(int id, const std::string& governor, long minKhz, long maxKhz,
+              long curKhz = 0, long hwMaxKhz = 0) const {
+    const std::string dir = "cpu" + std::to_string(id) + "/cpufreq/";
+    write(dir + "scaling_governor", governor + "\n");
+    write(dir + "scaling_min_freq", std::to_string(minKhz) + "\n");
+    write(dir + "scaling_max_freq", std::to_string(maxKhz) + "\n");
+    if (curKhz > 0) write(dir + "scaling_cur_freq", std::to_string(curKhz));
+    if (hwMaxKhz > 0)
+      write(dir + "cpuinfo_max_freq", std::to_string(hwMaxKhz));
+  }
+
+  [[nodiscard]] const fs::path& root() const noexcept { return root_; }
+
+ private:
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  fs::path root_;
+};
+
+TEST(Cpufreq, ReadsPolicy) {
+  CpufreqTree tree;
+  tree.addCpu(0, "performance", 1210000, 2330000, 2000000, 2330000);
+  const auto policy = readCpufreqPolicy(0, tree.root());
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->cpu, 0);
+  EXPECT_EQ(policy->governor, "performance");
+  EXPECT_NEAR(policy->minFreqGhz, 1.21, 1e-9);
+  EXPECT_NEAR(policy->maxFreqGhz, 2.33, 1e-9);
+  EXPECT_NEAR(policy->curFreqGhz, 2.0, 1e-9);
+  EXPECT_NEAR(policy->hwMaxFreqGhz, 2.33, 1e-9);
+}
+
+TEST(Cpufreq, OptionalFieldsDefaultToZero) {
+  CpufreqTree tree;
+  tree.addCpu(3, "powersave", 800000, 1600000);
+  const auto policy = readCpufreqPolicy(3, tree.root());
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_DOUBLE_EQ(policy->curFreqGhz, 0.0);
+  EXPECT_DOUBLE_EQ(policy->hwMaxFreqGhz, 0.0);
+}
+
+TEST(Cpufreq, MissingMandatoryFilesFail) {
+  CpufreqTree tree;
+  tree.write("cpu1/cpufreq/scaling_governor", "performance\n");
+  // min/max missing.
+  EXPECT_FALSE(readCpufreqPolicy(1, tree.root()).has_value());
+  EXPECT_FALSE(readCpufreqPolicy(9, tree.root()).has_value());
+}
+
+TEST(Cpufreq, ReadAllSkipsDriverlessCpus) {
+  CpufreqTree tree;
+  tree.write("online", "0-2\n");
+  tree.addCpu(0, "performance", 1210000, 2330000);
+  tree.addCpu(2, "powersave", 1210000, 1210000);
+  // cpu1 has no cpufreq directory.
+  const auto policies = readAllCpufreqPolicies(tree.root());
+  ASSERT_EQ(policies.size(), 2u);
+  EXPECT_EQ(policies[0].cpu, 0);
+  EXPECT_EQ(policies[1].cpu, 2);
+}
+
+TEST(Cpufreq, PartitionBySpeedFindsPaperTestbedShape) {
+  CpufreqTree tree;
+  tree.write("online", "0-3\n");
+  tree.addCpu(0, "performance", 1210000, 2330000);
+  tree.addCpu(1, "performance", 1210000, 2330000);
+  tree.addCpu(2, "powersave", 1210000, 1210000);
+  tree.addCpu(3, "powersave", 1210000, 1210000);
+  const SpeedPartition partition =
+      partitionBySpeed(readAllCpufreqPolicies(tree.root()));
+  EXPECT_EQ(partition.fast, (std::vector<int>{0, 1}));
+  EXPECT_EQ(partition.slow, (std::vector<int>{2, 3}));
+}
+
+TEST(Cpufreq, PartitionEmptyForHomogeneous) {
+  CpufreqTree tree;
+  tree.write("online", "0-1\n");
+  tree.addCpu(0, "performance", 1000000, 2000000);
+  tree.addCpu(1, "performance", 1000000, 2000000);
+  const SpeedPartition partition =
+      partitionBySpeed(readAllCpufreqPolicies(tree.root()));
+  EXPECT_TRUE(partition.fast.empty());
+  EXPECT_TRUE(partition.slow.empty());
+}
+
+TEST(Cpufreq, WriteMaxFrequencyRoundTrip) {
+  CpufreqTree tree;
+  tree.addCpu(0, "performance", 1210000, 2330000);
+  ASSERT_FALSE(writeMaxFrequency(0, 1.21, tree.root()));
+  const auto policy = readCpufreqPolicy(0, tree.root());
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_NEAR(policy->maxFreqGhz, 1.21, 1e-9);
+}
+
+TEST(Cpufreq, WriteErrors) {
+  CpufreqTree tree;
+  EXPECT_EQ(writeMaxFrequency(0, -1.0, tree.root()),
+            std::make_error_code(std::errc::invalid_argument));
+  // No such cpu directory -> cannot open.
+  EXPECT_TRUE(static_cast<bool>(writeMaxFrequency(7, 1.0, tree.root())));
+}
+
+TEST(Cpufreq, LiveSysfsNeverThrows) {
+  EXPECT_NO_THROW({
+    [[maybe_unused]] auto policies = readAllCpufreqPolicies();
+  });
+}
+
+}  // namespace
+}  // namespace dike::oslinux

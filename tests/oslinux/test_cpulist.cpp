@@ -1,0 +1,66 @@
+#include "oslinux/cpulist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::oslinux {
+namespace {
+
+TEST(CpuList, SingleValues) {
+  EXPECT_EQ(parseCpuList("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parseCpuList("7"), (std::vector<int>{7}));
+}
+
+TEST(CpuList, Ranges) {
+  EXPECT_EQ(parseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parseCpuList("5-5"), (std::vector<int>{5}));
+}
+
+TEST(CpuList, MixedListsAndRanges) {
+  EXPECT_EQ(parseCpuList("0-2,4,6-7"),
+            (std::vector<int>{0, 1, 2, 4, 6, 7}));
+  EXPECT_EQ(parseCpuList("1,3,5"), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(CpuList, ToleratesSysfsWhitespace) {
+  EXPECT_EQ(parseCpuList("0-3\n"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parseCpuList("  0 - 3 , 5 "), (std::vector<int>{0, 1, 2, 3, 5}));
+}
+
+TEST(CpuList, EmptyIsValidEmptySet) {
+  ASSERT_TRUE(parseCpuList("").has_value());
+  EXPECT_TRUE(parseCpuList("")->empty());
+  EXPECT_TRUE(parseCpuList(" \n")->empty());
+}
+
+TEST(CpuList, MalformedReturnsNullopt) {
+  EXPECT_FALSE(parseCpuList("abc").has_value());
+  EXPECT_FALSE(parseCpuList("1-").has_value());
+  EXPECT_FALSE(parseCpuList("3-1").has_value());  // descending range
+  EXPECT_FALSE(parseCpuList("1,,2").has_value());
+  EXPECT_FALSE(parseCpuList("1,").has_value());
+  EXPECT_FALSE(parseCpuList("-2").has_value());
+  EXPECT_FALSE(parseCpuList("1;2").has_value());
+}
+
+TEST(CpuList, RejectsImplausiblyLargeIds) {
+  EXPECT_FALSE(parseCpuList("99999999999").has_value());
+}
+
+TEST(CpuList, FormatCompactsRuns) {
+  EXPECT_EQ(formatCpuList({0, 1, 2, 3}), "0-3");
+  EXPECT_EQ(formatCpuList({0, 2, 4}), "0,2,4");
+  EXPECT_EQ(formatCpuList({0, 1, 3, 4, 5, 9}), "0-1,3-5,9");
+  EXPECT_EQ(formatCpuList({}), "");
+  EXPECT_EQ(formatCpuList({7}), "7");
+}
+
+TEST(CpuList, RoundTrip) {
+  for (const char* text : {"0-39", "0,2-5,8", "1", "0-1,3-5,9"}) {
+    const auto cpus = parseCpuList(text);
+    ASSERT_TRUE(cpus.has_value()) << text;
+    EXPECT_EQ(formatCpuList(*cpus), text);
+  }
+}
+
+}  // namespace
+}  // namespace dike::oslinux

@@ -1,0 +1,120 @@
+#include "oslinux/dike_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+namespace dike::oslinux {
+namespace {
+
+TEST(DikeHost, AddProcessRequiresLivePid) {
+  DikeHost host;
+  EXPECT_TRUE(static_cast<bool>(host.addProcess(0)));
+  EXPECT_FALSE(static_cast<bool>(host.addProcess(getpid())));
+  EXPECT_GT(host.managedThreadCount(), 0);
+}
+
+TEST(DikeHost, InitializeWithoutProcessesFails) {
+  DikeHost host;
+  EXPECT_EQ(host.initialize(),
+            std::make_error_code(std::errc::invalid_argument));
+}
+
+TEST(DikeHost, QuantumBeforeInitializeIsNoop) {
+  DikeHost host;
+  ASSERT_FALSE(host.addProcess(getpid()));
+  const HostQuantumReport report = host.runQuantum();
+  EXPECT_EQ(report.swapsExecuted, 0);
+  EXPECT_EQ(host.totalSwaps(), 0);
+}
+
+TEST(DikeHost, ManagesSelfAcrossQuanta) {
+  // Spin up a couple of busy threads so there is something to observe.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> busy;
+  for (int i = 0; i < 2; ++i) {
+    busy.emplace_back([&stop] {
+      volatile double x = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) x = x * 1.0000001 + 1e-9;
+    });
+  }
+
+  HostConfig cfg;
+  cfg.usePerf = false;  // deterministic in containers
+  cfg.dike.params.quantaLengthMs = 50;
+  DikeHost host{cfg};
+  ASSERT_FALSE(host.addProcess(getpid()));
+  const std::error_code ec = host.initialize();
+  if (ec) {
+    stop = true;
+    for (auto& t : busy) t.join();
+    GTEST_SKIP() << "affinity pinning not permitted: " << ec.message();
+  }
+  EXPECT_FALSE(host.cpus().empty());
+  EXPECT_GE(host.managedThreadCount(), 3);  // main + 2 busy threads
+
+  for (int q = 0; q < 3; ++q) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const HostQuantumReport report = host.runQuantum();
+    EXPECT_GE(report.liveThreads, 3);
+    EXPECT_GE(report.unfairness, 0.0);
+  }
+  EXPECT_TRUE(host.observer().ready());
+
+  stop = true;
+  for (auto& t : busy) t.join();
+}
+
+TEST(DikeHost, AdoptsThreadsSpawnedAfterRegistration) {
+  HostConfig cfg;
+  cfg.usePerf = false;
+  cfg.dike.params.quantaLengthMs = 20;
+  DikeHost host{cfg};
+  ASSERT_FALSE(host.addProcess(getpid()));
+  if (host.initialize()) GTEST_SKIP() << "affinity pinning not permitted";
+  const int before = host.managedThreadCount();
+
+  std::atomic<bool> stop{false};
+  std::thread late{[&stop] {
+    while (!stop.load(std::memory_order_relaxed))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  (void)host.runQuantum();
+  EXPECT_GT(host.managedThreadCount(), before);
+
+  stop = true;
+  late.join();
+}
+
+TEST(DikeHost, PrunesDeadProcesses) {
+  const pid_t child = ::fork();
+  if (child == 0) ::_exit(0);
+  ASSERT_GT(child, 0);
+
+  HostConfig cfg;
+  cfg.usePerf = false;
+  DikeHost host{cfg};
+  // The child may already be gone; either way the host must not manage a
+  // dead thread after a quantum.
+  (void)host.addProcess(child);
+  (void)host.addProcess(getpid());
+  if (host.initialize()) GTEST_SKIP() << "affinity pinning not permitted";
+
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  (void)host.runQuantum();
+  for (int q = 0; q < 2; ++q) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)host.runQuantum();
+  }
+  // Only live (self) threads remain.
+  EXPECT_GE(host.managedThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace dike::oslinux

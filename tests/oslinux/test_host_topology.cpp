@@ -1,0 +1,134 @@
+#include "oslinux/host_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace dike::oslinux {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a fake sysfs cpu tree mirroring the paper's 2-socket machine
+/// (scaled down: 2 sockets x 2 physical cores x 2 SMT = 8 cpus).
+class FixtureTree {
+ public:
+  FixtureTree() {
+    root_ = fs::temp_directory_path() /
+            ("dike_sysfs_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++));
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void write(const std::string& rel, const std::string& content) const {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out{path};
+    out << content;
+  }
+
+  void addCpu(int id, int package, int coreId, long maxFreqKhz = 0) const {
+    const std::string dir = "cpu" + std::to_string(id);
+    write(dir + "/topology/physical_package_id", std::to_string(package));
+    write(dir + "/topology/core_id", std::to_string(coreId));
+    if (maxFreqKhz > 0)
+      write(dir + "/cpufreq/cpuinfo_max_freq", std::to_string(maxFreqKhz));
+  }
+
+  [[nodiscard]] const fs::path& root() const noexcept { return root_; }
+
+ private:
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  fs::path root_;
+};
+
+FixtureTree paperLikeTree() {
+  FixtureTree tree;
+  tree.write("online", "0-7\n");
+  // Socket 0 @2.33 GHz: cpus 0-3 = phys cores 0,0,1,1 (SMT pairs 0+1, 2+3).
+  tree.addCpu(0, 0, 0, 2330000);
+  tree.addCpu(1, 0, 0, 2330000);
+  tree.addCpu(2, 0, 1, 2330000);
+  tree.addCpu(3, 0, 1, 2330000);
+  // Socket 1 @1.21 GHz.
+  tree.addCpu(4, 1, 0, 1210000);
+  tree.addCpu(5, 1, 0, 1210000);
+  tree.addCpu(6, 1, 1, 1210000);
+  tree.addCpu(7, 1, 1, 1210000);
+  return tree;
+}
+
+TEST(HostTopology, ReadsFixtureTree) {
+  const FixtureTree tree = paperLikeTree();
+  const auto topo = readHostTopology(tree.root());
+  ASSERT_TRUE(topo.has_value());
+  ASSERT_EQ(topo->cpus.size(), 8u);
+  EXPECT_EQ(topo->socketCount(), 2);
+  EXPECT_EQ(topo->cpus[0].package, 0);
+  EXPECT_EQ(topo->cpus[7].package, 1);
+  EXPECT_NEAR(topo->cpus[0].maxFreqGhz, 2.33, 1e-9);
+  EXPECT_NEAR(topo->cpus[4].maxFreqGhz, 1.21, 1e-9);
+}
+
+TEST(HostTopology, SmtSiblings) {
+  const FixtureTree tree = paperLikeTree();
+  const auto topo = readHostTopology(tree.root());
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->smtSiblings(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo->smtSiblings(3), (std::vector<int>{2, 3}));
+  // Same core_id on a different package is not a sibling.
+  EXPECT_EQ(topo->smtSiblings(4), (std::vector<int>{4, 5}));
+  EXPECT_TRUE(topo->smtSiblings(99).empty());
+}
+
+TEST(HostTopology, MissingFrequencyIsZero) {
+  FixtureTree tree;
+  tree.write("online", "0\n");
+  tree.addCpu(0, 0, 0, /*maxFreqKhz=*/0);
+  const auto topo = readHostTopology(tree.root());
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_DOUBLE_EQ(topo->cpus[0].maxFreqGhz, 0.0);
+}
+
+TEST(HostTopology, SparseOnlineList) {
+  FixtureTree tree;
+  tree.write("online", "0,2\n");
+  tree.addCpu(0, 0, 0);
+  tree.addCpu(2, 0, 1);
+  const auto topo = readHostTopology(tree.root());
+  ASSERT_TRUE(topo.has_value());
+  ASSERT_EQ(topo->cpus.size(), 2u);
+  EXPECT_EQ(topo->cpus[1].id, 2);
+}
+
+TEST(HostTopology, MissingTreeFails) {
+  EXPECT_FALSE(readHostTopology("/nonexistent-dike-sysfs").has_value());
+}
+
+TEST(HostTopology, IncompleteCpuEntryFails) {
+  FixtureTree tree;
+  tree.write("online", "0-1\n");
+  tree.addCpu(0, 0, 0);
+  // cpu1 directory missing entirely.
+  EXPECT_FALSE(readHostTopology(tree.root()).has_value());
+}
+
+TEST(HostTopology, LiveSysfsEitherWorksOrFailsGracefully) {
+  // Containers sometimes hide parts of sysfs; the call must never throw.
+  const auto topo = readHostTopology();
+  if (topo.has_value()) {
+    EXPECT_FALSE(topo->cpus.empty());
+    EXPECT_GE(topo->socketCount(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace dike::oslinux

@@ -1,0 +1,52 @@
+#include "oslinux/perf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::oslinux {
+namespace {
+
+TEST(Perf, AvailabilityProbeNeverThrows) {
+  EXPECT_NO_THROW({ [[maybe_unused]] bool ok = perfLikelyAvailable(); });
+}
+
+TEST(Perf, OpenEitherWorksOrReportsError) {
+  // Containers routinely deny perf_event_open; both outcomes are fine, but
+  // the error path must be clean (code set, no counter).
+  std::error_code ec;
+  auto counter = PerfCounter::open(PerfEventKind::Instructions, 0, ec);
+  if (!counter.has_value()) {
+    EXPECT_TRUE(static_cast<bool>(ec));
+    return;
+  }
+  EXPECT_FALSE(ec);
+  EXPECT_GE(counter->fd(), 0);
+
+  // Burn some instructions and check the counter moves forward.
+  volatile double sink = 1.0;
+  for (int i = 0; i < 100000; ++i) sink = sink * 1.000001 + 0.5;
+  const auto first = counter->readDelta();
+  ASSERT_TRUE(first.has_value());
+  for (int i = 0; i < 100000; ++i) sink = sink * 1.000001 + 0.5;
+  const auto second = counter->readDelta();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(*second, 0u);
+  EXPECT_FALSE(static_cast<bool>(counter->reset()));
+}
+
+TEST(Perf, MoveTransfersOwnership) {
+  std::error_code ec;
+  auto counter = PerfCounter::open(PerfEventKind::CpuCycles, 0, ec);
+  if (!counter.has_value()) GTEST_SKIP() << "perf unavailable: " << ec.message();
+
+  const int fd = counter->fd();
+  PerfCounter moved = std::move(*counter);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_EQ(counter->fd(), -1);  // NOLINT(bugprone-use-after-move): testing
+
+  PerfCounter assigned = std::move(moved);
+  EXPECT_EQ(assigned.fd(), fd);
+  EXPECT_TRUE(assigned.read().has_value());
+}
+
+}  // namespace
+}  // namespace dike::oslinux

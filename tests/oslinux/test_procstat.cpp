@@ -1,0 +1,84 @@
+#include "oslinux/procstat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+namespace dike::oslinux {
+namespace {
+
+/// A realistic /proc/<pid>/stat line (52 fields) with chosen values:
+/// minflt=100, majflt=7, utime=5000, stime=1200, processor=3.
+std::string statLine(const std::string& comm = "myproc") {
+  return "1234 (" + comm +
+         ") S 1 1234 1234 0 -1 4194304 "
+         "100 0 7 0 5000 1200 0 0 20 0 8 0 123456 1000000 500 "
+         "18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 "
+         "3 0 0 0 0 0 0 0 0 0 0 0 0 0";
+}
+
+TEST(ProcStat, ParsesCanonicalLine) {
+  const std::string line = statLine();  // keep the buffer alive: comm views it
+  const auto stat = parseProcStat(line);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->pid, 1234);
+  EXPECT_EQ(stat->comm, "myproc");
+  EXPECT_EQ(stat->state, 'S');
+  EXPECT_EQ(stat->minflt, 100u);
+  EXPECT_EQ(stat->majflt, 7u);
+  EXPECT_EQ(stat->utimeTicks, 5000u);
+  EXPECT_EQ(stat->stimeTicks, 1200u);
+  EXPECT_EQ(stat->processor, 3);
+}
+
+TEST(ProcStat, CommWithSpacesAndParens) {
+  // The kernel wraps comm in the outermost parens; embedded ") (" must not
+  // confuse the parser.
+  const std::string line = statLine("evil) (name");
+  const auto stat = parseProcStat(line);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->comm, "evil) (name");
+  EXPECT_EQ(stat->state, 'S');
+  EXPECT_EQ(stat->processor, 3);
+}
+
+TEST(ProcStat, MalformedLinesRejected) {
+  EXPECT_FALSE(parseProcStat("").has_value());
+  EXPECT_FALSE(parseProcStat("1234 no-parens S 1").has_value());
+  EXPECT_FALSE(parseProcStat("1234 (x) S 1 2 3").has_value());  // too short
+  EXPECT_FALSE(parseProcStat("abc (x) S 1").has_value());       // bad pid
+}
+
+TEST(ProcStat, ReadSelf) {
+  const auto stat = readProcStat(getpid());
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->pid, getpid());
+  EXPECT_GE(stat->processor, 0);
+}
+
+TEST(ProcStat, ReadSelfThread) {
+  const auto tids = listThreads(getpid());
+  ASSERT_FALSE(tids.empty());
+  const auto stat = readProcStat(getpid(), tids.front());
+  ASSERT_TRUE(stat.has_value());
+}
+
+TEST(ProcStat, ReadMissingPidFails) {
+  EXPECT_FALSE(readProcStat(0).has_value());
+}
+
+TEST(ProcStat, ListThreadsContainsSelf) {
+  const auto tids = listThreads(getpid());
+  bool foundSelf = false;
+  for (const pid_t tid : tids) foundSelf |= (tid == getpid());
+  EXPECT_TRUE(foundSelf);
+}
+
+TEST(ProcStat, ListThreadsOfMissingPidEmpty) {
+  EXPECT_TRUE(listThreads(0).empty());
+}
+
+}  // namespace
+}  // namespace dike::oslinux

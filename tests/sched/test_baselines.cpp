@@ -1,0 +1,122 @@
+// Tests for the baseline policies: CFS (no-op) and DIO (sort, pair
+// extremes, swap within its per-quantum budget).
+#include <gtest/gtest.h>
+
+#include "sched/cfs.hpp"
+#include "sched/dio.hpp"
+#include "sched/placement.hpp"
+#include "sim/machine.hpp"
+
+namespace dike::sched {
+namespace {
+
+sim::PhaseProgram program(double memPerInstr, double missRatio) {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", 1e12, memPerInstr, missRatio, 1.0}};
+  return p;
+}
+
+/// 4 memory threads (miss 0.3) and 4 compute threads (miss 0.02) on the
+/// small testbed (8 cores, no SMT). Memory threads occupy slow cores.
+sim::Machine mixedMachine() {
+  sim::MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  sim::Machine m{sim::MachineTopology::smallTestbed(4), cfg};
+  m.addProcess("mem", program(0.02, 0.3), 4, true);
+  m.addProcess("comp", program(0.0005, 0.02), 4, false);
+  // Compute on fast cores 0-3, memory on slow cores 4-7.
+  m.placeThread(4, 0);
+  m.placeThread(5, 1);
+  m.placeThread(6, 2);
+  m.placeThread(7, 3);
+  m.placeThread(0, 4);
+  m.placeThread(1, 5);
+  m.placeThread(2, 6);
+  m.placeThread(3, 7);
+  return m;
+}
+
+TEST(Cfs, NeverMigrates) {
+  sim::Machine m = mixedMachine();
+  CfsScheduler scheduler{100};
+  SchedulerAdapter adapter{scheduler};
+  for (int q = 0; q < 5; ++q) {
+    for (int i = 0; i < 100; ++i) m.step();
+    adapter.onQuantum(m);
+  }
+  EXPECT_EQ(m.swapCount(), 0);
+  EXPECT_EQ(m.migrationCount(), 0);
+  EXPECT_EQ(scheduler.name(), "cfs");
+}
+
+TEST(Cfs, RejectsInvalidQuantum) {
+  EXPECT_THROW(CfsScheduler{0}, std::invalid_argument);
+}
+
+TEST(Dio, SwapsExtremePairsEveryQuantum) {
+  sim::Machine m = mixedMachine();
+  DioScheduler scheduler{100, /*maxPairsPerQuantum=*/4};
+  SchedulerAdapter adapter{scheduler};
+  for (int i = 0; i < 100; ++i) m.step();
+  adapter.onQuantum(m);
+
+  // Highest-miss threads pair with lowest-miss threads: with 4 M vs 4 C
+  // threads every pair crosses the classes, so all 4 swap.
+  EXPECT_EQ(m.swapCount(), 4);
+  // Memory threads moved onto the compute threads' (fast) cores.
+  for (int t = 0; t < 4; ++t)
+    EXPECT_EQ(m.topology().core(m.thread(t).coreId).type,
+              sim::CoreType::Fast);
+}
+
+TEST(Dio, BudgetBoundsPairsPerQuantum) {
+  sim::Machine m = mixedMachine();
+  DioScheduler scheduler{100, /*maxPairsPerQuantum=*/2};
+  SchedulerAdapter adapter{scheduler};
+  for (int i = 0; i < 100; ++i) m.step();
+  adapter.onQuantum(m);
+  EXPECT_EQ(m.swapCount(), 2);
+}
+
+TEST(Dio, SkipsEqualIntensityPairs) {
+  sim::MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), cfg};
+  m.addProcess("same", program(0.01, 0.2), 4, true);  // identical miss rates
+  placeContiguous(m);
+  DioScheduler scheduler{100};
+  SchedulerAdapter adapter{scheduler};
+  for (int i = 0; i < 100; ++i) m.step();
+  adapter.onQuantum(m);
+  EXPECT_EQ(m.swapCount(), 0);  // nothing to redistribute
+}
+
+TEST(Dio, IgnoresFinishedThreads) {
+  sim::MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  sim::Machine m{sim::MachineTopology::smallTestbed(2), cfg};
+  sim::PhaseProgram quick;
+  quick.phases = {sim::Phase{"q", 2.33e6, 0.0, 0.3, 1.0}};
+  m.addProcess("quick", quick, 1, false);
+  m.addProcess("slow", program(0.01, 0.2), 1, true);
+  m.placeThread(0, 0);
+  m.placeThread(1, 1);
+  for (int i = 0; i < 100; ++i) m.step();
+  ASSERT_TRUE(m.thread(0).finished);
+
+  DioScheduler scheduler{100};
+  SchedulerAdapter adapter{scheduler};
+  adapter.onQuantum(m);  // only one live thread: nothing to pair
+  EXPECT_EQ(m.swapCount(), 0);
+}
+
+TEST(Dio, RejectsInvalidArguments) {
+  EXPECT_THROW(DioScheduler(0, 4), std::invalid_argument);
+  EXPECT_THROW(DioScheduler(100, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dike::sched

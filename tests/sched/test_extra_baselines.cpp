@@ -1,0 +1,76 @@
+#include "sched/extra_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/placement.hpp"
+#include "sim/machine.hpp"
+
+namespace dike::sched {
+namespace {
+
+sim::Machine machineWithThreads(int n) {
+  sim::MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  sim::Machine m{sim::MachineTopology::smallTestbed(4), cfg};
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", 1e12, 0.005, 0.1, 1.0}};
+  m.addProcess("p", p, n, false);
+  placeContiguous(m);
+  return m;
+}
+
+TEST(RandomScheduler, SwapsConfiguredPairCount) {
+  sim::Machine m = machineWithThreads(6);
+  RandomScheduler scheduler{100, /*pairsPerQuantum=*/3, /*seed=*/7};
+  SchedulerAdapter adapter{scheduler};
+  for (int i = 0; i < 100; ++i) m.step();
+  adapter.onQuantum(m);
+  EXPECT_EQ(m.swapCount(), 3);
+  EXPECT_EQ(scheduler.name(), "random");
+}
+
+TEST(RandomScheduler, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Machine m = machineWithThreads(6);
+    RandomScheduler scheduler{100, 2, seed};
+    SchedulerAdapter adapter{scheduler};
+    for (int q = 0; q < 3; ++q) {
+      for (int i = 0; i < 100; ++i) m.step();
+      adapter.onQuantum(m);
+    }
+    std::vector<int> cores;
+    for (const sim::SimThread& t : m.threads()) cores.push_back(t.coreId);
+    return cores;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(RandomScheduler, NeverSwapsAThreadWithItself) {
+  sim::Machine m = machineWithThreads(2);
+  RandomScheduler scheduler{100, 8, 3};
+  SchedulerAdapter adapter{scheduler};
+  for (int q = 0; q < 5; ++q) {
+    for (int i = 0; i < 100; ++i) m.step();
+    EXPECT_NO_THROW(adapter.onQuantum(m));  // self-swap would throw
+  }
+  EXPECT_EQ(m.swapCount(), 5 * 8);
+}
+
+TEST(RandomScheduler, SingleThreadIsNoop) {
+  sim::Machine m = machineWithThreads(1);
+  RandomScheduler scheduler{100, 4, 3};
+  SchedulerAdapter adapter{scheduler};
+  for (int i = 0; i < 100; ++i) m.step();
+  adapter.onQuantum(m);
+  EXPECT_EQ(m.swapCount(), 0);
+}
+
+TEST(RandomScheduler, RejectsInvalidArguments) {
+  EXPECT_THROW(RandomScheduler(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(RandomScheduler(100, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dike::sched

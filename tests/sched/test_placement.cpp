@@ -1,0 +1,102 @@
+#include "sched/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/machine.hpp"
+
+namespace dike::sched {
+namespace {
+
+sim::PhaseProgram program() {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", 1e9, 0.01, 0.2, 1.0}};
+  return p;
+}
+
+sim::Machine machineWithThreads(int memThreads, int compThreads) {
+  sim::MachineConfig cfg;
+  cfg.conflictSpread = 0.0;
+  sim::Machine m{sim::MachineTopology::paperTestbed(), cfg};
+  if (memThreads > 0) m.addProcess("mem", program(), memThreads, true);
+  if (compThreads > 0) m.addProcess("comp", program(), compThreads, false);
+  return m;
+}
+
+void expectAllPlacedDistinct(const sim::Machine& m) {
+  std::set<int> cores;
+  for (const sim::SimThread& t : m.threads()) {
+    EXPECT_GE(t.coreId, 0);
+    EXPECT_TRUE(cores.insert(t.coreId).second);
+    EXPECT_EQ(m.coreOccupant(t.coreId), t.id);
+  }
+}
+
+TEST(Placement, ContiguousInOrder) {
+  sim::Machine m = machineWithThreads(4, 4);
+  placeContiguous(m);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(m.thread(i).coreId, i);
+  expectAllPlacedDistinct(m);
+}
+
+TEST(Placement, RandomIsDeterministicPerSeed) {
+  sim::Machine a = machineWithThreads(8, 8);
+  sim::Machine b = machineWithThreads(8, 8);
+  placeRandom(a, 7);
+  placeRandom(b, 7);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(a.thread(i).coreId, b.thread(i).coreId);
+  expectAllPlacedDistinct(a);
+
+  sim::Machine c = machineWithThreads(8, 8);
+  placeRandom(c, 8);
+  bool anyDifferent = false;
+  for (int i = 0; i < 16; ++i)
+    anyDifferent |= (a.thread(i).coreId != c.thread(i).coreId);
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Placement, SpreadPrefersDistinctFastPhysicalCores) {
+  sim::Machine m = machineWithThreads(8, 0);
+  placeSpread(m);
+  std::set<int> physicalCores;
+  for (const sim::SimThread& t : m.threads()) {
+    const sim::CoreDesc& core = m.topology().core(t.coreId);
+    EXPECT_EQ(core.type, sim::CoreType::Fast);
+    EXPECT_EQ(core.smtIndex, 0);  // no SMT doubling while cores are free
+    physicalCores.insert(core.physicalCore);
+  }
+  EXPECT_EQ(physicalCores.size(), 8u);  // distinct physical cores
+}
+
+TEST(Placement, OracleGivesFastCoresToMemoryThreads) {
+  sim::Machine m = machineWithThreads(16, 16);
+  placeOracle(m);
+  for (const sim::SimThread& t : m.threads()) {
+    const bool mem = m.process(t.processId).memoryIntensive;
+    const sim::CoreDesc& core = m.topology().core(t.coreId);
+    if (mem) {
+      EXPECT_EQ(core.type, sim::CoreType::Fast) << "thread " << t.id;
+    }
+  }
+  expectAllPlacedDistinct(m);
+}
+
+TEST(Placement, ThrowsWhenOversubscribed) {
+  sim::MachineConfig cfg;
+  sim::Machine m{sim::MachineTopology::smallTestbed(1), cfg};  // 2 cores
+  m.addProcess("big", program(), 3, false);
+  EXPECT_THROW(placeContiguous(m), std::logic_error);
+}
+
+TEST(Placement, SkipsAlreadyPlacedThreads) {
+  sim::Machine m = machineWithThreads(2, 2);
+  m.placeThread(0, 39);
+  placeContiguous(m);
+  EXPECT_EQ(m.thread(0).coreId, 39);
+  expectAllPlacedDistinct(m);
+}
+
+}  // namespace
+}  // namespace dike::sched

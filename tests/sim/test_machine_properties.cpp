@@ -1,0 +1,144 @@
+// Property suite over randomly configured simulations: invariants that
+// must hold whatever the workload, placement, or scheduler interference.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/extra_baselines.hpp"
+#include "sched/placement.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::sim {
+namespace {
+
+/// A random small scenario driven by a seed: random benchmark mix, random
+/// thread counts, random placement, random-swap scheduler.
+struct Scenario {
+  explicit Scenario(std::uint64_t seed) : rng(seed) {
+    MachineConfig cfg;
+    cfg.seed = seed;
+    machine = std::make_unique<Machine>(MachineTopology::paperTestbed(), cfg);
+    const auto& names = wl::benchmarkNames();
+    const int apps = static_cast<int>(rng.between(2, 4));
+    int threadsTotal = 0;
+    for (int i = 0; i < apps; ++i) {
+      const auto& name = names[rng.below(names.size())];
+      const int threads = static_cast<int>(rng.between(2, 8));
+      const wl::BenchmarkSpec spec = wl::makeBenchmark(name, 0.05);
+      machine->addProcess(spec.name, spec.program, threads,
+                          spec.memoryIntensive);
+      threadsTotal += threads;
+    }
+    sched::placeRandom(*machine, seed ^ 0xF00Du);
+    (void)threadsTotal;
+  }
+
+  util::Rng rng;
+  std::unique_ptr<Machine> machine;
+};
+
+class MachineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MachineProperty, RunCompletesAndConservesWork) {
+  Scenario scenario{GetParam()};
+  Machine& m = *scenario.machine;
+
+  // Expected total instructions: sum of program budgets.
+  double expected = 0.0;
+  for (const SimProcess& proc : m.processes())
+    expected += proc.program.totalInstructions() *
+                static_cast<double>(proc.threadIds.size());
+
+  sched::RandomScheduler scheduler{100, 2, GetParam()};
+  sched::SchedulerAdapter adapter{scheduler};
+  const RunOutcome outcome = runMachine(m, adapter);
+  ASSERT_FALSE(outcome.timedOut);
+
+  double executed = 0.0;
+  for (const SimThread& t : m.threads()) {
+    EXPECT_TRUE(t.finished);
+    EXPECT_GT(t.finishTick, 0);
+    EXPECT_LE(t.finishTick, outcome.finishTick);
+    executed += t.executed;
+    // Time accounting covers the whole lifetime.
+    EXPECT_EQ(t.runnableTicks + t.stallTicks + t.barrierTicks,
+              t.finishTick - t.startTick);
+    EXPECT_EQ(t.fastCoreTicks + t.slowCoreTicks, t.runnableTicks);
+  }
+  // Work is conserved regardless of contention or migrations.
+  EXPECT_NEAR(executed, expected, expected * 1e-9);
+}
+
+TEST_P(MachineProperty, OccupancyInvariantHolds) {
+  Scenario scenario{GetParam()};
+  Machine& m = *scenario.machine;
+  sched::RandomScheduler scheduler{50, 3, GetParam() ^ 1};
+  sched::SchedulerAdapter adapter{scheduler};
+
+  for (int q = 0; q < 30 && !m.allFinished(); ++q) {
+    for (int i = 0; i < 50 && !m.allFinished(); ++i) m.step();
+    if (!m.allFinished()) adapter.onQuantum(m);
+
+    // Every live thread sits on exactly one core and the occupancy map
+    // mirrors it; no two threads share a core.
+    std::map<int, int> coreOwners;
+    for (const SimThread& t : m.threads()) {
+      if (t.finished) continue;
+      ASSERT_GE(t.coreId, 0);
+      EXPECT_EQ(m.coreOccupant(t.coreId), t.id);
+      EXPECT_TRUE(coreOwners.emplace(t.coreId, t.id).second)
+          << "core " << t.coreId << " double-occupied";
+    }
+    for (int c = 0; c < m.topology().coreCount(); ++c) {
+      const int occupant = m.coreOccupant(c);
+      if (occupant != -1) {
+        EXPECT_EQ(m.thread(occupant).coreId, c);
+      }
+    }
+  }
+}
+
+TEST_P(MachineProperty, FullRunDeterminism) {
+  auto fingerprint = [](std::uint64_t seed) {
+    Scenario scenario{seed};
+    sched::RandomScheduler scheduler{100, 2, seed};
+    sched::SchedulerAdapter adapter{scheduler};
+    (void)runMachine(*scenario.machine, adapter);
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const SimThread& t : scenario.machine->threads()) {
+      hash ^= static_cast<std::uint64_t>(t.finishTick);
+      hash *= 1099511628211ULL;
+      hash ^= static_cast<std::uint64_t>(t.migrations);
+      hash *= 1099511628211ULL;
+    }
+    return hash;
+  };
+  EXPECT_EQ(fingerprint(GetParam()), fingerprint(GetParam()));
+}
+
+TEST_P(MachineProperty, MigrationAccountingConsistent) {
+  Scenario scenario{GetParam() ^ 0xABCDEFULL};
+  Machine& m = *scenario.machine;
+  TraceRecorder trace;
+  m.setTraceRecorder(&trace);
+  sched::RandomScheduler scheduler{100, 2, GetParam()};
+  sched::SchedulerAdapter adapter{scheduler};
+  (void)runMachine(m, adapter);
+
+  std::int64_t perThread = 0;
+  for (const SimThread& t : m.threads()) perThread += t.migrations;
+  EXPECT_EQ(perThread, m.migrationCount());
+  EXPECT_EQ(m.migrationCount(), 2 * m.swapCount());
+  EXPECT_EQ(trace.countOf(TraceEventKind::Migration),
+            static_cast<std::size_t>(m.migrationCount()));
+  EXPECT_EQ(trace.countOf(TraceEventKind::ThreadFinish), m.threads().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace dike::sim

@@ -1,0 +1,210 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dike::sim {
+namespace {
+
+constexpr double kTick = 1e-3;
+
+MemoryParams params(double controller, double link) {
+  MemoryParams p;
+  p.controllerAccessesPerSec = controller;
+  p.socketLinkAccessesPerSec = link;
+  return p;
+}
+
+TEST(WaterFill, UnderCapacityServesAll) {
+  const std::vector<double> demands{10.0, 20.0, 5.0};
+  const auto served = waterFill(demands, 100.0);
+  EXPECT_EQ(served, demands);
+}
+
+TEST(WaterFill, EqualSplitWhenAllHeavy) {
+  const std::vector<double> demands{100.0, 100.0, 100.0};
+  const auto served = waterFill(demands, 90.0);
+  for (double s : served) EXPECT_NEAR(s, 30.0, 1e-9);
+}
+
+TEST(WaterFill, SmallDemandServedFully) {
+  // Capacity 100; small demand 10 is below the water level, the two hogs
+  // split the remaining 90.
+  const std::vector<double> demands{10.0, 200.0, 200.0};
+  const auto served = waterFill(demands, 100.0);
+  EXPECT_NEAR(served[0], 10.0, 1e-9);
+  EXPECT_NEAR(served[1], 45.0, 1e-9);
+  EXPECT_NEAR(served[2], 45.0, 1e-9);
+}
+
+TEST(WaterFill, MixedLevels) {
+  // Capacity 60, demands {10, 20, 100}: 10 full, 20 full, hog gets 30.
+  const std::vector<double> demands{10.0, 20.0, 100.0};
+  const auto served = waterFill(demands, 60.0);
+  EXPECT_NEAR(served[0], 10.0, 1e-9);
+  EXPECT_NEAR(served[1], 20.0, 1e-9);
+  EXPECT_NEAR(served[2], 30.0, 1e-9);
+}
+
+TEST(WaterFill, EmptyAndZero) {
+  EXPECT_TRUE(waterFill(std::vector<double>{}, 10.0).empty());
+  const auto served = waterFill(std::vector<double>{0.0, 5.0}, 2.0);
+  EXPECT_DOUBLE_EQ(served[0], 0.0);
+  EXPECT_NEAR(served[1], 2.0, 1e-9);
+}
+
+TEST(WaterFill, NegativeDemandThrows) {
+  EXPECT_THROW(waterFill(std::vector<double>{-1.0}, 10.0),
+               std::invalid_argument);
+}
+
+TEST(Arbitrate, NoContentionServesFullDemand) {
+  const std::vector<MemoryDemand> demands{{0, 10.0}, {1, 20.0}};
+  const auto served = arbitrate(demands, params(1e9, 1e9), 2, kTick);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_DOUBLE_EQ(served[0], 10.0);
+  EXPECT_DOUBLE_EQ(served[1], 20.0);
+}
+
+TEST(Arbitrate, ControllerSaturationIsMaxMin) {
+  // Controller capacity 100 accesses/tick; demands 50 and 150.
+  // Water level: 50 <= 100/2, served fully; hog gets the remaining 50.
+  const std::vector<MemoryDemand> demands{{0, 50.0}, {1, 150.0}};
+  const auto served = arbitrate(demands, params(100.0 / kTick, 1e12), 2, kTick);
+  EXPECT_NEAR(served[0], 50.0, 1e-9);
+  EXPECT_NEAR(served[1], 50.0, 1e-9);
+}
+
+TEST(Arbitrate, LightDemandUnaffectedBySaturation) {
+  // A compute-like demand of 1 rides through a saturated controller intact.
+  const std::vector<MemoryDemand> demands{{0, 1.0}, {0, 500.0}, {1, 500.0}};
+  const auto served = arbitrate(demands, params(100.0 / kTick, 1e12), 2, kTick);
+  EXPECT_NEAR(served[0], 1.0, 1e-9);
+}
+
+TEST(Arbitrate, SocketLinkLimitsBeforeController) {
+  // Link capacity 40/tick; socket 0 demands {60, 20}, socket 1 demands 10.
+  const auto p = params(1e12, 40.0 / kTick);
+  const std::vector<MemoryDemand> demands{{0, 60.0}, {0, 20.0}, {1, 10.0}};
+  const auto served = arbitrate(demands, p, 2, kTick);
+  EXPECT_NEAR(served[0], 20.0, 1e-9);  // hog squeezed by max-min
+  EXPECT_NEAR(served[1], 20.0, 1e-9);  // at the water level
+  EXPECT_NEAR(served[2], 10.0, 1e-9);  // socket 1 uncontended
+}
+
+TEST(Arbitrate, BothStagesCompose) {
+  // Each socket link caps at 50/tick; controller caps at 60/tick.
+  const auto p = params(60.0 / kTick, 50.0 / kTick);
+  const std::vector<MemoryDemand> demands{{0, 100.0}, {1, 100.0}};
+  const auto served = arbitrate(demands, p, 2, kTick);
+  EXPECT_NEAR(served[0], 30.0, 1e-9);
+  EXPECT_NEAR(served[1], 30.0, 1e-9);
+}
+
+TEST(Arbitrate, ZeroDemandGetsZero) {
+  const std::vector<MemoryDemand> demands{{0, 0.0}, {0, 10.0}};
+  const auto served = arbitrate(demands, params(1.0 / kTick, 1e12), 1, kTick);
+  EXPECT_DOUBLE_EQ(served[0], 0.0);
+  EXPECT_GT(served[1], 0.0);
+}
+
+TEST(Arbitrate, EmptyDemandsOk) {
+  const auto served =
+      arbitrate(std::vector<MemoryDemand>{}, MemoryParams{}, 2, kTick);
+  EXPECT_TRUE(served.empty());
+}
+
+TEST(Arbitrate, InvalidSocketThrows) {
+  const std::vector<MemoryDemand> demands{{3, 1.0}};
+  EXPECT_THROW(arbitrate(demands, MemoryParams{}, 2, kTick),
+               std::out_of_range);
+  EXPECT_THROW(arbitrate(demands, MemoryParams{}, 0, kTick),
+               std::invalid_argument);
+}
+
+// Properties that must hold for arbitrary demand patterns.
+class ArbitrateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArbitrateProperty, ConservationAndCaps) {
+  util::Rng rng{GetParam()};
+  const int socketCount = 2;
+  const auto p = params(2.4e8, 1.7e8);
+
+  std::vector<MemoryDemand> demands;
+  const int n = static_cast<int>(rng.between(1, 60));
+  for (int i = 0; i < n; ++i)
+    demands.push_back(MemoryDemand{static_cast<int>(rng.between(0, 1)),
+                                   rng.uniform(0.0, 80000.0)});
+
+  const auto served = arbitrate(demands, p, socketCount, kTick);
+  ASSERT_EQ(served.size(), demands.size());
+
+  std::vector<double> socketTotals(2, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    // Never serve more than demanded, never negative.
+    EXPECT_LE(served[i], demands[i].accesses + 1e-9);
+    EXPECT_GE(served[i], 0.0);
+    socketTotals[static_cast<std::size_t>(demands[i].socket)] += served[i];
+    total += served[i];
+  }
+  const double linkCap = p.socketLinkAccessesPerSec * kTick;
+  const double ctrlCap = p.controllerAccessesPerSec * kTick;
+  EXPECT_LE(socketTotals[0], linkCap * (1 + 1e-9));
+  EXPECT_LE(socketTotals[1], linkCap * (1 + 1e-9));
+  EXPECT_LE(total, ctrlCap * (1 + 1e-9));
+}
+
+TEST_P(ArbitrateProperty, MaxMinFairness) {
+  // Within a single socket, an unsatisfied demand never receives less than
+  // any other demand (unsatisfied demands all sit at the water level).
+  util::Rng rng{GetParam() ^ 0xBEEFULL};
+  std::vector<double> demands;
+  for (int i = 0; i < 30; ++i) demands.push_back(rng.uniform(0.0, 100.0));
+  const double capacity = 500.0;
+  const auto served = waterFill(demands, capacity);
+
+  double level = 0.0;
+  for (std::size_t i = 0; i < served.size(); ++i)
+    if (served[i] < demands[i] - 1e-9) level = std::max(level, served[i]);
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    if (served[i] < demands[i] - 1e-9) {
+      // Unsatisfied: must sit exactly at the common water level.
+      EXPECT_NEAR(served[i], level, 1e-9);
+    } else if (level > 0.0) {
+      // Satisfied: demand must be at or below the water level.
+      EXPECT_LE(demands[i], level + 1e-9);
+    }
+  }
+  // Capacity is exhausted whenever anything was squeezed.
+  const double total = std::accumulate(served.begin(), served.end(), 0.0);
+  if (level > 0.0) {
+    EXPECT_NEAR(total, capacity, 1e-6);
+  }
+}
+
+TEST_P(ArbitrateProperty, MonotoneInDemand) {
+  // Growing one thread's demand never increases another thread's service.
+  util::Rng rng{GetParam() ^ 0x1234ULL};
+  std::vector<double> demands;
+  for (int i = 0; i < 12; ++i) demands.push_back(rng.uniform(5.0, 50.0));
+  const double capacity = 200.0;
+  const auto before = waterFill(demands, capacity);
+  std::vector<double> grown = demands;
+  grown[3] *= 3.0;
+  const auto after = waterFill(grown, capacity);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_LE(after[i], before[i] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbitrateProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u));
+
+}  // namespace
+}  // namespace dike::sim

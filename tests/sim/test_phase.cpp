@@ -1,0 +1,101 @@
+#include "sim/phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::sim {
+namespace {
+
+Phase phase(double instr, double mem = 0.01, double miss = 0.2) {
+  return Phase{"p", instr, mem, miss, 1.0};
+}
+
+TEST(PhaseProgram, TotalInstructions) {
+  PhaseProgram p;
+  p.phases = {phase(10.0), phase(20.0), phase(5.0)};
+  EXPECT_DOUBLE_EQ(p.totalInstructions(), 35.0);
+}
+
+TEST(PhaseProgram, MeanMemPerInstrWeighted) {
+  PhaseProgram p;
+  p.phases = {Phase{"a", 10.0, 0.01, 0.2, 1.0}, Phase{"b", 30.0, 0.03, 0.2, 1.0}};
+  EXPECT_NEAR(p.meanMemPerInstr(), (10 * 0.01 + 30 * 0.03) / 40.0, 1e-12);
+}
+
+TEST(PhaseProgram, MeanMemPerInstrEmptyIsZero) {
+  PhaseProgram p;
+  EXPECT_DOUBLE_EQ(p.meanMemPerInstr(), 0.0);
+}
+
+TEST(PhaseProgram, HasBarriers) {
+  PhaseProgram p;
+  p.phases = {phase(1.0)};
+  EXPECT_FALSE(p.hasBarriers());
+  p.barrierEveryInstructions = 0.5;
+  EXPECT_TRUE(p.hasBarriers());
+}
+
+TEST(PhaseProgram, ValidateAcceptsWellFormed) {
+  PhaseProgram p;
+  p.phases = {phase(1.0)};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PhaseProgram, ValidateRejectsEmpty) {
+  PhaseProgram p;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseProgram, ValidateRejectsBadBudget) {
+  PhaseProgram p;
+  p.phases = {phase(0.0)};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.phases = {phase(-5.0)};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseProgram, ValidateRejectsNegativeIntensity) {
+  PhaseProgram p;
+  p.phases = {Phase{"x", 1.0, -0.1, 0.2, 1.0}};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseProgram, ValidateRejectsBadMissRatio) {
+  PhaseProgram p;
+  p.phases = {Phase{"x", 1.0, 0.1, 1.5, 1.0}};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.phases = {Phase{"x", 1.0, 0.1, -0.1, 1.0}};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseProgram, ValidateRejectsBadIpc) {
+  PhaseProgram p;
+  p.phases = {Phase{"x", 1.0, 0.1, 0.2, 0.0}};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseProgram, ValidateRejectsNegativeBarrier) {
+  PhaseProgram p;
+  p.phases = {phase(1.0)};
+  p.barrierEveryInstructions = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(RepeatPattern, RepeatsInOrder) {
+  const std::vector<Phase> pattern{phase(1.0), phase(2.0)};
+  const auto out = repeatPattern(pattern, 3);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_DOUBLE_EQ(out[0].instructions, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].instructions, 2.0);
+  EXPECT_DOUBLE_EQ(out[4].instructions, 1.0);
+}
+
+TEST(RepeatPattern, ZeroRepeatsEmpty) {
+  EXPECT_TRUE(repeatPattern({phase(1.0)}, 0).empty());
+}
+
+TEST(RepeatPattern, NegativeThrows) {
+  EXPECT_THROW(repeatPattern({phase(1.0)}, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dike::sim

@@ -1,0 +1,108 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace dike::sim {
+namespace {
+
+TEST(Topology, PaperTestbedShape) {
+  const MachineTopology topo = MachineTopology::paperTestbed();
+  EXPECT_EQ(topo.coreCount(), 40);
+  EXPECT_EQ(topo.socketCount(), 2);
+  EXPECT_EQ(topo.physicalCoreCount(), 20);
+  EXPECT_EQ(topo.fastCoreCount(), 20);
+}
+
+TEST(Topology, PaperTestbedFrequencies) {
+  const MachineTopology topo = MachineTopology::paperTestbed();
+  for (const CoreDesc& c : topo.cores()) {
+    if (c.socket == 0) {
+      EXPECT_EQ(c.type, CoreType::Fast);
+      EXPECT_DOUBLE_EQ(c.freqGhz, 2.33);
+    } else {
+      EXPECT_EQ(c.type, CoreType::Slow);
+      EXPECT_DOUBLE_EQ(c.freqGhz, 1.21);
+    }
+  }
+}
+
+TEST(Topology, HomogeneousTestbedAllFast) {
+  const MachineTopology topo = MachineTopology::homogeneousTestbed();
+  EXPECT_EQ(topo.coreCount(), 40);
+  EXPECT_EQ(topo.fastCoreCount(), 40);
+  for (const CoreDesc& c : topo.cores()) EXPECT_DOUBLE_EQ(c.freqGhz, 2.33);
+}
+
+TEST(Topology, DenseIds) {
+  const MachineTopology topo = MachineTopology::paperTestbed();
+  for (int i = 0; i < topo.coreCount(); ++i) EXPECT_EQ(topo.core(i).id, i);
+}
+
+TEST(Topology, SmtGroupsContainSelfAndSibling) {
+  const MachineTopology topo = MachineTopology::paperTestbed();
+  for (const CoreDesc& c : topo.cores()) {
+    const auto group = topo.smtGroup(c.id);
+    EXPECT_EQ(group.size(), 2u);
+    bool containsSelf = false;
+    for (int id : group) {
+      EXPECT_EQ(topo.core(id).physicalCore, c.physicalCore);
+      if (id == c.id) containsSelf = true;
+    }
+    EXPECT_TRUE(containsSelf);
+  }
+}
+
+TEST(Topology, SmtIndicesWithinGroupDistinct) {
+  const MachineTopology topo = MachineTopology::paperTestbed();
+  for (const CoreDesc& c : topo.cores()) {
+    std::set<int> indices;
+    for (int id : topo.smtGroup(c.id)) indices.insert(topo.core(id).smtIndex);
+    EXPECT_EQ(indices.size(), topo.smtGroup(c.id).size());
+  }
+}
+
+TEST(Topology, SmallTestbedNoSmt) {
+  const MachineTopology topo = MachineTopology::smallTestbed(3);
+  EXPECT_EQ(topo.coreCount(), 6);
+  EXPECT_EQ(topo.physicalCoreCount(), 6);
+  EXPECT_EQ(topo.fastCoreCount(), 3);
+  for (const CoreDesc& c : topo.cores())
+    EXPECT_EQ(topo.smtGroup(c.id).size(), 1u);
+}
+
+TEST(Topology, CustomTopology) {
+  const std::array<SocketSpec, 3> sockets{
+      SocketSpec{2, 2, 3.0, CoreType::Fast},
+      SocketSpec{4, 1, 2.0, CoreType::Fast},
+      SocketSpec{1, 4, 1.0, CoreType::Slow},
+  };
+  const MachineTopology topo{sockets};
+  EXPECT_EQ(topo.coreCount(), 2 * 2 + 4 * 1 + 1 * 4);
+  EXPECT_EQ(topo.socketCount(), 3);
+  EXPECT_EQ(topo.physicalCoreCount(), 7);
+  EXPECT_EQ(topo.fastCoreCount(), 8);
+}
+
+TEST(Topology, InvalidSpecsThrow) {
+  const std::array<SocketSpec, 1> zeroCores{SocketSpec{0, 2, 2.0}};
+  EXPECT_THROW(MachineTopology{zeroCores}, std::invalid_argument);
+  const std::array<SocketSpec, 1> zeroSmt{SocketSpec{2, 0, 2.0}};
+  EXPECT_THROW(MachineTopology{zeroSmt}, std::invalid_argument);
+  const std::array<SocketSpec, 1> zeroFreq{SocketSpec{2, 1, 0.0}};
+  EXPECT_THROW(MachineTopology{zeroFreq}, std::invalid_argument);
+  EXPECT_THROW(MachineTopology{std::span<const SocketSpec>{}},
+               std::invalid_argument);
+}
+
+TEST(Topology, SocketOrderingIsDense) {
+  const MachineTopology topo = MachineTopology::paperTestbed();
+  // Cores 0..19 on socket 0, 20..39 on socket 1 (socket-major layout).
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(topo.core(i).socket, 0);
+  for (int i = 20; i < 40; ++i) EXPECT_EQ(topo.core(i).socket, 1);
+}
+
+}  // namespace
+}  // namespace dike::sim

@@ -1,0 +1,143 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/machine.hpp"
+
+namespace dike::sim {
+namespace {
+
+PhaseProgram program(double instructions, double memPerInstr = 0.0) {
+  PhaseProgram p;
+  p.phases = {Phase{"main", instructions, memPerInstr, 0.2, 1.0}};
+  return p;
+}
+
+MachineConfig quiet() {
+  MachineConfig cfg;
+  cfg.measurementNoiseSigma = 0.0;
+  cfg.conflictSpread = 0.0;
+  return cfg;
+}
+
+TEST(TraceRecorder, StoresAndFilters) {
+  TraceRecorder trace;
+  trace.record(TraceEvent{10, TraceEventKind::Placement, 0, 0, -1, 3, 0});
+  trace.record(TraceEvent{20, TraceEventKind::Migration, 0, 0, 3, 5, 0});
+  trace.record(TraceEvent{30, TraceEventKind::Migration, 1, 0, 5, 3, 0});
+
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.countOf(TraceEventKind::Migration), 2u);
+  EXPECT_EQ(trace.ofThread(0).size(), 2u);
+  EXPECT_EQ(trace.ofKind(TraceEventKind::Placement).size(), 1u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceRecorder, CapacityBoundsStorage) {
+  TraceRecorder trace{2};
+  for (int i = 0; i < 5; ++i)
+    trace.record(TraceEvent{i, TraceEventKind::Placement, i, 0, -1, 0, 0});
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+}
+
+TEST(TraceRecorder, KindNames) {
+  EXPECT_EQ(toString(TraceEventKind::Migration), "migration");
+  EXPECT_EQ(toString(TraceEventKind::BarrierWait), "barrier-wait");
+  EXPECT_EQ(toString(TraceEventKind::ProcessFinish), "process-finish");
+}
+
+TEST(MachineTrace, EmitsPlacementMigrationFinish) {
+  Machine m{MachineTopology::smallTestbed(2), quiet()};
+  TraceRecorder trace;
+  m.setTraceRecorder(&trace);
+  m.addProcess("a", program(2.33e6 * 5), 1, false);
+  m.addProcess("b", program(2.33e6 * 50), 1, false);
+  m.placeThread(0, 0);
+  m.placeThread(1, 1);
+  EXPECT_EQ(trace.countOf(TraceEventKind::Placement), 2u);
+
+  m.swapThreads(0, 1);
+  const auto migrations = trace.ofKind(TraceEventKind::Migration);
+  ASSERT_EQ(migrations.size(), 2u);
+  EXPECT_EQ(migrations[0].fromCore, 0);
+  EXPECT_EQ(migrations[0].toCore, 1);
+  EXPECT_EQ(migrations[1].fromCore, 1);
+  EXPECT_EQ(migrations[1].toCore, 0);
+
+  while (!m.allFinished()) m.step();
+  EXPECT_EQ(trace.countOf(TraceEventKind::ThreadFinish), 2u);
+  EXPECT_EQ(trace.countOf(TraceEventKind::ProcessFinish), 2u);
+}
+
+TEST(MachineTrace, EmitsPhaseChanges) {
+  Machine m{MachineTopology::smallTestbed(2), quiet()};
+  TraceRecorder trace;
+  m.setTraceRecorder(&trace);
+  PhaseProgram p;
+  p.phases = {Phase{"one", 2.33e6, 0.0, 0.1, 1.0},
+              Phase{"two", 2.33e6, 0.0, 0.2, 1.0},
+              Phase{"three", 2.33e6, 0.0, 0.3, 1.0}};
+  m.addProcess("phased", p, 1, false);
+  m.placeThread(0, 0);
+  while (!m.allFinished()) m.step();
+  const auto changes = trace.ofKind(TraceEventKind::PhaseChange);
+  ASSERT_EQ(changes.size(), 2u);  // into phase 1 and phase 2
+  EXPECT_EQ(changes[0].detail, 1);
+  EXPECT_EQ(changes[1].detail, 2);
+}
+
+TEST(MachineTrace, EmitsBarrierWaitAndRelease) {
+  Machine m{MachineTopology::smallTestbed(2), quiet()};
+  TraceRecorder trace;
+  m.setTraceRecorder(&trace);
+  PhaseProgram p = program(2.33e6 * 4);
+  p.barrierEveryInstructions = 2.33e6;
+  m.addProcess("sync", p, 2, false);
+  m.placeThread(0, 0);  // fast
+  m.placeThread(1, 2);  // slow
+  while (!m.allFinished()) m.step();
+  EXPECT_GT(trace.countOf(TraceEventKind::BarrierWait), 0u);
+  EXPECT_GT(trace.countOf(TraceEventKind::BarrierRelease), 0u);
+}
+
+TEST(MachineTrace, NoRecorderNoCost) {
+  Machine m{MachineTopology::smallTestbed(2), quiet()};
+  EXPECT_EQ(m.traceRecorder(), nullptr);
+  m.addProcess("a", program(2.33e6), 1, false);
+  m.placeThread(0, 0);
+  EXPECT_NO_THROW({
+    while (!m.allFinished()) m.step();
+  });
+}
+
+TEST(MachineTrace, TimeAccountingIsConsistent) {
+  MachineConfig cfg = quiet();
+  cfg.migrationStallTicks = 5;
+  Machine m{MachineTopology::smallTestbed(2), cfg};
+  m.addProcess("a", program(2.33e6 * 30), 1, false);
+  m.addProcess("b", program(1.21e6 * 30), 1, false);
+  m.placeThread(0, 0);  // fast
+  m.placeThread(1, 2);  // slow
+  for (int i = 0; i < 10; ++i) m.step();
+  m.swapThreads(0, 1);
+  while (!m.allFinished()) m.step();
+
+  const SimThread& a = m.thread(0);
+  // Total accounted ticks equal the thread's lifetime.
+  EXPECT_EQ(a.runnableTicks + a.stallTicks + a.barrierTicks, a.finishTick);
+  // One migration: exactly the configured stall.
+  EXPECT_EQ(a.stallTicks, 5);
+  // Thread 0 ran on both core types after the swap.
+  EXPECT_GT(a.fastCoreTicks, 0);
+  EXPECT_GT(a.slowCoreTicks, 0);
+  EXPECT_EQ(a.fastCoreTicks + a.slowCoreTicks, a.runnableTicks);
+}
+
+}  // namespace
+}  // namespace dike::sim

@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace dike::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{argv};
+  return CliArgs{static_cast<int>(v.size()), v.data()};
+}
+
+TEST(CliArgsTest, EqualsForm) {
+  const CliArgs args = parse({"prog", "--count=5", "--name=dike"});
+  EXPECT_EQ(args.getInt("count", 0), 5);
+  EXPECT_EQ(args.getOr("name", "x"), "dike");
+}
+
+TEST(CliArgsTest, SpaceForm) {
+  const CliArgs args = parse({"prog", "--count", "7"});
+  EXPECT_EQ(args.getInt("count", 0), 7);
+}
+
+TEST(CliArgsTest, BareBooleanFlag) {
+  const CliArgs args = parse({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.getBool("verbose", false));
+}
+
+TEST(CliArgsTest, BooleanBeforeAnotherFlag) {
+  const CliArgs args = parse({"prog", "--verbose", "--count=3"});
+  EXPECT_TRUE(args.getBool("verbose", false));
+  EXPECT_EQ(args.getInt("count", 0), 3);
+}
+
+TEST(CliArgsTest, Positional) {
+  const CliArgs args = parse({"prog", "input.txt", "--flag", "output.txt"});
+  // "--flag output.txt" consumes output.txt as the flag value.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.getOr("flag", ""), "output.txt");
+}
+
+TEST(CliArgsTest, MissingFlagFallbacks) {
+  const CliArgs args = parse({"prog"});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get("x"), std::nullopt);
+  EXPECT_EQ(args.getInt("x", -1), -1);
+  EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+  EXPECT_EQ(args.getInt64("x", 1LL << 40), 1LL << 40);
+  EXPECT_TRUE(args.getBool("x", true));
+}
+
+TEST(CliArgsTest, BoolParsingVariants) {
+  const CliArgs args =
+      parse({"prog", "--a=true", "--b=1", "--c=yes", "--d=on", "--e=false"});
+  EXPECT_TRUE(args.getBool("a", false));
+  EXPECT_TRUE(args.getBool("b", false));
+  EXPECT_TRUE(args.getBool("c", false));
+  EXPECT_TRUE(args.getBool("d", false));
+  EXPECT_FALSE(args.getBool("e", true));
+}
+
+TEST(CliArgsTest, DoubleParsing) {
+  const CliArgs args = parse({"prog", "--scale=0.25"});
+  EXPECT_DOUBLE_EQ(args.getDouble("scale", 1.0), 0.25);
+}
+
+TEST(CliArgsTest, ProgramName) {
+  const CliArgs args = parse({"myprog"});
+  EXPECT_EQ(args.programName(), "myprog");
+}
+
+}  // namespace
+}  // namespace dike::util

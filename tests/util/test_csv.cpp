@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dike::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csvEscape("hello"), "hello");
+  EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithCommas) {
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.header({"name", "value", "count"});
+  csv.row("alpha", 1.5, 3);
+  csv.row("beta,comma", 2.0, 4);
+  EXPECT_EQ(out.str(),
+            "name,value,count\n"
+            "alpha,1.5,3\n"
+            "\"beta,comma\",2,4\n");
+}
+
+TEST(CsvWriterTest, VectorHeader) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.header(std::vector<std::string>{"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(CsvWriterTest, IntegerTypes) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row(1, 2L, 3LL, 4UL, 5ULL);
+  EXPECT_EQ(out.str(), "1,2,3,4,5\n");
+}
+
+TEST(CsvWriterTest, DoubleFormatting) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row(0.1234567891);
+  EXPECT_EQ(out.str(), "0.123457\n");  // %.6g
+}
+
+TEST(CsvFileTest, InvalidPathThrows) {
+  EXPECT_THROW(CsvFile{"/nonexistent-dir-xyz/file.csv"}, std::runtime_error);
+}
+
+TEST(CsvFileTest, WritesToDisk) {
+  const std::string path = ::testing::TempDir() + "/dike_csv_test.csv";
+  {
+    CsvFile file{path};
+    file.writer().header({"x"});
+    file.writer().row(42);
+  }
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+}
+
+}  // namespace
+}  // namespace dike::util

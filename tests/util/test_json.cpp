@@ -1,0 +1,138 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dike::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_EQ(parseJson("true").asBool(), true);
+  EXPECT_EQ(parseJson("false").asBool(), false);
+  EXPECT_DOUBLE_EQ(parseJson("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseJson("-3.5").asNumber(), -3.5);
+  EXPECT_DOUBLE_EQ(parseJson("1e3").asNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(parseJson("2.5E-2").asNumber(), 0.025);
+  EXPECT_DOUBLE_EQ(parseJson("0").asNumber(), 0.0);
+  EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesContainers) {
+  const JsonValue v = parseJson(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.isObject());
+  // Copy: get() returns by value, so references through it would dangle.
+  const JsonArray a = v.get("a")->asArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].asNumber(), 1.0);
+  EXPECT_TRUE(a[2].get("b")->asBool());
+  EXPECT_EQ(v.stringOr("c", ""), "x");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  EXPECT_NO_THROW(parseJson(" \n\t{ \"a\" : [ ] , \"b\" : { } } \r\n"));
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parseJson(R"("a\"b\\c\/d\n\t")").asString(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parseJson(R"("A")").asString(), "A");
+  EXPECT_EQ(parseJson(R"("é")").asString(), "\xC3\xA9");     // é
+  EXPECT_EQ(parseJson(R"("€")").asString(), "\xE2\x82\xAC"); // €
+  EXPECT_EQ(parseJson(R"("😀")").asString(),
+            "\xF0\x9F\x98\x80");  // emoji via surrogate pair
+}
+
+TEST(Json, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "01", "1.", "1e", "tru", "\"\\x\"",
+        "\"unterminated", "{\"a\":1,}", "[1 2]", "nullx", "\"\\ud800\"",
+        "{\"a\":1} extra"}) {
+    EXPECT_THROW({ [[maybe_unused]] auto v = parseJson(bad); },
+                 JsonParseError)
+        << bad;
+  }
+}
+
+TEST(Json, ErrorCarriesOffset) {
+  try {
+    [[maybe_unused]] auto v = parseJson("[1, x]");
+    FAIL();
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+TEST(Json, ConvenienceLookups) {
+  const JsonValue v = parseJson(R"({"n": 2.5, "i": 7, "b": true, "s": "x"})");
+  EXPECT_DOUBLE_EQ(v.numberOr("n", 0.0), 2.5);
+  EXPECT_EQ(v.intOr("i", 0), 7);
+  EXPECT_TRUE(v.boolOr("b", false));
+  EXPECT_EQ(v.stringOr("s", ""), "x");
+  // Missing keys and wrong types fall back.
+  EXPECT_DOUBLE_EQ(v.numberOr("missing", -1.0), -1.0);
+  EXPECT_EQ(v.intOr("s", 9), 9);
+  EXPECT_FALSE(v.boolOr("n", false));
+  EXPECT_EQ(parseJson("[1]").stringOr("a", "fb"), "fb");
+}
+
+TEST(Json, DumpCompactRoundTrips) {
+  const char* docs[] = {
+      R"({"a":[1,2,3],"b":{"c":"x"},"d":null,"e":true,"f":-2.5})",
+      "[]", "{}", "[[[]]]", R"(["\n\"\\"])",
+  };
+  for (const char* doc : docs) {
+    const JsonValue v = parseJson(doc);
+    EXPECT_EQ(parseJson(v.dump()), v) << doc;
+  }
+}
+
+TEST(Json, DumpIsDeterministicAndSorted) {
+  const JsonValue v = parseJson(R"({"b":1,"a":2})");
+  EXPECT_EQ(v.dump(), R"({"a":2,"b":1})");
+}
+
+TEST(Json, DumpPrettyPrints) {
+  const JsonValue v = parseJson(R"({"a":[1]})");
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, DumpIntegersWithoutExponent) {
+  EXPECT_EQ(JsonValue{42}.dump(), "42");
+  EXPECT_EQ(JsonValue{-1.0}.dump(), "-1");
+  EXPECT_EQ(parseJson("0.5").dump(), "0.5");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  EXPECT_EQ(JsonValue{std::string{"a\x01"}}.dump(), "\"a\\u0001\"");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = parseJson("3");
+  EXPECT_THROW({ [[maybe_unused]] auto b = v.asBool(); }, std::runtime_error);
+  EXPECT_THROW({ [[maybe_unused]] auto& s = v.asString(); },
+               std::runtime_error);
+  EXPECT_THROW({ [[maybe_unused]] auto& a = v.asArray(); },
+               std::runtime_error);
+  EXPECT_THROW({ [[maybe_unused]] auto& o = v.asObject(); },
+               std::runtime_error);
+}
+
+TEST(Json, ParseFileMissingThrows) {
+  EXPECT_THROW({ [[maybe_unused]] auto v = parseJsonFile("/no/such.json"); },
+               std::runtime_error);
+}
+
+TEST(Json, ParseFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dike_json_test.json";
+  {
+    std::ofstream out{path};
+    out << R"({"workloads": [1, 2], "scale": 0.5})";
+  }
+  const JsonValue v = parseJsonFile(path);
+  EXPECT_DOUBLE_EQ(v.numberOr("scale", 0.0), 0.5);
+  EXPECT_EQ(v.get("workloads")->asArray().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dike::util

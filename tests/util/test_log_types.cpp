@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace dike::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Log::level()) {}
+  ~LogLevelGuard() { Log::setLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelGating) {
+  LogLevelGuard guard;
+  Log::setLevel(LogLevel::Warn);
+  EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+  EXPECT_FALSE(Log::enabled(LogLevel::Info));
+  EXPECT_TRUE(Log::enabled(LogLevel::Warn));
+  EXPECT_TRUE(Log::enabled(LogLevel::Error));
+
+  Log::setLevel(LogLevel::Off);
+  EXPECT_FALSE(Log::enabled(LogLevel::Error));
+
+  Log::setLevel(LogLevel::Debug);
+  EXPECT_TRUE(Log::enabled(LogLevel::Debug));
+}
+
+TEST(Log, WriteRespectsLevelAndFormats) {
+  LogLevelGuard guard;
+  Log::setLevel(LogLevel::Info);
+
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  logDebug("should not appear");
+  logInfo("count=", 42, " name=", "dike");
+  logError("boom");
+  std::clog.rdbuf(old);
+
+  const std::string out = captured.str();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("[INFO ] count=42 name=dike"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] boom"), std::string::npos);
+}
+
+TEST(Types, TickConversions) {
+  EXPECT_EQ(millisToTicks(500), 500);
+  EXPECT_DOUBLE_EQ(ticksToSeconds(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ticksToSeconds(0), 0.0);
+}
+
+TEST(Types, NarrowPreservesValues) {
+  EXPECT_EQ(narrow<int>(42L), 42);
+  EXPECT_EQ(narrow<std::int8_t>(127), 127);
+  EXPECT_EQ(narrow<unsigned>(7), 7u);
+}
+
+TEST(Types, IsizeMatchesContainerSize) {
+  const std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(isize(v), 3);
+  const std::string s = "abcd";
+  EXPECT_EQ(isize(s), 4);
+  EXPECT_EQ(isize(std::vector<int>{}), 0);
+}
+
+}  // namespace
+}  // namespace dike::util

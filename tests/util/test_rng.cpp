@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dike::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{8};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{9};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{10};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng rng{11};
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{12};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(rng.between(3, 3), 3);
+  EXPECT_EQ(rng.between(5, 4), 5);  // degenerate range clamps to lo
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng{14};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NoiseFactorIsPositiveAndCentered) {
+  Rng rng{15};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double f = rng.noiseFactor(0.05);
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(rng.noiseFactor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rng.noiseFactor(-1.0), 1.0);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a{99};
+  Rng b{99};
+  Rng childA = a.fork();
+  Rng childB = b.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(childA(), childB());
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  // Regression pin: the splitmix64 reference value for seed 0.
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace dike::util

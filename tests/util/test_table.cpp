@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::util {
+namespace {
+
+TEST(FormatHelpers, FormatFixed) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(-1.0, 0), "-1");
+  EXPECT_EQ(formatFixed(2.0, 3), "2.000");
+}
+
+TEST(FormatHelpers, SignedPercent) {
+  EXPECT_EQ(formatSignedPercent(0.38), "+38.0%");
+  EXPECT_EQ(formatSignedPercent(-0.041, 1), "-4.1%");
+  EXPECT_EQ(formatSignedPercent(0.0), "+0.0%");
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t{{"name", "value"}};
+  t.newRow().cell("a").cell(1.0, 1);
+  t.newRow().cell("longer").cell(12.5, 1);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // Every rendered line ends without trailing spaces.
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    if (nl > pos) {
+      EXPECT_NE(out[nl - 1], ' ');
+    }
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTableTest, SeparatorInsertsRule) {
+  TextTable t{{"a"}};
+  t.newRow().cell("x");
+  t.separator();
+  t.newRow().cell("y");
+  const std::string out = t.render();
+  // Header rule plus the explicit separator.
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 2);
+}
+
+TEST(TextTableTest, CellCountsAndTypes) {
+  TextTable t{{"a", "b", "c", "d"}};
+  t.newRow().cell("x").cell(1.5, 1).cell(std::int64_t{7}).cellPercent(0.5, 0);
+  EXPECT_EQ(t.rowCount(), 1u);
+  EXPECT_EQ(t.columnCount(), 4u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("+50%"), std::string::npos);
+}
+
+TEST(TextTableTest, ImplicitRowOnFirstCell) {
+  TextTable t{{"a"}};
+  t.cell("implicit");
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTableTest, MissingCellsRenderEmpty) {
+  TextTable t{{"a", "b"}};
+  t.newRow().cell("only-a");
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTableTest, LeftAlignFirstColumnByDefault) {
+  TextTable t{{"name", "v"}};
+  t.newRow().cell("ab").cell(std::int64_t{1});
+  const std::string out = t.render();
+  // First data line starts with the left-aligned name.
+  const std::size_t firstNl = out.find('\n');
+  const std::size_t secondNl = out.find('\n', firstNl + 1);
+  const std::string dataLine = out.substr(secondNl + 1);
+  EXPECT_EQ(dataLine.rfind("ab", 0), 0u);
+}
+
+}  // namespace
+}  // namespace dike::util

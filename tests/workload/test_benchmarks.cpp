@@ -1,0 +1,128 @@
+#include "workload/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::wl {
+namespace {
+
+TEST(Benchmarks, AllTenModelsExist) {
+  const auto& names = benchmarkNames();
+  EXPECT_EQ(names.size(), 10u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(isKnownBenchmark(name));
+    const BenchmarkSpec spec = makeBenchmark(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.program.validate());
+    EXPECT_GT(spec.program.totalInstructions(), 0.0);
+  }
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_FALSE(isKnownBenchmark("bogus"));
+  EXPECT_THROW(makeBenchmark("bogus"), std::invalid_argument);
+  EXPECT_THROW(
+      { [[maybe_unused]] bool b = isMemoryIntensiveBenchmark("bogus"); },
+      std::invalid_argument);
+}
+
+TEST(Benchmarks, TableIIClassification) {
+  // Bold (memory-intensive) members of Table II.
+  for (const char* name : {"jacobi", "streamcluster", "stream_omp", "needle"})
+    EXPECT_TRUE(isMemoryIntensiveBenchmark(name)) << name;
+  for (const char* name :
+       {"leukocyte", "lavaMD", "hotspot", "srad", "heartwall", "kmeans"})
+    EXPECT_FALSE(isMemoryIntensiveBenchmark(name)) << name;
+}
+
+TEST(Benchmarks, MemoryModelsAreMoreIntense) {
+  // Every memory-intensive model must out-demand every compute model.
+  double minMemory = 1.0;
+  double maxCompute = 0.0;
+  for (const std::string& name : benchmarkNames()) {
+    const BenchmarkSpec spec = makeBenchmark(name);
+    const double intensity = spec.program.meanMemPerInstr();
+    if (spec.memoryIntensive)
+      minMemory = std::min(minMemory, intensity);
+    else
+      maxCompute = std::max(maxCompute, intensity);
+  }
+  EXPECT_GT(minMemory, maxCompute);
+}
+
+TEST(Benchmarks, ScaleMultipliesBudgetsOnly) {
+  const BenchmarkSpec full = makeBenchmark("jacobi", 1.0);
+  const BenchmarkSpec half = makeBenchmark("jacobi", 0.5);
+  EXPECT_NEAR(half.program.totalInstructions(),
+              0.5 * full.program.totalInstructions(), 1.0);
+  ASSERT_EQ(half.program.phases.size(), full.program.phases.size());
+  for (std::size_t i = 0; i < full.program.phases.size(); ++i) {
+    EXPECT_DOUBLE_EQ(half.program.phases[i].memPerInstr,
+                     full.program.phases[i].memPerInstr);
+    EXPECT_DOUBLE_EQ(half.program.phases[i].llcMissRatio,
+                     full.program.phases[i].llcMissRatio);
+  }
+}
+
+TEST(Benchmarks, InvalidScaleThrows) {
+  EXPECT_THROW(makeBenchmark("jacobi", 0.0), std::invalid_argument);
+  EXPECT_THROW(makeBenchmark("jacobi", -1.0), std::invalid_argument);
+}
+
+TEST(Benchmarks, KmeansSynchronises) {
+  const BenchmarkSpec kmeans = makeBenchmark("kmeans");
+  EXPECT_TRUE(kmeans.program.hasBarriers());
+  // No other model synchronises.
+  for (const std::string& name : benchmarkNames()) {
+    if (name == "kmeans") continue;
+    EXPECT_FALSE(makeBenchmark(name).program.hasBarriers()) << name;
+  }
+}
+
+TEST(Benchmarks, EveryModelStartsWithMemoryFetch) {
+  // Section IV-B: "many benchmarks have a memory intensive phase in the
+  // beginning to fetch data and instructions".
+  for (const std::string& name : benchmarkNames()) {
+    const BenchmarkSpec spec = makeBenchmark(name);
+    const sim::Phase& first = spec.program.phases.front();
+    EXPECT_EQ(first.name, "init-fetch") << name;
+    EXPECT_GT(first.memPerInstr, 0.005) << name;
+  }
+}
+
+TEST(Benchmarks, ClassificationSignalMatchesLabel) {
+  // Memory-intensive models spend most instructions in phases whose miss
+  // ratio is above the 10% classification line; compute models do not.
+  for (const std::string& name : benchmarkNames()) {
+    if (name == "kmeans") continue;  // deliberately sits at the boundary
+    const BenchmarkSpec spec = makeBenchmark(name);
+    double above = 0.0;
+    double total = 0.0;
+    for (const sim::Phase& p : spec.program.phases) {
+      total += p.instructions;
+      if (p.llcMissRatio > 0.10) above += p.instructions;
+    }
+    if (spec.memoryIntensive)
+      EXPECT_GT(above / total, 0.8) << name;
+    else
+      EXPECT_LT(above / total, 0.3) << name;
+  }
+}
+
+// Property sweep: every model stays valid across scales.
+class BenchmarkScaleProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(BenchmarkScaleProperty, ValidAtAllScales) {
+  const auto& [name, scale] = GetParam();
+  const BenchmarkSpec spec = makeBenchmark(name, scale);
+  EXPECT_NO_THROW(spec.program.validate());
+  EXPECT_GT(spec.program.totalInstructions(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BenchmarkScaleProperty,
+    ::testing::Combine(::testing::ValuesIn(benchmarkNames()),
+                       ::testing::Values(0.1, 0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace dike::wl

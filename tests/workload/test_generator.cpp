@@ -1,0 +1,93 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dike::wl {
+namespace {
+
+TEST(Generator, DeterministicPerSeed) {
+  const WorkloadSpec a = randomWorkload(99);
+  const WorkloadSpec b = randomWorkload(99);
+  EXPECT_EQ(a.apps, b.apps);
+  EXPECT_EQ(a.cls, b.cls);
+  EXPECT_EQ(a.name, "rand-99");
+
+  const WorkloadSpec c = randomWorkload(100);
+  EXPECT_NE(a.apps, c.apps);
+}
+
+TEST(Generator, RespectsAppCountRange) {
+  RandomWorkloadOptions options;
+  options.minApps = 2;
+  options.maxApps = 4;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const WorkloadSpec spec = randomWorkload(seed, options);
+    EXPECT_GE(spec.apps.size(), 2u);
+    EXPECT_LE(spec.apps.size(), 4u);
+    for (const std::string& app : spec.apps) {
+      EXPECT_TRUE(isKnownBenchmark(app)) << app;
+      EXPECT_NE(app, "kmeans");
+    }
+  }
+}
+
+TEST(Generator, NoDuplicatesByDefault) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const WorkloadSpec spec = randomWorkload(seed);
+    const std::set<std::string> unique{spec.apps.begin(), spec.apps.end()};
+    EXPECT_EQ(unique.size(), spec.apps.size()) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DuplicatesAllowedWhenRequested) {
+  RandomWorkloadOptions options;
+  options.allowDuplicates = true;
+  options.minApps = 12;  // > distinct pool, forces duplicates
+  options.maxApps = 12;
+  const WorkloadSpec spec = randomWorkload(7, options);
+  EXPECT_EQ(spec.apps.size(), 12u);
+}
+
+TEST(Generator, InvalidOptionsThrow) {
+  RandomWorkloadOptions bad;
+  bad.minApps = 0;
+  EXPECT_THROW({ [[maybe_unused]] auto w = randomWorkload(1, bad); },
+               std::invalid_argument);
+  bad.minApps = 5;
+  bad.maxApps = 3;
+  EXPECT_THROW({ [[maybe_unused]] auto w = randomWorkload(1, bad); },
+               std::invalid_argument);
+  RandomWorkloadOptions tooMany;
+  tooMany.maxApps = 50;  // exceeds distinct benchmarks without duplicates
+  EXPECT_THROW({ [[maybe_unused]] auto w = randomWorkload(1, tooMany); },
+               std::invalid_argument);
+}
+
+TEST(Generator, ClassifyAppsMajorityRule) {
+  EXPECT_EQ(classifyApps({"jacobi", "needle", "hotspot"}),
+            WorkloadClass::UnbalancedMemory);
+  EXPECT_EQ(classifyApps({"jacobi", "srad", "hotspot"}),
+            WorkloadClass::UnbalancedCompute);
+  EXPECT_EQ(classifyApps({"jacobi", "srad"}), WorkloadClass::Balanced);
+  EXPECT_EQ(classifyApps({}), WorkloadClass::Balanced);
+}
+
+TEST(Generator, ClassMatchesDrawnMix) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const WorkloadSpec spec = randomWorkload(seed);
+    EXPECT_EQ(spec.cls, classifyApps(spec.apps)) << "seed " << seed;
+  }
+}
+
+TEST(Generator, GeneratedWorkloadRunsEndToEnd) {
+  sim::Machine machine{sim::MachineTopology::paperTestbed(),
+                       sim::MachineConfig{}};
+  const WorkloadSpec spec = randomWorkload(5);
+  const auto ids = addWorkloadProcesses(machine, spec, 0.05, 4);
+  EXPECT_EQ(ids.size(), spec.apps.size() + 1);  // + kmeans
+}
+
+}  // namespace
+}  // namespace dike::wl

@@ -1,0 +1,93 @@
+#include "workload/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::wl {
+namespace {
+
+TEST(Workloads, SixteenRowsInThreeClasses) {
+  const auto& table = workloadTable();
+  ASSERT_EQ(table.size(), 16u);
+  int counts[3] = {0, 0, 0};
+  for (const WorkloadSpec& w : table) {
+    EXPECT_EQ(w.apps.size(), 4u);
+    EXPECT_TRUE(w.includeKmeans);
+    ++counts[static_cast<int>(w.cls)];
+  }
+  EXPECT_EQ(counts[static_cast<int>(WorkloadClass::Balanced)], 6);
+  EXPECT_EQ(counts[static_cast<int>(WorkloadClass::UnbalancedCompute)], 5);
+  EXPECT_EQ(counts[static_cast<int>(WorkloadClass::UnbalancedMemory)], 5);
+}
+
+TEST(Workloads, ClassMatchesMemoryAppCount) {
+  for (const WorkloadSpec& w : workloadTable()) {
+    int memory = 0;
+    for (const std::string& app : w.apps)
+      if (isMemoryIntensiveBenchmark(app)) ++memory;
+    switch (w.cls) {
+      case WorkloadClass::Balanced: EXPECT_EQ(memory, 2) << w.name; break;
+      case WorkloadClass::UnbalancedCompute:
+        EXPECT_EQ(memory, 1) << w.name;
+        break;
+      case WorkloadClass::UnbalancedMemory:
+        EXPECT_EQ(memory, 3) << w.name;
+        break;
+    }
+  }
+}
+
+TEST(Workloads, TableIISpotChecks) {
+  EXPECT_EQ(workload(1).apps,
+            (std::vector<std::string>{"jacobi", "needle", "leukocyte",
+                                      "lavaMD"}));
+  EXPECT_EQ(workload(15).apps,
+            (std::vector<std::string>{"jacobi", "streamcluster", "stream_omp",
+                                      "hotspot"}));
+  EXPECT_EQ(workload("wl7").id, 7);
+  EXPECT_EQ(workload(7).cls, WorkloadClass::UnbalancedCompute);
+  EXPECT_EQ(workload(12).cls, WorkloadClass::UnbalancedMemory);
+}
+
+TEST(Workloads, LookupErrors) {
+  EXPECT_THROW({ [[maybe_unused]] auto& w = workload(0); }, std::out_of_range);
+  EXPECT_THROW({ [[maybe_unused]] auto& w = workload(17); },
+               std::out_of_range);
+  EXPECT_THROW({ [[maybe_unused]] auto& w = workload("wl99"); },
+               std::out_of_range);
+}
+
+TEST(Workloads, ClassQueries) {
+  EXPECT_EQ(workloadsOfClass(WorkloadClass::Balanced).size(), 6u);
+  EXPECT_EQ(workloadsOfClass(WorkloadClass::UnbalancedCompute).size(), 5u);
+  EXPECT_EQ(workloadsOfClass(WorkloadClass::UnbalancedMemory).size(), 5u);
+  EXPECT_EQ(toString(WorkloadClass::Balanced), "B");
+  EXPECT_EQ(toString(WorkloadClass::UnbalancedCompute), "UC");
+  EXPECT_EQ(toString(WorkloadClass::UnbalancedMemory), "UM");
+}
+
+TEST(Workloads, AddWorkloadProcessesBuildsFortyThreads) {
+  sim::Machine machine{sim::MachineTopology::paperTestbed(),
+                       sim::MachineConfig{}};
+  const auto processIds = addWorkloadProcesses(machine, workload(2), 0.5);
+  EXPECT_EQ(processIds.size(), 5u);  // 4 apps + kmeans
+  EXPECT_EQ(machine.threads().size(), 40u);
+  EXPECT_EQ(workloadThreadCount(workload(2)), 40);
+  // Process names follow the table, kmeans last.
+  EXPECT_EQ(machine.process(processIds[0]).name, "jacobi");
+  EXPECT_EQ(machine.process(processIds[4]).name, "kmeans");
+}
+
+TEST(Workloads, ThreadsPerAppIsConfigurable) {
+  sim::Machine machine{sim::MachineTopology::smallTestbed(5),
+                       sim::MachineConfig{}};
+  WorkloadSpec spec = workload(1);
+  spec.includeKmeans = false;
+  addWorkloadProcesses(machine, spec, 0.5, 2);
+  EXPECT_EQ(machine.threads().size(), 8u);
+  EXPECT_EQ(workloadThreadCount(spec, 2), 8);
+  EXPECT_THROW(addWorkloadProcesses(machine, spec, 0.5, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dike::wl
