@@ -30,6 +30,30 @@ void runFigure6(const BenchOptions& opts) {
   };
   std::vector<CsvRow> csvRows;
 
+  // Flatten the whole sweep — (workload x rep) x (CFS + compared kinds) —
+  // into one batch of independent runs and fan it across the pool; results
+  // come back in spec order, so aggregation below is identical to the old
+  // nested serial loops.
+  const int reps = dike::bench::repsOr(opts, 3);
+  std::vector<dike::exp::RunSpec> specs;
+  for (const dike::wl::WorkloadSpec& w : dike::wl::workloadTable()) {
+    for (int rep = 0; rep < reps; ++rep) {
+      dike::exp::RunSpec spec;
+      spec.workloadId = w.id;
+      spec.scale = opts.scale;
+      spec.seed = opts.seed + static_cast<std::uint64_t>(rep) * 1000;
+      spec.kind = SchedulerKind::Cfs;
+      specs.push_back(spec);
+      for (const SchedulerKind kind : kCompared) {
+        spec.kind = kind;
+        specs.push_back(spec);
+      }
+    }
+  }
+  const std::vector<RunMetrics> results =
+      dike::exp::runWorkloadsParallel(specs, opts.jobs);
+
+  std::size_t cursor = 0;
   dike::wl::WorkloadClass lastClass =
       dike::wl::workloadTable().front().cls;
   for (const dike::wl::WorkloadSpec& w : dike::wl::workloadTable()) {
@@ -39,17 +63,13 @@ void runFigure6(const BenchOptions& opts) {
     std::map<SchedulerKind, dike::util::OnlineStats> sAcc;
     std::map<SchedulerKind, dike::util::OnlineStats> fAbsAcc;
     std::map<SchedulerKind, dike::util::OnlineStats> swapAcc;
-    const int reps = dike::bench::repsOr(opts, 3);
     for (int rep = 0; rep < reps; ++rep) {
-      dike::bench::BenchOptions repOpts = opts;
-      repOpts.seed = opts.seed + static_cast<std::uint64_t>(rep) * 1000;
-      const dike::bench::WorkloadRuns runs =
-          dike::bench::runWorkloadAllSchedulers(w.id, repOpts);
-      cfsFairness.add(runs.cfs.fairness);
+      const RunMetrics& cfs = results[cursor++];
+      cfsFairness.add(cfs.fairness);
       for (const SchedulerKind kind : kCompared) {
-        const RunMetrics& m = runs.byKind.at(kind);
-        fAcc[kind].add(m.fairness / runs.cfs.fairness);
-        sAcc[kind].add(dike::exp::speedup(runs.cfs.makespan, m.makespan));
+        const RunMetrics& m = results[cursor++];
+        fAcc[kind].add(m.fairness / cfs.fairness);
+        sAcc[kind].add(dike::exp::speedup(cfs.makespan, m.makespan));
         fAbsAcc[kind].add(m.fairness);
         swapAcc[kind].add(static_cast<double>(m.swaps));
       }

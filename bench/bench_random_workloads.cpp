@@ -25,16 +25,36 @@ void runRandomSweep(const BenchOptions& opts) {
   std::map<SchedulerKind, std::vector<double>> fairnessRatios;
   std::map<SchedulerKind, std::vector<double>> speedups;
 
+  const std::vector<SchedulerKind> kinds{
+      SchedulerKind::Dio, SchedulerKind::Dike, SchedulerKind::DikeAF};
+
+  // One flattened batch of (mix x scheduler) runs, fanned across the pool;
+  // results return in spec order so the table below reads sequentially.
+  std::vector<dike::wl::WorkloadSpec> mixSpecs;
+  std::vector<dike::exp::RunSpec> specs;
   for (int i = 0; i < mixes; ++i) {
     const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(i);
-    const dike::wl::WorkloadSpec mix = dike::wl::randomWorkload(seed);
+    mixSpecs.push_back(dike::wl::randomWorkload(seed));
 
     dike::exp::RunSpec spec;
-    spec.customWorkload = mix;
+    spec.customWorkload = mixSpecs.back();
     spec.scale = opts.scale;
     spec.seed = seed;
     spec.kind = SchedulerKind::Cfs;
-    const RunMetrics base = dike::exp::runWorkload(spec);
+    specs.push_back(spec);
+    for (const SchedulerKind kind : kinds) {
+      spec.kind = kind;
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<RunMetrics> results =
+      dike::exp::runWorkloadsParallel(specs, opts.jobs);
+
+  std::size_t cursor = 0;
+  for (int i = 0; i < mixes; ++i) {
+    const dike::wl::WorkloadSpec& mix =
+        mixSpecs[static_cast<std::size_t>(i)];
+    const RunMetrics& base = results[cursor++];
 
     std::string apps;
     for (const std::string& app : mix.apps)
@@ -45,10 +65,8 @@ void runRandomSweep(const BenchOptions& opts) {
         .cell(toString(mix.cls))
         .cell(apps)
         .cell(base.fairness, 3);
-    for (const SchedulerKind kind :
-         {SchedulerKind::Dio, SchedulerKind::Dike, SchedulerKind::DikeAF}) {
-      spec.kind = kind;
-      const RunMetrics m = dike::exp::runWorkload(spec);
+    for (const SchedulerKind kind : kinds) {
+      const RunMetrics& m = results[cursor++];
       table.cellPercent(m.fairness / base.fairness - 1.0, 1);
       fairnessRatios[kind].push_back(m.fairness / base.fairness);
       speedups[kind].push_back(dike::exp::speedup(base.makespan, m.makespan));

@@ -1,0 +1,194 @@
+// Simulation-engine throughput: how fast the engine turns wall-clock time
+// into simulated ticks, and how fast a Figure-6-shaped sweep completes.
+//
+// Three configurations are timed on the same work:
+//   serial/no-leap  — per-tick stepping, one run at a time (the seed
+//                     engine's behaviour; the baseline),
+//   serial/leap     — event-batched stepping (tick leaping), still serial,
+//   parallel/leap   — tick leaping plus the exp::runWorkloadsParallel pool.
+// Tick leaping is bit-identical to per-tick stepping (tests/sim golden
+// test), so all three produce the same metrics and the comparison is pure
+// engine speed. Results are written to --json=<path> (default
+// BENCH_sim.json in the working directory) so future changes can be
+// checked against the recorded trajectory.
+#include "common.hpp"
+
+#include <chrono>
+
+#include "util/json.hpp"
+
+namespace {
+
+using dike::bench::BenchOptions;
+using dike::exp::RunMetrics;
+using dike::exp::SchedulerKind;
+
+const std::vector<int> kWorkloads{2, 7, 13};
+const std::vector<SchedulerKind> kSweepKinds{
+    SchedulerKind::Cfs, SchedulerKind::Dio, SchedulerKind::Dike,
+    SchedulerKind::DikeAF, SchedulerKind::DikeAP};
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Simulated ticks per wall-clock second for one workload under Dike,
+/// with and without tick leaping.
+void runLeapThroughput(const BenchOptions& opts, dike::util::JsonObject& out) {
+  std::printf("=== Engine throughput: simulated ticks per second ===\n");
+  dike::util::TextTable table{{"workload", "ticks", "no-leap Mticks/s",
+                               "leap Mticks/s", "leap speedup"}};
+  dike::util::JsonArray perWorkload;
+  std::vector<double> speedups;
+  for (const int workloadId : kWorkloads) {
+    dike::exp::RunSpec spec;
+    spec.workloadId = workloadId;
+    spec.kind = SchedulerKind::Dike;
+    spec.scale = opts.scale;
+    spec.seed = opts.seed;
+
+    spec.machine.tickLeaping = false;
+    auto start = std::chrono::steady_clock::now();
+    const RunMetrics slow = dike::exp::runWorkload(spec);
+    const double noLeapSec = secondsSince(start);
+
+    spec.machine.tickLeaping = true;
+    start = std::chrono::steady_clock::now();
+    const RunMetrics fast = dike::exp::runWorkload(spec);
+    const double leapSec = secondsSince(start);
+
+    const double ticks = static_cast<double>(slow.makespan);
+    const double noLeapRate = ticks / noLeapSec;
+    const double leapRate = static_cast<double>(fast.makespan) / leapSec;
+    const double speedup = noLeapSec / leapSec;
+    speedups.push_back(speedup);
+    table.newRow()
+        .cell("wl" + std::to_string(workloadId))
+        .cell(ticks, 0)
+        .cell(noLeapRate / 1e6, 2)
+        .cell(leapRate / 1e6, 2)
+        .cell(speedup, 2);
+
+    dike::util::JsonObject row;
+    row.emplace("workload", workloadId);
+    row.emplace("ticks", ticks);
+    row.emplace("no_leap_ticks_per_sec", noLeapRate);
+    row.emplace("leap_ticks_per_sec", leapRate);
+    row.emplace("leap_speedup", speedup);
+    perWorkload.emplace_back(std::move(row));
+  }
+  const double geo = dike::util::geometricMean(speedups);
+  table.print();
+  std::printf("\nTick-leaping speedup (geomean, single-threaded): %.2fx\n\n",
+              geo);
+  out.emplace("leap_per_workload", std::move(perWorkload));
+  out.emplace("leap_speedup_geomean", geo);
+}
+
+/// End-to-end Figure-6-shaped sweep (16 workloads x 5 schedulers) timed
+/// serial/no-leap vs serial/leap vs parallel/leap.
+void runSweepThroughput(const BenchOptions& opts,
+                        dike::util::JsonObject& out) {
+  std::vector<dike::exp::RunSpec> specs;
+  for (int workloadId = 1; workloadId <= 16; ++workloadId) {
+    for (const SchedulerKind kind : kSweepKinds) {
+      dike::exp::RunSpec spec;
+      spec.workloadId = workloadId;
+      spec.kind = kind;
+      spec.scale = opts.scale;
+      spec.seed = opts.seed;
+      specs.push_back(spec);
+    }
+  }
+
+  auto timeSweep = [&specs](bool leap, int jobs) {
+    std::vector<dike::exp::RunSpec> configured = specs;
+    for (dike::exp::RunSpec& spec : configured)
+      spec.machine.tickLeaping = leap;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<RunMetrics> results =
+        dike::exp::runWorkloadsParallel(configured, jobs);
+    benchmark::DoNotOptimize(results.data());
+    return secondsSince(start);
+  };
+
+  const int jobs =
+      opts.jobs > 0 ? opts.jobs : dike::exp::defaultJobs();
+  const double serialNoLeap = timeSweep(false, 1);
+  const double serialLeap = timeSweep(true, 1);
+  const double parallelLeap = timeSweep(true, jobs);
+
+  std::printf(
+      "=== Figure-6-shaped sweep (%zu runs, scale=%.2f) ===\n"
+      "serial/no-leap: %.2fs   serial/leap: %.2fs (%.2fx)   "
+      "parallel/leap (%d jobs): %.2fs (%.2fx)\n",
+      specs.size(), opts.scale, serialNoLeap, serialLeap,
+      serialNoLeap / serialLeap, jobs, parallelLeap,
+      serialNoLeap / parallelLeap);
+
+  out.emplace("sweep_runs", static_cast<double>(specs.size()));
+  out.emplace("sweep_scale", opts.scale);
+  out.emplace("sweep_jobs", jobs);
+  out.emplace("sweep_serial_no_leap_sec", serialNoLeap);
+  out.emplace("sweep_serial_leap_sec", serialLeap);
+  out.emplace("sweep_parallel_leap_sec", parallelLeap);
+  out.emplace("sweep_leap_speedup", serialNoLeap / serialLeap);
+  out.emplace("sweep_total_speedup", serialNoLeap / parallelLeap);
+}
+
+void BM_RunLeap(benchmark::State& state) {
+  for (auto _ : state) {
+    dike::exp::RunSpec spec;
+    spec.workloadId = 2;
+    spec.kind = SchedulerKind::Dike;
+    spec.scale = 0.25;
+    const RunMetrics m = dike::exp::runWorkload(spec);
+    benchmark::DoNotOptimize(m.fairness);
+  }
+}
+BENCHMARK(BM_RunLeap)->Unit(benchmark::kMillisecond);
+
+void BM_RunNoLeap(benchmark::State& state) {
+  for (auto _ : state) {
+    dike::exp::RunSpec spec;
+    spec.workloadId = 2;
+    spec.kind = SchedulerKind::Dike;
+    spec.scale = 0.25;
+    spec.machine.tickLeaping = false;
+    const RunMetrics m = dike::exp::runWorkload(spec);
+    benchmark::DoNotOptimize(m.fairness);
+  }
+}
+BENCHMARK(BM_RunNoLeap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = dike::bench::parseOptions(argc, argv);
+  const dike::util::CliArgs args{argc, argv};
+  const std::string jsonPath = args.getOr("json", "BENCH_sim.json");
+
+  dike::util::JsonObject out;
+  out.emplace("bench", "sim_throughput");
+  out.emplace("scale", opts.scale);
+  out.emplace("seed", static_cast<std::int64_t>(opts.seed));
+  runLeapThroughput(opts, out);
+  runSweepThroughput(opts, out);
+
+  const dike::util::JsonValue doc{std::move(out)};
+  if (FILE* f = std::fopen(jsonPath.c_str(), "w")) {
+    const std::string text = doc.dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", jsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+
+  if (opts.runGoogleBenchmark) dike::bench::runRegisteredBenchmarks(argv[0]);
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/parallel.hpp"
 #include "exp/runner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -28,6 +29,9 @@ struct BenchOptions {
   int reps = 0;  ///< independent seeds per data point; 0 = bench default
   bool runGoogleBenchmark = true;
   std::string csvPath;  ///< optional: also dump rows as CSV
+  /// Worker threads for the sweep fan-out; <= 0 picks exp::defaultJobs()
+  /// (DIKE_JOBS env or hardware concurrency), 1 forces serial execution.
+  int jobs = 0;
 };
 
 /// Resolve the reps count against a per-bench default.
@@ -43,6 +47,7 @@ inline BenchOptions parseOptions(int argc, char** argv) {
   opts.reps = args.getInt("reps", 0);
   opts.runGoogleBenchmark = args.getBool("gbench", true);
   opts.csvPath = args.getOr("csv", "");
+  opts.jobs = args.getInt("jobs", 0);
   return opts;
 }
 
@@ -53,24 +58,31 @@ struct WorkloadRuns {
 };
 
 /// Run one workload under the given schedulers (always includes CFS as the
-/// baseline).
+/// baseline), fanning the independent runs across opts.jobs workers.
 inline WorkloadRuns runWorkloadAllSchedulers(
     int workloadId, const BenchOptions& opts,
     const std::vector<exp::SchedulerKind>& kinds = exp::allSchedulerKinds()) {
-  WorkloadRuns runs;
   exp::RunSpec spec;
   spec.workloadId = workloadId;
   spec.scale = opts.scale;
   spec.seed = opts.seed;
 
+  std::vector<exp::RunSpec> specs;
   spec.kind = exp::SchedulerKind::Cfs;
-  runs.cfs = exp::runWorkload(spec);
-  runs.byKind[exp::SchedulerKind::Cfs] = runs.cfs;
+  specs.push_back(spec);
   for (const exp::SchedulerKind kind : kinds) {
     if (kind == exp::SchedulerKind::Cfs) continue;
     spec.kind = kind;
-    runs.byKind[kind] = exp::runWorkload(spec);
+    specs.push_back(spec);
   }
+
+  const std::vector<exp::RunMetrics> results =
+      exp::runWorkloadsParallel(specs, opts.jobs);
+
+  WorkloadRuns runs;
+  runs.cfs = results.front();
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    runs.byKind[specs[i].kind] = results[i];
   return runs;
 }
 

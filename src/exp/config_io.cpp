@@ -79,6 +79,9 @@ void decodeMachine(const util::JsonValue& m, sim::MachineConfig& out) {
       "socketLinkAccessesPerSec", out.memory.socketLinkAccessesPerSec);
   out.measurementNoiseSigma =
       m.numberOr("measurementNoiseSigma", out.measurementNoiseSigma);
+  out.tickLeaping = m.boolOr("tickLeaping", out.tickLeaping);
+  out.utilizationSnapEpsilon =
+      m.numberOr("utilizationSnapEpsilon", out.utilizationSnapEpsilon);
 }
 
 void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {

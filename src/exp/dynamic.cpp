@@ -66,17 +66,22 @@ RunMetrics runDynamicWorkload(const DynamicRunSpec& spec) {
   ArrivalInjector injector{adapter, spec.arrivals};
 
   // Like sim::runMachine, but the run is not over while arrivals are
-  // outstanding (the machine may be momentarily idle between waves).
+  // outstanding (the machine may be momentarily idle between waves): while
+  // arrivals are pending, stepUntil must keep advancing time across the
+  // idle gap rather than stop at the last finish.
   constexpr util::Tick kMaxTicks = 4'000'000;
   util::Tick nextQuantumAt = injector.quantumTicks();
   while ((!machine.allFinished() || injector.pendingArrivals() > 0) &&
          machine.now() < kMaxTicks) {
-    machine.step();
+    const util::Tick target =
+        std::min(kMaxTicks, std::max(nextQuantumAt, machine.now() + 1));
+    machine.stepUntil(target, injector.pendingArrivals() == 0);
     if (machine.now() >= nextQuantumAt) {
       if (machine.allFinished() && injector.pendingArrivals() == 0) break;
       injector.onQuantum(machine);
-      nextQuantumAt =
-          machine.now() + std::max<util::Tick>(1, injector.quantumTicks());
+      nextQuantumAt = std::max(
+          nextQuantumAt + std::max<util::Tick>(1, injector.quantumTicks()),
+          machine.now() + 1);
     }
   }
 

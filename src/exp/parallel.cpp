@@ -1,0 +1,108 @@
+#include "exp/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace dike::exp {
+
+int defaultJobs() {
+  if (const char* env = std::getenv("DIKE_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<int>(std::min<long>(v, 1024));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  jobCount_ = jobs > 0 ? jobs : defaultJobs();
+  workers_.reserve(static_cast<std::size_t>(jobCount_));
+  for (int i = 0; i < jobCount_; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock{mu_};
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  // std::jthread joins on destruction; workers drain the queue first.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock{mu_};
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock lock{mu_};
+  idle_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mu_};
+      taskReady_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard lock{mu_};
+      --unfinished_;
+      if (unfinished_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& fn, int jobs) {
+  if (count == 0) return;
+  if (jobs <= 0) jobs = defaultJobs();
+  jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), count));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(count);
+  {
+    ThreadPool pool{jobs};
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&fn, &errors, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.waitIdle();
+  }
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::vector<RunMetrics> runWorkloadsParallel(std::span<const RunSpec> specs,
+                                             int jobs) {
+  std::vector<RunMetrics> results(specs.size());
+  parallelFor(
+      specs.size(),
+      [&](std::size_t i) { results[i] = runWorkload(specs[i]); }, jobs);
+  return results;
+}
+
+}  // namespace dike::exp

@@ -9,7 +9,22 @@ namespace dike::sim {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+/// Largest number of ticks a quantity growing by `rate` per tick can safely
+/// advance while provably staying below `room`, under per-tick floating-point
+/// accumulation. Conservative: the margin absorbs worst-case rounding drift
+/// of the repeated additions (relative 1e-7 covers horizons up to ~4e8
+/// ticks, far beyond any run limit); undershooting only means a few extra
+/// per-tick steps near the event, never a missed event.
+[[nodiscard]] util::Tick ticksBelow(double room, double rate) {
+  if (!(room > rate)) return 0;
+  const double est = room / rate;
+  if (est >= 1e8) return static_cast<util::Tick>(1e8);
+  const auto margin = static_cast<util::Tick>(3.0 + est * 1e-7);
+  const auto whole = static_cast<util::Tick>(est);
+  return whole > margin ? whole - margin : 0;
 }
+}  // namespace
 
 Machine::Machine(MachineTopology topology, MachineConfig config)
     : topology_(std::move(topology)),
@@ -49,6 +64,7 @@ int Machine::addProcess(std::string name, PhaseProgram program,
                        1.0 + config_.conflictSpread));
     }
     proc.threadIds.push_back(t.id);
+    liveThreads_.push_back(t.id);  // new ids are largest: order stays ascending
     threads_.push_back(t);
   }
   processes_.push_back(std::move(proc));
@@ -66,15 +82,12 @@ void Machine::placeThread(int threadId, int coreId) {
   emit(TraceEventKind::Placement, t, -1, coreId);
 }
 
-bool Machine::allFinished() const noexcept {
-  return std::all_of(threads_.begin(), threads_.end(),
-                     [](const SimThread& t) { return t.finished; });
-}
+bool Machine::allFinished() const noexcept { return liveThreads_.empty(); }
 
 int Machine::runningThreadCount() const noexcept {
-  return static_cast<int>(
-      std::count_if(threads_.begin(), threads_.end(), [](const SimThread& t) {
-        return !t.finished && t.coreId >= 0;
+  return static_cast<int>(std::count_if(
+      liveThreads_.begin(), liveThreads_.end(), [this](int id) {
+        return threads_[static_cast<std::size_t>(id)].coreId >= 0;
       }));
 }
 
@@ -92,12 +105,13 @@ void Machine::emit(TraceEventKind kind, const SimThread& t, int fromCore,
   trace_->record(e);
 }
 
-void Machine::accountTime() {
+double Machine::accountTime() {
   // Energy: idle power for every physical core, plus cubic-in-frequency
   // dynamic power scaled by each runnable occupant's issue utilisation.
   double watts = config_.idlePowerW *
                  static_cast<double>(topology_.physicalCoreCount());
-  for (const SimThread& t : threads_) {
+  for (int id : liveThreads_) {
+    const SimThread& t = threads_[static_cast<std::size_t>(id)];
     if (!isRunnable(t)) continue;
     const double f =
         physFreqGhz_[static_cast<std::size_t>(
@@ -107,8 +121,9 @@ void Machine::accountTime() {
   }
   energyJ_ += watts * util::kTickSeconds;
 
-  for (SimThread& t : threads_) {
-    if (t.finished || t.coreId < 0) continue;
+  for (int id : liveThreads_) {
+    SimThread& t = threads_[static_cast<std::size_t>(id)];
+    if (t.coreId < 0) continue;
     if (t.suspended) {
       ++t.suspendedTicks;
     } else if (now_ < t.stallUntilTick) {
@@ -123,6 +138,7 @@ void Machine::accountTime() {
         ++t.slowCoreTicks;
     }
   }
+  return watts;
 }
 
 bool Machine::isRunnable(const SimThread& t) const noexcept {
@@ -138,16 +154,21 @@ const Phase& Machine::currentPhase(const SimThread& t) const {
   return phases[idx];
 }
 
-void Machine::step() {
+void Machine::step() { (void)stepOnce(); }
+
+Machine::TickOutcome Machine::stepOnce() {
   const util::Tick tickEnd = now_ + 1;
-  accountTime();
+  tickHadEvent_ = false;
+  bool utilChanged = false;
+  const double watts = accountTime();
 
   // LLC pressure: per socket, the summed working sets of resident threads
   // (stalled and barrier-blocked threads still occupy cache).
   llcPressureScratch_.assign(static_cast<std::size_t>(topology_.socketCount()),
                              0.0);
-  for (const SimThread& t : threads_) {
-    if (t.finished || t.coreId < 0) continue;
+  for (int id : liveThreads_) {
+    const SimThread& t = threads_[static_cast<std::size_t>(id)];
+    if (t.coreId < 0) continue;
     llcPressureScratch_[static_cast<std::size_t>(
         topology_.core(t.coreId).socket)] += currentPhase(t).workingSetMB;
   }
@@ -162,7 +183,8 @@ void Machine::step() {
   // of runnable occupants (a stalled sibling costs its partner little).
   smtLoadScratch_.assign(
       static_cast<std::size_t>(topology_.physicalCoreCount()), 0.0);
-  for (const SimThread& t : threads_) {
+  for (int id : liveThreads_) {
+    const SimThread& t = threads_[static_cast<std::size_t>(id)];
     if (isRunnable(t))
       smtLoadScratch_[static_cast<std::size_t>(
           topology_.core(t.coreId).physicalCore)] += t.prevUtilization;
@@ -173,7 +195,8 @@ void Machine::step() {
   capScratch_.clear();
   activeScratch_.clear();
   std::vector<int>& activeThreads = activeScratch_;
-  for (SimThread& t : threads_) {
+  for (int id : liveThreads_) {
+    SimThread& t = threads_[static_cast<std::size_t>(id)];
     if (!isRunnable(t)) continue;
     const CoreDesc& core = topology_.core(t.coreId);
     const Phase& phase = currentPhase(t);
@@ -201,10 +224,12 @@ void Machine::step() {
     activeThreads.push_back(t.id);
   }
 
-  const std::vector<double> served =
-      arbitrate(demandScratch_, config_.memory, topology_.socketCount(),
-                util::kTickSeconds);
+  arbitrateInto(demandScratch_, config_.memory, topology_.socketCount(),
+                util::kTickSeconds, arbScratch_, servedScratch_);
+  const std::vector<double>& served = servedScratch_;
 
+  executedScratch_.clear();
+  accessesScratch_.clear();
   for (std::size_t i = 0; i < activeThreads.size(); ++i) {
     SimThread& t = threads_[static_cast<std::size_t>(activeThreads[i])];
     const Phase& phase = currentPhase(t);
@@ -241,17 +266,148 @@ void Machine::step() {
       }
     }
 
-    t.prevUtilization = capInstr > 0.0 ? executed / capInstr : 0.0;
-    advanceThread(t, executed, executed * effMemPerInstr);
+    const double newUtil = capInstr > 0.0 ? executed / capInstr : 0.0;
+    // Snap to the previous utilisation when the move is within epsilon so
+    // the SMT feedback loop reaches an exact fixed point (see MachineConfig).
+    if (std::abs(newUtil - t.prevUtilization) >
+        config_.utilizationSnapEpsilon) {
+      t.prevUtilization = newUtil;
+      utilChanged = true;
+    }
+    const double accesses = executed * effMemPerInstr;
+    executedScratch_.push_back(executed);
+    accessesScratch_.push_back(accesses);
+    advanceThread(t, executed, accesses);
     if (hitBarrier && !t.finished) {
       ++t.barriersPassed;
       t.waitingAtBarrier = true;
+      tickHadEvent_ = true;
       emit(TraceEventKind::BarrierWait, t, -1, -1, t.barriersPassed);
     }
   }
 
   now_ = tickEnd;
   resolveBarriers();
+  ++stats_.computedTicks;
+
+  // The next tick repeats this one bitwise unless something structural
+  // happened, a utilisation moved, or a stall/cold window expires exactly
+  // at the next tick boundary (which would flip a predicate between the
+  // computed tick and its first replay).
+  bool steady = !tickHadEvent_ && !utilChanged;
+  if (steady) {
+    for (int id : liveThreads_) {
+      const SimThread& t = threads_[static_cast<std::size_t>(id)];
+      if (t.coreId >= 0 &&
+          (t.stallUntilTick == now_ || t.coldUntilTick == now_)) {
+        steady = false;
+        break;
+      }
+    }
+  }
+  return TickOutcome{steady, watts};
+}
+
+util::Tick Machine::leapHorizon(util::Tick target) const {
+  util::Tick n = target - now_;
+  // Stall/cold windows: keep every time predicate constant across the leap.
+  for (int id : liveThreads_) {
+    const SimThread& t = threads_[static_cast<std::size_t>(id)];
+    if (t.coreId < 0) continue;
+    if (now_ < t.stallUntilTick) n = std::min(n, t.stallUntilTick - now_);
+    if (now_ < t.coldUntilTick) n = std::min(n, t.coldUntilTick - now_);
+  }
+  // Progress events: stop (conservatively) before any active thread can
+  // cross its phase boundary or reach its next barrier.
+  for (std::size_t i = 0; i < activeScratch_.size(); ++i) {
+    const SimThread& t =
+        threads_[static_cast<std::size_t>(activeScratch_[i])];
+    const double e = executedScratch_[i];
+    if (e <= 0.0) continue;
+    const Phase& phase = currentPhase(t);
+    const double slack = std::max(kEps, phase.instructions * 1e-12);
+    n = std::min(n, ticksBelow(phase.instructions - slack - t.phaseExecuted, e));
+    const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
+    const double barrierEvery = proc.program.barrierEveryInstructions;
+    if (barrierEvery > 0.0) {
+      const double nextBarrierAt =
+          static_cast<double>(t.barriersPassed + 1) * barrierEvery;
+      if (nextBarrierAt < proc.program.totalInstructions() - kEps)
+        n = std::min(n, ticksBelow(nextBarrierAt - kEps - t.executed, e));
+    }
+  }
+  return std::max<util::Tick>(n, 0);
+}
+
+void Machine::replayTicks(util::Tick n, double watts) {
+  // Bit-identity rule: per accumulator, perform exactly the additions the
+  // per-tick loop would have performed (repeated FP addition of a constant
+  // is not equal to one multiply-add). Integer counters are exact either
+  // way. Everything else — pressure, arbitration, phase lookups — is
+  // provably unchanged across the window and simply not recomputed.
+  const double wJ = watts * util::kTickSeconds;
+  for (util::Tick k = 0; k < n; ++k) energyJ_ += wJ;
+
+  for (int id : liveThreads_) {
+    SimThread& t = threads_[static_cast<std::size_t>(id)];
+    if (t.coreId < 0) continue;
+    if (t.suspended) {
+      t.suspendedTicks += n;
+    } else if (now_ < t.stallUntilTick) {
+      t.stallTicks += n;
+    } else if (t.waitingAtBarrier) {
+      t.barrierTicks += n;
+    } else {
+      t.runnableTicks += n;
+      if (topology_.core(t.coreId).type == CoreType::Fast)
+        t.fastCoreTicks += n;
+      else
+        t.slowCoreTicks += n;
+    }
+  }
+
+  for (std::size_t i = 0; i < activeScratch_.size(); ++i) {
+    SimThread& t = threads_[static_cast<std::size_t>(activeScratch_[i])];
+    const double e = executedScratch_[i];
+    const double a = accessesScratch_[i];
+    // The six chains are independent of each other, so one fused loop lets
+    // them retire in parallel instead of serialising six latency-bound
+    // chains; within each chain the addition order is unchanged.
+    double executed = t.executed;
+    double phaseExecuted = t.phaseExecuted;
+    double quantumInstructions = t.quantumInstructions;
+    double quantumAccesses = t.quantumAccesses;
+    double totalAccesses = t.totalAccesses;
+    double coreAccesses = coreQuantumAccesses_[static_cast<std::size_t>(t.coreId)];
+    for (util::Tick k = 0; k < n; ++k) {
+      executed += e;
+      phaseExecuted += e;
+      quantumInstructions += e;
+      quantumAccesses += a;
+      totalAccesses += a;
+      coreAccesses += a;
+    }
+    t.executed = executed;
+    t.phaseExecuted = phaseExecuted;
+    t.quantumInstructions = quantumInstructions;
+    t.quantumAccesses = quantumAccesses;
+    t.totalAccesses = totalAccesses;
+    coreQuantumAccesses_[static_cast<std::size_t>(t.coreId)] = coreAccesses;
+  }
+
+  now_ += n;
+  stats_.leapedTicks += n;
+}
+
+void Machine::stepUntil(util::Tick target, bool stopWhenAllFinished) {
+  while (now_ < target) {
+    if (stopWhenAllFinished && liveThreads_.empty()) return;
+    const TickOutcome tick = stepOnce();
+    if (stopWhenAllFinished && liveThreads_.empty()) return;
+    if (!config_.tickLeaping || !tick.steady || now_ >= target) continue;
+    const util::Tick n = leapHorizon(target);
+    if (n > 0) replayTicks(n, tick.watts);
+  }
 }
 
 void Machine::advanceThread(SimThread& t, double executed, double accesses) {
@@ -276,6 +432,7 @@ void Machine::advanceThread(SimThread& t, double executed, double accesses) {
     if (t.phaseExecuted >= phase.instructions - slack) {
       ++t.phaseIndex;
       t.phaseExecuted = 0.0;
+      tickHadEvent_ = true;
       if (t.phaseIndex < static_cast<int>(phases.size()))
         emit(TraceEventKind::PhaseChange, t, -1, -1, t.phaseIndex);
     }
@@ -292,7 +449,12 @@ void Machine::finishThread(SimThread& t) {
   t.finished = true;
   t.finishTick = now_ + 1;  // completes at the end of the current tick
   t.waitingAtBarrier = false;
+  tickHadEvent_ = true;
   if (t.coreId >= 0) coreToThread_[static_cast<std::size_t>(t.coreId)] = -1;
+  // Ordered erase keeps liveThreads_ ascending, preserving the FP summation
+  // order of the per-tick loops.
+  const auto it = std::find(liveThreads_.begin(), liveThreads_.end(), t.id);
+  if (it != liveThreads_.end()) liveThreads_.erase(it);
 
   SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
   const bool allDone = std::all_of(
@@ -322,6 +484,7 @@ void Machine::resolveBarriers() {
       SimThread& t = threads_[static_cast<std::size_t>(id)];
       if (!t.finished && t.waitingAtBarrier && t.barriersPassed <= minPassed) {
         t.waitingAtBarrier = false;
+        tickHadEvent_ = true;
         emit(TraceEventKind::BarrierRelease, t, -1, -1, t.barriersPassed);
       }
     }
@@ -445,11 +608,19 @@ RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
                       RunLimits limits) {
   util::Tick nextQuantumAt = policy.quantumTicks();
   while (!machine.allFinished() && machine.now() < limits.maxTicks) {
-    machine.step();
+    const util::Tick target = std::min(
+        limits.maxTicks, std::max(nextQuantumAt, machine.now() + 1));
+    machine.stepUntil(target);
     if (machine.now() >= nextQuantumAt) {
       if (machine.allFinished()) break;
       policy.onQuantum(machine);
-      nextQuantumAt = machine.now() + std::max<util::Tick>(1, policy.quantumTicks());
+      // Schedule from the previous deadline, not the observed tick, so one
+      // late quantum cannot shift the whole subsequent schedule. stepUntil
+      // never overshoots the target, so the clamp only guards pathological
+      // policies that move the deadline into the past.
+      nextQuantumAt = std::max(
+          nextQuantumAt + std::max<util::Tick>(1, policy.quantumTicks()),
+          machine.now() + 1);
     }
   }
   return RunOutcome{machine.now(), !machine.allFinished()};

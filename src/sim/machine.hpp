@@ -69,7 +69,31 @@ struct MachineConfig {
   double idlePowerW = 2.0;
   double dynamicPowerW = 8.0;
   double refFreqGhz = 2.33;
+  /// Event-batched stepping ("tick leaping"): when a computed tick proves
+  /// that the next tick must be bit-identical (no phase crossing, barrier,
+  /// finish, stall/cold expiry, or utilisation drift), stepUntil() replays
+  /// the remaining ticks up to the next event horizon without recomputing
+  /// them. Results are bit-identical to per-tick stepping by construction
+  /// (see DESIGN.md "Event-batched time"); disable for debugging A/B runs.
+  bool tickLeaping = true;
+  /// Snap the per-tick issue utilisation to its previous value when it moves
+  /// by at most this much. This lets the SMT feedback loop (utilisation ->
+  /// sibling issue share -> utilisation) settle on an exact floating-point
+  /// fixed point instead of converging geometrically forever, which is what
+  /// makes ticks provably repeatable. The model error it introduces is
+  /// bounded: utilisation only modulates the sibling issue share (factor
+  /// (1 - smtSharedFactor) * eps ~ 3e-5 of capacity) and the dynamic power
+  /// term, both far below the engine's measurement noise. Applied
+  /// identically with and without tickLeaping, so the two modes stay
+  /// bit-identical to each other.
+  double utilizationSnapEpsilon = 1e-4;
   std::uint64_t seed = 1;
+};
+
+/// Counters for how simulated time was advanced (perf introspection).
+struct StepStats {
+  util::Tick computedTicks = 0;  ///< ticks evaluated with the full model
+  util::Tick leapedTicks = 0;    ///< ticks replayed from a steady tick
 };
 
 /// One thread's counter reading for the last quantum.
@@ -107,9 +131,19 @@ class Machine {
   /// Advance simulated time by one tick.
   void step();
 
+  /// Advance simulated time to `target`, leaping over provably-identical
+  /// ticks when config().tickLeaping is set (bit-identical to calling
+  /// step() in a loop either way). Returns early once every thread has
+  /// finished unless `stopWhenAllFinished` is false (dynamic workloads let
+  /// time pass while waiting for future arrivals). Never steps past
+  /// `target`, so callers may mutate the machine (swaps, DVFS, arrivals)
+  /// exactly at the boundary.
+  void stepUntil(util::Tick target, bool stopWhenAllFinished = true);
+
   [[nodiscard]] util::Tick now() const noexcept { return now_; }
   [[nodiscard]] bool allFinished() const noexcept;
   [[nodiscard]] int runningThreadCount() const noexcept;
+  [[nodiscard]] StepStats stepStats() const noexcept { return stats_; }
 
   /// Exchange the cores of two live threads. Both threads incur the
   /// migration stall. Counts as one swap (a pair of migrations), matching
@@ -181,11 +215,27 @@ class Machine {
   }
 
  private:
+  /// Result of evaluating one tick with the full model. `steady` means the
+  /// next tick is provably bit-identical to this one until a time-based
+  /// predicate (stall/cold expiry) flips or an external mutation arrives;
+  /// `watts` is the power drawn, constant across the steady window.
+  struct TickOutcome {
+    bool steady = false;
+    double watts = 0.0;
+  };
+  TickOutcome stepOnce();
+  /// Largest n such that replaying the just-computed tick n times cannot
+  /// cross any event (phase boundary, barrier, stall/cold expiry, target).
+  [[nodiscard]] util::Tick leapHorizon(util::Tick target) const;
+  /// Replay the just-computed steady tick n times: repeat exactly the
+  /// per-accumulator additions per-tick stepping would perform, skipping
+  /// the (unchanged) model evaluation.
+  void replayTicks(util::Tick n, double watts);
   void advanceThread(SimThread& t, double executed, double accesses);
   void resolveBarriers();
   void finishThread(SimThread& t);
   void applyMigrationStall(SimThread& t, int fromCore);
-  void accountTime();
+  [[nodiscard]] double accountTime();
   void emit(TraceEventKind kind, const SimThread& t, int fromCore = -1,
             int toCore = -1, int detail = 0);
   [[nodiscard]] bool isRunnable(const SimThread& t) const noexcept;
@@ -198,6 +248,11 @@ class Machine {
   std::vector<SimThread> threads_;
   std::vector<SimProcess> processes_;
   std::vector<int> coreToThread_;
+  /// Ids of unfinished threads, ascending. Maintained on addProcess/finish
+  /// so the per-tick loops skip finished threads without re-filtering;
+  /// ascending order preserves the floating-point summation order of the
+  /// all-threads loops it replaces.
+  std::vector<int> liveThreads_;
 
   std::vector<double> physFreqGhz_;  // effective per-physical-core frequency
   TraceRecorder* trace_ = nullptr;
@@ -207,13 +262,23 @@ class Machine {
   std::int64_t swapCount_ = 0;
   std::int64_t migrationCount_ = 0;
   double energyJ_ = 0.0;
+  StepStats stats_;
+  /// Set by advanceThread/finishThread/barrier handling during a tick:
+  /// a structural event happened, so the next tick is not a repeat.
+  bool tickHadEvent_ = false;
 
-  // Scratch buffers reused across ticks to avoid per-tick allocation.
+  // Scratch buffers reused across ticks to avoid per-tick allocation. The
+  // active/executed/accesses triple doubles as the steady-tick record that
+  // leapHorizon/replayTicks consume.
   std::vector<double> llcPressureScratch_;
   std::vector<MemoryDemand> demandScratch_;
   std::vector<double> smtLoadScratch_;
   std::vector<int> activeScratch_;
   std::vector<double> capScratch_;
+  std::vector<double> executedScratch_;
+  std::vector<double> accessesScratch_;
+  std::vector<double> servedScratch_;
+  ArbitrationScratch arbScratch_;
 };
 
 /// Quantum-driven policy hook: the bridge between the engine and the

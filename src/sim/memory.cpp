@@ -6,10 +6,11 @@
 
 namespace dike::sim {
 
-std::vector<double> waterFill(std::span<const double> demands,
-                              double capacity) {
-  std::vector<double> served(demands.size(), 0.0);
-  if (demands.empty()) return served;
+void waterFillInto(std::span<const double> demands, double capacity,
+                   std::vector<std::size_t>& order,
+                   std::vector<double>& served) {
+  served.assign(demands.size(), 0.0);
+  if (demands.empty()) return;
 
   double total = 0.0;
   for (double d : demands) {
@@ -18,13 +19,13 @@ std::vector<double> waterFill(std::span<const double> demands,
   }
   if (total <= capacity) {
     std::copy(demands.begin(), demands.end(), served.begin());
-    return served;
+    return;
   }
 
   // Water-filling: process demands in ascending order; a demand at or below
   // the running fair share is satisfied in full, the rest split the
   // remaining capacity equally.
-  std::vector<std::size_t> order(demands.size());
+  order.resize(demands.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return demands[a] < demands[b];
@@ -40,12 +41,20 @@ std::vector<double> waterFill(std::span<const double> demands,
     remaining -= grant;
     --left;
   }
+}
+
+std::vector<double> waterFill(std::span<const double> demands,
+                              double capacity) {
+  std::vector<double> served;
+  std::vector<std::size_t> order;
+  waterFillInto(demands, capacity, order, served);
   return served;
 }
 
-std::vector<double> arbitrate(std::span<const MemoryDemand> demands,
-                              const MemoryParams& params, int socketCount,
-                              double tickSeconds) {
+void arbitrateInto(std::span<const MemoryDemand> demands,
+                   const MemoryParams& params, int socketCount,
+                   double tickSeconds, ArbitrationScratch& scratch,
+                   std::vector<double>& served) {
   if (socketCount <= 0) throw std::invalid_argument{"socketCount must be > 0"};
   const double linkCap = params.socketLinkAccessesPerSec * tickSeconds;
   const double controllerCap = params.controllerAccessesPerSec * tickSeconds;
@@ -56,26 +65,34 @@ std::vector<double> arbitrate(std::span<const MemoryDemand> demands,
   }
 
   // Stage 1: per-socket link, max-min within each socket.
-  std::vector<double> afterLink(demands.size(), 0.0);
-  std::vector<double> socketDemands;
-  std::vector<std::size_t> socketMembers;
+  scratch.afterLink.assign(demands.size(), 0.0);
   for (int s = 0; s < socketCount; ++s) {
-    socketDemands.clear();
-    socketMembers.clear();
+    scratch.socketDemands.clear();
+    scratch.socketMembers.clear();
     for (std::size_t i = 0; i < demands.size(); ++i) {
       if (demands[i].socket == s) {
-        socketDemands.push_back(demands[i].accesses);
-        socketMembers.push_back(i);
+        scratch.socketDemands.push_back(demands[i].accesses);
+        scratch.socketMembers.push_back(i);
       }
     }
-    if (socketMembers.empty()) continue;
-    const std::vector<double> granted = waterFill(socketDemands, linkCap);
-    for (std::size_t k = 0; k < socketMembers.size(); ++k)
-      afterLink[socketMembers[k]] = granted[k];
+    if (scratch.socketMembers.empty()) continue;
+    waterFillInto(scratch.socketDemands, linkCap, scratch.order,
+                  scratch.granted);
+    for (std::size_t k = 0; k < scratch.socketMembers.size(); ++k)
+      scratch.afterLink[scratch.socketMembers[k]] = scratch.granted[k];
   }
 
   // Stage 2: shared controller, max-min across everything that survived.
-  return waterFill(afterLink, controllerCap);
+  waterFillInto(scratch.afterLink, controllerCap, scratch.order, served);
+}
+
+std::vector<double> arbitrate(std::span<const MemoryDemand> demands,
+                              const MemoryParams& params, int socketCount,
+                              double tickSeconds) {
+  ArbitrationScratch scratch;
+  std::vector<double> served;
+  arbitrateInto(demands, params, socketCount, tickSeconds, scratch, served);
+  return served;
 }
 
 }  // namespace dike::sim

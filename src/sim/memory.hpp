@@ -33,6 +33,17 @@ struct MemoryDemand {
   double accesses = 0.0;  ///< accesses the thread would issue if unthrottled
 };
 
+/// Reusable buffers for allocation-free arbitration. The engine calls
+/// arbitrate once per simulated tick — millions of times per run — so the
+/// intermediate vectors live here instead of being reallocated every call.
+struct ArbitrationScratch {
+  std::vector<double> afterLink;
+  std::vector<double> socketDemands;
+  std::vector<std::size_t> socketMembers;
+  std::vector<std::size_t> order;
+  std::vector<double> granted;
+};
+
 /// Max-min arbitration over one tick.
 ///
 /// Stage 1 water-fills each socket's demands against its link capacity;
@@ -48,10 +59,23 @@ struct MemoryDemand {
                                             int socketCount,
                                             double tickSeconds);
 
+/// Allocation-free arbitrate: identical arithmetic (bit-for-bit results),
+/// writing into `served` and reusing `scratch` across calls.
+void arbitrateInto(std::span<const MemoryDemand> demands,
+                   const MemoryParams& params, int socketCount,
+                   double tickSeconds, ArbitrationScratch& scratch,
+                   std::vector<double>& served);
+
 /// Single-stage max-min water-filling: serve each demand up to the common
 /// water level that exhausts `capacity` (demands below the level are served
 /// in full). Exposed for direct testing.
 [[nodiscard]] std::vector<double> waterFill(std::span<const double> demands,
                                             double capacity);
+
+/// Allocation-free waterFill: identical arithmetic, reusing `order` for the
+/// ranking pass and writing into `served`.
+void waterFillInto(std::span<const double> demands, double capacity,
+                   std::vector<std::size_t>& order,
+                   std::vector<double>& served);
 
 }  // namespace dike::sim

@@ -1,0 +1,315 @@
+// Golden equivalence for tick leaping: stepping a machine with
+// config().tickLeaping enabled must be *bit-identical* to per-tick
+// stepping — same metrics, same trace, same counter samples — because the
+// leap engine replays exactly the floating-point additions the per-tick
+// loop would have performed and refuses to leap across any tick it cannot
+// prove identical. Every EXPECT below is exact equality, not tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exp/metrics.hpp"
+#include "exp/runner.hpp"
+#include "sched/cfs.hpp"
+#include "sched/placement.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike {
+namespace {
+
+/// Replicates sched::SchedulerAdapter but keeps every QuantumSample, so a
+/// leap run and a per-tick run can be compared on the exact counter stream
+/// the scheduler observed (noise is drawn in sampleAndReset, so identical
+/// streams also prove the RNG consumption pattern is identical).
+class CapturingAdapter final : public sim::QuantumPolicy {
+ public:
+  explicit CapturingAdapter(sched::Scheduler& scheduler)
+      : scheduler_(&scheduler) {}
+
+  [[nodiscard]] util::Tick quantumTicks() const override {
+    return scheduler_->quantumTicks();
+  }
+
+  void onQuantum(sim::Machine& machine) override {
+    samples_.push_back(machine.sampleAndReset());
+    sched::SchedulerView view{machine, samples_.back()};
+    scheduler_->onQuantum(view);
+  }
+
+  [[nodiscard]] const std::vector<sim::QuantumSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  sched::Scheduler* scheduler_;
+  std::vector<sim::QuantumSample> samples_;
+};
+
+struct GoldenRun {
+  sim::RunOutcome outcome;
+  std::vector<sim::SimThread> threads;
+  double energyJoules = 0.0;
+  std::int64_t swaps = 0;
+  std::int64_t migrations = 0;
+  double fairness = 0.0;
+  std::vector<sim::TraceEvent> trace;
+  std::vector<sim::QuantumSample> samples;
+  sim::StepStats stats;
+};
+
+GoldenRun finishRun(sim::Machine& machine, CapturingAdapter& adapter,
+                    const sim::TraceRecorder& recorder) {
+  GoldenRun g;
+  g.outcome = sim::RunOutcome{machine.now(), !machine.allFinished()};
+  g.threads.assign(machine.threads().begin(), machine.threads().end());
+  g.energyJoules = machine.energyJoules();
+  g.swaps = machine.swapCount();
+  g.migrations = machine.migrationCount();
+  if (!g.outcome.timedOut) g.fairness = exp::fairnessEq4(machine);
+  g.trace = recorder.events();
+  g.samples = adapter.samples();
+  g.stats = machine.stepStats();
+  return g;
+}
+
+/// exp::runWorkload's exact construction sequence, with a trace recorder
+/// attached and samples captured.
+GoldenRun runWorkloadGolden(exp::RunSpec spec, bool leap) {
+  spec.machine.tickLeaping = leap;
+  sim::MachineConfig cfg = spec.machine;
+  cfg.seed = spec.seed;
+  sim::Machine machine{sim::MachineTopology::paperTestbed(), cfg};
+  wl::addWorkloadProcesses(machine, wl::workload(spec.workloadId), spec.scale,
+                           spec.threadsPerApp);
+  sched::placeRandom(machine, spec.seed);
+
+  const std::unique_ptr<sched::Scheduler> scheduler = exp::makeScheduler(spec);
+  CapturingAdapter adapter{*scheduler};
+  sim::TraceRecorder recorder;
+  machine.setTraceRecorder(&recorder);
+  const sim::RunOutcome outcome = sim::runMachine(machine, adapter);
+
+  GoldenRun g = finishRun(machine, adapter, recorder);
+  g.outcome = outcome;
+  return g;
+}
+
+void expectThreadsIdentical(const std::vector<sim::SimThread>& a,
+                            const std::vector<sim::SimThread>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("thread " + std::to_string(i));
+    EXPECT_EQ(a[i].executed, b[i].executed);
+    EXPECT_EQ(a[i].phaseExecuted, b[i].phaseExecuted);
+    EXPECT_EQ(a[i].phaseIndex, b[i].phaseIndex);
+    EXPECT_EQ(a[i].coreId, b[i].coreId);
+    EXPECT_EQ(a[i].finished, b[i].finished);
+    EXPECT_EQ(a[i].finishTick, b[i].finishTick);
+    EXPECT_EQ(a[i].startTick, b[i].startTick);
+    EXPECT_EQ(a[i].barriersPassed, b[i].barriersPassed);
+    EXPECT_EQ(a[i].quantumInstructions, b[i].quantumInstructions);
+    EXPECT_EQ(a[i].quantumAccesses, b[i].quantumAccesses);
+    EXPECT_EQ(a[i].totalAccesses, b[i].totalAccesses);
+    EXPECT_EQ(a[i].migrations, b[i].migrations);
+    EXPECT_EQ(a[i].prevUtilization, b[i].prevUtilization);
+    EXPECT_EQ(a[i].runnableTicks, b[i].runnableTicks);
+    EXPECT_EQ(a[i].stallTicks, b[i].stallTicks);
+    EXPECT_EQ(a[i].barrierTicks, b[i].barrierTicks);
+    EXPECT_EQ(a[i].suspendedTicks, b[i].suspendedTicks);
+    EXPECT_EQ(a[i].fastCoreTicks, b[i].fastCoreTicks);
+    EXPECT_EQ(a[i].slowCoreTicks, b[i].slowCoreTicks);
+  }
+}
+
+void expectTracesIdentical(const std::vector<sim::TraceEvent>& a,
+                           const std::vector<sim::TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(a[i].tick, b[i].tick);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].threadId, b[i].threadId);
+    EXPECT_EQ(a[i].processId, b[i].processId);
+    EXPECT_EQ(a[i].fromCore, b[i].fromCore);
+    EXPECT_EQ(a[i].toCore, b[i].toCore);
+    EXPECT_EQ(a[i].detail, b[i].detail);
+  }
+}
+
+void expectSamplesIdentical(const std::vector<sim::QuantumSample>& a,
+                            const std::vector<sim::QuantumSample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    SCOPED_TRACE("quantum " + std::to_string(q));
+    EXPECT_EQ(a[q].periodTicks, b[q].periodTicks);
+    ASSERT_EQ(a[q].threads.size(), b[q].threads.size());
+    for (std::size_t i = 0; i < a[q].threads.size(); ++i) {
+      const sim::ThreadSample& x = a[q].threads[i];
+      const sim::ThreadSample& y = b[q].threads[i];
+      EXPECT_EQ(x.threadId, y.threadId);
+      EXPECT_EQ(x.coreId, y.coreId);
+      EXPECT_EQ(x.instructions, y.instructions);
+      EXPECT_EQ(x.accesses, y.accesses);
+      EXPECT_EQ(x.accessRate, y.accessRate);
+      EXPECT_EQ(x.llcMissRatio, y.llcMissRatio);
+      EXPECT_EQ(x.finished, y.finished);
+    }
+    EXPECT_EQ(a[q].coreAchievedBw, b[q].coreAchievedBw);
+  }
+}
+
+void expectGoldenIdentical(const GoldenRun& leap, const GoldenRun& tick) {
+  EXPECT_EQ(leap.outcome.finishTick, tick.outcome.finishTick);
+  EXPECT_EQ(leap.outcome.timedOut, tick.outcome.timedOut);
+  EXPECT_EQ(leap.energyJoules, tick.energyJoules);
+  EXPECT_EQ(leap.swaps, tick.swaps);
+  EXPECT_EQ(leap.migrations, tick.migrations);
+  EXPECT_EQ(leap.fairness, tick.fairness);
+  expectThreadsIdentical(leap.threads, tick.threads);
+  expectTracesIdentical(leap.trace, tick.trace);
+  expectSamplesIdentical(leap.samples, tick.samples);
+}
+
+/// The acceptance matrix: three workload classes x the paper's five
+/// policies, leap vs per-tick, everything bitwise.
+TEST(MachineLeap, GoldenEquivalenceAcrossWorkloadsAndSchedulers) {
+  const std::vector<exp::SchedulerKind> kinds{
+      exp::SchedulerKind::Cfs, exp::SchedulerKind::Dio,
+      exp::SchedulerKind::Dike, exp::SchedulerKind::DikeAF,
+      exp::SchedulerKind::DikeAP};
+  for (const int workloadId : {2, 7, 13}) {
+    for (const exp::SchedulerKind kind : kinds) {
+      SCOPED_TRACE("workload " + std::to_string(workloadId) + " kind " +
+                   std::string{exp::toString(kind)});
+      exp::RunSpec spec;
+      spec.workloadId = workloadId;
+      spec.kind = kind;
+      spec.scale = 0.05;
+      spec.seed = 42;
+
+      const GoldenRun leap = runWorkloadGolden(spec, true);
+      const GoldenRun tick = runWorkloadGolden(spec, false);
+      expectGoldenIdentical(leap, tick);
+
+      // The equivalence must not be vacuous: leaping actually fired, and
+      // the escape hatch actually disables it.
+      EXPECT_GT(leap.stats.leapedTicks, 0);
+      EXPECT_EQ(tick.stats.leapedTicks, 0);
+    }
+  }
+}
+
+/// Suspension exercises the suspended bucket in both the computed tick and
+/// the replay path; Random exercises seeded swap storms.
+TEST(MachineLeap, GoldenEquivalenceSuspensionAndRandom) {
+  for (const exp::SchedulerKind kind :
+       {exp::SchedulerKind::Suspension, exp::SchedulerKind::Random}) {
+    SCOPED_TRACE(std::string{exp::toString(kind)});
+    exp::RunSpec spec;
+    spec.workloadId = 7;
+    spec.kind = kind;
+    spec.scale = 0.05;
+    spec.seed = 42;
+    expectGoldenIdentical(runWorkloadGolden(spec, true),
+                          runWorkloadGolden(spec, false));
+  }
+}
+
+/// A barrier-heavy program is the densest event stream the engine produces
+/// (every arrival and release is a structural event): the leap engine must
+/// stop exactly at each barrier tick.
+GoldenRun runBarrierGolden(bool leap) {
+  sim::MachineConfig cfg;
+  cfg.tickLeaping = leap;
+  cfg.seed = 7;
+  sim::Machine machine{sim::MachineTopology::smallTestbed(4), cfg};
+
+  sim::PhaseProgram prog;
+  prog.phases = {
+      sim::Phase{"compute", 2.33e6 * 300, 0.001, 0.1, 1.0, 1.0},
+      sim::Phase{"memory", 2.33e6 * 200, 0.008, 0.6, 0.9, 8.0},
+  };
+  prog.barrierEveryInstructions = 2.33e6 * 20;  // a barrier every ~20 ticks
+  machine.addProcess("barrier-app", prog, 8, true);
+  for (int i = 0; i < 8; ++i) machine.placeThread(i, i);
+
+  sched::CfsScheduler scheduler{100};
+  CapturingAdapter adapter{scheduler};
+  sim::TraceRecorder recorder;
+  machine.setTraceRecorder(&recorder);
+  const sim::RunOutcome outcome = sim::runMachine(machine, adapter);
+
+  GoldenRun g = finishRun(machine, adapter, recorder);
+  g.outcome = outcome;
+  return g;
+}
+
+TEST(MachineLeap, GoldenEquivalenceBarrierHeavyProgram) {
+  const GoldenRun leap = runBarrierGolden(true);
+  const GoldenRun tick = runBarrierGolden(false);
+  expectGoldenIdentical(leap, tick);
+  EXPECT_GT(leap.stats.leapedTicks, 0);
+  // Both runs saw the same (nonempty) barrier traffic.
+  bool sawBarrier = false;
+  for (const sim::TraceEvent& e : leap.trace)
+    sawBarrier |= e.kind == sim::TraceEventKind::BarrierWait;
+  EXPECT_TRUE(sawBarrier);
+}
+
+/// Leap accounting is conservation of time: computed + leaped ticks must
+/// equal the simulated clock, in both modes.
+TEST(MachineLeap, StepStatsConserveSimulatedTime) {
+  for (const bool leap : {true, false}) {
+    SCOPED_TRACE(leap ? "leap" : "no-leap");
+    exp::RunSpec spec;
+    spec.workloadId = 2;
+    spec.kind = exp::SchedulerKind::Dike;
+    spec.scale = 0.05;
+    const GoldenRun g = runWorkloadGolden(spec, leap);
+    EXPECT_EQ(g.stats.computedTicks + g.stats.leapedTicks,
+              g.outcome.finishTick);
+    if (!leap) {
+      EXPECT_EQ(g.stats.leapedTicks, 0);
+    }
+  }
+}
+
+/// stepUntil with a mid-run target never overshoots and stays bit-identical
+/// to a step() loop paused at the same tick — the property runMachine's
+/// quantum boundaries rely on.
+TEST(MachineLeap, StepUntilMatchesStepLoopMidRun) {
+  auto build = [](bool leapEnabled) {
+    sim::MachineConfig cfg;
+    cfg.tickLeaping = leapEnabled;
+    cfg.seed = 11;
+    sim::Machine machine{sim::MachineTopology::smallTestbed(2), cfg};
+    sim::PhaseProgram prog;
+    prog.phases = {sim::Phase{"main", 2.33e6 * 500, 0.003, 0.4, 1.0, 4.0}};
+    machine.addProcess("app", prog, 4, true);
+    for (int i = 0; i < 4; ++i) machine.placeThread(i, i);
+    return machine;
+  };
+
+  sim::Machine leap = build(true);
+  sim::Machine tick = build(false);
+  for (const util::Tick target : {7, 100, 101, 350}) {
+    leap.stepUntil(target);
+    while (tick.now() < target && !tick.allFinished()) tick.step();
+    ASSERT_EQ(leap.now(), target);
+    ASSERT_EQ(tick.now(), target);
+    const std::vector<sim::SimThread> a{leap.threads().begin(),
+                                        leap.threads().end()};
+    const std::vector<sim::SimThread> b{tick.threads().begin(),
+                                        tick.threads().end()};
+    expectThreadsIdentical(a, b);
+    EXPECT_EQ(leap.energyJoules(), tick.energyJoules());
+  }
+}
+
+}  // namespace
+}  // namespace dike

@@ -28,6 +28,7 @@ void printDefaultConfig() {
   dike::util::JsonObject machine;
   machine.emplace("conflictSpread", 0.12);
   machine.emplace("llcPerSocketMB", 25.0);
+  machine.emplace("tickLeaping", true);
   dike::util::JsonObject doc;
   doc.emplace("experiment", "example");
   doc.emplace("workloads", "all");
