@@ -15,6 +15,7 @@
 
 #include <chrono>
 
+#include "telemetry/registry.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -85,6 +86,43 @@ void runLeapThroughput(const BenchOptions& opts, dike::util::JsonObject& out) {
               geo);
   out.emplace("leap_per_workload", std::move(perWorkload));
   out.emplace("leap_speedup_geomean", geo);
+}
+
+/// Cost of the telemetry registry on the simulation hot loop: the same
+/// workloads timed with collection off (the default — each site is one
+/// relaxed atomic load) and on (counters/timers updating). Records the
+/// overhead percentage so regressions against the "off is free" goal are
+/// visible in BENCH_sim.json.
+void runTelemetryOverhead(const BenchOptions& opts,
+                          dike::util::JsonObject& out) {
+  auto timeRuns = [&opts] {
+    const auto start = std::chrono::steady_clock::now();
+    for (const int workloadId : kWorkloads) {
+      dike::exp::RunSpec spec;
+      spec.workloadId = workloadId;
+      spec.kind = SchedulerKind::Dike;
+      spec.scale = opts.scale;
+      spec.seed = opts.seed;
+      const RunMetrics m = dike::exp::runWorkload(spec);
+      benchmark::DoNotOptimize(m.fairness);
+    }
+    return secondsSince(start);
+  };
+
+  dike::telemetry::setEnabled(false);
+  const double offSec = timeRuns();
+  dike::telemetry::setEnabled(true);
+  const double onSec = timeRuns();
+  dike::telemetry::setEnabled(false);
+
+  const double overheadPct = (onSec / offSec - 1.0) * 100.0;
+  std::printf(
+      "=== Telemetry registry overhead (%zu workloads under Dike) ===\n"
+      "telemetry off: %.2fs   telemetry on: %.2fs   overhead: %+.1f%%\n\n",
+      kWorkloads.size(), offSec, onSec, overheadPct);
+  out.emplace("telemetry_off_sec", offSec);
+  out.emplace("telemetry_on_sec", onSec);
+  out.emplace("telemetry_overhead_pct", overheadPct);
 }
 
 /// End-to-end Figure-6-shaped sweep (16 workloads x 5 schedulers) timed
@@ -175,6 +213,7 @@ int main(int argc, char** argv) {
   out.emplace("scale", opts.scale);
   out.emplace("seed", static_cast<std::int64_t>(opts.seed));
   runLeapThroughput(opts, out);
+  runTelemetryOverhead(opts, out);
   runSweepThroughput(opts, out);
 
   const dike::util::JsonValue doc{std::move(out)};

@@ -1,9 +1,17 @@
 #include "core/dike_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace dike::core {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 DikeScheduler::DikeScheduler(DikeConfig config)
     : config_(config),
@@ -37,7 +45,14 @@ util::Tick DikeScheduler::quantumTicks() const {
   return util::millisToTicks(params_.quantaLengthMs);
 }
 
+double DikeScheduler::observedRate(int threadId) const noexcept {
+  for (const ThreadInfo& t : observer_.threadsByAccessRate())
+    if (t.threadId == threadId) return t.avgAccessRate;
+  return kNaN;
+}
+
 void DikeScheduler::onQuantum(sched::SchedulerView& view) {
+  DIKE_SCOPE_TIMER("core.dike.on_quantum");
   // Close the loop: score the predictions registered last quantum against
   // the rates just measured.
   tracker_.scoreQuantum(view.sample(), view.now());
@@ -48,6 +63,21 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   stats.quantumIndex = quantumIndex_;
   stats.unfairness = observer_.systemUnfairness();
   stats.workloadType = observer_.workloadType();
+
+  // Decision record: built only when a sink is attached (zero cost
+  // otherwise). The previous record's realised-fairness slot is back-filled
+  // with the unfairness just observed — its predicted-vs-realised delta.
+  telemetry::DecisionRecord record;
+  telemetry::DecisionRecord* rec = nullptr;
+  if (decisionTrace_ != nullptr) {
+    decisionTrace_->annotateLastUnfairnessNext(stats.unfairness);
+    rec = &record;
+    rec->tick = view.now();
+    rec->quantumIndex = quantumIndex_;
+    rec->unfairness = stats.unfairness;
+    rec->unfairnessNext = kNaN;
+    rec->workloadClass = std::string{toString(stats.workloadType)};
+  }
 
   const bool fair = stats.unfairness < config_.fairnessThreshold;
   if (!fair) {
@@ -65,21 +95,46 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
     const std::vector<ThreadPair> pairs =
         selector_.formPairs(observer_, params_.swapSize * 2);
     stats.pairsConsidered = static_cast<int>(pairs.size());
+    const auto traceSwap = [&](const ThreadPair& pair,
+                               const SwapPrediction* prediction,
+                               telemetry::SwapOutcome outcome) {
+      if (rec == nullptr) return;
+      telemetry::SwapDecisionRecord s;
+      s.lowThread = pair.lowThread;
+      s.highThread = pair.highThread;
+      s.lowRate = observedRate(pair.lowThread);
+      s.highRate = observedRate(pair.highThread);
+      s.predictedRateLow = prediction ? prediction->predictedRateLow : kNaN;
+      s.predictedRateHigh = prediction ? prediction->predictedRateHigh : kNaN;
+      s.totalProfit = prediction ? prediction->totalProfit : kNaN;
+      s.outcome = outcome;
+      rec->swaps.push_back(std::move(s));
+    };
     for (const ThreadPair& pair : pairs) {
-      if (stats.swapsExecuted >= maxSwaps) break;
+      if (stats.swapsExecuted >= maxSwaps) {
+        // The untraced path breaks here; with a sink attached we keep
+        // walking only to record the starved candidates (no side effects,
+        // and the per-quantum stats stay identical).
+        if (rec == nullptr) break;
+        traceSwap(pair, nullptr, telemetry::SwapOutcome::BudgetExhausted);
+        continue;
+      }
       const SwapPrediction prediction =
           predictor_.predict(observer_, pair, params_.quantaLengthMs);
       if (decider_.inCooldown(pair.lowThread, view.now(), quantumTicks()) ||
           decider_.inCooldown(pair.highThread, view.now(), quantumTicks())) {
         ++stats.pairsRejectedCooldown;
+        traceSwap(pair, &prediction, telemetry::SwapOutcome::RejectedCooldown);
         continue;
       }
       if (!decider_.shouldSwap(prediction, view.now(), quantumTicks())) {
         ++stats.pairsRejectedProfit;
+        traceSwap(pair, &prediction, telemetry::SwapOutcome::RejectedProfit);
         continue;
       }
       view.swap(pair.lowThread, pair.highThread);
       decider_.recordSwap(pair, view.now());
+      traceSwap(pair, &prediction, telemetry::SwapOutcome::Executed);
       ++stats.swapsExecuted;
       ++totalSwaps_;
       tracker_.setPrediction(pair.lowThread, prediction.predictedRateLow);
@@ -88,12 +143,25 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   }
   stats.params = params_;
 
-  if (!fair && config_.useFreeCores) migrateToFreeCores(view);
+  if (!fair && config_.useFreeCores) migrateToFreeCores(view, rec);
 
   // Persistence prediction for every live thread that did not migrate
   // (migrated threads already carry the predictor's post-swap estimate).
   for (const ThreadInfo& t : observer_.threadsByAccessRate())
     tracker_.setPredictionIfAbsent(t.threadId, t.accessRate);
+
+  if (rec != nullptr) {
+    rec->acted = stats.acted;
+    rec->quantaLengthMs = params_.quantaLengthMs;
+    rec->swapSize = params_.swapSize;
+    if (!stats.acted)
+      rec->rationale = "fair";
+    else if (stats.swapsExecuted > 0 || !rec->migrations.empty())
+      rec->rationale = "swapped";
+    else
+      rec->rationale = "rotation-blocked";
+    decisionTrace_->record(std::move(record));
+  }
 
   lastStats_ = stats;
   ++totals_.quanta;
@@ -105,7 +173,8 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   ++quantumIndex_;
 }
 
-void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view) {
+void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
+                                       telemetry::DecisionRecord* rec) {
   // Cores freed by finished applications are exploited directly: promote
   // starved threads into free high-bandwidth cores; when none is free but
   // low-bandwidth cores are, demote surplus compute threads to open a
@@ -121,6 +190,14 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view) {
 
   const int budget = params_.swapSize / 2;
   int moved = 0;
+
+  const auto traceMigration = [&](const ThreadInfo& t, int dest,
+                                  double predictedRate, bool promotion) {
+    if (rec == nullptr) return;
+    rec->migrations.push_back(
+        telemetry::MigrationDecisionRecord{t.threadId, dest, predictedRate,
+                                           promotion});
+  };
 
   if (!freeHigh.empty()) {
     // Promotion candidates: threads on low-bandwidth cores — memory-class
@@ -147,8 +224,10 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view) {
       const int dest = freeHigh[core++];
       view.migrateTo(t->threadId, dest);
       decider_.recordMigration(t->threadId, view.now());
-      tracker_.setPrediction(t->threadId,
-                             predictor_.predictMigratedRate(observer_, *t, dest));
+      const double predicted =
+          predictor_.predictMigratedRate(observer_, *t, dest);
+      tracker_.setPrediction(t->threadId, predicted);
+      traceMigration(*t, dest, predicted, /*promotion=*/true);
       ++moved;
     }
   } else {
@@ -173,8 +252,10 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view) {
       const int dest = freeLow[core++];
       view.migrateTo(t->threadId, dest);
       decider_.recordMigration(t->threadId, view.now());
-      tracker_.setPrediction(t->threadId,
-                             predictor_.predictMigratedRate(observer_, *t, dest));
+      const double predicted =
+          predictor_.predictMigratedRate(observer_, *t, dest);
+      tracker_.setPrediction(t->threadId, predicted);
+      traceMigration(*t, dest, predicted, /*promotion=*/false);
       ++moved;
     }
   }

@@ -12,6 +12,7 @@
 #include "core/predictor.hpp"
 #include "core/selector.hpp"
 #include "sched/scheduler.hpp"
+#include "telemetry/decision_trace.hpp"
 
 namespace dike::core {
 
@@ -66,8 +67,22 @@ class DikeScheduler final : public sched::Scheduler {
     return totalSwaps_;
   }
 
+  /// Attach (or detach with nullptr) a decision-trace sink. Off by
+  /// default; when attached, every quantum appends one DecisionRecord with
+  /// the candidate ranking inputs and per-pair outcomes.
+  void setDecisionTrace(telemetry::DecisionTrace* trace) noexcept {
+    decisionTrace_ = trace;
+  }
+  [[nodiscard]] telemetry::DecisionTrace* decisionTrace() const noexcept {
+    return decisionTrace_;
+  }
+
  private:
-  void migrateToFreeCores(sched::SchedulerView& view);
+  void migrateToFreeCores(sched::SchedulerView& view,
+                          telemetry::DecisionRecord* record);
+  /// Moving-mean access rate of a thread in the Observer's current view
+  /// (the Selector's ranking input); NaN when the thread is not listed.
+  [[nodiscard]] double observedRate(int threadId) const noexcept;
 
   DikeConfig config_;
   DikeParams params_;
@@ -81,6 +96,7 @@ class DikeScheduler final : public sched::Scheduler {
   std::int64_t totalSwaps_ = 0;
   QuantumDecisionStats lastStats_{};
   DecisionTotals totals_{};
+  telemetry::DecisionTrace* decisionTrace_ = nullptr;
 };
 
 }  // namespace dike::core

@@ -7,6 +7,15 @@
 
 namespace dike::core {
 
+std::string_view toString(WorkloadType type) noexcept {
+  switch (type) {
+    case WorkloadType::Balanced: return "balanced";
+    case WorkloadType::UnbalancedCompute: return "unbalanced-compute";
+    case WorkloadType::UnbalancedMemory: return "unbalanced-memory";
+  }
+  return "?";
+}
+
 Observation makeObservation(const sched::SchedulerView& view) {
   Observation obs;
   obs.sample = view.sample();

@@ -37,6 +37,8 @@ enum class ThreadClass { Compute, Memory };
 /// ground truth.
 enum class WorkloadType { Balanced, UnbalancedCompute, UnbalancedMemory };
 
+[[nodiscard]] std::string_view toString(WorkloadType type) noexcept;
+
 /// Observer's view of one live thread this quantum.
 struct ThreadInfo {
   int threadId = -1;

@@ -1,6 +1,8 @@
 #include "core/prediction_tracker.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace dike::core {
 
@@ -16,15 +18,23 @@ void PredictionTracker::setPredictionIfAbsent(int threadId,
 void PredictionTracker::scoreQuantum(const sim::QuantumSample& sample,
                                      util::Tick now) {
   util::OnlineStats quantum;
+  lastScored_.clear();
   for (const sim::ThreadSample& s : sample.threads) {
     const auto it = pending_.find(s.threadId);
     if (it == pending_.end()) continue;
     if (s.finished) continue;
     const double actual = s.accessRate;
     const double predicted = it->second;
-    if (actual < kMinScoredRate || predicted < kMinScoredRate) continue;
+    if (actual < kMinScoredRate || predicted < kMinScoredRate) {
+      lastScored_.push_back(ScoredPrediction{
+          s.threadId, predicted, actual,
+          std::numeric_limits<double>::quiet_NaN()});
+      continue;
+    }
     const double error =
         (predicted - actual) / std::max(actual, kDenominatorFloor);
+    lastScored_.push_back(ScoredPrediction{s.threadId, predicted, actual,
+                                           error});
     quantum.add(error);
     overall_.add(error);
     auto [threadIt, inserted] = perThread_.try_emplace(s.threadId);
@@ -52,6 +62,7 @@ void PredictionTracker::reset() {
   perThread_.clear();
   threadOrder_.clear();
   trace_.clear();
+  lastScored_.clear();
   overall_.reset();
 }
 

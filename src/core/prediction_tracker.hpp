@@ -26,6 +26,18 @@ struct PredictionErrorPoint {
   double max = 0.0;
 };
 
+/// One (predicted, realised) pair from the most recent scoring pass —
+/// the telemetry quantum stream emits these so predictor error is directly
+/// plottable per quantum.
+struct ScoredPrediction {
+  int threadId = -1;
+  double predicted = 0.0;
+  double actual = 0.0;
+  /// Signed relative error; NaN when the pair fell below the scoring
+  /// floors (near-idle rates) and was excluded from the error statistics.
+  double error = 0.0;
+};
+
 class PredictionTracker {
  public:
   /// Access rates below this are not scored: relative error against a
@@ -53,6 +65,13 @@ class PredictionTracker {
     return trace_;
   }
 
+  /// Every (predicted, realised) pair from the most recent scoreQuantum
+  /// call, including pairs below the scoring floors (their error is NaN).
+  [[nodiscard]] const std::vector<ScoredPrediction>& lastScored()
+      const noexcept {
+    return lastScored_;
+  }
+
   /// Mean signed relative error of each thread over the whole run, in
   /// thread-id order of first appearance (Figure 7 summarises these).
   [[nodiscard]] std::vector<double> perThreadMeanErrors() const;
@@ -69,6 +88,7 @@ class PredictionTracker {
   std::unordered_map<int, util::OnlineStats> perThread_;
   std::vector<int> threadOrder_;
   std::vector<PredictionErrorPoint> trace_;
+  std::vector<ScoredPrediction> lastScored_;
   util::OnlineStats overall_;
 };
 

@@ -1,0 +1,64 @@
+// Chrome trace_event export: converts a recorded simulation run (the
+// TraceRecorder event stream, optionally plus the scheduler's decision
+// trace) into the JSON format chrome://tracing and https://ui.perfetto.dev
+// load directly.
+//
+// Track layout:
+//   pid 1 "cores"      — one track per core; "X" slices show which thread
+//                        resided on the core and for how long (residency).
+//   pid 2 "threads"    — one track per thread; nested "X" slices for phases
+//                        and barrier waits, "i" instants for suspend/resume.
+//   pid 3 "scheduler"  — decision instants (rationale + candidate ranking in
+//                        args) and an "unfairness" counter series; present
+//                        only when a DecisionTrace is supplied.
+// Timestamps: 1 simulator tick = 1 ms of simulated time = 1000 trace µs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/decision_trace.hpp"
+#include "util/json.hpp"
+
+namespace dike::exp {
+
+/// Static context the exporter needs beyond the event stream. coreSocket /
+/// coreFast may be empty (e.g. when rebuilt from a CSV, where topology is
+/// unknown) — labels then degrade gracefully.
+struct ChromeTraceMeta {
+  int coreCount = 0;
+  std::vector<int> coreSocket;        ///< per-core socket id (may be empty)
+  std::vector<bool> coreFast;         ///< per-core fast flag (may be empty)
+  std::vector<std::string> processNames;  ///< indexed by process id
+  util::Tick endTick = 0;  ///< close still-open slices at this tick
+};
+
+/// Meta straight from a live machine (topology + process table).
+[[nodiscard]] ChromeTraceMeta metaFromMachine(const sim::Machine& machine);
+
+/// Meta inferred from the events alone (CSV round-trip path): core count
+/// from the largest core id seen, "p<id>" process names, endTick from the
+/// last event.
+[[nodiscard]] ChromeTraceMeta metaFromEvents(
+    const std::vector<sim::TraceEvent>& events);
+
+/// Build the {"traceEvents": [...]} document.
+[[nodiscard]] util::JsonValue buildChromeTrace(
+    const std::vector<sim::TraceEvent>& events, const ChromeTraceMeta& meta,
+    const telemetry::DecisionTrace* decisions = nullptr);
+
+/// Structural validation of a Chrome-trace document: every event must be an
+/// object carrying "ph"/"ts"/"pid"/"tid"/"name" with the right types, "X"
+/// slices need a non-negative "dur", and at least one per-core residency
+/// slice (pid 1) must exist. Returns human-readable problems; empty = valid.
+[[nodiscard]] std::vector<std::string> validateChromeTrace(
+    const util::JsonValue& doc);
+
+/// Parse the CSV written by writeTraceCsv back into events. Throws
+/// std::runtime_error (with a line number) on malformed input.
+[[nodiscard]] std::vector<sim::TraceEvent> readTraceCsv(std::istream& in);
+
+}  // namespace dike::exp

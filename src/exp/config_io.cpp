@@ -101,6 +101,19 @@ void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {
   out.useFreeCores = d.boolOr("useFreeCores", out.useFreeCores);
 }
 
+void decodeTelemetry(const util::JsonValue& t, ExperimentTelemetry& out) {
+  out.enabled = t.boolOr("enabled", out.enabled);
+  out.quantumMetrics = t.stringOr("quantumMetrics", out.quantumMetrics);
+  out.traceOut = t.stringOr("traceOut", out.traceOut);
+  out.eventsCsv = t.stringOr("eventsCsv", out.eventsCsv);
+  out.registryOut = t.stringOr("registryOut", out.registryOut);
+  const double capacity = t.numberOr(
+      "traceCapacity", static_cast<double>(out.traceCapacity));
+  if (capacity < 1.0)
+    throw std::runtime_error{"'telemetry.traceCapacity' must be >= 1"};
+  out.traceCapacity = static_cast<std::size_t>(capacity);
+}
+
 }  // namespace
 
 ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
@@ -120,11 +133,19 @@ ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
   if (const auto machine = document.get("machine"))
     decodeMachine(*machine, config.machine);
   if (const auto dike = document.get("dike")) decodeDike(*dike, config.dike);
+  if (const auto telemetry = document.get("telemetry"))
+    decodeTelemetry(*telemetry, config.telemetry);
   return config;
 }
 
 std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
   std::vector<ExperimentCell> cells;
+  // Telemetry run outputs attach to exactly one run: the first listed
+  // scheduler on the first listed workload, rep 0. When that scheduler is
+  // CFS, the internally-run baseline is that run.
+  bool telemetryPending = config.telemetry.anyRunOutput();
+  const SchedulerKind telemetryKind =
+      config.kinds.empty() ? SchedulerKind::Cfs : config.kinds.front();
   for (const int workloadId : config.workloadIds) {
     std::map<SchedulerKind, util::OnlineStats> fairness;
     std::map<SchedulerKind, util::OnlineStats> speedups;
@@ -142,12 +163,22 @@ std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
       spec.dikeConfig = config.dike;
 
       spec.kind = SchedulerKind::Cfs;
+      if (telemetryPending && telemetryKind == SchedulerKind::Cfs) {
+        spec.telemetry = config.telemetry.runTelemetry();
+        telemetryPending = false;
+      }
       const RunMetrics baseline = runWorkload(spec);
+      spec.telemetry = RunTelemetry{};
 
       for (const SchedulerKind kind : config.kinds) {
         spec.kind = kind;
+        if (telemetryPending && kind == telemetryKind) {
+          spec.telemetry = config.telemetry.runTelemetry();
+          telemetryPending = false;
+        }
         const RunMetrics m =
             kind == SchedulerKind::Cfs ? baseline : runWorkload(spec);
+        spec.telemetry = RunTelemetry{};
         fairness[kind].add(m.fairness);
         speedups[kind].add(speedup(baseline.makespan, m.makespan));
         swaps[kind].add(static_cast<double>(m.swaps));

@@ -22,8 +22,18 @@
 //                  "fairnessThreshold": .., "swapOhMs": ..,
 //                  "cooldownQuanta": .., "minCooldownMs": ..,
 //                  "requirePositiveProfit": .., "rotateWhenNoViolator": ..,
-//                  "pairRateMargin": .., "useFreeCores": .. }
+//                  "pairRateMargin": .., "useFreeCores": .. },
+//     "telemetry": { "enabled": false, "quantumMetrics": "qm.csv",
+//                    "traceOut": "chrome.json", "eventsCsv": "events.csv",
+//                    "registryOut": "registry.json",
+//                    "traceCapacity": 1048576 }
 //   }
+//
+// Telemetry run outputs (quantumMetrics/traceOut/eventsCsv) attach to the
+// experiment's *first* cell — first listed workload and scheduler, rep 0 —
+// so a one-cell config records exactly the run you asked for. "enabled"
+// turns on the process-wide counter/timer registry for the whole grid;
+// "registryOut" dumps it after the run (dike_run).
 #pragma once
 
 #include <string>
@@ -33,6 +43,32 @@
 #include "util/json.hpp"
 
 namespace dike::exp {
+
+/// Observability settings for an experiment (the "telemetry" section).
+struct ExperimentTelemetry {
+  /// Turn on the process-wide counter/timer registry for the whole grid.
+  bool enabled = false;
+  std::string quantumMetrics;  ///< per-quantum stream path (csv/jsonl)
+  std::string traceOut;        ///< Chrome trace_event JSON path
+  std::string eventsCsv;       ///< raw event CSV path (dike_trace input)
+  std::string registryOut;     ///< registry JSON dump path (dike_run)
+  std::size_t traceCapacity = std::size_t{1} << 20;
+
+  /// True when some single run must carry telemetry attachments.
+  [[nodiscard]] bool anyRunOutput() const noexcept {
+    return !quantumMetrics.empty() || !traceOut.empty() ||
+           !eventsCsv.empty();
+  }
+  /// The per-run attachment view of these settings.
+  [[nodiscard]] RunTelemetry runTelemetry() const {
+    RunTelemetry t;
+    t.quantumMetricsPath = quantumMetrics;
+    t.chromeTracePath = traceOut;
+    t.eventsCsvPath = eventsCsv;
+    t.traceCapacity = traceCapacity;
+    return t;
+  }
+};
 
 struct ExperimentConfig {
   std::string name = "experiment";
@@ -44,6 +80,7 @@ struct ExperimentConfig {
   bool heterogeneous = true;
   sim::MachineConfig machine{};
   core::DikeConfig dike{};
+  ExperimentTelemetry telemetry{};
 };
 
 /// Decode a configuration document. Throws std::runtime_error with a

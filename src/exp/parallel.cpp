@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "telemetry/registry.hpp"
+#include "util/log.hpp"
+
 namespace dike::exp {
 
 int defaultJobs() {
@@ -21,7 +24,11 @@ ThreadPool::ThreadPool(int jobs) {
   jobCount_ = jobs > 0 ? jobs : defaultJobs();
   workers_.reserve(static_cast<std::size_t>(jobCount_));
   for (int i = 0; i < jobCount_; ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Tag the worker's log lines so interleaved output is attributable.
+      util::Log::setThreadTag("w" + std::to_string(i));
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -58,7 +65,11 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      DIKE_SCOPE_TIMER("exp.pool.task_time");
+      task();
+    }
+    DIKE_COUNTER("exp.pool.tasks");
     {
       const std::lock_guard lock{mu_};
       --unfinished_;

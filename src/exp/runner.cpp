@@ -1,14 +1,23 @@
 #include "exp/runner.hpp"
 
+#include <cmath>
+#include <fstream>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "core/dike_scheduler.hpp"
+#include "exp/analysis.hpp"
+#include "exp/chrome_trace.hpp"
 #include "sched/cfs.hpp"
 #include "sched/dio.hpp"
 #include "sched/extra_baselines.hpp"
 #include "sched/suspension.hpp"
 #include "sched/placement.hpp"
+#include "telemetry/quantum_stream.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace dike::exp {
@@ -64,6 +73,86 @@ std::unique_ptr<sched::Scheduler> makeScheduler(const RunSpec& spec) {
 
 namespace {
 
+constexpr double kQuietNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Streams one QuantumRecord per quantum to the metrics writer. For Dike
+/// variants the record carries the Observer's fairness signal, workload
+/// class, CoreBW partition, optimizer parameters, and the predictor's value
+/// against the realised rate; other policies leave those fields NaN/-1 so
+/// the schema is scheduler-independent.
+class QuantumMetricsListener final : public sched::QuantumListener {
+ public:
+  explicit QuantumMetricsListener(telemetry::QuantumStreamWriter& writer)
+      : writer_(&writer) {}
+
+  void afterQuantum(const sim::Machine& machine,
+                    const sched::SchedulerView& view,
+                    sched::Scheduler& scheduler) override {
+    telemetry::QuantumRecord rec;
+    rec.tick = machine.now();
+    rec.quantumIndex = quantumIndex_++;
+    rec.scheduler = std::string{scheduler.name()};
+    rec.unfairness = kQuietNaN;
+    rec.swapsExecuted = view.swapsThisQuantum();
+    rec.migrationsExecuted = view.migrationsThisQuantum();
+
+    const auto* dike = dynamic_cast<const core::DikeScheduler*>(&scheduler);
+    std::unordered_map<int, core::ScoredPrediction> scored;
+    if (dike != nullptr) {
+      const core::Observer& observer = dike->observer();
+      rec.unfairness = observer.systemUnfairness();
+      rec.workloadClass = std::string{toString(observer.workloadType())};
+      rec.quantaLengthMs = dike->params().quantaLengthMs;
+      rec.swapSize = dike->params().swapSize;
+      for (const core::ScoredPrediction& p : dike->predictions().lastScored())
+        scored.emplace(p.threadId, p);
+    }
+
+    const sim::QuantumSample& sample = view.sample();
+    for (const sim::ThreadSample& s : sample.threads) {
+      if (s.finished || s.coreId < 0) continue;
+      telemetry::QuantumThreadRecord t;
+      t.threadId = s.threadId;
+      t.processId = s.processId;
+      t.coreId = s.coreId;
+      t.accessRate = s.accessRate;
+      t.llcMissRatio = s.llcMissRatio;
+      t.coreAchievedBw =
+          sample.coreAchievedBw[static_cast<std::size_t>(s.coreId)];
+      t.coreBwEstimate = kQuietNaN;
+      t.predictedRate = kQuietNaN;
+      t.realizedRate = kQuietNaN;
+      t.predictionError = kQuietNaN;
+      if (dike != nullptr && dike->observer().ready()) {
+        t.coreBwEstimate = dike->observer().coreBw(s.coreId);
+        t.highBandwidthCore =
+            dike->observer().isHighBandwidthCore(s.coreId) ? 1 : 0;
+      }
+      if (const auto it = scored.find(s.threadId); it != scored.end()) {
+        t.predictedRate = it->second.predicted;
+        t.realizedRate = it->second.actual;
+        t.predictionError = it->second.error;
+      }
+      rec.threads.push_back(std::move(t));
+    }
+    writer_->write(rec);
+  }
+
+ private:
+  telemetry::QuantumStreamWriter* writer_;
+  std::int64_t quantumIndex_ = 0;
+};
+
+/// Open a telemetry output for writing, failing fast (before the simulation
+/// runs) with a path-carrying error when the location is not writable.
+std::ofstream openTelemetryOutput(const std::string& path) {
+  std::ofstream out{path};
+  if (!out)
+    throw std::runtime_error{"cannot open telemetry output for writing: " +
+                             path};
+  return out;
+}
+
 RunMetrics collect(sim::Machine& machine, const sim::RunOutcome& outcome,
                    const sched::Scheduler& scheduler) {
   RunMetrics m;
@@ -114,10 +203,55 @@ RunMetrics runWorkload(const RunSpec& spec) {
 
   const std::unique_ptr<sched::Scheduler> scheduler = makeScheduler(spec);
   sched::SchedulerAdapter adapter{*scheduler};
+
+  // Telemetry attachments. Outputs are opened before the simulation so an
+  // unwritable path fails in milliseconds, not after a full run.
+  const RunTelemetry& tel = spec.telemetry;
+  std::optional<std::ofstream> eventsOut;
+  std::optional<std::ofstream> chromeOut;
+  std::optional<telemetry::QuantumStreamFile> metricsFile;
+  std::unique_ptr<QuantumMetricsListener> metricsListener;
+  sim::TraceRecorder recorder{tel.traceCapacity};
+  telemetry::DecisionTrace decisions;
+  if (!tel.eventsCsvPath.empty())
+    eventsOut.emplace(openTelemetryOutput(tel.eventsCsvPath));
+  if (!tel.chromeTracePath.empty())
+    chromeOut.emplace(openTelemetryOutput(tel.chromeTracePath));
+  if (tel.wantsEvents()) machine.setTraceRecorder(&recorder);
+  if (!tel.quantumMetricsPath.empty()) {
+    metricsFile.emplace(tel.quantumMetricsPath);
+    metricsListener =
+        std::make_unique<QuantumMetricsListener>(metricsFile->writer());
+    adapter.setListener(metricsListener.get());
+  }
+  if (tel.any())
+    if (auto* dike = dynamic_cast<core::DikeScheduler*>(scheduler.get()))
+      dike->setDecisionTrace(&decisions);
+
   const sim::RunOutcome outcome = sim::runMachine(machine, adapter);
 
   RunMetrics metrics = collect(machine, outcome, *scheduler);
   metrics.workload = workload.name;
+
+  if (tel.wantsEvents()) {
+    metrics.traceDropped = recorder.dropped();
+    if (recorder.dropped() > 0)
+      util::logWarn("trace recorder dropped ", recorder.dropped(),
+                    " events (capacity ", tel.traceCapacity,
+                    "); raise telemetry.traceCapacity to keep the full run");
+    if (eventsOut) writeTraceCsv(recorder, *eventsOut);
+    if (chromeOut) {
+      const ChromeTraceMeta meta = metaFromMachine(machine);
+      const util::JsonValue doc = buildChromeTrace(
+          recorder.events(), meta,
+          decisions.records().empty() ? nullptr : &decisions);
+      *chromeOut << doc.dump(2) << "\n";
+    }
+    machine.setTraceRecorder(nullptr);
+  }
+  if (decisions.dropped() > 0)
+    util::logWarn("decision trace dropped ", decisions.dropped(),
+                  " quantum records");
   return metrics;
 }
 

@@ -31,6 +31,29 @@ enum class SchedulerKind {
 /// The paper's five policies (Random/StaticOracle are opt-in references).
 [[nodiscard]] const std::vector<SchedulerKind>& allSchedulerKinds();
 
+/// Observability outputs for a single run. All paths empty (the default)
+/// keeps the run instrumentation-free: no TraceRecorder, no listener, no
+/// decision trace — the telemetry-off fast path.
+struct RunTelemetry {
+  /// Per-quantum metrics stream; .jsonl/.ndjson select NDJSON, else CSV.
+  std::string quantumMetricsPath;
+  /// Chrome trace_event JSON (chrome://tracing / Perfetto).
+  std::string chromeTracePath;
+  /// Raw event CSV (writeTraceCsv format; dike_trace converts it later).
+  std::string eventsCsvPath;
+  /// TraceRecorder capacity; beyond it events are dropped (and reported).
+  std::size_t traceCapacity = std::size_t{1} << 20;
+
+  [[nodiscard]] bool any() const noexcept {
+    return !quantumMetricsPath.empty() || !chromeTracePath.empty() ||
+           !eventsCsvPath.empty();
+  }
+  /// True when the run must record the structured event stream.
+  [[nodiscard]] bool wantsEvents() const noexcept {
+    return !chromeTracePath.empty() || !eventsCsvPath.empty();
+  }
+};
+
 /// One experiment's inputs.
 struct RunSpec {
   /// Workload id (1..16) from Table II. Ignored when customWorkload is set.
@@ -53,6 +76,8 @@ struct RunSpec {
   sim::MachineConfig machine{};
   /// Threads per application (the paper uses 8).
   int threadsPerApp = 8;
+  /// Observability outputs (off when all paths are empty).
+  RunTelemetry telemetry{};
 };
 
 /// One experiment's outputs.
@@ -65,6 +90,9 @@ struct RunMetrics {
   std::int64_t swaps = 0;
   std::int64_t migrations = 0;
   double energyJoules = 0.0;  ///< extension metric (MachineConfig power model)
+  /// Events the TraceRecorder had to drop (0 unless the run outgrew
+  /// RunTelemetry::traceCapacity; also surfaced as a warning).
+  std::size_t traceDropped = 0;
   std::vector<ProcessResult> processes;
 
   /// Decision-pipeline totals (Dike variants only).

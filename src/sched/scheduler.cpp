@@ -46,6 +46,8 @@ void SchedulerAdapter::onQuantum(sim::Machine& machine) {
   const sim::QuantumSample sample = machine.sampleAndReset();
   SchedulerView view{machine, sample};
   scheduler_->onQuantum(view);
+  if (listener_ != nullptr)
+    listener_->afterQuantum(machine, view, *scheduler_);
   swaps_ += view.swapsThisQuantum();
   ++quanta_;
 }

@@ -77,6 +77,21 @@ class Scheduler {
   virtual void onQuantum(SchedulerView& view) = 0;
 };
 
+/// Observer of quantum boundaries, called after the scheduler has made its
+/// decisions for the quantum. Telemetry sinks (the per-quantum metrics
+/// stream) implement this; the sched layer stays ignorant of file formats.
+class QuantumListener {
+ public:
+  virtual ~QuantumListener() = default;
+
+  /// Invoked once per quantum, after Scheduler::onQuantum returned. The view
+  /// still holds the quantum's counter sample plus the swap/migration tallies
+  /// the scheduler just produced.
+  virtual void afterQuantum(const sim::Machine& machine,
+                            const SchedulerView& view,
+                            Scheduler& scheduler) = 0;
+};
+
 /// Adapts a Scheduler onto the engine's QuantumPolicy hook, sampling the
 /// machine's counters once per quantum and tracking swap totals.
 class SchedulerAdapter final : public sim::QuantumPolicy {
@@ -92,8 +107,17 @@ class SchedulerAdapter final : public sim::QuantumPolicy {
   [[nodiscard]] std::int64_t totalSwaps() const noexcept { return swaps_; }
   [[nodiscard]] std::int64_t quantaElapsed() const noexcept { return quanta_; }
 
+  /// Attach (or detach with nullptr) a per-quantum telemetry listener.
+  void setListener(QuantumListener* listener) noexcept {
+    listener_ = listener;
+  }
+  [[nodiscard]] QuantumListener* listener() const noexcept {
+    return listener_;
+  }
+
  private:
   Scheduler* scheduler_;
+  QuantumListener* listener_ = nullptr;
   std::int64_t swaps_ = 0;
   std::int64_t quanta_ = 0;
 };

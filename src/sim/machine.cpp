@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace dike::sim {
 
 namespace {
@@ -289,6 +291,7 @@ Machine::TickOutcome Machine::stepOnce() {
   now_ = tickEnd;
   resolveBarriers();
   ++stats_.computedTicks;
+  DIKE_COUNTER("sim.ticks.computed");
 
   // The next tick repeats this one bitwise unless something structural
   // happened, a utilisation moved, or a stall/cold window expires exactly
@@ -397,6 +400,8 @@ void Machine::replayTicks(util::Tick n, double watts) {
 
   now_ += n;
   stats_.leapedTicks += n;
+  DIKE_COUNTER("sim.leap.replays");
+  DIKE_COUNTER_ADD("sim.ticks.leaped", n);
 }
 
 void Machine::stepUntil(util::Tick target, bool stopWhenAllFinished) {
@@ -498,6 +503,7 @@ void Machine::applyMigrationStall(SimThread& t, int fromCore) {
   ++t.migrations;
   t.lastMigrationTick = now_;
   ++migrationCount_;
+  DIKE_COUNTER("sim.migrations");
   emit(TraceEventKind::Migration, t, fromCore, t.coreId);
 }
 
@@ -519,6 +525,7 @@ void Machine::swapThreads(int threadA, int threadB) {
   applyMigrationStall(a, coreA);
   applyMigrationStall(b, coreB);
   ++swapCount_;
+  DIKE_COUNTER("sim.swaps");
 }
 
 void Machine::migrateThread(int threadId, int coreId) {
@@ -570,6 +577,8 @@ void Machine::resumeThread(int threadId) {
 }
 
 QuantumSample Machine::sampleAndReset() {
+  DIKE_SCOPE_TIMER("sim.sample_and_reset");
+  DIKE_COUNTER("sim.samples");
   QuantumSample sample;
   sample.periodTicks = std::max<util::Tick>(1, now_ - lastSampleTick_);
   const double periodSec =

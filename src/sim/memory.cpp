@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace dike::sim {
 
 void waterFillInto(std::span<const double> demands, double capacity,
@@ -56,6 +58,7 @@ void arbitrateInto(std::span<const MemoryDemand> demands,
                    double tickSeconds, ArbitrationScratch& scratch,
                    std::vector<double>& served) {
   if (socketCount <= 0) throw std::invalid_argument{"socketCount must be > 0"};
+  DIKE_COUNTER("sim.mem.arbitrations");
   const double linkCap = params.socketLinkAccessesPerSec * tickSeconds;
   const double controllerCap = params.controllerAccessesPerSec * tickSeconds;
 

@@ -19,6 +19,20 @@ std::string_view toString(TraceEventKind kind) noexcept {
   return "?";
 }
 
+std::optional<TraceEventKind> traceEventKindFromName(
+    std::string_view name) noexcept {
+  constexpr TraceEventKind kAll[] = {
+      TraceEventKind::Placement,      TraceEventKind::Migration,
+      TraceEventKind::PhaseChange,    TraceEventKind::BarrierWait,
+      TraceEventKind::BarrierRelease, TraceEventKind::Suspend,
+      TraceEventKind::Resume,         TraceEventKind::ThreadFinish,
+      TraceEventKind::ProcessFinish,
+  };
+  for (TraceEventKind kind : kAll)
+    if (toString(kind) == name) return kind;
+  return std::nullopt;
+}
+
 TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {}
 
 void TraceRecorder::record(const TraceEvent& event) {

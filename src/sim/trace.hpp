@@ -5,6 +5,7 @@
 // and by the trace_timeline example to render schedules.
 #pragma once
 
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -25,6 +26,11 @@ enum class TraceEventKind {
 };
 
 [[nodiscard]] std::string_view toString(TraceEventKind kind) noexcept;
+
+/// Inverse of toString — used when re-reading recorded event CSVs (the
+/// dike_trace exporter). nullopt for unrecognised names.
+[[nodiscard]] std::optional<TraceEventKind> traceEventKindFromName(
+    std::string_view name) noexcept;
 
 struct TraceEvent {
   util::Tick tick = 0;

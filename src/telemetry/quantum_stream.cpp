@@ -1,0 +1,127 @@
+#include "telemetry/quantum_stream.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace dike::telemetry {
+
+namespace {
+
+/// Deterministic shortest-ish representation; empty for NaN (CSV) — the
+/// stream must be byte-identical across repeated runs of the same build.
+std::string formatDouble(double v) {
+  if (std::isnan(v)) return {};
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+util::JsonValue jsonNumberOrNull(double v) {
+  if (std::isnan(v)) return util::JsonValue{nullptr};
+  return util::JsonValue{v};
+}
+
+}  // namespace
+
+StreamFormat streamFormatForPath(std::string_view path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string_view::npos) return StreamFormat::Csv;
+  const std::string_view ext = path.substr(dot);
+  if (ext == ".jsonl" || ext == ".ndjson") return StreamFormat::JsonLines;
+  return StreamFormat::Csv;
+}
+
+QuantumStreamWriter::QuantumStreamWriter(std::ostream& out,
+                                         StreamFormat format)
+    : out_(&out), format_(format) {}
+
+const std::vector<std::string>& QuantumStreamWriter::csvColumns() {
+  static const std::vector<std::string> columns{
+      "tick",           "quantum",        "scheduler",
+      "thread",         "process",        "core",
+      "high_bw_core",   "access_rate",    "llc_miss_ratio",
+      "core_achieved_bw", "core_bw_estimate", "predicted_rate",
+      "realized_rate",  "prediction_error", "unfairness",
+      "workload_class", "quanta_length_ms", "swap_size",
+      "swaps_executed", "migrations_executed"};
+  return columns;
+}
+
+void QuantumStreamWriter::write(const QuantumRecord& record) {
+  if (format_ == StreamFormat::Csv)
+    writeCsv(record);
+  else
+    writeJsonLine(record);
+  ++records_;
+}
+
+void QuantumStreamWriter::writeCsv(const QuantumRecord& record) {
+  util::CsvWriter csv{*out_};
+  if (!headerWritten_) {
+    csv.header(csvColumns());
+    headerWritten_ = true;
+  }
+  for (const QuantumThreadRecord& t : record.threads) {
+    csv.row(static_cast<long long>(record.tick),
+            static_cast<long long>(record.quantumIndex), record.scheduler,
+            t.threadId, t.processId, t.coreId, t.highBandwidthCore,
+            formatDouble(t.accessRate), formatDouble(t.llcMissRatio),
+            formatDouble(t.coreAchievedBw), formatDouble(t.coreBwEstimate),
+            formatDouble(t.predictedRate), formatDouble(t.realizedRate),
+            formatDouble(t.predictionError), formatDouble(record.unfairness),
+            record.workloadClass, record.quantaLengthMs, record.swapSize,
+            static_cast<long long>(record.swapsExecuted),
+            static_cast<long long>(record.migrationsExecuted));
+  }
+}
+
+void QuantumStreamWriter::writeJsonLine(const QuantumRecord& record) {
+  util::JsonArray threads;
+  for (const QuantumThreadRecord& t : record.threads) {
+    util::JsonObject o;
+    o.emplace("thread", t.threadId);
+    o.emplace("process", t.processId);
+    o.emplace("core", t.coreId);
+    o.emplace("high_bw_core",
+              t.highBandwidthCore < 0
+                  ? util::JsonValue{nullptr}
+                  : util::JsonValue{t.highBandwidthCore != 0});
+    o.emplace("access_rate", jsonNumberOrNull(t.accessRate));
+    o.emplace("llc_miss_ratio", jsonNumberOrNull(t.llcMissRatio));
+    o.emplace("core_achieved_bw", jsonNumberOrNull(t.coreAchievedBw));
+    o.emplace("core_bw_estimate", jsonNumberOrNull(t.coreBwEstimate));
+    o.emplace("predicted_rate", jsonNumberOrNull(t.predictedRate));
+    o.emplace("realized_rate", jsonNumberOrNull(t.realizedRate));
+    o.emplace("prediction_error", jsonNumberOrNull(t.predictionError));
+    threads.emplace_back(std::move(o));
+  }
+  util::JsonObject doc;
+  doc.emplace("tick", static_cast<double>(record.tick));
+  doc.emplace("quantum", static_cast<double>(record.quantumIndex));
+  doc.emplace("scheduler", record.scheduler);
+  doc.emplace("unfairness", jsonNumberOrNull(record.unfairness));
+  doc.emplace("workload_class", record.workloadClass.empty()
+                                    ? util::JsonValue{nullptr}
+                                    : util::JsonValue{record.workloadClass});
+  doc.emplace("quanta_length_ms", record.quantaLengthMs);
+  doc.emplace("swap_size", record.swapSize);
+  doc.emplace("swaps_executed", static_cast<double>(record.swapsExecuted));
+  doc.emplace("migrations_executed",
+              static_cast<double>(record.migrationsExecuted));
+  doc.emplace("threads", std::move(threads));
+  *out_ << util::JsonValue{std::move(doc)}.dump() << '\n';
+}
+
+QuantumStreamFile::QuantumStreamFile(const std::string& path)
+    : file_(path, std::ios::out | std::ios::trunc) {
+  if (!file_)
+    throw std::runtime_error{"cannot write quantum metrics stream: " + path};
+  writer_ = std::make_unique<QuantumStreamWriter>(file_,
+                                                  streamFormatForPath(path));
+}
+
+}  // namespace dike::telemetry

@@ -1,0 +1,114 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+namespace dike::telemetry {
+
+std::string_view toString(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Timer: return "timer";
+    case MetricKind::Gauge: return "gauge";
+  }
+  return "?";
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Entry& Registry::find(std::string_view name, MetricKind kind) {
+  const std::lock_guard lock{mu_};
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    // try_emplace: Entry holds atomics and cannot be moved into the node.
+    it = entries_.try_emplace(std::string{name}).first;
+    it->second.kind = kind;
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find(name, MetricKind::Counter).counter;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  return find(name, MetricKind::Timer).timer;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find(name, MetricKind::Gauge).gauge;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::lock_guard lock{mu_};
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot row;
+    row.name = name;
+    row.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        row.value = static_cast<double>(entry.counter.value());
+        row.count = entry.counter.value();
+        break;
+      case MetricKind::Timer:
+        row.value = entry.timer.seconds();
+        row.count = entry.timer.count();
+        break;
+      case MetricKind::Gauge:
+        row.value = entry.gauge.value();
+        row.count = entry.gauge.updates();
+        break;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard lock{mu_};
+  return entries_.size();
+}
+
+void Registry::resetAll() {
+  const std::lock_guard lock{mu_};
+  for (auto& [name, entry] : entries_) {
+    entry.counter.reset();
+    entry.timer.reset();
+    entry.gauge.reset();
+  }
+}
+
+util::JsonValue Registry::toJson() const {
+  util::JsonObject counters;
+  util::JsonObject timers;
+  util::JsonObject gauges;
+  for (const MetricSnapshot& m : snapshot()) {
+    switch (m.kind) {
+      case MetricKind::Counter:
+        counters.emplace(m.name, static_cast<double>(m.count));
+        break;
+      case MetricKind::Timer: {
+        util::JsonObject t;
+        t.emplace("seconds", m.value);
+        t.emplace("count", static_cast<double>(m.count));
+        timers.emplace(m.name, std::move(t));
+        break;
+      }
+      case MetricKind::Gauge:
+        gauges.emplace(m.name, m.value);
+        break;
+    }
+  }
+  util::JsonObject doc;
+  doc.emplace("enabled", enabled());
+  doc.emplace("counters", std::move(counters));
+  doc.emplace("timers", std::move(timers));
+  doc.emplace("gauges", std::move(gauges));
+  return util::JsonValue{std::move(doc)};
+}
+
+}  // namespace dike::telemetry

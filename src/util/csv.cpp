@@ -75,6 +75,49 @@ void CsvWriter::writeField(unsigned long long v, bool first) {
   *out_ << v;
 }
 
+std::vector<std::string> parseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (quoted)
+    throw std::runtime_error{"unterminated quoted CSV field: " +
+                             std::string{line}};
+  fields.push_back(std::move(current));
+  return fields;
+}
+
 CsvFile::CsvFile(const std::string& path) : file_(path), writer_(file_) {
   if (!file_) throw std::runtime_error{"cannot open CSV file: " + path};
 }

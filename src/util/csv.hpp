@@ -65,4 +65,11 @@ class CsvFile {
 /// Escape a single CSV field per RFC 4180 (quote when needed).
 [[nodiscard]] std::string csvEscape(std::string_view field);
 
+/// Split one CSV line into fields, honouring RFC 4180 quoting ("" inside a
+/// quoted field is a literal quote). The line must not contain the record
+/// terminator; embedded newlines inside quoted fields are not supported
+/// (none of our writers emit them). Throws std::runtime_error on an
+/// unterminated quoted field.
+[[nodiscard]] std::vector<std::string> parseCsvLine(std::string_view line);
+
 }  // namespace dike::util

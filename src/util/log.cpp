@@ -1,18 +1,42 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace dike::util {
 
-LogLevel Log::level_ = LogLevel::Warn;
+namespace {
+std::mutex& sinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
-void Log::setLevel(LogLevel level) noexcept { level_ = level; }
+std::string& threadTagStorage() {
+  thread_local std::string tag;
+  return tag;
+}
+}  // namespace
 
-LogLevel Log::level() noexcept { return level_; }
+std::atomic<LogLevel> Log::level_{LogLevel::Warn};
+
+void Log::setLevel(LogLevel level) noexcept {
+  level_.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Log::level() noexcept {
+  return level_.load(std::memory_order_relaxed);
+}
 
 bool Log::enabled(LogLevel level) noexcept {
-  return static_cast<int>(level) >= static_cast<int>(level_);
+  return static_cast<int>(level) >=
+         static_cast<int>(level_.load(std::memory_order_relaxed));
 }
+
+void Log::setThreadTag(std::string tag) {
+  threadTagStorage() = std::move(tag);
+}
+
+const std::string& Log::threadTag() noexcept { return threadTagStorage(); }
 
 void Log::write(LogLevel level, std::string_view message) {
   if (!enabled(level)) return;
@@ -24,7 +48,23 @@ void Log::write(LogLevel level, std::string_view message) {
     case LogLevel::Error: tag = "ERROR"; break;
     case LogLevel::Off: return;
   }
-  std::clog << '[' << tag << "] " << message << '\n';
+  // Compose the full line off-lock, then write it in one guarded statement
+  // so concurrent writers cannot interleave fragments.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += tag;
+  line += "] ";
+  const std::string& threadTag = threadTagStorage();
+  if (!threadTag.empty()) {
+    line += '[';
+    line += threadTag;
+    line += "] ";
+  }
+  line += message;
+  line += '\n';
+  const std::lock_guard lock{sinkMutex()};
+  std::clog << line;
 }
 
 }  // namespace dike::util

@@ -1,7 +1,14 @@
 // Leveled logging. Off by default so simulation hot paths stay quiet;
 // examples and the Linux host enable Info or Debug.
+//
+// Thread-safe: the level is a single atomic read, and each line is
+// composed off-lock then written under a mutex, so concurrent writers
+// (e.g. the exp::parallel sweep pool) cannot interleave half-lines. A
+// per-thread tag (Log::setThreadTag) prefixes lines so pool workers are
+// attributable.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -18,10 +25,17 @@ class Log {
   [[nodiscard]] static bool enabled(LogLevel level) noexcept;
 
   /// Emit one line at the given level (no-op if below the global level).
+  /// The whole line — tag, prefix, message, newline — is written atomically
+  /// with respect to other Log::write calls.
   static void write(LogLevel level, std::string_view message);
 
+  /// Tag prepended to this thread's lines, e.g. "w3" for sweep-pool worker
+  /// 3. Empty (the default) adds no prefix.
+  static void setThreadTag(std::string tag);
+  [[nodiscard]] static const std::string& threadTag() noexcept;
+
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 namespace detail {

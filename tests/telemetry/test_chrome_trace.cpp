@@ -1,0 +1,250 @@
+// Chrome-trace export: synthetic-event building, structural validation
+// (positive and negative), event-CSV round-trip, and the end-to-end path a
+// real run takes through runner telemetry.
+#include "exp/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/analysis.hpp"
+#include "exp/runner.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/decision_trace.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace dexp = dike::exp;
+namespace sim = dike::sim;
+namespace telemetry = dike::telemetry;
+using dike::util::JsonValue;
+
+namespace {
+
+sim::TraceEvent event(dike::util::Tick tick, sim::TraceEventKind kind,
+                      int thread, int process, int fromCore, int toCore,
+                      int detail = 0) {
+  sim::TraceEvent e;
+  e.tick = tick;
+  e.kind = kind;
+  e.threadId = thread;
+  e.processId = process;
+  e.fromCore = fromCore;
+  e.toCore = toCore;
+  e.detail = detail;
+  return e;
+}
+
+/// One thread's life: placed, phased, migrated, a barrier round, finish.
+std::vector<sim::TraceEvent> syntheticEvents() {
+  using K = sim::TraceEventKind;
+  return {
+      event(0, K::Placement, 0, 0, -1, 2),
+      event(0, K::PhaseChange, 0, 0, -1, -1, 0),
+      event(100, K::Migration, 0, 0, 2, 5),
+      event(150, K::PhaseChange, 0, 0, -1, -1, 1),
+      event(200, K::BarrierWait, 0, 0, -1, -1, 0),
+      event(250, K::BarrierRelease, 0, 0, -1, -1, 0),
+      event(300, K::ThreadFinish, 0, 0, -1, -1),
+  };
+}
+
+TEST(ChromeTrace, EventKindNamesRoundTrip) {
+  using K = sim::TraceEventKind;
+  for (const K kind :
+       {K::Placement, K::Migration, K::PhaseChange, K::BarrierWait,
+        K::BarrierRelease, K::Suspend, K::Resume, K::ThreadFinish,
+        K::ProcessFinish}) {
+    const auto back = sim::traceEventKindFromName(sim::toString(kind));
+    ASSERT_TRUE(back.has_value()) << sim::toString(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(sim::traceEventKindFromName("not-a-kind").has_value());
+  EXPECT_FALSE(sim::traceEventKindFromName("").has_value());
+}
+
+TEST(ChromeTrace, SyntheticEventsBuildAValidDocument) {
+  const std::vector<sim::TraceEvent> events = syntheticEvents();
+  const JsonValue doc =
+      dexp::buildChromeTrace(events, dexp::metaFromEvents(events));
+  const std::vector<std::string> problems = dexp::validateChromeTrace(doc);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+
+  // Every event carries the trace_event essentials.
+  const auto traceEvents = doc.get("traceEvents");
+  ASSERT_TRUE(traceEvents.has_value() && traceEvents->isArray());
+  int coreSlices = 0;
+  int threadSlices = 0;
+  for (const JsonValue& e : traceEvents->asArray()) {
+    ASSERT_TRUE(e.isObject());
+    EXPECT_TRUE(e.get("ph").has_value());
+    EXPECT_TRUE(e.get("ts").has_value());
+    EXPECT_TRUE(e.get("pid").has_value());
+    EXPECT_TRUE(e.get("tid").has_value());
+    if (e.stringOr("ph", "") == "X") {
+      EXPECT_GE(e.numberOr("dur", -1.0), 0.0);
+      if (e.intOr("pid", 0) == 1) ++coreSlices;
+      if (e.intOr("pid", 0) == 2) ++threadSlices;
+    }
+  }
+  // Residency: core 2 then core 5. Phases: phase 0, phase 1 (interrupted
+  // by the barrier, resumed after release). Barrier: one slice.
+  EXPECT_EQ(coreSlices, 2);
+  EXPECT_GE(threadSlices, 4);
+}
+
+TEST(ChromeTrace, DecisionTraceAddsSchedulerTrack) {
+  telemetry::DecisionTrace decisions;
+  telemetry::DecisionRecord record;
+  record.tick = 500;
+  record.quantumIndex = 0;
+  record.unfairness = 0.4;
+  record.acted = true;
+  record.rationale = "swapped";
+  record.workloadClass = "balanced";
+  telemetry::SwapDecisionRecord swap;
+  swap.lowThread = 0;
+  swap.highThread = 1;
+  swap.outcome = telemetry::SwapOutcome::Executed;
+  record.swaps.push_back(swap);
+  decisions.record(std::move(record));
+
+  const std::vector<sim::TraceEvent> events = syntheticEvents();
+  const JsonValue doc = dexp::buildChromeTrace(
+      events, dexp::metaFromEvents(events), &decisions);
+  EXPECT_TRUE(dexp::validateChromeTrace(doc).empty());
+
+  bool sawInstant = false;
+  bool sawCounter = false;
+  const auto traceEvents = doc.get("traceEvents");  // get() copies
+  ASSERT_TRUE(traceEvents.has_value());
+  for (const JsonValue& e : traceEvents->asArray()) {
+    if (e.intOr("pid", 0) != 3) continue;
+    const std::string ph = e.stringOr("ph", "");
+    if (ph == "i") {
+      sawInstant = true;
+      EXPECT_EQ(e.stringOr("name", ""), "swapped")
+          << "the rationale names the instant";
+      const auto args = e.get("args");
+      ASSERT_TRUE(args.has_value());
+      EXPECT_EQ(args->stringOr("workload_class", ""), "balanced");
+      const auto swaps = args->get("swaps");
+      ASSERT_TRUE(swaps.has_value() && swaps->isArray());
+      ASSERT_EQ(swaps->asArray().size(), 1u);
+      EXPECT_EQ(swaps->asArray().front().stringOr("outcome", ""),
+                "executed");
+    }
+    if (ph == "C") sawCounter = true;
+  }
+  EXPECT_TRUE(sawInstant) << "decision instants must land on pid 3";
+  EXPECT_TRUE(sawCounter) << "unfairness counter track must land on pid 3";
+}
+
+TEST(ChromeTrace, ValidatorRejectsStructuralDefects) {
+  using dike::util::parseJson;
+  EXPECT_FALSE(
+      dexp::validateChromeTrace(parseJson(R"({"foo": 1})")).empty())
+      << "missing traceEvents";
+  EXPECT_FALSE(dexp::validateChromeTrace(parseJson(R"([1, 2])")).empty())
+      << "root must be an object";
+  EXPECT_FALSE(dexp::validateChromeTrace(
+                   parseJson(R"({"traceEvents": [{"ph": "X"}]})"))
+                   .empty())
+      << "an event without ts/pid/tid/name is invalid";
+  EXPECT_FALSE(
+      dexp::validateChromeTrace(parseJson(
+          R"({"traceEvents": [{"ph": "X", "name": "r", "ts": 0,
+                               "pid": 1, "tid": 0}]})"))
+          .empty())
+      << "an X slice without dur is invalid";
+  EXPECT_FALSE(
+      dexp::validateChromeTrace(parseJson(
+          R"({"traceEvents": [{"ph": "i", "name": "d", "ts": 0,
+                               "pid": 3, "tid": 0}]})"))
+          .empty())
+      << "a document with no per-core residency slice is invalid";
+}
+
+TEST(ChromeTrace, EventCsvRoundTripsLosslessly) {
+  sim::TraceRecorder recorder;
+  for (const sim::TraceEvent& e : syntheticEvents()) recorder.record(e);
+
+  std::stringstream csv;
+  dexp::writeTraceCsv(recorder, csv);
+  const std::vector<sim::TraceEvent> back = dexp::readTraceCsv(csv);
+
+  ASSERT_EQ(back.size(), recorder.events().size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    const sim::TraceEvent& a = recorder.events()[i];
+    const sim::TraceEvent& b = back[i];
+    EXPECT_EQ(a.tick, b.tick) << "event " << i;
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.threadId, b.threadId) << "event " << i;
+    EXPECT_EQ(a.processId, b.processId) << "event " << i;
+    EXPECT_EQ(a.fromCore, b.fromCore) << "event " << i;
+    EXPECT_EQ(a.toCore, b.toCore) << "event " << i;
+    EXPECT_EQ(a.detail, b.detail) << "event " << i;
+  }
+}
+
+TEST(ChromeTrace, ReadTraceCsvRejectsBadInput) {
+  std::istringstream wrongHeader{"a,b,c\n"};
+  EXPECT_THROW((void)dexp::readTraceCsv(wrongHeader), std::runtime_error);
+
+  std::istringstream wrongArity{
+      "tick,kind,thread,process,from_core,to_core,detail\n1,migration,0\n"};
+  EXPECT_THROW((void)dexp::readTraceCsv(wrongArity), std::runtime_error);
+
+  std::istringstream badKind{
+      "tick,kind,thread,process,from_core,to_core,detail\n"
+      "1,teleport,0,0,1,2,0\n"};
+  EXPECT_THROW((void)dexp::readTraceCsv(badKind), std::runtime_error);
+}
+
+TEST(ChromeTrace, CsvLineParserHandlesQuoting) {
+  using dike::util::parseCsvLine;
+  EXPECT_EQ(parseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parseCsvLine(R"("a,b",c)"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(parseCsvLine(R"("he said ""hi""",x)"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+  EXPECT_EQ(parseCsvLine("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_THROW((void)parseCsvLine(R"("unterminated)"), std::runtime_error);
+}
+
+// --- end-to-end: runner-produced artifacts are valid --------------------
+
+TEST(ChromeTrace, RunWorkloadEmitsAValidTraceAndRoundTrippableCsv) {
+  const std::string chromePath = ::testing::TempDir() + "ct_run.json";
+  const std::string eventsPath = ::testing::TempDir() + "ct_run_events.csv";
+
+  dexp::RunSpec spec;
+  spec.workloadId = 2;
+  spec.kind = dexp::SchedulerKind::Dike;
+  spec.scale = 0.05;
+  spec.seed = 42;
+  spec.telemetry.chromeTracePath = chromePath;
+  spec.telemetry.eventsCsvPath = eventsPath;
+  const dexp::RunMetrics metrics = dexp::runWorkload(spec);
+  EXPECT_EQ(metrics.traceDropped, 0u);
+
+  const JsonValue doc = dike::util::parseJsonFile(chromePath);
+  const std::vector<std::string> problems = dexp::validateChromeTrace(doc);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+
+  std::ifstream csv{eventsPath};
+  ASSERT_TRUE(csv.is_open());
+  const std::vector<sim::TraceEvent> events = dexp::readTraceCsv(csv);
+  ASSERT_FALSE(events.empty());
+  const JsonValue rebuilt =
+      dexp::buildChromeTrace(events, dexp::metaFromEvents(events));
+  EXPECT_TRUE(dexp::validateChromeTrace(rebuilt).empty())
+      << "CSV round-trip must still validate";
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Telemetry registry: off = no allocation/registration, on = exact counts,
+// thread-safe updates, snapshot/JSON shape.
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace telemetry = dike::telemetry;
+
+namespace {
+
+/// RAII guard: every test leaves the global switch the way it found it.
+class EnabledGuard {
+ public:
+  EnabledGuard() : was_(telemetry::enabled()) {}
+  ~EnabledGuard() { telemetry::setEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+/// An instrumentation site in a helper, as in production code.
+void hitCounterSite() { DIKE_COUNTER("test.registry.site"); }
+
+TEST(Registry, DisabledSiteDoesNotRegisterAnything) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(false);
+  const std::size_t before = telemetry::Registry::instance().size();
+  for (int i = 0; i < 100; ++i) hitCounterSite();
+  EXPECT_EQ(telemetry::Registry::instance().size(), before)
+      << "a disabled site must not allocate or register metrics";
+}
+
+TEST(Registry, EnabledCounterCountsExactly) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Counter& c =
+      telemetry::Registry::instance().counter("test.registry.exact");
+  c.reset();
+  for (int i = 0; i < 1000; ++i) DIKE_COUNTER("test.registry.exact");
+  DIKE_COUNTER_ADD("test.registry.exact", 42);
+  EXPECT_EQ(c.value(), 1042u);
+}
+
+TEST(Registry, MacroSiteCachesOneMetricAcrossCalls) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  hitCounterSite();
+  const std::size_t after = telemetry::Registry::instance().size();
+  hitCounterSite();
+  hitCounterSite();
+  EXPECT_EQ(telemetry::Registry::instance().size(), after)
+      << "repeat hits reuse the cached registration";
+  EXPECT_GE(
+      telemetry::Registry::instance().counter("test.registry.site").value(),
+      3u);
+}
+
+TEST(Registry, CounterIsThreadSafe) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Counter& c =
+      telemetry::Registry::instance().counter("test.registry.threads");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i)
+    workers.emplace_back([] {
+      for (int n = 0; n < kPerThread; ++n)
+        DIKE_COUNTER("test.registry.threads");
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, ScopeTimerAccumulatesWhenEnabled) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Timer& t =
+      telemetry::Registry::instance().timer("test.registry.timer");
+  t.reset();
+  { DIKE_SCOPE_TIMER("test.registry.timer"); }
+  { DIKE_SCOPE_TIMER("test.registry.timer"); }
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_GE(t.seconds(), 0.0);
+
+  telemetry::setEnabled(false);
+  { DIKE_SCOPE_TIMER("test.registry.timer"); }
+  EXPECT_EQ(t.count(), 2u) << "disabled scopes must not record";
+}
+
+TEST(Registry, GaugeKeepsLastValueAndUpdateCount) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Gauge& g =
+      telemetry::Registry::instance().gauge("test.registry.gauge");
+  g.reset();
+  DIKE_GAUGE_SET("test.registry.gauge", 2.5);
+  DIKE_GAUGE_SET("test.registry.gauge", 7);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_EQ(g.updates(), 2u);
+}
+
+TEST(Registry, SnapshotIsSortedAndTyped) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Registry::instance().counter("test.snap.a").add(3);
+  telemetry::Registry::instance().timer("test.snap.b").addNanos(1000);
+  const std::vector<telemetry::MetricSnapshot> rows =
+      telemetry::Registry::instance().snapshot();
+  ASSERT_GE(rows.size(), 2u);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_LT(rows[i - 1].name, rows[i].name);
+  bool sawCounter = false;
+  bool sawTimer = false;
+  for (const telemetry::MetricSnapshot& row : rows) {
+    if (row.name == "test.snap.a") {
+      sawCounter = true;
+      EXPECT_EQ(row.kind, telemetry::MetricKind::Counter);
+      EXPECT_GE(row.count, 3u);
+    }
+    if (row.name == "test.snap.b") {
+      sawTimer = true;
+      EXPECT_EQ(row.kind, telemetry::MetricKind::Timer);
+      EXPECT_GE(row.count, 1u);
+    }
+  }
+  EXPECT_TRUE(sawCounter);
+  EXPECT_TRUE(sawTimer);
+}
+
+TEST(Registry, ToJsonGroupsByKind) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Registry::instance().counter("test.json.count").add(1);
+  telemetry::Registry::instance().timer("test.json.time").addNanos(5);
+  telemetry::Registry::instance().gauge("test.json.gauge").set(1.5);
+  const dike::util::JsonValue doc =
+      telemetry::Registry::instance().toJson();
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_TRUE(doc.get("counters")->isObject());
+  EXPECT_TRUE(doc.get("timers")->isObject());
+  EXPECT_TRUE(doc.get("gauges")->isObject());
+  EXPECT_TRUE(doc.get("counters")->get("test.json.count").has_value());
+  const auto timer = doc.get("timers")->get("test.json.time");
+  ASSERT_TRUE(timer.has_value());
+  EXPECT_TRUE(timer->get("seconds")->isNumber());
+  EXPECT_TRUE(timer->get("count")->isNumber());
+}
+
+TEST(Registry, ResetAllZeroesValuesButKeepsRegistrations) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  telemetry::Registry& registry = telemetry::Registry::instance();
+  registry.counter("test.reset.c").add(9);
+  const std::size_t size = registry.size();
+  registry.resetAll();
+  EXPECT_EQ(registry.size(), size);
+  EXPECT_EQ(registry.counter("test.reset.c").value(), 0u);
+}
+
+}  // namespace

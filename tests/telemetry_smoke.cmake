@@ -1,0 +1,63 @@
+# End-to-end observability smoke: dike_run records a one-cell experiment
+# with every telemetry output, then dike_trace must validate the Chrome
+# trace, rebuild one from the raw event CSV, and summarise it.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DDIKE_RUN=<dike_run binary> -DDIKE_TRACE=<dike_trace binary>
+#   -DCONFIG=<telemetry_smoke.json> -DWORK_DIR=<scratch dir>
+foreach(var DIKE_RUN DIKE_TRACE CONFIG WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "telemetry_smoke.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(QM "${WORK_DIR}/qm.csv")
+set(EVENTS "${WORK_DIR}/events.csv")
+set(CHROME "${WORK_DIR}/chrome.json")
+set(REGISTRY "${WORK_DIR}/registry.json")
+set(REBUILT "${WORK_DIR}/chrome_from_csv.json")
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    list(JOIN ARGN " " pretty)
+    message(FATAL_ERROR "step failed (exit ${code}): ${pretty}")
+  endif()
+endfunction()
+
+run_step("${DIKE_RUN}" "${CONFIG}"
+         --quantum-metrics "${QM}"
+         --events-csv "${EVENTS}"
+         --trace-out "${CHROME}"
+         --registry-out "${REGISTRY}")
+
+foreach(artifact QM EVENTS CHROME REGISTRY)
+  if(NOT EXISTS "${${artifact}}")
+    message(FATAL_ERROR "dike_run did not write ${${artifact}}")
+  endif()
+endforeach()
+
+# The recorded Chrome trace must pass structural validation.
+run_step("${DIKE_TRACE}" --validate "${CHROME}")
+
+# The raw event CSV must convert to another valid trace and summarise.
+run_step("${DIKE_TRACE}" "${EVENTS}" --out "${REBUILT}")
+run_step("${DIKE_TRACE}" --validate "${REBUILT}")
+run_step("${DIKE_TRACE}" "${EVENTS}" --summary --quantum-metrics "${QM}")
+
+# An unwritable output path must fail fast with a non-zero exit.
+execute_process(
+  COMMAND "${DIKE_RUN}" "${CONFIG}"
+          --quantum-metrics "${WORK_DIR}/no-such-dir/qm.csv"
+  RESULT_VARIABLE code ERROR_VARIABLE err OUTPUT_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "dike_run accepted an unwritable --quantum-metrics path")
+endif()
+if(NOT err MATCHES "cannot write")
+  message(FATAL_ERROR "unwritable-path error lacks a clear message: ${err}")
+endif()
+
+message(STATUS "telemetry smoke passed in ${WORK_DIR}")

@@ -3,21 +3,37 @@
 //
 // Usage:
 //   dike_run <config.json> [--csv out.csv] [--json out.json]
+//            [--telemetry] [--registry-out reg.json]
+//            [--trace-out chrome.json] [--events-csv events.csv]
+//            [--quantum-metrics qm.csv] [--trace-capacity N]
 //   dike_run --print-default-config
 //
 // The config schema is documented in src/exp/config_io.hpp; every machine
 // and Dike parameter is overridable, so reviewers can re-run any figure
-// with modified physics from one file.
+// with modified physics from one file. The telemetry flags override the
+// config's "telemetry" section; run outputs attach to the experiment's
+// first cell (first workload x first scheduler, rep 0).
 #include <cstdio>
 #include <fstream>
 
 #include "exp/config_io.hpp"
+#include "telemetry/registry.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/workloads.hpp"
 
 namespace {
+
+/// Fail fast with the offending path when a requested output location is
+/// not writable (opens for append so existing files are not clobbered).
+void requireWritable(const std::string& path, const char* flag) {
+  std::ofstream probe{path, std::ios::app};
+  if (!probe)
+    throw std::runtime_error{std::string{"cannot write "} + flag +
+                             " output: " + path +
+                             " (check the directory exists and is writable)"};
+}
 
 void printDefaultConfig() {
   dike::util::JsonObject dike;
@@ -29,6 +45,13 @@ void printDefaultConfig() {
   machine.emplace("conflictSpread", 0.12);
   machine.emplace("llcPerSocketMB", 25.0);
   machine.emplace("tickLeaping", true);
+  dike::util::JsonObject telemetry;
+  telemetry.emplace("enabled", false);
+  telemetry.emplace("quantumMetrics", "");
+  telemetry.emplace("traceOut", "");
+  telemetry.emplace("eventsCsv", "");
+  telemetry.emplace("registryOut", "");
+  telemetry.emplace("traceCapacity", 1048576);
   dike::util::JsonObject doc;
   doc.emplace("experiment", "example");
   doc.emplace("workloads", "all");
@@ -40,6 +63,7 @@ void printDefaultConfig() {
   doc.emplace("reps", 1);
   doc.emplace("machine", std::move(machine));
   doc.emplace("dike", std::move(dike));
+  doc.emplace("telemetry", std::move(telemetry));
   std::printf("%s\n", dike::util::JsonValue{std::move(doc)}.dump(2).c_str());
 }
 
@@ -54,6 +78,9 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: %s <config.json> [--csv out.csv] [--json out.json]\n"
+                 "          [--telemetry] [--registry-out reg.json]\n"
+                 "          [--trace-out chrome.json] [--events-csv ev.csv]\n"
+                 "          [--quantum-metrics qm.csv] [--trace-capacity N]\n"
                  "       %s --print-default-config\n",
                  args.programName().c_str(), args.programName().c_str());
     return 2;
@@ -62,8 +89,35 @@ int main(int argc, char** argv) {
   try {
     const dike::util::JsonValue document =
         dike::util::parseJsonFile(args.positional().front());
-    const dike::exp::ExperimentConfig config =
+    dike::exp::ExperimentConfig config =
         dike::exp::parseExperimentConfig(document);
+
+    // Telemetry flags override the config's "telemetry" section.
+    if (args.getBool("telemetry", false)) config.telemetry.enabled = true;
+    if (const auto v = args.get("trace-out")) config.telemetry.traceOut = *v;
+    if (const auto v = args.get("quantum-metrics"))
+      config.telemetry.quantumMetrics = *v;
+    if (const auto v = args.get("events-csv")) config.telemetry.eventsCsv = *v;
+    if (const auto v = args.get("registry-out")) {
+      config.telemetry.registryOut = *v;
+      config.telemetry.enabled = true;  // a dump without collection is empty
+    }
+    if (args.has("trace-capacity")) {
+      const std::int64_t capacity = args.getInt64("trace-capacity", -1);
+      if (capacity < 1)
+        throw std::runtime_error{"--trace-capacity must be a positive count"};
+      config.telemetry.traceCapacity = static_cast<std::size_t>(capacity);
+    }
+    if (!config.telemetry.quantumMetrics.empty())
+      requireWritable(config.telemetry.quantumMetrics, "--quantum-metrics");
+    if (!config.telemetry.traceOut.empty())
+      requireWritable(config.telemetry.traceOut, "--trace-out");
+    if (!config.telemetry.eventsCsv.empty())
+      requireWritable(config.telemetry.eventsCsv, "--events-csv");
+    if (!config.telemetry.registryOut.empty())
+      requireWritable(config.telemetry.registryOut, "--registry-out");
+
+    if (config.telemetry.enabled) dike::telemetry::setEnabled(true);
 
     std::printf("experiment '%s': %zu workloads x %zu schedulers, scale "
                 "%.2f, %d rep(s)\n\n",
@@ -106,6 +160,33 @@ int main(int argc, char** argv) {
       std::ofstream out{*jsonPath};
       out << dike::exp::toJson(config, cells).dump(2) << '\n';
       std::printf("JSON written to %s\n", jsonPath->c_str());
+    }
+
+    if (!config.telemetry.quantumMetrics.empty())
+      std::printf("quantum metrics written to %s\n",
+                  config.telemetry.quantumMetrics.c_str());
+    if (!config.telemetry.eventsCsv.empty())
+      std::printf("event trace written to %s\n",
+                  config.telemetry.eventsCsv.c_str());
+    if (!config.telemetry.traceOut.empty())
+      std::printf("Chrome trace written to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev; check with dike_trace --validate)\n",
+                  config.telemetry.traceOut.c_str());
+    if (config.telemetry.enabled) {
+      const auto& registry = dike::telemetry::Registry::instance();
+      if (!config.telemetry.registryOut.empty()) {
+        std::ofstream out{config.telemetry.registryOut};
+        out << registry.toJson().dump(2) << '\n';
+        if (!out)
+          throw std::runtime_error{"failed writing registry dump: " +
+                                   config.telemetry.registryOut};
+        std::printf("telemetry registry (%zu metrics) written to %s\n",
+                    registry.size(), config.telemetry.registryOut.c_str());
+      } else {
+        std::printf("telemetry registry: %zu metrics collected "
+                    "(--registry-out to dump)\n",
+                    registry.size());
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

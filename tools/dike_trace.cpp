@@ -1,0 +1,233 @@
+// dike_trace: convert a recorded run's event CSV (exp::writeTraceCsv) into
+// Chrome trace_event JSON, validate a previously exported trace, or print
+// summary tables (migrations per thread, predictor error per thread).
+//
+// Usage:
+//   dike_trace events.csv --out chrome.json     convert; prints event counts
+//   dike_trace --validate chrome.json           structural validation
+//   dike_trace events.csv --summary [--quantum-metrics qm.csv]
+//
+// The exported JSON loads directly in chrome://tracing or
+// https://ui.perfetto.dev (per-core thread-residency tracks, per-thread
+// phase/barrier tracks).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/chrome_trace.hpp"
+#include "sim/trace.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dike::sim::TraceEvent;
+using dike::sim::TraceEventKind;
+
+int usage(const std::string& program) {
+  std::cerr << "usage:\n"
+            << "  " << program << " <events.csv> --out <chrome.json>\n"
+            << "  " << program << " --validate <chrome.json>\n"
+            << "  " << program
+            << " <events.csv> --summary [--quantum-metrics <qm.csv>]\n";
+  return 1;
+}
+
+std::vector<TraceEvent> loadEvents(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open events CSV: " + path};
+  return dike::exp::readTraceCsv(in);
+}
+
+int runValidate(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "error: cannot open trace JSON: " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  dike::util::JsonValue doc;
+  try {
+    doc = dike::util::parseJson(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << " is not valid JSON: " << e.what()
+              << "\n";
+    return 1;
+  }
+  const std::vector<std::string> problems =
+      dike::exp::validateChromeTrace(doc);
+  if (!problems.empty()) {
+    std::cerr << path << ": INVALID\n";
+    for (const std::string& p : problems) std::cerr << "  - " << p << "\n";
+    return 1;
+  }
+  const std::size_t count =
+      doc.asObject().at("traceEvents").asArray().size();
+  std::cout << path << ": valid Chrome trace (" << count << " events)\n";
+  return 0;
+}
+
+int runConvert(const std::string& eventsPath, const std::string& outPath) {
+  const std::vector<TraceEvent> events = loadEvents(eventsPath);
+  const dike::exp::ChromeTraceMeta meta = dike::exp::metaFromEvents(events);
+  const dike::util::JsonValue doc =
+      dike::exp::buildChromeTrace(events, meta);
+
+  std::ofstream out{outPath};
+  if (!out) throw std::runtime_error{"cannot write trace JSON: " + outPath};
+  out << doc.dump(2) << "\n";
+  if (!out) throw std::runtime_error{"failed writing trace JSON: " + outPath};
+
+  const std::vector<std::string> problems =
+      dike::exp::validateChromeTrace(doc);
+  if (!problems.empty()) {
+    std::cerr << "internal error: generated trace failed validation\n";
+    for (const std::string& p : problems) std::cerr << "  - " << p << "\n";
+    return 1;
+  }
+  std::cout << outPath << ": "
+            << doc.asObject().at("traceEvents").asArray().size()
+            << " trace events from " << events.size() << " recorded events ("
+            << meta.coreCount << " cores)\n";
+  return 0;
+}
+
+/// Per-thread tallies for --summary.
+struct ThreadSummary {
+  int processId = -1;
+  std::int64_t migrations = 0;
+  std::int64_t phaseChanges = 0;
+  std::int64_t barrierWaits = 0;
+  std::int64_t finishTick = -1;
+};
+
+void printMigrationSummary(const std::vector<TraceEvent>& events) {
+  std::map<int, ThreadSummary> threads;
+  for (const TraceEvent& e : events) {
+    if (e.threadId < 0) continue;
+    ThreadSummary& t = threads[e.threadId];
+    if (e.processId >= 0) t.processId = e.processId;
+    switch (e.kind) {
+      case TraceEventKind::Migration: ++t.migrations; break;
+      case TraceEventKind::PhaseChange: ++t.phaseChanges; break;
+      case TraceEventKind::BarrierWait: ++t.barrierWaits; break;
+      case TraceEventKind::ThreadFinish: t.finishTick = e.tick; break;
+      default: break;
+    }
+  }
+  dike::util::TextTable table{
+      {"thread", "process", "migrations", "phase changes", "barrier waits",
+       "finish tick"}};
+  std::int64_t totalMigrations = 0;
+  for (const auto& [threadId, t] : threads) {
+    table.newRow()
+        .cell(static_cast<std::int64_t>(threadId))
+        .cell(static_cast<std::int64_t>(t.processId))
+        .cell(t.migrations)
+        .cell(t.phaseChanges)
+        .cell(t.barrierWaits)
+        .cell(t.finishTick);
+    totalMigrations += t.migrations;
+  }
+  std::cout << "Per-thread event summary (" << threads.size() << " threads, "
+            << totalMigrations << " migrations):\n";
+  table.print();
+}
+
+void printPredictionSummary(const std::string& qmPath) {
+  std::ifstream in{qmPath};
+  if (!in)
+    throw std::runtime_error{"cannot open quantum metrics CSV: " + qmPath};
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error{"quantum metrics CSV is empty: " + qmPath};
+  const std::vector<std::string> header = dike::util::parseCsvLine(line);
+  const auto column = [&header, &qmPath](std::string_view name) {
+    for (std::size_t i = 0; i < header.size(); ++i)
+      if (header[i] == name) return i;
+    throw std::runtime_error{"quantum metrics CSV " + qmPath +
+                             " lacks column " + std::string{name}};
+  };
+  const std::size_t threadCol = column("thread");
+  const std::size_t errorCol = column("prediction_error");
+  const std::size_t schedulerCol = column("scheduler");
+
+  std::map<int, dike::util::OnlineStats> perThread;
+  std::map<int, dike::util::OnlineStats> perThreadAbs;
+  std::string scheduler;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = dike::util::parseCsvLine(line);
+    if (fields.size() != header.size()) continue;
+    if (scheduler.empty()) scheduler = fields[schedulerCol];
+    if (fields[errorCol].empty()) continue;  // NaN serialises as empty
+    const int threadId = std::stoi(fields[threadCol]);
+    const double error = std::stod(fields[errorCol]);
+    perThread[threadId].add(error);
+    perThreadAbs[threadId].add(std::abs(error));
+  }
+
+  dike::util::TextTable table{
+      {"thread", "scored quanta", "mean error", "mean |error|",
+       "max |error|"}};
+  dike::util::OnlineStats overallAbs;
+  for (const auto& [threadId, stats] : perThread) {
+    const dike::util::OnlineStats& abs = perThreadAbs.at(threadId);
+    table.newRow()
+        .cell(static_cast<std::int64_t>(threadId))
+        .cell(static_cast<std::int64_t>(stats.count()))
+        .cell(stats.mean(), 4)
+        .cell(abs.mean(), 4)
+        .cell(abs.max(), 4);
+    overallAbs.add(abs.mean());
+  }
+  std::cout << "\nPredictor error by thread";
+  if (!scheduler.empty()) std::cout << " (scheduler: " << scheduler << ")";
+  std::cout << ":\n";
+  if (perThread.empty()) {
+    std::cout << "  no scored predictions in " << qmPath << "\n";
+    return;
+  }
+  table.print();
+  std::printf("overall mean |error| across threads: %.4f\n",
+              overallAbs.mean());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dike::util::CliArgs args{argc, argv};
+  try {
+    if (args.has("validate")) {
+      const auto path = args.get("validate");
+      if (!path || path->empty()) return usage(args.programName());
+      return runValidate(*path);
+    }
+    if (args.positional().size() != 1) return usage(args.programName());
+    const std::string& eventsPath = args.positional()[0];
+
+    if (args.getBool("summary", false)) {
+      const std::vector<TraceEvent> events = loadEvents(eventsPath);
+      printMigrationSummary(events);
+      if (const auto qm = args.get("quantum-metrics"))
+        printPredictionSummary(*qm);
+      return 0;
+    }
+    const auto outPath = args.get("out");
+    if (!outPath || outPath->empty()) return usage(args.programName());
+    return runConvert(eventsPath, *outPath);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
