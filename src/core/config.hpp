@@ -60,6 +60,41 @@ struct ObserverConfig {
   /// Processes whose mean access rate is below this (accesses/second) are
   /// ignored by the fairness signal — their rates are noise-dominated.
   double processRateFloor = 1e5;
+  /// Sample hygiene (resilience layer). When set, dropped or implausible
+  /// counter readings (NaN, negative, above maxPlausibleRate) are replaced
+  /// by the thread's last-known-good reading for up to maxSampleHoldQuanta
+  /// quanta (the staleness age is exported on ThreadInfo); beyond that the
+  /// thread is treated as unobserved for the quantum rather than poisoning
+  /// the moving means.
+  bool sanitizeSamples = true;
+  int maxSampleHoldQuanta = 8;
+  /// Access rates above this (accesses/second) are physically implausible
+  /// for any machine this simulator models and are treated as corrupt.
+  double maxPlausibleRate = 1e15;
+};
+
+/// Self-healing knobs (see docs/RESILIENCE.md for the degradation ladder).
+struct ResilienceConfig {
+  /// Divergence watchdog: when the mean signed prediction error stays at or
+  /// beyond divergenceErrorThreshold for divergenceQuanta consecutive
+  /// scored quanta, the closed-loop state (per-thread rate windows, CoreBW
+  /// filters, sample holds) is reset and rebuilt from fresh observations.
+  bool divergenceWatchdog = true;
+  double divergenceErrorThreshold = 0.6;
+  int divergenceQuanta = 8;
+  /// Fairness watchdog: armed only while the fault layer reports injection
+  /// active (setFaultsActiveHint). When unfairness stays above theta_f for
+  /// fairnessStallQuanta consecutive quanta, Dike falls back to a blind
+  /// round-robin rotation for fallbackQuanta quanta (or until the fairness
+  /// signal recovers below theta_f, whichever is sooner), then resumes the
+  /// predictive pipeline.
+  bool fairnessWatchdog = true;
+  int fairnessStallQuanta = 24;
+  int fallbackQuanta = 16;
+  /// Quanta a thread sits out after a failed swap/migration before the
+  /// Decider lets it be actuated again (scaled by its consecutive-failure
+  /// count, capped at 8x — a bounded backoff against a flapping actuator).
+  int failedActuationCooldownQuanta = 1;
 };
 
 /// Full Dike configuration.
@@ -73,6 +108,7 @@ struct DikeConfig {
   double fairnessThreshold = 0.03;
   AdaptationGoal goal = AdaptationGoal::None;
   ObserverConfig observer{};
+  ResilienceConfig resilience{};
   /// swapOH: average time a thread loses to a swap, in milliseconds (Eqn 2's
   /// overhead term) — the context switch plus the cache-refill penalty, as a
   /// system profiler would measure it end to end.

@@ -34,10 +34,30 @@ bool Decider::shouldSwap(const SwapPrediction& prediction, util::Tick now,
 void Decider::recordSwap(const ThreadPair& pair, util::Tick now) {
   lastMigration_[pair.lowThread] = now;
   lastMigration_[pair.highThread] = now;
+  failures_.erase(pair.lowThread);
+  failures_.erase(pair.highThread);
 }
 
 void Decider::recordMigration(int threadId, util::Tick now) {
   lastMigration_[threadId] = now;
+  failures_.erase(threadId);
+}
+
+void Decider::recordFailedActuation(int threadId, util::Tick now) {
+  FailureState& f = failures_[threadId];
+  f.at = now;
+  f.consecutive = std::min(f.consecutive + 1, 8);
+}
+
+bool Decider::inRetryBackoff(int threadId, util::Tick now,
+                             util::Tick quantumTicks) const {
+  if (config_.failedActuationCooldownQuanta <= 0) return false;
+  const auto it = failures_.find(threadId);
+  if (it == failures_.end()) return false;
+  const util::Tick window = config_.failedActuationCooldownQuanta *
+                            it->second.consecutive *
+                            std::max<util::Tick>(1, quantumTicks);
+  return now - it->second.at <= window;
 }
 
 bool Decider::inCooldown(int threadId, util::Tick now,

@@ -21,6 +21,11 @@ struct DeciderConfig {
   /// per thread, defeating its purpose.
   int minCooldownMs = 600;
   bool requirePositiveProfit = true;
+  /// Quanta a thread sits out after a *failed* actuation before being
+  /// retried. Scaled by the thread's consecutive-failure count (capped at
+  /// 8x): a flapping actuator earns a bounded exponential-ish backoff
+  /// instead of a retry storm. 0 disables the backoff (retry immediately).
+  int failedActuationCooldownQuanta = 1;
 };
 
 class Decider {
@@ -37,11 +42,23 @@ class Decider {
   /// Record a single-thread migration (free-core move) at `now`.
   void recordMigration(int threadId, util::Tick now);
 
+  /// Record that an actuation involving this thread failed at `now`: the
+  /// machine state did NOT change, so no migration cooldown starts, but the
+  /// thread enters a retry backoff window.
+  void recordFailedActuation(int threadId, util::Tick now);
+
   /// True if the thread is still cooling down at `now`.
   [[nodiscard]] bool inCooldown(int threadId, util::Tick now,
                                 util::Tick quantumTicks) const;
 
-  void reset() noexcept { lastMigration_.clear(); }
+  /// True while the thread's failed-actuation backoff window is open.
+  [[nodiscard]] bool inRetryBackoff(int threadId, util::Tick now,
+                                    util::Tick quantumTicks) const;
+
+  void reset() noexcept {
+    lastMigration_.clear();
+    failures_.clear();
+  }
 
   [[nodiscard]] const DeciderConfig& config() const noexcept {
     return config_;
@@ -50,8 +67,14 @@ class Decider {
  private:
   [[nodiscard]] util::Tick cooldownWindow(util::Tick quantumTicks) const;
 
+  struct FailureState {
+    util::Tick at = 0;
+    int consecutive = 0;
+  };
+
   DeciderConfig config_;
   std::unordered_map<int, util::Tick> lastMigration_;
+  std::unordered_map<int, FailureState> failures_;
 };
 
 }  // namespace dike::core

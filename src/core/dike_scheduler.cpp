@@ -22,7 +22,8 @@ DikeScheduler::DikeScheduler(DikeConfig config)
                                config.pairRateMargin}),
       predictor_(PredictorConfig{config.swapOhMs}),
       decider_(DeciderConfig{config.cooldownQuanta, config.minCooldownMs,
-                             config.requirePositiveProfit}) {
+                             config.requirePositiveProfit,
+                             config.resilience.failedActuationCooldownQuanta}) {
   if (config_.params.swapSize < kMinSwapSize ||
       config_.params.swapSize % 2 != 0)
     throw std::invalid_argument{"swapSize must be an even number >= 2"};
@@ -30,6 +31,9 @@ DikeScheduler::DikeScheduler(DikeConfig config)
     throw std::invalid_argument{"quantaLengthMs must be > 0"};
   if (config_.fairnessThreshold <= 0.0)
     throw std::invalid_argument{"fairnessThreshold must be > 0"};
+  if (config_.resilience.divergenceWatchdog)
+    tracker_.armDivergenceWatchdog(config_.resilience.divergenceErrorThreshold,
+                                   config_.resilience.divergenceQuanta);
 }
 
 std::string_view DikeScheduler::name() const {
@@ -57,6 +61,16 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   // the rates just measured.
   tracker_.scoreQuantum(view.sample(), view.now());
 
+  // Divergence watchdog: a persistently saturated signed error means the
+  // closed loop is tracking garbage (stuck counters, corrupt feed) —
+  // rebuild the Observer's estimates from fresh observations.
+  if (tracker_.divergenceDetected()) {
+    tracker_.acknowledgeDivergence();
+    observer_.resetClosedLoopState();
+    ++totals_.divergenceResets;
+    DIKE_COUNTER("core.dike.divergence_reset");
+  }
+
   observer_.observe(makeObservation(view));
 
   QuantumDecisionStats stats;
@@ -80,7 +94,38 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   }
 
   const bool fair = stats.unfairness < config_.fairnessThreshold;
-  if (!fair) {
+
+  // Fairness watchdog. Armed only while the fault layer says injection is
+  // active: a clean run never enters the fallback, so fault-free outputs
+  // are untouched. While in fallback, recover the moment the signal drops
+  // below theta_f or the fallback budget runs out.
+  if (fallbackLeft_ > 0 && fair) fallbackLeft_ = 0;
+  if (fallbackLeft_ == 0) {
+    const bool armed =
+        config_.resilience.fairnessWatchdog && faultsActive_;
+    if (armed && !fair)
+      ++fairnessStallStreak_;
+    else
+      fairnessStallStreak_ = 0;
+    if (armed && fairnessStallStreak_ >= config_.resilience.fairnessStallQuanta) {
+      fallbackLeft_ = config_.resilience.fallbackQuanta;
+      fairnessStallStreak_ = 0;
+      ++totals_.fallbackEngagements;
+      DIKE_COUNTER("core.dike.fallback_engaged");
+    }
+  }
+
+  const bool fallbackQuantum = fallbackLeft_ > 0;
+  if (fallbackQuantum) {
+    // The predictive pipeline has stalled under faults; stop trusting the
+    // counters it feeds on and run one blind round-robin rotation instead.
+    stats.acted = true;
+    stats.fallbackActive = true;
+    rotateRoundRobin(view, stats);
+    --fallbackLeft_;
+    ++totals_.fallbackQuanta;
+    DIKE_COUNTER("core.dike.fallback_quantum");
+  } else if (!fair) {
     stats.acted = true;
 
     // Optimizer: one Algorithm-2 step per (unfair) quantum in adaptive mode.
@@ -122,7 +167,11 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
       const SwapPrediction prediction =
           predictor_.predict(observer_, pair, params_.quantaLengthMs);
       if (decider_.inCooldown(pair.lowThread, view.now(), quantumTicks()) ||
-          decider_.inCooldown(pair.highThread, view.now(), quantumTicks())) {
+          decider_.inCooldown(pair.highThread, view.now(), quantumTicks()) ||
+          decider_.inRetryBackoff(pair.lowThread, view.now(),
+                                  quantumTicks()) ||
+          decider_.inRetryBackoff(pair.highThread, view.now(),
+                                  quantumTicks())) {
         ++stats.pairsRejectedCooldown;
         traceSwap(pair, &prediction, telemetry::SwapOutcome::RejectedCooldown);
         continue;
@@ -132,7 +181,18 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
         traceSwap(pair, &prediction, telemetry::SwapOutcome::RejectedProfit);
         continue;
       }
-      view.swap(pair.lowThread, pair.highThread);
+      if (!view.swap(pair.lowThread, pair.highThread)) {
+        // The actuator refused (a sched_setaffinity failure on a live
+        // host). Placement is unchanged: register nothing with the
+        // tracker, start no migration cooldown — just back off both
+        // threads and let a later quantum retry.
+        decider_.recordFailedActuation(pair.lowThread, view.now());
+        decider_.recordFailedActuation(pair.highThread, view.now());
+        traceSwap(pair, &prediction, telemetry::SwapOutcome::FailedActuation);
+        ++stats.swapsFailed;
+        DIKE_COUNTER("core.dike.swap_failed");
+        continue;
+      }
       decider_.recordSwap(pair, view.now());
       traceSwap(pair, &prediction, telemetry::SwapOutcome::Executed);
       ++stats.swapsExecuted;
@@ -143,7 +203,8 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   }
   stats.params = params_;
 
-  if (!fair && config_.useFreeCores) migrateToFreeCores(view, rec);
+  if (!fair && !fallbackQuantum && config_.useFreeCores)
+    migrateToFreeCores(view, rec, stats);
 
   // Persistence prediction for every live thread that did not migrate
   // (migrated threads already carry the predictor's post-swap estimate).
@@ -154,7 +215,9 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
     rec->acted = stats.acted;
     rec->quantaLengthMs = params_.quantaLengthMs;
     rec->swapSize = params_.swapSize;
-    if (!stats.acted)
+    if (stats.fallbackActive)
+      rec->rationale = "fallback-roundrobin";
+    else if (!stats.acted)
       rec->rationale = "fair";
     else if (stats.swapsExecuted > 0 || !rec->migrations.empty())
       rec->rationale = "swapped";
@@ -170,11 +233,45 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   totals_.rejectedCooldown += stats.pairsRejectedCooldown;
   totals_.rejectedProfit += stats.pairsRejectedProfit;
   totals_.swapsExecuted += stats.swapsExecuted;
+  totals_.swapsFailed += stats.swapsFailed;
+  totals_.migrationsFailed += stats.migrationsFailed;
   ++quantumIndex_;
 }
 
+void DikeScheduler::rotateRoundRobin(sched::SchedulerView& view,
+                                     QuantumDecisionStats& stats) {
+  // One rotation step: thread on occupied core c_i moves to c_{i+1} (and
+  // the last wraps to the first), realised as a chain of swaps against the
+  // first occupant. Blind by construction — ascending core ids, no counter
+  // input — so a corrupt feed cannot bias it; over several quanta every
+  // thread visits every core class, which is what restores fairness.
+  std::vector<int> occupants;
+  for (int c = 0; c < view.coreCount(); ++c) {
+    const int t = view.coreOccupant(c);
+    if (t >= 0 && !view.isSuspended(t)) occupants.push_back(t);
+  }
+  if (occupants.size() < 2) return;
+  const int anchor = occupants.front();
+  for (std::size_t i = 1; i < occupants.size(); ++i) {
+    if (!view.swap(anchor, occupants[i])) {
+      decider_.recordFailedActuation(anchor, view.now());
+      decider_.recordFailedActuation(occupants[i], view.now());
+      ++stats.swapsFailed;
+      DIKE_COUNTER("core.dike.swap_failed");
+      continue;
+    }
+    ++stats.swapsExecuted;
+    ++totalSwaps_;
+    // Cooldown stamps keep the predictive pipeline from churning the same
+    // threads the instant the fallback hands control back.
+    decider_.recordMigration(anchor, view.now());
+    decider_.recordMigration(occupants[i], view.now());
+  }
+}
+
 void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
-                                       telemetry::DecisionRecord* rec) {
+                                       telemetry::DecisionRecord* rec,
+                                       QuantumDecisionStats& stats) {
   // Cores freed by finished applications are exploited directly: promote
   // starved threads into free high-bandwidth cores; when none is free but
   // low-bandwidth cores are, demote surplus compute threads to open a
@@ -219,10 +316,19 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
       if (t->cls != ThreadClass::Memory &&
           t->deficit <= config_.pairRateMargin)
         continue;  // not a violator and not starved: leave it be
-      if (decider_.inCooldown(t->threadId, view.now(), quantumTicks()))
+      if (decider_.inCooldown(t->threadId, view.now(), quantumTicks()) ||
+          decider_.inRetryBackoff(t->threadId, view.now(), quantumTicks()))
         continue;
-      const int dest = freeHigh[core++];
-      view.migrateTo(t->threadId, dest);
+      const int dest = freeHigh[core];
+      if (!view.migrateTo(t->threadId, dest)) {
+        // Failed actuation: the core is still free — leave `core` in place
+        // so the next candidate can try it, and back this thread off.
+        decider_.recordFailedActuation(t->threadId, view.now());
+        ++stats.migrationsFailed;
+        DIKE_COUNTER("core.dike.migration_failed");
+        continue;
+      }
+      ++core;
       decider_.recordMigration(t->threadId, view.now());
       const double predicted =
           predictor_.predictMigratedRate(observer_, *t, dest);
@@ -247,10 +353,17 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
     std::size_t core = 0;
     for (const ThreadInfo* t : candidates) {
       if (moved >= budget || core >= freeLow.size()) break;
-      if (decider_.inCooldown(t->threadId, view.now(), quantumTicks()))
+      if (decider_.inCooldown(t->threadId, view.now(), quantumTicks()) ||
+          decider_.inRetryBackoff(t->threadId, view.now(), quantumTicks()))
         continue;
-      const int dest = freeLow[core++];
-      view.migrateTo(t->threadId, dest);
+      const int dest = freeLow[core];
+      if (!view.migrateTo(t->threadId, dest)) {
+        decider_.recordFailedActuation(t->threadId, view.now());
+        ++stats.migrationsFailed;
+        DIKE_COUNTER("core.dike.migration_failed");
+        continue;
+      }
+      ++core;
       decider_.recordMigration(t->threadId, view.now());
       const double predicted =
           predictor_.predictMigratedRate(observer_, *t, dest);

@@ -25,6 +25,9 @@ struct QuantumDecisionStats {
   int pairsRejectedCooldown = 0;
   int pairsRejectedProfit = 0;
   int swapsExecuted = 0;
+  int swapsFailed = 0;       ///< actuation failures (hook vetoed the swap)
+  int migrationsFailed = 0;  ///< failed free-core migrations
+  bool fallbackActive = false;  ///< fairness watchdog ran round-robin
   DikeParams params{};      ///< parameters in effect this quantum
   WorkloadType workloadType = WorkloadType::Balanced;
 };
@@ -37,6 +40,11 @@ struct DecisionTotals {
   std::int64_t rejectedCooldown = 0;
   std::int64_t rejectedProfit = 0;
   std::int64_t swapsExecuted = 0;
+  std::int64_t swapsFailed = 0;
+  std::int64_t migrationsFailed = 0;
+  std::int64_t fallbackQuanta = 0;       ///< quanta spent in round-robin
+  std::int64_t fallbackEngagements = 0;  ///< times the watchdog tripped
+  std::int64_t divergenceResets = 0;     ///< closed-loop state resets
 };
 
 class DikeScheduler final : public sched::Scheduler {
@@ -67,6 +75,19 @@ class DikeScheduler final : public sched::Scheduler {
     return totalSwaps_;
   }
 
+  /// Fault layer hint: set true while injection is armed, false when the
+  /// window closes. The fairness watchdog (round-robin fallback) only trips
+  /// while this is set — fault-free runs never change behaviour, preserving
+  /// byte-identical golden outputs. The divergence watchdog is independent
+  /// of this hint (its thresholds are conservative enough for clean runs).
+  void setFaultsActiveHint(bool active) noexcept { faultsActive_ = active; }
+  [[nodiscard]] bool faultsActiveHint() const noexcept {
+    return faultsActive_;
+  }
+  /// True while the fairness watchdog has Dike running the round-robin
+  /// fallback instead of the predictive pipeline.
+  [[nodiscard]] bool inFallback() const noexcept { return fallbackLeft_ > 0; }
+
   /// Attach (or detach with nullptr) a decision-trace sink. Off by
   /// default; when attached, every quantum appends one DecisionRecord with
   /// the candidate ranking inputs and per-pair outcomes.
@@ -79,7 +100,12 @@ class DikeScheduler final : public sched::Scheduler {
 
  private:
   void migrateToFreeCores(sched::SchedulerView& view,
-                          telemetry::DecisionRecord* record);
+                          telemetry::DecisionRecord* record,
+                          QuantumDecisionStats& stats);
+  /// Round-robin fallback: one blind rotation step over the occupied cores,
+  /// trusting no counters (they are what got us here).
+  void rotateRoundRobin(sched::SchedulerView& view,
+                        QuantumDecisionStats& stats);
   /// Moving-mean access rate of a thread in the Observer's current view
   /// (the Selector's ranking input); NaN when the thread is not listed.
   [[nodiscard]] double observedRate(int threadId) const noexcept;
@@ -97,6 +123,9 @@ class DikeScheduler final : public sched::Scheduler {
   QuantumDecisionStats lastStats_{};
   DecisionTotals totals_{};
   telemetry::DecisionTrace* decisionTrace_ = nullptr;
+  bool faultsActive_ = false;
+  int fairnessStallStreak_ = 0;
+  int fallbackLeft_ = 0;
 };
 
 }  // namespace dike::core

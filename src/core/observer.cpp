@@ -5,6 +5,8 @@
 #include <map>
 #include <numeric>
 
+#include "telemetry/registry.hpp"
+
 namespace dike::core {
 
 std::string_view toString(WorkloadType type) noexcept {
@@ -49,29 +51,82 @@ void Observer::observe(const Observation& obs) {
   ++observedQuanta_;
 }
 
+bool Observer::sanitize(const sim::ThreadSample& raw, double& accessRate,
+                        double& llcMissRatio, int& staleAge) {
+  const bool bad = raw.dropped || !std::isfinite(raw.accessRate) ||
+                   raw.accessRate < 0.0 ||
+                   raw.accessRate > config_.maxPlausibleRate ||
+                   !std::isfinite(raw.llcMissRatio) || raw.llcMissRatio < 0.0;
+  if (!bad) {
+    accessRate = raw.accessRate;
+    // A miss *ratio* cannot exceed 1; clamp rather than reject (saturated
+    // counters still carry the "memory-bound" signal).
+    llcMissRatio = std::min(raw.llcMissRatio, 1.0);
+    staleAge = 0;
+    lastGood_[raw.threadId] = HeldSample{accessRate, llcMissRatio, 0};
+    return true;
+  }
+  if (!config_.sanitizeSamples) {
+    // Hygiene off (ablation): dropped samples still cannot be ingested —
+    // their fields are zeros, not measurements — but corrupt values pass.
+    if (raw.dropped) {
+      ++discardedSamples_;
+      return false;
+    }
+    accessRate = raw.accessRate;
+    llcMissRatio = raw.llcMissRatio;
+    staleAge = 0;
+    return true;
+  }
+  const auto it = lastGood_.find(raw.threadId);
+  if (it == lastGood_.end() || it->second.age >= config_.maxSampleHoldQuanta) {
+    // Nothing trustworthy to hold: treat the thread as unobserved this
+    // quantum instead of feeding garbage into the moving means.
+    ++discardedSamples_;
+    DIKE_COUNTER("core.observer.sample_discarded");
+    return false;
+  }
+  ++it->second.age;
+  accessRate = it->second.accessRate;
+  llcMissRatio = it->second.llcMissRatio;
+  staleAge = it->second.age;
+  ++heldSamples_;
+  DIKE_COUNTER("core.observer.sample_held");
+  return true;
+}
+
 void Observer::classifyThreads(const sim::QuantumSample& sample) {
   threads_.clear();
   memCount_ = 0;
   compCount_ = 0;
+  // Guard zero-length quanta (adaptive policies can in principle sample
+  // back-to-back): no time passed, so rates are undefined — skip the
+  // cumulative-rate accrual rather than divide by zero.
   const double periodSec =
-      static_cast<double>(sample.periodTicks) * util::kTickSeconds;
+      sample.periodTicks > 0
+          ? static_cast<double>(sample.periodTicks) * util::kTickSeconds
+          : 0.0;
   for (const sim::ThreadSample& s : sample.threads) {
     if (s.finished || s.coreId < 0) continue;
     ThreadInfo info;
     info.threadId = s.threadId;
     info.processId = s.processId;
     info.coreId = s.coreId;
-    info.accessRate = s.accessRate;
+    if (!sanitize(s, info.accessRate, info.llcMissRatio, info.staleAge))
+      continue;
     auto [it, inserted] = threadRate_.try_emplace(
         s.threadId, util::MovingMean{config_.threadRateWindow});
-    it->second.add(s.accessRate);
+    it->second.add(info.accessRate);
     info.avgAccessRate = it->second.value();
-    cumAccesses_[s.threadId] += s.accessRate * periodSec;
+    cumAccesses_[s.threadId] += info.accessRate * periodSec;
     cumSeconds_[s.threadId] += periodSec;
-    info.cumAccessRate = cumAccesses_[s.threadId] / cumSeconds_[s.threadId];
-    info.llcMissRatio = s.llcMissRatio;
-    info.cls = s.llcMissRatio > config_.llcMissThreshold ? ThreadClass::Memory
-                                                         : ThreadClass::Compute;
+    info.cumAccessRate = cumSeconds_[s.threadId] > 0.0
+                             ? cumAccesses_[s.threadId] /
+                                   cumSeconds_[s.threadId]
+                             : 0.0;
+    info.cls = info.llcMissRatio > config_.llcMissThreshold
+                   ? ThreadClass::Memory
+                   : ThreadClass::Compute;
     (info.cls == ThreadClass::Memory ? memCount_ : compCount_) += 1;
     threads_.push_back(info);
   }
@@ -187,6 +242,20 @@ void Observer::classifyWorkload() {
   else
     type_ = diff < 0 ? WorkloadType::UnbalancedCompute
                      : WorkloadType::UnbalancedMemory;
+}
+
+void Observer::resetClosedLoopState() {
+  threadRate_.clear();
+  lastGood_.clear();
+  if (config_.symmetricMovingMean && !coreBwWindow_.empty()) {
+    // Restart each window from the current effective estimate: the filter
+    // forgets poisoned history without zeroing the capability map.
+    for (std::size_t c = 0; c < coreBwWindow_.size(); ++c) {
+      coreBwWindow_[c] = util::MovingMean{config_.movingMeanWindow};
+      if (coreBwRaw_[c] > 0.0) coreBwWindow_[c].add(coreBwRaw_[c]);
+    }
+  }
+  DIKE_COUNTER("core.observer.closed_loop_reset");
 }
 
 double Observer::coreBw(int coreId) const {

@@ -54,6 +54,10 @@ struct ThreadInfo {
   double deficit = 0.0;
   double llcMissRatio = 0.0;   ///< misses / accesses, last quantum
   ThreadClass cls = ThreadClass::Compute;
+  /// Quanta since the thread's last trustworthy counter reading. 0 = this
+  /// quantum's sample was good; N > 0 = the rate/miss-ratio fields above are
+  /// a last-known-good hold that is N quanta stale (sample sanitization).
+  int staleAge = 0;
 };
 
 class Observer {
@@ -103,6 +107,23 @@ class Observer {
     return config_;
   }
 
+  /// Samples replaced by a last-known-good hold so far (sanitization).
+  [[nodiscard]] std::int64_t heldSamples() const noexcept {
+    return heldSamples_;
+  }
+  /// Samples discarded because no hold was available (or it went stale).
+  [[nodiscard]] std::int64_t discardedSamples() const noexcept {
+    return discardedSamples_;
+  }
+
+  /// Divergence-watchdog recovery: drop every closed-loop estimate that a
+  /// corrupt counter feed can poison — per-thread rate windows, CoreBW
+  /// filters (current effective values are kept as the restart point so the
+  /// core partition does not collapse), and the last-known-good holds.
+  /// Whole-run progress accounting (cumulative accesses/seconds, the
+  /// fairness signal's input) is deliberately preserved.
+  void resetClosedLoopState();
+
  private:
   void updateCoreBw(const Observation& obs);
   void classifyThreads(const sim::QuantumSample& sample);
@@ -113,8 +134,22 @@ class Observer {
   ObserverConfig config_;
   std::int64_t observedQuanta_ = 0;
 
+  /// Last trustworthy reading per thread, for the sanitization hold.
+  struct HeldSample {
+    double accessRate = 0.0;
+    double llcMissRatio = 0.0;
+    int age = 0;  ///< quanta since the reading was taken
+  };
+  /// Sanitized copy of one raw sample, or nullopt to skip the thread.
+  [[nodiscard]] bool sanitize(const sim::ThreadSample& raw,
+                              double& accessRate, double& llcMissRatio,
+                              int& staleAge);
+
   std::vector<ThreadInfo> threads_;       // live, ascending avg access rate
   std::unordered_map<int, util::MovingMean> threadRate_;
+  std::unordered_map<int, HeldSample> lastGood_;
+  std::int64_t heldSamples_ = 0;
+  std::int64_t discardedSamples_ = 0;
   std::unordered_map<int, double> cumAccesses_;
   std::unordered_map<int, double> cumSeconds_;
   std::vector<double> coreBwRaw_;         // per-core filtered estimate

@@ -48,6 +48,23 @@ void PredictionTracker::scoreQuantum(const sim::QuantumSample& sample,
         now, static_cast<int>(quantum.count()), quantum.mean(), quantum.min(),
         quantum.max()});
   }
+
+  if (watchdogArmed_ && quantum.count() >= 2) {
+    if (std::abs(quantum.mean()) >= watchdogThreshold_)
+      ++divergenceStreak_;
+    else
+      divergenceStreak_ = 0;
+    if (divergenceStreak_ >= watchdogQuanta_) diverged_ = true;
+  }
+}
+
+void PredictionTracker::armDivergenceWatchdog(double errorThreshold,
+                                              int quanta) {
+  watchdogArmed_ = errorThreshold > 0.0 && quanta > 0;
+  watchdogThreshold_ = errorThreshold;
+  watchdogQuanta_ = quanta;
+  divergenceStreak_ = 0;
+  diverged_ = false;
 }
 
 std::vector<double> PredictionTracker::perThreadMeanErrors() const {
@@ -64,6 +81,8 @@ void PredictionTracker::reset() {
   trace_.clear();
   lastScored_.clear();
   overall_.reset();
+  divergenceStreak_ = 0;
+  diverged_ = false;
 }
 
 }  // namespace dike::core

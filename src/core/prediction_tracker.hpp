@@ -81,6 +81,24 @@ class PredictionTracker {
     return overall_;
   }
 
+  /// Divergence watchdog (resilience layer): arm it with an error threshold
+  /// and a consecutive-quantum count. After arming, scoreQuantum flags
+  /// divergence when the quantum-mean signed error magnitude stays at or
+  /// above `errorThreshold` for `quanta` consecutive scored quanta with at
+  /// least two samples each — the signature of a poisoned closed loop, not
+  /// of ordinary noise. Disarmed (the default) nothing is ever flagged.
+  void armDivergenceWatchdog(double errorThreshold, int quanta);
+  [[nodiscard]] bool divergenceDetected() const noexcept { return diverged_; }
+  /// Consecutive saturated quanta seen so far (for tests/telemetry).
+  [[nodiscard]] int divergenceStreak() const noexcept {
+    return divergenceStreak_;
+  }
+  /// Clear the flag and streak after the caller has reset its state.
+  void acknowledgeDivergence() noexcept {
+    diverged_ = false;
+    divergenceStreak_ = 0;
+  }
+
   void reset();
 
  private:
@@ -90,6 +108,11 @@ class PredictionTracker {
   std::vector<PredictionErrorPoint> trace_;
   std::vector<ScoredPrediction> lastScored_;
   util::OnlineStats overall_;
+  bool watchdogArmed_ = false;
+  double watchdogThreshold_ = 0.0;
+  int watchdogQuanta_ = 0;
+  int divergenceStreak_ = 0;
+  bool diverged_ = false;
 };
 
 }  // namespace dike::core

@@ -1,6 +1,7 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace dike::core {
@@ -11,6 +12,14 @@ const ThreadInfo* findThread(const Observer& observer, int threadId) {
   for (const ThreadInfo& t : observer.threadsByAccessRate())
     if (t.threadId == threadId) return &t;
   return nullptr;
+}
+
+/// Defensive input clamp: the Observer sanitizes its feed, but the
+/// Predictor is also driven directly by tests and (on a live host) by
+/// counter paths with their own failure modes. A non-finite or negative
+/// rate is treated as zero — predictions must never be NaN or negative.
+double cleanRate(double rate) noexcept {
+  return std::isfinite(rate) && rate > 0.0 ? rate : 0.0;
 }
 
 }  // namespace
@@ -31,19 +40,21 @@ SwapPrediction Predictor::predict(const Observer& observer,
     throw std::invalid_argument{"quantaLengthMs must be > 0"};
 
   // Eqn 2: Overhead_t = swapOH / quantaLength * AccessRate_t.
+  const double rateLow = cleanRate(low->accessRate);
+  const double rateHigh = cleanRate(high->accessRate);
   const double ohFraction = config_.swapOhMs / static_cast<double>(quantaLengthMs);
-  const double overheadLow = ohFraction * low->accessRate;
-  const double overheadHigh = ohFraction * high->accessRate;
+  const double overheadLow = ohFraction * rateLow;
+  const double overheadHigh = ohFraction * rateHigh;
 
   // Eqn 1: profit_t = CoreBW_dest - AccessRate_t - Overhead_t, where each
   // thread's destination is its partner's current core.
-  const double destBwForLow = observer.coreBw(high->coreId);
-  const double destBwForHigh = observer.coreBw(low->coreId);
+  const double destBwForLow = cleanRate(observer.coreBw(high->coreId));
+  const double destBwForHigh = cleanRate(observer.coreBw(low->coreId));
 
   SwapPrediction p;
   p.pair = pair;
-  p.profitLow = destBwForLow - low->accessRate - overheadLow;
-  p.profitHigh = destBwForHigh - high->accessRate - overheadHigh;
+  p.profitLow = destBwForLow - rateLow - overheadLow;
+  p.profitHigh = destBwForHigh - rateHigh - overheadHigh;
   p.totalProfit = p.profitLow + p.profitHigh;  // Eqn 3
 
   p.predictedRateLow = predictMigratedRate(observer, *low, high->coreId);
@@ -54,20 +65,21 @@ SwapPrediction Predictor::predict(const Observer& observer,
 double Predictor::predictMigratedRate(const Observer& observer,
                                       const ThreadInfo& thread,
                                       int destCore) const {
-  const double destBw = observer.coreBw(destCore);
+  const double destBw = cleanRate(observer.coreBw(destCore));
+  const double rate = cleanRate(thread.accessRate);
   if (thread.cls == ThreadClass::Memory) {
     // The paper's assumption: a memory-intensive migrant consumes the new
     // core's entire demonstrated bandwidth — but it cannot jump past what
     // its own demand supports, so the closed-loop estimate caps the
     // capability figure at twice the demonstrated rate.
-    return std::min(destBw, 2.0 * thread.accessRate);
+    return std::min(destBw, 2.0 * rate);
   }
   // A compute-intensive migrant keeps its own demand; its rate scales with
   // the capability ratio between the cores (closed-loop estimate), capped
   // at what the destination can deliver.
-  const double srcBw = observer.coreBw(thread.coreId);
+  const double srcBw = cleanRate(observer.coreBw(thread.coreId));
   const double ratio = srcBw > 0.0 ? destBw / srcBw : 1.0;
-  return std::min(thread.accessRate * std::clamp(ratio, 0.25, 4.0), destBw);
+  return std::min(rate * std::clamp(ratio, 0.25, 4.0), destBw);
 }
 
 }  // namespace dike::core

@@ -99,6 +99,31 @@ void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {
       d.boolOr("rotateWhenNoViolator", out.rotateWhenNoViolator);
   out.pairRateMargin = d.numberOr("pairRateMargin", out.pairRateMargin);
   out.useFreeCores = d.boolOr("useFreeCores", out.useFreeCores);
+  if (const auto o = d.get("observer")) {
+    out.observer.sanitizeSamples =
+        o->boolOr("sanitizeSamples", out.observer.sanitizeSamples);
+    out.observer.maxSampleHoldQuanta =
+        o->intOr("maxSampleHoldQuanta", out.observer.maxSampleHoldQuanta);
+    out.observer.maxPlausibleRate =
+        o->numberOr("maxPlausibleRate", out.observer.maxPlausibleRate);
+  }
+  if (const auto r = d.get("resilience")) {
+    out.resilience.divergenceWatchdog =
+        r->boolOr("divergenceWatchdog", out.resilience.divergenceWatchdog);
+    out.resilience.divergenceErrorThreshold = r->numberOr(
+        "divergenceErrorThreshold", out.resilience.divergenceErrorThreshold);
+    out.resilience.divergenceQuanta =
+        r->intOr("divergenceQuanta", out.resilience.divergenceQuanta);
+    out.resilience.fairnessWatchdog =
+        r->boolOr("fairnessWatchdog", out.resilience.fairnessWatchdog);
+    out.resilience.fairnessStallQuanta =
+        r->intOr("fairnessStallQuanta", out.resilience.fairnessStallQuanta);
+    out.resilience.fallbackQuanta =
+        r->intOr("fallbackQuanta", out.resilience.fallbackQuanta);
+    out.resilience.failedActuationCooldownQuanta =
+        r->intOr("failedActuationCooldownQuanta",
+                 out.resilience.failedActuationCooldownQuanta);
+  }
 }
 
 void decodeTelemetry(const util::JsonValue& t, ExperimentTelemetry& out) {
@@ -135,6 +160,8 @@ ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
   if (const auto dike = document.get("dike")) decodeDike(*dike, config.dike);
   if (const auto telemetry = document.get("telemetry"))
     decodeTelemetry(*telemetry, config.telemetry);
+  if (const auto faults = document.get("faults"))
+    config.faults = fault::parseFaultPlan(*faults);
   return config;
 }
 
@@ -161,6 +188,7 @@ std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
       spec.machine = config.machine;
       spec.params = config.dike.params;
       spec.dikeConfig = config.dike;
+      spec.faults = config.faults;
 
       spec.kind = SchedulerKind::Cfs;
       if (telemetryPending && telemetryKind == SchedulerKind::Cfs) {

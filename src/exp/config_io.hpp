@@ -26,7 +26,12 @@
 //     "telemetry": { "enabled": false, "quantumMetrics": "qm.csv",
 //                    "traceOut": "chrome.json", "eventsCsv": "events.csv",
 //                    "registryOut": "registry.json",
-//                    "traceCapacity": 1048576 }
+//                    "traceCapacity": 1048576 },
+//     "faults":  { "seed": 1, "window": {"startTick": .., "endTick": ..},
+//                  "samples": { "dropProbability": .., ... },
+//                  "actuation": { "swapFailProbability": .., ... },
+//                  "cores": { "freqDipProbability": .., ... },
+//                  "churn": { "arrivals": .., ... } }   // see fault_plan.hpp
 //   }
 //
 // Telemetry run outputs (quantumMetrics/traceOut/eventsCsv) attach to the
@@ -81,6 +86,10 @@ struct ExperimentConfig {
   sim::MachineConfig machine{};
   core::DikeConfig dike{};
   ExperimentTelemetry telemetry{};
+  /// Fault plan applied to every run of the grid (including the internal
+  /// CFS baseline, so comparisons stay within-condition). Unset = no
+  /// injection, byte-identical to configs without the section.
+  std::optional<fault::FaultPlan> faults;
 };
 
 /// Decode a configuration document. Throws std::runtime_error with a

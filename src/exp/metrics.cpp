@@ -1,5 +1,6 @@
 #include "exp/metrics.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -24,7 +25,12 @@ std::vector<ProcessResult> processResults(const sim::Machine& machine) {
       r.threadFinishTicks.push_back(t.finishTick);
       stats.add(static_cast<double>(t.finishTick - t.startTick));
     }
-    r.runtimeCv = stats.coefficientOfVariation();
+    // A zero-length process (every thread finished in the quantum it
+    // started, e.g. churn processes under heavy scaling) has mean runtime 0
+    // and an undefined CV; treat it as perfectly balanced rather than
+    // letting NaN poison the fairness aggregate.
+    const double cv = stats.coefficientOfVariation();
+    r.runtimeCv = std::isfinite(cv) ? cv : 0.0;
     results.push_back(std::move(r));
   }
   return results;
@@ -38,12 +44,13 @@ double fairnessEq4(const sim::Machine& machine) {
 }
 
 double relativeImprovement(double a, double b) noexcept {
-  if (b == 0.0) return 0.0;
-  return (a - b) / b;
+  if (b == 0.0 || !std::isfinite(a) || !std::isfinite(b)) return 0.0;
+  const double improvement = (a - b) / b;
+  return std::isfinite(improvement) ? improvement : 0.0;
 }
 
 double speedup(util::Tick baselineTicks, util::Tick candidateTicks) noexcept {
-  if (candidateTicks <= 0) return 0.0;
+  if (candidateTicks <= 0 || baselineTicks <= 0) return 0.0;
   return static_cast<double>(baselineTicks) /
          static_cast<double>(candidateTicks);
 }

@@ -11,6 +11,7 @@
 #include "core/dike_scheduler.hpp"
 #include "exp/analysis.hpp"
 #include "exp/chrome_trace.hpp"
+#include "fault/fault_policy.hpp"
 #include "sched/cfs.hpp"
 #include "sched/dio.hpp"
 #include "sched/extra_baselines.hpp"
@@ -228,10 +229,31 @@ RunMetrics runWorkload(const RunSpec& spec) {
     if (auto* dike = dynamic_cast<core::DikeScheduler*>(scheduler.get()))
       dike->setDecisionTrace(&decisions);
 
-  const sim::RunOutcome outcome = sim::runMachine(machine, adapter);
+  // Fault layer: counter/actuation seams on the adapter, core faults (and
+  // the faults-active hint the fairness watchdog keys on) on a policy
+  // decorator in front of it. An absent or empty plan attaches nothing.
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::FaultInjectionPolicy> faultPolicy;
+  sim::QuantumPolicy* policy = &adapter;
+  if (spec.faults && spec.faults->enabled()) {
+    injector.emplace(*spec.faults);
+    adapter.setSampleFilter(&*injector);
+    adapter.setActuationHook(&*injector);
+    faultPolicy.emplace(adapter, *injector);
+    if (auto* dike = dynamic_cast<core::DikeScheduler*>(scheduler.get()))
+      faultPolicy->setFaultsActiveListener(
+          [dike](bool active) { dike->setFaultsActiveHint(active); });
+    policy = &*faultPolicy;
+  }
+
+  const sim::RunOutcome outcome = sim::runMachine(machine, *policy);
 
   RunMetrics metrics = collect(machine, outcome, *scheduler);
   metrics.workload = workload.name;
+  if (injector) {
+    metrics.faults = injector->tally();
+    metrics.coreFreqDips = faultPolicy->freqDips();
+  }
 
   if (tel.wantsEvents()) {
     metrics.traceDropped = recorder.dropped();

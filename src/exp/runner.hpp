@@ -11,6 +11,8 @@
 #include "core/dike_scheduler.hpp"
 #include "core/prediction_tracker.hpp"
 #include "exp/metrics.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "sim/machine.hpp"
 #include "workload/workloads.hpp"
 
@@ -78,6 +80,9 @@ struct RunSpec {
   int threadsPerApp = 8;
   /// Observability outputs (off when all paths are empty).
   RunTelemetry telemetry{};
+  /// Fault-injection plan. Unset (or set but with nothing enabled) leaves
+  /// the run byte-identical to one without the fault layer attached.
+  std::optional<fault::FaultPlan> faults;
 };
 
 /// One experiment's outputs.
@@ -97,6 +102,10 @@ struct RunMetrics {
 
   /// Decision-pipeline totals (Dike variants only).
   core::DecisionTotals decisions{};
+
+  /// What the fault layer actually injected (zero unless RunSpec::faults).
+  fault::FaultTally faults{};
+  std::int64_t coreFreqDips = 0;
 
   // Prediction-error statistics (Dike variants only).
   bool hasPredictions = false;

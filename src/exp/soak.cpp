@@ -1,0 +1,283 @@
+#include "exp/soak.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/dike_scheduler.hpp"
+#include "exp/dynamic.hpp"
+#include "fault/fault_policy.hpp"
+#include "fault/injector.hpp"
+#include "sched/placement.hpp"
+#include "util/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace dike::exp {
+
+fault::FaultPlan defaultSoakPlan(util::Tick startTick, util::Tick endTick,
+                                 int churnArrivals, std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.window.startTick = startTick;
+  plan.window.endTick = endTick;
+  plan.samples.dropProbability = 0.05;
+  plan.samples.corruptProbability = 0.15;
+  plan.samples.stuckAtZeroProbability = 0.02;
+  plan.samples.saturateMissRatioProbability = 0.05;
+  plan.actuation.swapFailProbability = 0.3;
+  plan.actuation.migrationFailProbability = 0.3;
+  plan.cores.freqDipProbability = 0.02;
+  plan.churn.arrivals = churnArrivals;
+  return plan;
+}
+
+namespace {
+
+/// Checks the soak invariants once per quantum, over the sample the
+/// scheduler actually saw (i.e. after the fault filter ran).
+class SoakInvariantListener final : public sched::QuantumListener {
+ public:
+  void afterQuantum(const sim::Machine& machine,
+                    const sched::SchedulerView& view,
+                    sched::Scheduler& scheduler) override {
+    (void)machine;
+    ++quantaChecked_;
+
+    const sim::QuantumSample& sample = view.sample();
+    for (const double bw : sample.coreAchievedBw)
+      if (!std::isfinite(bw) || bw < 0.0) ++nanViolations_;
+    for (const sim::ThreadSample& s : sample.threads) {
+      if (s.finished) continue;
+      if (!std::isfinite(s.accessRate) || s.accessRate < 0.0 ||
+          !std::isfinite(s.accesses) || s.accesses < 0.0 ||
+          !std::isfinite(s.instructions) || s.instructions < 0.0 ||
+          !std::isfinite(s.llcMissRatio) || s.llcMissRatio < 0.0 ||
+          s.llcMissRatio > 1.0)
+        ++nanViolations_;
+      // Placement consistency: a live thread occupies exactly one core,
+      // whatever actuations failed this quantum.
+      if (view.isSuspended(s.threadId)) continue;
+      int occupancy = 0;
+      for (int core = 0; core < view.coreCount(); ++core)
+        if (view.coreOccupant(core) == s.threadId) ++occupancy;
+      if (occupancy != 1) ++placementViolations_;
+    }
+
+    if (const auto* dike =
+            dynamic_cast<const core::DikeScheduler*>(&scheduler))
+      if (dike->observer().ready() &&
+          !std::isfinite(dike->observer().systemUnfairness()))
+        ++nanViolations_;
+  }
+
+  [[nodiscard]] std::int64_t quantaChecked() const noexcept {
+    return quantaChecked_;
+  }
+  [[nodiscard]] std::int64_t nanViolations() const noexcept {
+    return nanViolations_;
+  }
+  [[nodiscard]] std::int64_t placementViolations() const noexcept {
+    return placementViolations_;
+  }
+
+ private:
+  std::int64_t quantaChecked_ = 0;
+  std::int64_t nanViolations_ = 0;
+  std::int64_t placementViolations_ = 0;
+};
+
+/// Short-lived churn processes alternate a memory-bound and a compute-bound
+/// model so arrivals perturb both halves of the machine.
+constexpr const char* kChurnBenchmarks[2] = {"stream_omp", "srad"};
+
+std::vector<Arrival> churnSchedule(const fault::FaultPlan& plan,
+                                   util::Rng rng, util::Tick quantumTicks) {
+  std::vector<Arrival> schedule;
+  if (plan.churn.arrivals <= 0) return schedule;
+  const util::Tick start = plan.window.startTick;
+  const util::Tick end = plan.window.endTick > 0
+                             ? plan.window.endTick
+                             : start + 200 * std::max<util::Tick>(
+                                                 1, quantumTicks);
+  for (int i = 0; i < plan.churn.arrivals; ++i) {
+    Arrival a;
+    a.atTick = start + static_cast<util::Tick>(
+                           rng.uniform() *
+                           static_cast<double>(std::max<util::Tick>(
+                               1, end - start)));
+    a.benchmark = kChurnBenchmarks[i % 2];
+    a.threads = plan.churn.threadsPerArrival;
+    a.scale = plan.churn.arrivalScale;
+    schedule.push_back(std::move(a));
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.atTick < b.atTick;
+            });
+  return schedule;
+}
+
+struct SoakRun {
+  RunMetrics metrics;
+  std::int64_t quantaChecked = 0;
+  std::int64_t nanViolations = 0;
+  std::int64_t placementViolations = 0;
+  int churnInjected = 0;
+  int churnPending = 0;
+};
+
+SoakRun runOnce(const SoakSpec& spec, bool withFaults) {
+  if (spec.apps.empty())
+    throw std::invalid_argument{"soak spec needs at least one app"};
+
+  RunSpec runSpec;
+  runSpec.kind = spec.kind;
+  runSpec.params = spec.params;
+  runSpec.dikeConfig = spec.dikeConfig;
+  runSpec.scale = spec.scale;
+  runSpec.seed = spec.seed;
+  runSpec.heterogeneous = spec.heterogeneous;
+  runSpec.threadsPerApp = spec.threadsPerApp;
+
+  wl::WorkloadSpec workload;
+  workload.id = 0;
+  workload.name = "soak";
+  workload.apps = spec.apps;
+  workload.includeKmeans = false;
+
+  sim::MachineConfig machineCfg;
+  machineCfg.seed = spec.seed;
+  sim::Machine machine{spec.heterogeneous
+                           ? sim::MachineTopology::paperTestbed()
+                           : sim::MachineTopology::homogeneousTestbed(),
+                       machineCfg};
+  wl::addWorkloadProcesses(machine, workload, spec.scale, spec.threadsPerApp);
+  sched::placeRandom(machine, spec.seed);
+
+  const std::unique_ptr<sched::Scheduler> scheduler = makeScheduler(runSpec);
+  auto* dike = dynamic_cast<core::DikeScheduler*>(scheduler.get());
+  sched::SchedulerAdapter adapter{*scheduler};
+
+  SoakInvariantListener invariants;
+  adapter.setListener(&invariants);
+
+  std::optional<fault::FaultInjector> injector;
+  std::optional<ArrivalInjector> arrivals;
+  std::optional<fault::FaultInjectionPolicy> faultPolicy;
+  sim::QuantumPolicy* policy = &adapter;
+  if (withFaults && spec.faults.enabled()) {
+    injector.emplace(spec.faults);
+    adapter.setSampleFilter(&*injector);
+    adapter.setActuationHook(&*injector);
+    arrivals.emplace(adapter,
+                     churnSchedule(spec.faults, injector->forkStream(),
+                                   scheduler->quantumTicks()));
+    faultPolicy.emplace(*arrivals, *injector);
+    if (dike != nullptr)
+      faultPolicy->setFaultsActiveListener(
+          [dike](bool active) { dike->setFaultsActiveHint(active); });
+    policy = &*faultPolicy;
+  }
+
+  const sim::RunOutcome outcome = sim::runMachine(machine, *policy);
+
+  SoakRun run;
+  run.metrics.scheduler = std::string{scheduler->name()};
+  run.metrics.workload = "soak";
+  run.metrics.makespan = outcome.finishTick;
+  run.metrics.timedOut = outcome.timedOut;
+  run.metrics.swaps = machine.swapCount();
+  run.metrics.migrations = machine.migrationCount();
+  run.metrics.energyJoules = machine.energyJoules();
+  if (!outcome.timedOut) {
+    run.metrics.fairness = fairnessEq4(machine);
+    run.metrics.processes = processResults(machine);
+  }
+  if (dike != nullptr) run.metrics.decisions = dike->decisionTotals();
+  if (injector) {
+    run.metrics.faults = injector->tally();
+    run.metrics.coreFreqDips = faultPolicy->freqDips();
+  }
+  if (arrivals) {
+    run.churnInjected = arrivals->injectedArrivals();
+    run.churnPending = arrivals->pendingArrivals();
+  }
+  run.quantaChecked = invariants.quantaChecked();
+  run.nanViolations = invariants.nanViolations();
+  run.placementViolations = invariants.placementViolations();
+  return run;
+}
+
+}  // namespace
+
+SoakReport runSoak(const SoakSpec& spec) {
+  const SoakRun faulted = runOnce(spec, /*withFaults=*/true);
+  const SoakRun baseline = runOnce(spec, /*withFaults=*/false);
+
+  SoakReport report;
+  report.metrics = faulted.metrics;
+  report.quantaChecked = faulted.quantaChecked;
+  report.nanViolations = faulted.nanViolations + baseline.nanViolations;
+  report.placementViolations =
+      faulted.placementViolations + baseline.placementViolations;
+  report.churnArrivalsInjected = faulted.churnInjected;
+  report.churnArrivalsPending = faulted.churnPending;
+  report.baselineFairness = baseline.metrics.fairness;
+  report.fairnessRatio = baseline.metrics.fairness > 0.0
+                             ? faulted.metrics.fairness /
+                                   baseline.metrics.fairness
+                             : 0.0;
+  report.fairnessRecovered = report.fairnessRatio >= 0.9;
+  return report;
+}
+
+util::JsonValue toJson(const SoakReport& report) {
+  util::JsonObject tally;
+  tally.emplace("corrupted_samples",
+                static_cast<double>(report.metrics.faults.corruptedSamples));
+  tally.emplace("dropped_samples",
+                static_cast<double>(report.metrics.faults.droppedSamples));
+  tally.emplace("failed_migrations",
+                static_cast<double>(report.metrics.faults.failedMigrations));
+  tally.emplace("failed_swaps",
+                static_cast<double>(report.metrics.faults.failedSwaps));
+  tally.emplace(
+      "saturated_miss_ratios",
+      static_cast<double>(report.metrics.faults.saturatedMissRatios));
+  tally.emplace("stuck_episodes",
+                static_cast<double>(report.metrics.faults.stuckEpisodes));
+  tally.emplace("stuck_samples",
+                static_cast<double>(report.metrics.faults.stuckSamples));
+
+  util::JsonObject doc;
+  doc.emplace("baseline_fairness", report.baselineFairness);
+  doc.emplace("churn_injected", report.churnArrivalsInjected);
+  doc.emplace("churn_pending", report.churnArrivalsPending);
+  doc.emplace("core_freq_dips",
+              static_cast<double>(report.metrics.coreFreqDips));
+  doc.emplace("divergence_resets",
+              static_cast<double>(report.metrics.decisions.divergenceResets));
+  doc.emplace("fairness", report.metrics.fairness);
+  doc.emplace("fairness_ratio", report.fairnessRatio);
+  doc.emplace("fairness_recovered", report.fairnessRecovered);
+  doc.emplace(
+      "fallback_engagements",
+      static_cast<double>(report.metrics.decisions.fallbackEngagements));
+  doc.emplace("fallback_quanta",
+              static_cast<double>(report.metrics.decisions.fallbackQuanta));
+  doc.emplace("fault_tally", std::move(tally));
+  doc.emplace("makespan", static_cast<double>(report.metrics.makespan));
+  doc.emplace("migrations", static_cast<double>(report.metrics.migrations));
+  doc.emplace("nan_violations", static_cast<double>(report.nanViolations));
+  doc.emplace("passed", report.passed());
+  doc.emplace("placement_violations",
+              static_cast<double>(report.placementViolations));
+  doc.emplace("quanta_checked", static_cast<double>(report.quantaChecked));
+  doc.emplace("scheduler", report.metrics.scheduler);
+  doc.emplace("swaps", static_cast<double>(report.metrics.swaps));
+  doc.emplace("timed_out", report.metrics.timedOut);
+  return util::JsonValue{std::move(doc)};
+}
+
+}  // namespace dike::exp

@@ -4,6 +4,8 @@
 
 #include <cerrno>
 
+#include "oslinux/retry.hpp"
+
 namespace dike::oslinux {
 
 namespace {
@@ -24,7 +26,9 @@ std::error_code setAffinity(pid_t tid, std::span<const int> cpus) {
       return std::make_error_code(std::errc::invalid_argument);
     CPU_SET(static_cast<unsigned>(cpu), &set);
   }
-  if (sched_setaffinity(tid, sizeof set, &set) != 0) return lastError();
+  const auto ret =
+      retrySyscall([&] { return sched_setaffinity(tid, sizeof set, &set); });
+  if (ret != 0) return lastError();
   return {};
 }
 
@@ -36,7 +40,9 @@ std::error_code pinToCpu(pid_t tid, int cpu) {
 std::error_code getAffinity(pid_t tid, std::vector<int>& cpus) {
   cpu_set_t set;
   CPU_ZERO(&set);
-  if (sched_getaffinity(tid, sizeof set, &set) != 0) return lastError();
+  const auto ret =
+      retrySyscall([&] { return sched_getaffinity(tid, sizeof set, &set); });
+  if (ret != 0) return lastError();
   cpus.clear();
   for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
     if (CPU_ISSET(static_cast<unsigned>(cpu), &set)) cpus.push_back(cpu);

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "oslinux/cpulist.hpp"
+#include "oslinux/retry.hpp"
 
 namespace dike::oslinux {
 
@@ -97,6 +98,12 @@ std::error_code writeMaxFrequency(int cpu, double freqGhz,
   out.flush();
   if (!out) return std::make_error_code(std::errc::io_error);
   return {};
+}
+
+std::error_code writeMaxFrequencyRetrying(int cpu, double freqGhz,
+                                          const std::filesystem::path& root) {
+  return retryWithBackoff(
+      [&] { return writeMaxFrequency(cpu, freqGhz, root); });
 }
 
 }  // namespace dike::oslinux

@@ -48,4 +48,11 @@ struct SpeedPartition {
     int cpu, double freqGhz,
     const std::filesystem::path& root = "/sys/devices/system/cpu");
 
+/// writeMaxFrequency with bounded exponential backoff on transient errors
+/// (EAGAIN/EBUSY — governors briefly lock the policy file while
+/// re-evaluating). Permission errors are returned immediately.
+[[nodiscard]] std::error_code writeMaxFrequencyRetrying(
+    int cpu, double freqGhz,
+    const std::filesystem::path& root = "/sys/devices/system/cpu");
+
 }  // namespace dike::oslinux

@@ -7,6 +7,7 @@
 
 #include "oslinux/affinity.hpp"
 #include "oslinux/procstat.hpp"
+#include "telemetry/registry.hpp"
 #include "util/log.hpp"
 
 namespace dike::oslinux {
@@ -16,6 +17,25 @@ namespace {
 double clockTicksPerSecond() {
   const long hz = ::sysconf(_SC_CLK_TCK);
   return hz > 0 ? static_cast<double>(hz) : 100.0;
+}
+
+/// Open the LLC counter pair for one thread, logging an actionable message
+/// (counter name, tid, paranoid-level hint) on the first failure.
+void openThreadCounters(HostThread& t) {
+  std::error_code ec;
+  t.llcMisses = PerfCounter::open(PerfEventKind::LlcMisses, t.tid, ec);
+  if (ec) {
+    util::logDebug("dike-host: ",
+                   describePerfError(PerfEventKind::LlcMisses, t.tid, -1, ec));
+    return;
+  }
+  t.llcRefs = PerfCounter::open(PerfEventKind::LlcReferences, t.tid, ec);
+  if (ec) {
+    util::logDebug(
+        "dike-host: ",
+        describePerfError(PerfEventKind::LlcReferences, t.tid, -1, ec));
+    t.llcMisses.reset();
+  }
 }
 
 }  // namespace
@@ -42,9 +62,7 @@ std::error_code DikeHost::addProcess(pid_t pid) {
     t.tid = tid;
     t.denseId = nextDenseId_++;
     if (config_.usePerf) {
-      std::error_code ec;
-      t.llcMisses = PerfCounter::open(PerfEventKind::LlcMisses, tid, ec);
-      if (!ec) t.llcRefs = PerfCounter::open(PerfEventKind::LlcReferences, tid, ec);
+      openThreadCounters(t);
       if (t.llcMisses && t.llcRefs) perfActive_ = true;
     }
     threads_.emplace(tid, std::move(t));
@@ -105,12 +123,7 @@ void DikeHost::adoptNewThreads() {
       t.pid = pid;
       t.tid = tid;
       t.denseId = nextDenseId_++;
-      if (config_.usePerf) {
-        std::error_code ec;
-        t.llcMisses = PerfCounter::open(PerfEventKind::LlcMisses, tid, ec);
-        if (!ec)
-          t.llcRefs = PerfCounter::open(PerfEventKind::LlcReferences, tid, ec);
-      }
+      if (config_.usePerf) openThreadCounters(t);
       const int cpuIdx = leastLoadedCpuIndex();
       if (!pinToCpu(tid, cpus_[static_cast<std::size_t>(cpuIdx)]))
         t.cpu = cpuIdx;
@@ -169,14 +182,26 @@ core::Observation DikeHost::sampleObservation(double periodSeconds) {
     if (t.llcMisses && t.llcRefs) {
       const auto misses = t.llcMisses->readDelta();
       const auto refs = t.llcRefs->readDelta();
-      if (misses && refs && t.haveBaseline) {
-        s.accessRate = static_cast<double>(*misses) / periodSeconds;
-        s.llcMissRatio =
-            *refs > 0 ? std::clamp(static_cast<double>(*misses) /
-                                       static_cast<double>(*refs),
-                                   0.0, 1.0)
-                      : 0.0;
-        perfOk = true;
+      if (misses && refs) {
+        t.perfReadFailures = 0;
+        if (t.haveBaseline) {
+          s.accessRate = static_cast<double>(*misses) / periodSeconds;
+          s.llcMissRatio =
+              *refs > 0 ? std::clamp(static_cast<double>(*misses) /
+                                         static_cast<double>(*refs),
+                                     0.0, 1.0)
+                        : 0.0;
+          perfOk = true;
+        }
+      } else if (++t.perfReadFailures >= config_.perfReadFailureLimit) {
+        // Estimate-only degradation: the counters are wedged (fd revoked,
+        // PMU contention, thread in teardown) — drop them for good rather
+        // than burning a failed read every quantum.
+        t.llcMisses.reset();
+        t.llcRefs.reset();
+        DIKE_COUNTER("oslinux.perf.degraded");
+        util::logDebug("dike-host: tid ", tid, " degraded to utime proxy after ",
+                       t.perfReadFailures, " failed counter reads");
       }
     }
     if (!perfOk) {

@@ -35,6 +35,9 @@ struct HostConfig {
   core::DikeConfig dike{};
   /// Try to open perf counters per thread (falls back silently if denied).
   bool usePerf = true;
+  /// Consecutive failed counter reads before a thread's counters are
+  /// dropped and it degrades permanently to the utime-proxy estimate.
+  int perfReadFailureLimit = 3;
   /// Restrict scheduling to these cpus (empty = all online cpus).
   std::vector<int> cpus;
 };
@@ -47,6 +50,7 @@ struct HostThread {
   int cpu = -1;      ///< cpu the thread is pinned to
   unsigned long long lastUtime = 0;
   bool haveBaseline = false;
+  int perfReadFailures = 0;  ///< consecutive failed counter reads
   std::optional<PerfCounter> llcMisses;
   std::optional<PerfCounter> llcRefs;
 };

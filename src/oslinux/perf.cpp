@@ -8,9 +8,22 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "oslinux/retry.hpp"
+
 namespace dike::oslinux {
+
+std::string_view toString(PerfEventKind kind) noexcept {
+  switch (kind) {
+    case PerfEventKind::LlcMisses: return "llc-misses";
+    case PerfEventKind::LlcReferences: return "llc-references";
+    case PerfEventKind::Instructions: return "instructions";
+    case PerfEventKind::CpuCycles: return "cpu-cycles";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -52,10 +65,11 @@ void fillAttr(perf_event_attr& attr, PerfEventKind kind) {
 }  // namespace
 
 std::optional<PerfCounter> PerfCounter::open(PerfEventKind kind, pid_t tid,
-                                             std::error_code& ec) {
+                                             std::error_code& ec, int cpu) {
   perf_event_attr attr;
   fillAttr(attr, kind);
-  const long fd = perfEventOpen(&attr, tid, /*cpu=*/-1, /*groupFd=*/-1, 0);
+  const long fd = retrySyscall(
+      [&] { return perfEventOpen(&attr, tid, cpu, /*groupFd=*/-1, 0); });
   if (fd < 0) {
     ec = std::error_code{errno, std::generic_category()};
     return std::nullopt;
@@ -82,7 +96,9 @@ PerfCounter::~PerfCounter() {
 
 std::optional<std::uint64_t> PerfCounter::read() const {
   std::uint64_t value = 0;
-  if (::read(fd_, &value, sizeof value) != sizeof value) return std::nullopt;
+  const auto bytes =
+      retrySyscall([&] { return ::read(fd_, &value, sizeof value); });
+  if (bytes != static_cast<ssize_t>(sizeof value)) return std::nullopt;
   return value;
 }
 
@@ -95,17 +111,49 @@ std::optional<std::uint64_t> PerfCounter::readDelta() {
 }
 
 std::error_code PerfCounter::reset() const {
-  if (ioctl(fd_, PERF_EVENT_IOC_RESET, 0) != 0)
-    return std::error_code{errno, std::generic_category()};
+  const auto ret =
+      retrySyscall([&] { return ioctl(fd_, PERF_EVENT_IOC_RESET, 0); });
+  if (ret != 0) return std::error_code{errno, std::generic_category()};
   return {};
 }
 
-bool perfLikelyAvailable() {
+std::optional<int> perfParanoidLevel() {
   std::ifstream in{"/proc/sys/kernel/perf_event_paranoid"};
-  if (!in) return false;
+  if (!in) return std::nullopt;
   int level = 0;
   in >> level;
-  return in.good() && level <= 2;
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return level;
+}
+
+bool perfLikelyAvailable() {
+  const auto level = perfParanoidLevel();
+  return level.has_value() && *level <= 2;
+}
+
+std::string describePerfError(PerfEventKind kind, pid_t tid, int cpu,
+                              const std::error_code& ec) {
+  std::ostringstream out;
+  out << "perf counter '" << toString(kind) << "' (tid " << tid << ", cpu ";
+  if (cpu < 0)
+    out << "any";
+  else
+    out << cpu;
+  out << "): " << ec.message();
+  const bool permission =
+      ec == std::error_code{EACCES, std::generic_category()} ||
+      ec == std::error_code{EPERM, std::generic_category()};
+  if (permission) {
+    if (const auto level = perfParanoidLevel(); level.has_value() && *level > 2)
+      out << " — kernel.perf_event_paranoid is " << *level
+          << ", which blocks unprivileged perf; run `sysctl -w"
+             " kernel.perf_event_paranoid=2` (or lower) or grant"
+             " CAP_PERFMON";
+    else
+      out << " — insufficient privilege for this event; grant CAP_PERFMON"
+             " or run with elevated privileges";
+  }
+  return out.str();
 }
 
 }  // namespace dike::oslinux

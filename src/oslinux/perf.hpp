@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <system_error>
 
 namespace dike::oslinux {
@@ -20,13 +22,19 @@ enum class PerfEventKind {
   CpuCycles,
 };
 
+/// Human-readable counter name for error context and logs.
+[[nodiscard]] std::string_view toString(PerfEventKind kind) noexcept;
+
 /// RAII handle on one perf counter attached to one thread.
 class PerfCounter {
  public:
-  /// Open a counting (non-sampling) event on `tid` (0 = calling thread).
+  /// Open a counting (non-sampling) event on `tid` (0 = calling thread),
+  /// optionally restricted to one cpu (-1 = any cpu the thread runs on).
+  /// perf_event_open is retried on EINTR before an error is reported.
   [[nodiscard]] static std::optional<PerfCounter> open(PerfEventKind kind,
                                                        pid_t tid,
-                                                       std::error_code& ec);
+                                                       std::error_code& ec,
+                                                       int cpu = -1);
 
   PerfCounter(PerfCounter&& other) noexcept;
   PerfCounter& operator=(PerfCounter&& other) noexcept;
@@ -54,5 +62,15 @@ class PerfCounter {
 /// True if the kernel is likely to permit opening perf counters
 /// (perf_event_paranoid <= 2 and the syscall is available).
 [[nodiscard]] bool perfLikelyAvailable();
+
+/// Current /proc/sys/kernel/perf_event_paranoid level, if readable.
+[[nodiscard]] std::optional<int> perfParanoidLevel();
+
+/// Actionable description of a perf failure: names the counter, thread, and
+/// cpu, and — for permission errors — reports the perf_event_paranoid level
+/// with the sysctl that relaxes it, instead of a bare EACCES.
+[[nodiscard]] std::string describePerfError(PerfEventKind kind, pid_t tid,
+                                            int cpu,
+                                            const std::error_code& ec);
 
 }  // namespace dike::oslinux

@@ -1,0 +1,64 @@
+// EINTR-safe syscall retry with bounded exponential backoff.
+//
+// Two layers, matching how Linux syscalls actually fail:
+//  * retrySyscall(): re-issue immediately while the call returns -1 with
+//    EINTR — a signal interrupted it, nothing is wrong, never give up.
+//  * retryWithBackoff(): for operations that can fail transiently with a
+//    real (but recoverable) error — EAGAIN, EBUSY — retry a bounded number
+//    of times, sleeping an exponentially growing, capped interval between
+//    attempts so a flapping resource is not hammered.
+#pragma once
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace dike::oslinux {
+
+/// Re-issue `call` (a callable returning a signed syscall result) while it
+/// fails with EINTR. Returns the first non-EINTR result.
+template <typename Syscall>
+[[nodiscard]] auto retrySyscall(Syscall&& call) {
+  for (;;) {
+    const auto result = call();
+    if (result >= 0 || errno != EINTR) return result;
+  }
+}
+
+struct RetryPolicy {
+  int maxAttempts = 5;
+  std::chrono::microseconds initialBackoff{100};
+  std::chrono::microseconds maxBackoff{10'000};
+};
+
+/// Errors worth retrying with backoff: the resource may recover on its own.
+/// (EINTR is listed for completeness, but retrySyscall should have absorbed
+/// it before an error_code was ever built.)
+[[nodiscard]] inline bool isTransientError(const std::error_code& ec) noexcept {
+  return ec == std::error_code{EINTR, std::generic_category()} ||
+         ec == std::error_code{EAGAIN, std::generic_category()} ||
+         ec == std::error_code{EBUSY, std::generic_category()};
+}
+
+/// Run `op` (a callable returning std::error_code) until it succeeds, fails
+/// with a non-transient error, or exhausts policy.maxAttempts. Sleeps
+/// between attempts (initialBackoff, doubled each time, capped at
+/// maxBackoff). Returns the last error_code ({} on success).
+template <typename Op>
+[[nodiscard]] std::error_code retryWithBackoff(Op&& op,
+                                               RetryPolicy policy = {}) {
+  std::chrono::microseconds backoff = policy.initialBackoff;
+  std::error_code ec;
+  for (int attempt = 0; attempt < policy.maxAttempts; ++attempt) {
+    ec = op();
+    if (!ec || !isTransientError(ec)) return ec;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy.maxBackoff);
+  }
+  return ec;
+}
+
+}  // namespace dike::oslinux

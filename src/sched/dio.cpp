@@ -40,7 +40,7 @@ void DioScheduler::onQuantum(SchedulerView& view) {
     const sim::ThreadSample* high = live[i];
     const sim::ThreadSample* low = live[live.size() - 1 - i];
     if (high->llcMissRatio - low->llcMissRatio < kEqualMissMargin) continue;
-    view.swap(high->threadId, low->threadId);
+    (void)view.swap(high->threadId, low->threadId);
   }
 }
 

@@ -22,7 +22,7 @@ void RandomScheduler::onQuantum(SchedulerView& view) {
     const auto a = static_cast<std::size_t>(rng_.below(live.size()));
     auto b = static_cast<std::size_t>(rng_.below(live.size() - 1));
     if (b >= a) ++b;
-    view.swap(live[a], live[b]);
+    (void)view.swap(live[a], live[b]);
   }
 }
 

@@ -3,8 +3,9 @@
 namespace dike::sched {
 
 SchedulerView::SchedulerView(sim::Machine& machine,
-                             const sim::QuantumSample& sample)
-    : machine_(&machine), sample_(&sample) {}
+                             const sim::QuantumSample& sample,
+                             ActuationHook* hook)
+    : machine_(&machine), sample_(&sample), hook_(hook) {}
 
 int SchedulerView::coreCount() const {
   return machine_->topology().coreCount();
@@ -24,14 +25,24 @@ int SchedulerView::coreOccupant(int coreId) const {
 
 util::Tick SchedulerView::now() const { return machine_->now(); }
 
-void SchedulerView::swap(int threadA, int threadB) {
+bool SchedulerView::swap(int threadA, int threadB) {
+  if (hook_ != nullptr && !hook_->onSwapAttempt(threadA, threadB, now())) {
+    ++failedActuations_;
+    return false;
+  }
   machine_->swapThreads(threadA, threadB);
   ++swaps_;
+  return true;
 }
 
-void SchedulerView::migrateTo(int threadId, int coreId) {
+bool SchedulerView::migrateTo(int threadId, int coreId) {
+  if (hook_ != nullptr && !hook_->onMigrationAttempt(threadId, coreId, now())) {
+    ++failedActuations_;
+    return false;
+  }
   machine_->migrateThread(threadId, coreId);
   ++migrations_;
+  return true;
 }
 
 void SchedulerView::suspend(int threadId) { machine_->suspendThread(threadId); }
@@ -43,8 +54,9 @@ bool SchedulerView::isSuspended(int threadId) const {
 }
 
 void SchedulerAdapter::onQuantum(sim::Machine& machine) {
-  const sim::QuantumSample sample = machine.sampleAndReset();
-  SchedulerView view{machine, sample};
+  sim::QuantumSample sample = machine.sampleAndReset();
+  if (filter_ != nullptr) filter_->filterSample(sample, machine.now());
+  SchedulerView view{machine, sample, hook_};
   scheduler_->onQuantum(view);
   if (listener_ != nullptr)
     listener_->afterQuantum(machine, view, *scheduler_);

@@ -16,10 +16,35 @@
 
 namespace dike::sched {
 
+/// Transforms the per-quantum counter sample before any scheduler sees it.
+/// The fault-injection layer implements this to model dropped, corrupt, and
+/// stuck counter feeds; the default (no filter) passes samples through
+/// untouched, so filter-free runs are bit-identical to historical ones.
+class SampleFilter {
+ public:
+  virtual ~SampleFilter() = default;
+  virtual void filterSample(sim::QuantumSample& sample, util::Tick now) = 0;
+};
+
+/// Intercepts actuation requests (swaps and free-core migrations) before
+/// they reach the machine. Returning false fails the operation: the machine
+/// is left untouched and the caller is told, mirroring a sched_setaffinity
+/// error on a live host. The fault layer implements this; schedulers must
+/// treat a failed actuation as retryable, never as silently applied.
+class ActuationHook {
+ public:
+  virtual ~ActuationHook() = default;
+  [[nodiscard]] virtual bool onSwapAttempt(int threadA, int threadB,
+                                           util::Tick now) = 0;
+  [[nodiscard]] virtual bool onMigrationAttempt(int threadId, int coreId,
+                                                util::Tick now) = 0;
+};
+
 /// Per-quantum window a scheduler operates through.
 class SchedulerView {
  public:
-  SchedulerView(sim::Machine& machine, const sim::QuantumSample& sample);
+  SchedulerView(sim::Machine& machine, const sim::QuantumSample& sample,
+                ActuationHook* hook = nullptr);
 
   /// Counter readings for the quantum that just ended.
   [[nodiscard]] const sim::QuantumSample& sample() const noexcept {
@@ -36,10 +61,13 @@ class SchedulerView {
   [[nodiscard]] util::Tick now() const;
 
   /// Exchange the cores of two live threads (one swap = two migrations).
-  void swap(int threadA, int threadB);
+  /// Returns false when an attached ActuationHook failed the operation; the
+  /// placement is then unchanged and the caller should retry later.
+  [[nodiscard]] bool swap(int threadA, int threadB);
 
   /// Move a live thread to a currently free core (a single migration).
-  void migrateTo(int threadId, int coreId);
+  /// Returns false when an attached ActuationHook failed the operation.
+  [[nodiscard]] bool migrateTo(int threadId, int coreId);
 
   /// Suspension enforcement (for policies that pause instead of migrate).
   void suspend(int threadId);
@@ -54,12 +82,18 @@ class SchedulerView {
   [[nodiscard]] std::int64_t migrationsThisQuantum() const noexcept {
     return migrations_;
   }
+  /// Actuations (swaps + migrations) an ActuationHook failed this quantum.
+  [[nodiscard]] std::int64_t failedActuationsThisQuantum() const noexcept {
+    return failedActuations_;
+  }
 
  private:
   sim::Machine* machine_;
   const sim::QuantumSample* sample_;
+  ActuationHook* hook_ = nullptr;
   std::int64_t swaps_ = 0;
   std::int64_t migrations_ = 0;
+  std::int64_t failedActuations_ = 0;
 };
 
 /// Interface all scheduling policies implement (CFS baseline, DIO, Dike).
@@ -115,9 +149,25 @@ class SchedulerAdapter final : public sim::QuantumPolicy {
     return listener_;
   }
 
+  /// Attach (or detach with nullptr) a counter-path fault seam. Applied to
+  /// every sample before the scheduler observes it.
+  void setSampleFilter(SampleFilter* filter) noexcept { filter_ = filter; }
+  [[nodiscard]] SampleFilter* sampleFilter() const noexcept {
+    return filter_;
+  }
+
+  /// Attach (or detach with nullptr) an actuation-path fault seam. Passed
+  /// into every SchedulerView this adapter constructs.
+  void setActuationHook(ActuationHook* hook) noexcept { hook_ = hook; }
+  [[nodiscard]] ActuationHook* actuationHook() const noexcept {
+    return hook_;
+  }
+
  private:
   Scheduler* scheduler_;
   QuantumListener* listener_ = nullptr;
+  SampleFilter* filter_ = nullptr;
+  ActuationHook* hook_ = nullptr;
   std::int64_t swaps_ = 0;
   std::int64_t quanta_ = 0;
 };

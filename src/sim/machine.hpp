@@ -106,6 +106,11 @@ struct ThreadSample {
   double accessRate = 0.0;    ///< accesses per second during the quantum
   double llcMissRatio = 0.0;  ///< classification signal (noisy)
   bool finished = false;
+  /// True when the counter read for this thread was lost this quantum (a
+  /// perf read failure on a live host, or injected by the fault layer). The
+  /// numeric fields are then meaningless; consumers hold their last-known-
+  /// good value instead of ingesting them.
+  bool dropped = false;
 };
 
 /// Full counter snapshot for one quantum.

@@ -8,6 +8,7 @@ std::string_view toString(SwapOutcome outcome) noexcept {
     case SwapOutcome::RejectedCooldown: return "rejected-cooldown";
     case SwapOutcome::RejectedProfit: return "rejected-profit";
     case SwapOutcome::BudgetExhausted: return "budget-exhausted";
+    case SwapOutcome::FailedActuation: return "failed-actuation";
   }
   return "?";
 }

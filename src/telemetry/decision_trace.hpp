@@ -20,6 +20,7 @@ enum class SwapOutcome {
   RejectedCooldown,  ///< a partner was swapped too recently
   RejectedProfit,    ///< predicted total profit failed the gate
   BudgetExhausted,   ///< swapSize/2 swaps already executed this quantum
+  FailedActuation,   ///< the migration itself failed; placement unchanged
 };
 
 [[nodiscard]] std::string_view toString(SwapOutcome outcome) noexcept;

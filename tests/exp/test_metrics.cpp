@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "sim/machine.hpp"
 
 namespace dike::exp {
@@ -81,6 +84,21 @@ TEST(Metrics, Helpers) {
   EXPECT_DOUBLE_EQ(speedup(200, 100), 2.0);
   EXPECT_DOUBLE_EQ(speedup(100, 200), 0.5);
   EXPECT_DOUBLE_EQ(speedup(100, 0), 0.0);
+}
+
+TEST(Metrics, HelpersNeverPropagateNonFiniteInputs) {
+  constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(relativeImprovement(nan, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relativeImprovement(1.0, nan), 0.0);
+  EXPECT_DOUBLE_EQ(relativeImprovement(inf, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relativeImprovement(1.0, inf), 0.0);
+  EXPECT_DOUBLE_EQ(relativeImprovement(-inf, -inf), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(-50, 100), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(100, -50), 0.0);
+  EXPECT_TRUE(std::isfinite(relativeImprovement(1e308, 1e-308)));
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+// Acceptance soak for the fault-injection framework: 16 resident threads
+// plus churn, counter corruption, failing actuations and frequency dips —
+// no NaN escapes, placement stays consistent, fairness recovers to within
+// 10% of the fault-free twin, and identical specs are byte-identical.
+#include "exp/soak.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dike::exp {
+namespace {
+
+SoakSpec acceptanceSpec() {
+  SoakSpec spec;  // jacobi + hotspot x 8 threads = 16 resident threads
+  // The window must close well before the ~8000-tick makespan so every
+  // churn arrival lands and the pipeline has fault-free quanta to recover.
+  spec.faults = defaultSoakPlan(/*startTick=*/1000, /*endTick=*/6000,
+                                /*churnArrivals=*/4, /*seed=*/7);
+  return spec;
+}
+
+TEST(Soak, AcceptanceRunHoldsEveryInvariant) {
+  const SoakReport report = runSoak(acceptanceSpec());
+
+  EXPECT_GT(report.quantaChecked, 0);
+  EXPECT_EQ(report.nanViolations, 0);
+  EXPECT_EQ(report.placementViolations, 0);
+  EXPECT_FALSE(report.metrics.timedOut);
+
+  // The plan actually fired: faults were injected, not just configured.
+  EXPECT_GT(report.metrics.faults.total(), 0);
+  EXPECT_GT(report.metrics.faults.corruptedSamples, 0);
+  EXPECT_GT(report.metrics.faults.failedSwaps +
+                report.metrics.faults.failedMigrations,
+            0);
+  EXPECT_EQ(report.churnArrivalsInjected, 4);
+  EXPECT_EQ(report.churnArrivalsPending, 0);
+
+  // Self-healing: end-to-end fairness within 10% of the fault-free twin.
+  EXPECT_GT(report.baselineFairness, 0.0);
+  EXPECT_GE(report.fairnessRatio, 0.9);
+  EXPECT_TRUE(report.fairnessRecovered);
+  EXPECT_TRUE(report.passed());
+}
+
+TEST(Soak, SameSpecIsByteIdentical) {
+  const std::string a = toJson(runSoak(acceptanceSpec())).dump(2);
+  const std::string b = toJson(runSoak(acceptanceSpec())).dump(2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Soak, FaultFreeSpecInjectsNothingAndTriviallyRecovers) {
+  SoakSpec spec;  // default FaultPlan: disabled
+  const SoakReport report = runSoak(spec);
+  EXPECT_EQ(report.metrics.faults.total(), 0);
+  EXPECT_EQ(report.churnArrivalsInjected, 0);
+  EXPECT_EQ(report.nanViolations, 0);
+  EXPECT_EQ(report.placementViolations, 0);
+  // Identical runs: the ratio is exactly 1.
+  EXPECT_DOUBLE_EQ(report.fairnessRatio, 1.0);
+  EXPECT_TRUE(report.passed());
+}
+
+}  // namespace
+}  // namespace dike::exp

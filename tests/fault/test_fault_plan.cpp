@@ -1,0 +1,173 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace dike::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanInjectsNothing) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+}
+
+TEST(FaultPlan, AnyProbabilityOrChurnEnablesIt) {
+  {
+    FaultPlan p;
+    p.samples.dropProbability = 0.01;
+    EXPECT_TRUE(p.enabled());
+  }
+  {
+    FaultPlan p;
+    p.actuation.migrationFailProbability = 0.5;
+    EXPECT_TRUE(p.enabled());
+  }
+  {
+    FaultPlan p;
+    p.cores.freqDipProbability = 0.1;
+    EXPECT_TRUE(p.enabled());
+  }
+  {
+    FaultPlan p;
+    p.churn.arrivals = 1;
+    EXPECT_TRUE(p.enabled());
+  }
+}
+
+TEST(FaultPlan, WindowIsHalfOpenAndZeroEndMeansForever) {
+  FaultWindow w;
+  w.startTick = 100;
+  w.endTick = 200;
+  EXPECT_FALSE(w.contains(99));
+  EXPECT_TRUE(w.contains(100));
+  EXPECT_TRUE(w.contains(199));
+  EXPECT_FALSE(w.contains(200));
+
+  w.endTick = 0;
+  EXPECT_TRUE(w.contains(100));
+  EXPECT_TRUE(w.contains(1'000'000'000));
+  EXPECT_FALSE(w.contains(99));
+}
+
+TEST(FaultPlan, JsonRoundTripPreservesEveryField) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.window.startTick = 1000;
+  plan.window.endTick = 5000;
+  plan.samples.dropProbability = 0.1;
+  plan.samples.corruptProbability = 0.2;
+  plan.samples.corruptScaleMin = 0.5;
+  plan.samples.corruptScaleMax = 3.0;
+  plan.samples.stuckAtZeroProbability = 0.05;
+  plan.samples.stuckQuanta = 6;
+  plan.samples.saturateMissRatioProbability = 0.02;
+  plan.actuation.swapFailProbability = 0.4;
+  plan.actuation.migrationFailProbability = 0.3;
+  plan.cores.freqDipProbability = 0.15;
+  plan.cores.freqDipFactor = 0.6;
+  plan.cores.dipQuanta = 3;
+  plan.churn.arrivals = 5;
+  plan.churn.threadsPerArrival = 4;
+  plan.churn.arrivalScale = 0.1;
+
+  const FaultPlan back = parseFaultPlan(toJson(plan));
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_EQ(back.window.startTick, plan.window.startTick);
+  EXPECT_EQ(back.window.endTick, plan.window.endTick);
+  EXPECT_DOUBLE_EQ(back.samples.dropProbability,
+                   plan.samples.dropProbability);
+  EXPECT_DOUBLE_EQ(back.samples.corruptProbability,
+                   plan.samples.corruptProbability);
+  EXPECT_DOUBLE_EQ(back.samples.corruptScaleMin,
+                   plan.samples.corruptScaleMin);
+  EXPECT_DOUBLE_EQ(back.samples.corruptScaleMax,
+                   plan.samples.corruptScaleMax);
+  EXPECT_DOUBLE_EQ(back.samples.stuckAtZeroProbability,
+                   plan.samples.stuckAtZeroProbability);
+  EXPECT_EQ(back.samples.stuckQuanta, plan.samples.stuckQuanta);
+  EXPECT_DOUBLE_EQ(back.samples.saturateMissRatioProbability,
+                   plan.samples.saturateMissRatioProbability);
+  EXPECT_DOUBLE_EQ(back.actuation.swapFailProbability,
+                   plan.actuation.swapFailProbability);
+  EXPECT_DOUBLE_EQ(back.actuation.migrationFailProbability,
+                   plan.actuation.migrationFailProbability);
+  EXPECT_DOUBLE_EQ(back.cores.freqDipProbability,
+                   plan.cores.freqDipProbability);
+  EXPECT_DOUBLE_EQ(back.cores.freqDipFactor, plan.cores.freqDipFactor);
+  EXPECT_EQ(back.cores.dipQuanta, plan.cores.dipQuanta);
+  EXPECT_EQ(back.churn.arrivals, plan.churn.arrivals);
+  EXPECT_EQ(back.churn.threadsPerArrival, plan.churn.threadsPerArrival);
+  EXPECT_DOUBLE_EQ(back.churn.arrivalScale, plan.churn.arrivalScale);
+  EXPECT_TRUE(back.enabled());
+}
+
+TEST(FaultPlan, EmptyDocumentYieldsDefaults) {
+  const FaultPlan plan = parseFaultPlan(util::parseJson("{}"));
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, RejectsNonObjectDocuments) {
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson("[1,2]")),
+               std::runtime_error);
+}
+
+TEST(FaultPlan, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson(
+                   R"({"samples": {"dropProbability": 1.5}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson(
+                   R"({"samples": {"corruptProbability": -0.1}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson(
+                   R"({"actuation": {"swapFailProbability": 2}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson(
+                   R"({"cores": {"freqDipProbability": -1}})")),
+               std::runtime_error);
+}
+
+TEST(FaultPlan, RejectsBadRangesAndCounts) {
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson(
+                   R"({"samples": {"corruptScaleMin": 0}})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parseFaultPlan(util::parseJson(
+          R"({"samples": {"corruptScaleMin": 2, "corruptScaleMax": 1}})")),
+      std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(
+                   util::parseJson(R"({"samples": {"stuckQuanta": 0}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(
+                   util::parseJson(R"({"cores": {"freqDipFactor": 0}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(
+                   util::parseJson(R"({"cores": {"freqDipFactor": 1.1}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(
+                   util::parseJson(R"({"cores": {"dipQuanta": 0}})")),
+               std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(
+                   util::parseJson(R"({"churn": {"arrivals": -1}})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parseFaultPlan(util::parseJson(
+          R"({"churn": {"arrivals": 2, "threadsPerArrival": 0}})")),
+      std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(util::parseJson(
+                   R"({"churn": {"arrivals": 2, "arrivalScale": 0}})")),
+               std::runtime_error);
+}
+
+TEST(FaultPlan, RejectsInvertedWindows) {
+  EXPECT_THROW(
+      (void)parseFaultPlan(util::parseJson(
+          R"({"window": {"startTick": 100, "endTick": 100}})")),
+      std::runtime_error);
+  EXPECT_THROW((void)parseFaultPlan(
+                   util::parseJson(R"({"window": {"startTick": -5}})")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dike::fault

@@ -1,0 +1,105 @@
+#include "fault/fault_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace dike::fault {
+namespace {
+
+/// Inner policy that just counts invocations.
+class CountingPolicy final : public sim::QuantumPolicy {
+ public:
+  [[nodiscard]] util::Tick quantumTicks() const override { return 500; }
+  void onQuantum(sim::Machine& /*machine*/) override { ++calls; }
+  int calls = 0;
+};
+
+sim::PhaseProgram spinProgram() {
+  sim::PhaseProgram p;
+  p.phases = {sim::Phase{"main", 1e12, 0.001, 0.02, 1.0}};
+  return p;
+}
+
+sim::Machine idleMachine() {
+  sim::MachineConfig cfg;
+  cfg.seed = 3;
+  sim::Machine machine{sim::MachineTopology::paperTestbed(), cfg};
+  // One process so the machine can step without finishing instantly.
+  machine.addProcess("spin", spinProgram(), 2, false);
+  machine.placeThread(machine.process(0).threadIds[0], 0);
+  machine.placeThread(machine.process(0).threadIds[1], 1);
+  return machine;
+}
+
+TEST(FaultInjectionPolicy, ForwardsQuantumTicksAndInnerCalls) {
+  FaultInjector injector{FaultPlan{}};
+  CountingPolicy inner;
+  FaultInjectionPolicy policy{inner, injector};
+  EXPECT_EQ(policy.quantumTicks(), 500);
+
+  sim::Machine machine = idleMachine();
+  policy.onQuantum(machine);
+  policy.onQuantum(machine);
+  EXPECT_EQ(inner.calls, 2);
+  EXPECT_EQ(policy.freqDips(), 0);
+}
+
+TEST(FaultInjectionPolicy, CertainDipLowersThenRestoresFrequency) {
+  FaultPlan plan;
+  plan.cores.freqDipProbability = 1.0;
+  plan.cores.freqDipFactor = 0.5;
+  plan.cores.dipQuanta = 2;
+  plan.window.endTick = 1;  // only the first quantum injects
+  FaultInjector injector{plan};
+  CountingPolicy inner;
+  FaultInjectionPolicy policy{inner, injector};
+
+  sim::Machine machine = idleMachine();
+  const double before = machine.coreFrequencyGhz(0);
+
+  policy.onQuantum(machine);  // t=0: every physical core dips
+  EXPECT_DOUBLE_EQ(machine.coreFrequencyGhz(0), before * 0.5);
+  EXPECT_GT(policy.dippedCores(), 0);
+  EXPECT_EQ(policy.freqDips(), machine.topology().physicalCoreCount());
+
+  // Advance past the window; dips expire after dipQuanta boundaries.
+  for (int t = 0; t < 500; ++t) machine.step();
+  policy.onQuantum(machine);  // quantaLeft 2 -> 1
+  EXPECT_DOUBLE_EQ(machine.coreFrequencyGhz(0), before * 0.5);
+  for (int t = 0; t < 500; ++t) machine.step();
+  policy.onQuantum(machine);  // quantaLeft 1 -> 0: restored
+  EXPECT_DOUBLE_EQ(machine.coreFrequencyGhz(0), before);
+  EXPECT_EQ(policy.dippedCores(), 0);
+}
+
+TEST(FaultInjectionPolicy, ListenerFiresOnWindowEdgesOnly) {
+  FaultPlan plan;
+  plan.samples.dropProbability = 0.5;  // plan enabled
+  plan.window.startTick = 400;
+  plan.window.endTick = 900;
+  FaultInjector injector{plan};
+  CountingPolicy inner;
+  FaultInjectionPolicy policy{inner, injector};
+
+  std::vector<bool> edges;
+  policy.setFaultsActiveListener([&](bool active) { edges.push_back(active); });
+
+  sim::Machine machine = idleMachine();
+  policy.onQuantum(machine);  // t=0: inactive, no edge
+  for (int t = 0; t < 500; ++t) machine.step();
+  policy.onQuantum(machine);  // t=500: active edge
+  policy.onQuantum(machine);  // still active, no new edge
+  for (int t = 0; t < 500; ++t) machine.step();
+  policy.onQuantum(machine);  // t=1000: inactive edge
+
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0]);
+  EXPECT_FALSE(edges[1]);
+  EXPECT_EQ(inner.calls, 4);
+}
+
+}  // namespace
+}  // namespace dike::fault

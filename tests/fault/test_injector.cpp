@@ -1,0 +1,219 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/machine.hpp"
+
+namespace dike::fault {
+namespace {
+
+/// A sample with `n` live threads carrying recognisable counter values.
+sim::QuantumSample makeSample(int n) {
+  sim::QuantumSample sample;
+  sample.periodTicks = 500;
+  sample.coreAchievedBw.assign(static_cast<std::size_t>(n), 1e7);
+  for (int i = 0; i < n; ++i) {
+    sim::ThreadSample t;
+    t.threadId = i;
+    t.processId = 0;
+    t.coreId = i;
+    t.accessRate = 1e7;
+    t.accesses = 5e6;
+    t.instructions = 2.5e8;
+    t.llcMissRatio = 0.2;
+    sample.threads.push_back(t);
+  }
+  return sample;
+}
+
+FaultPlan alwaysOnPlan() {
+  FaultPlan plan;
+  plan.samples.dropProbability = 0.2;
+  plan.samples.corruptProbability = 0.3;
+  plan.samples.stuckAtZeroProbability = 0.1;
+  plan.samples.saturateMissRatioProbability = 0.1;
+  plan.actuation.swapFailProbability = 0.5;
+  plan.actuation.migrationFailProbability = 0.5;
+  return plan;
+}
+
+TEST(FaultInjector, InactiveOutsideWindowLeavesSamplesUntouched) {
+  FaultPlan plan = alwaysOnPlan();
+  plan.window.startTick = 10'000;
+  FaultInjector injector{plan};
+
+  sim::QuantumSample sample = makeSample(8);
+  const sim::QuantumSample original = sample;
+  injector.filterSample(sample, /*now=*/500);
+
+  ASSERT_EQ(sample.threads.size(), original.threads.size());
+  for (std::size_t i = 0; i < sample.threads.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sample.threads[i].accessRate,
+                     original.threads[i].accessRate);
+    EXPECT_DOUBLE_EQ(sample.threads[i].llcMissRatio,
+                     original.threads[i].llcMissRatio);
+    EXPECT_FALSE(sample.threads[i].dropped);
+  }
+  EXPECT_TRUE(injector.onSwapAttempt(0, 1, 500));
+  EXPECT_TRUE(injector.onMigrationAttempt(0, 3, 500));
+  EXPECT_EQ(injector.tally().total(), 0);
+}
+
+TEST(FaultInjector, EmptyPlanNeverFiresEvenInsideWindow) {
+  FaultInjector injector{FaultPlan{}};
+  sim::QuantumSample sample = makeSample(4);
+  for (int q = 0; q < 50; ++q)
+    injector.filterSample(sample, static_cast<util::Tick>(q) * 500);
+  EXPECT_TRUE(injector.onSwapAttempt(0, 1, 0));
+  EXPECT_EQ(injector.tally().total(), 0);
+  EXPECT_FALSE(injector.activeAt(0));
+}
+
+TEST(FaultInjector, InjectsAtRoughlyTheConfiguredRates) {
+  FaultPlan plan;
+  plan.samples.dropProbability = 0.25;
+  FaultInjector injector{plan};
+
+  const int quanta = 400;
+  const int threads = 8;
+  for (int q = 0; q < quanta; ++q) {
+    sim::QuantumSample sample = makeSample(threads);
+    injector.filterSample(sample, static_cast<util::Tick>(q) * 500);
+  }
+  const double rate =
+      static_cast<double>(injector.tally().droppedSamples) /
+      static_cast<double>(quanta * threads);
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(FaultInjector, SamePlanSameFaults) {
+  auto run = [](const FaultPlan& plan) {
+    FaultInjector injector{plan};
+    for (int q = 0; q < 100; ++q) {
+      sim::QuantumSample sample = makeSample(8);
+      injector.filterSample(sample, static_cast<util::Tick>(q) * 500);
+      (void)injector.onSwapAttempt(0, 1, static_cast<util::Tick>(q) * 500);
+    }
+    return injector.tally();
+  };
+  const FaultTally a = run(alwaysOnPlan());
+  const FaultTally b = run(alwaysOnPlan());
+  EXPECT_EQ(a.droppedSamples, b.droppedSamples);
+  EXPECT_EQ(a.corruptedSamples, b.corruptedSamples);
+  EXPECT_EQ(a.stuckSamples, b.stuckSamples);
+  EXPECT_EQ(a.stuckEpisodes, b.stuckEpisodes);
+  EXPECT_EQ(a.saturatedMissRatios, b.saturatedMissRatios);
+  EXPECT_EQ(a.failedSwaps, b.failedSwaps);
+  EXPECT_GT(a.total(), 0);
+}
+
+TEST(FaultInjector, DroppedSamplesAreZeroedAndFlagged) {
+  FaultPlan plan;
+  plan.samples.dropProbability = 1.0;
+  FaultInjector injector{plan};
+  sim::QuantumSample sample = makeSample(4);
+  injector.filterSample(sample, 0);
+  for (const sim::ThreadSample& t : sample.threads) {
+    EXPECT_TRUE(t.dropped);
+    EXPECT_DOUBLE_EQ(t.accessRate, 0.0);
+    EXPECT_DOUBLE_EQ(t.accesses, 0.0);
+    EXPECT_DOUBLE_EQ(t.instructions, 0.0);
+  }
+  EXPECT_EQ(injector.tally().droppedSamples, 4);
+}
+
+TEST(FaultInjector, CorruptionScalesWithinConfiguredRange) {
+  FaultPlan plan;
+  plan.samples.corruptProbability = 1.0;
+  plan.samples.corruptScaleMin = 0.5;
+  plan.samples.corruptScaleMax = 2.0;
+  FaultInjector injector{plan};
+  sim::QuantumSample sample = makeSample(8);
+  injector.filterSample(sample, 0);
+  for (const sim::ThreadSample& t : sample.threads) {
+    EXPECT_TRUE(std::isfinite(t.accessRate));
+    EXPECT_GE(t.accessRate, 1e7 * 0.5);
+    EXPECT_LE(t.accessRate, 1e7 * 2.0);
+    // Miss ratio is untouched by multiplicative corruption.
+    EXPECT_DOUBLE_EQ(t.llcMissRatio, 0.2);
+  }
+  EXPECT_EQ(injector.tally().corruptedSamples, 8);
+}
+
+TEST(FaultInjector, SaturationForcesMissRatioToOne) {
+  FaultPlan plan;
+  plan.samples.saturateMissRatioProbability = 1.0;
+  FaultInjector injector{plan};
+  sim::QuantumSample sample = makeSample(2);
+  injector.filterSample(sample, 0);
+  for (const sim::ThreadSample& t : sample.threads)
+    EXPECT_DOUBLE_EQ(t.llcMissRatio, 1.0);
+}
+
+TEST(FaultInjector, StuckEpisodesPersistPastTheWindow) {
+  FaultPlan plan;
+  plan.samples.stuckAtZeroProbability = 1.0;
+  plan.samples.stuckQuanta = 3;
+  plan.window.startTick = 0;
+  plan.window.endTick = 1;  // only the first quantum is inside
+  FaultInjector injector{plan};
+
+  // Quantum 0 (inside the window): the episode begins, counters zeroed.
+  sim::QuantumSample sample = makeSample(1);
+  injector.filterSample(sample, 0);
+  EXPECT_DOUBLE_EQ(sample.threads[0].accessRate, 0.0);
+  EXPECT_EQ(injector.tally().stuckEpisodes, 1);
+
+  // Quanta 1..3 (outside): the wedged PMU stays wedged until it runs out.
+  for (int q = 1; q <= 3; ++q) {
+    sample = makeSample(1);
+    injector.filterSample(sample, static_cast<util::Tick>(q) * 500);
+    if (q <= 3 - 1) {
+      EXPECT_DOUBLE_EQ(sample.threads[0].accessRate, 0.0) << "quantum " << q;
+    }
+  }
+  // Episode over; no new faults can start outside the window.
+  sample = makeSample(1);
+  injector.filterSample(sample, 5 * 500);
+  EXPECT_DOUBLE_EQ(sample.threads[0].accessRate, 1e7);
+  EXPECT_EQ(injector.tally().stuckEpisodes, 1);
+}
+
+TEST(FaultInjector, CertainActuationFailureFailsEveryAttempt) {
+  FaultPlan plan;
+  plan.actuation.swapFailProbability = 1.0;
+  plan.actuation.migrationFailProbability = 1.0;
+  FaultInjector injector{plan};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.onSwapAttempt(0, 1, 0));
+    EXPECT_FALSE(injector.onMigrationAttempt(2, 5, 0));
+  }
+  EXPECT_EQ(injector.tally().failedSwaps, 10);
+  EXPECT_EQ(injector.tally().failedMigrations, 10);
+}
+
+TEST(FaultInjector, FinishedAndUnplacedThreadsAreSkipped) {
+  FaultPlan plan;
+  plan.samples.dropProbability = 1.0;
+  FaultInjector injector{plan};
+  sim::QuantumSample sample = makeSample(2);
+  sample.threads[0].finished = true;
+  sample.threads[1].coreId = -1;
+  injector.filterSample(sample, 0);
+  EXPECT_EQ(injector.tally().droppedSamples, 0);
+  EXPECT_FALSE(sample.threads[0].dropped);
+  EXPECT_FALSE(sample.threads[1].dropped);
+}
+
+TEST(FaultInjector, ForkStreamIsDeterministic) {
+  FaultInjector a{alwaysOnPlan()};
+  FaultInjector b{alwaysOnPlan()};
+  util::Rng ra = a.forkStream();
+  util::Rng rb = b.forkStream();
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(ra.uniform(), rb.uniform());
+}
+
+}  // namespace
+}  // namespace dike::fault

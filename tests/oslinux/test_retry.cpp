@@ -1,0 +1,103 @@
+#include "oslinux/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+namespace dike::oslinux {
+namespace {
+
+TEST(RetrySyscall, PassesThroughImmediateSuccess) {
+  int calls = 0;
+  const long result = retrySyscall([&]() -> long {
+    ++calls;
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetrySyscall, ReissuesWhileInterrupted) {
+  int calls = 0;
+  const long result = retrySyscall([&]() -> long {
+    if (++calls < 4) {
+      errno = EINTR;
+      return -1;
+    }
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetrySyscall, ReturnsFirstRealFailure) {
+  int calls = 0;
+  const long result = retrySyscall([&]() -> long {
+    if (++calls == 1) {
+      errno = EINTR;
+      return -1;
+    }
+    errno = EACCES;
+    return -1;
+  });
+  EXPECT_EQ(result, -1);
+  EXPECT_EQ(errno, EACCES);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(IsTransientError, ClassifiesRecoverableErrnos) {
+  const auto code = [](int e) {
+    return std::error_code{e, std::generic_category()};
+  };
+  EXPECT_TRUE(isTransientError(code(EINTR)));
+  EXPECT_TRUE(isTransientError(code(EAGAIN)));
+  EXPECT_TRUE(isTransientError(code(EBUSY)));
+  EXPECT_FALSE(isTransientError(code(EACCES)));
+  EXPECT_FALSE(isTransientError(code(ENOENT)));
+  EXPECT_FALSE(isTransientError(std::error_code{}));
+}
+
+TEST(RetryWithBackoff, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.initialBackoff = std::chrono::microseconds{1};
+  policy.maxBackoff = std::chrono::microseconds{2};
+  int calls = 0;
+  const std::error_code ec = retryWithBackoff(
+      [&]() -> std::error_code {
+        if (++calls < 3)
+          return std::error_code{EBUSY, std::generic_category()};
+        return {};
+      },
+      policy);
+  EXPECT_FALSE(ec);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoff, StopsImmediatelyOnNonTransientError) {
+  int calls = 0;
+  const std::error_code ec = retryWithBackoff([&]() -> std::error_code {
+    ++calls;
+    return std::error_code{EACCES, std::generic_category()};
+  });
+  EXPECT_EQ(ec, std::error_code(EACCES, std::generic_category()));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryWithBackoff, ExhaustsBoundedAttemptsAndReportsLastError) {
+  RetryPolicy policy;
+  policy.maxAttempts = 4;
+  policy.initialBackoff = std::chrono::microseconds{1};
+  policy.maxBackoff = std::chrono::microseconds{2};
+  int calls = 0;
+  const std::error_code ec = retryWithBackoff(
+      [&]() -> std::error_code {
+        ++calls;
+        return std::error_code{EAGAIN, std::generic_category()};
+      },
+      policy);
+  EXPECT_EQ(ec, std::error_code(EAGAIN, std::generic_category()));
+  EXPECT_EQ(calls, 4);
+}
+
+}  // namespace
+}  // namespace dike::oslinux

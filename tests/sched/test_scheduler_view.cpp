@@ -42,7 +42,7 @@ TEST(SchedulerView, SwapCountsAndForwards) {
   sim::Machine m = twoThreadMachine();
   const sim::QuantumSample sample = m.sampleAndReset();
   SchedulerView view{m, sample};
-  view.swap(0, 1);
+  EXPECT_TRUE(view.swap(0, 1));
   EXPECT_EQ(view.swapsThisQuantum(), 1);
   EXPECT_EQ(m.coreOccupant(0), 1);
   EXPECT_EQ(m.coreOccupant(2), 0);
@@ -53,7 +53,7 @@ TEST(SchedulerView, MigrateToCountsSeparately) {
   sim::Machine m = twoThreadMachine();
   const sim::QuantumSample sample = m.sampleAndReset();
   SchedulerView view{m, sample};
-  view.migrateTo(0, 1);
+  EXPECT_TRUE(view.migrateTo(0, 1));
   EXPECT_EQ(view.migrationsThisQuantum(), 1);
   EXPECT_EQ(view.swapsThisQuantum(), 0);
   EXPECT_EQ(m.coreOccupant(1), 0);
@@ -67,7 +67,7 @@ TEST(SchedulerAdapter, SamplesOncePerQuantumAndAccumulates) {
     util::Tick quantumTicks() const override { return 10; }
     void onQuantum(SchedulerView& view) override {
       lastSamplePeriod = view.sample().periodTicks;
-      view.swap(0, 1);
+      (void)view.swap(0, 1);
     }
     util::Tick lastSamplePeriod = 0;
   } scheduler;

@@ -6,6 +6,7 @@
 //            [--telemetry] [--registry-out reg.json]
 //            [--trace-out chrome.json] [--events-csv events.csv]
 //            [--quantum-metrics qm.csv] [--trace-capacity N]
+//            [--faults faults.json]
 //   dike_run --print-default-config
 //
 // The config schema is documented in src/exp/config_io.hpp; every machine
@@ -17,6 +18,7 @@
 #include <fstream>
 
 #include "exp/config_io.hpp"
+#include "fault/fault_plan.hpp"
 #include "telemetry/registry.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -52,6 +54,10 @@ void printDefaultConfig() {
   telemetry.emplace("eventsCsv", "");
   telemetry.emplace("registryOut", "");
   telemetry.emplace("traceCapacity", 1048576);
+  // The "faults" section (off by default). Its full schema is the
+  // serialisation of fault::FaultPlan — print the real default so the two
+  // can never drift apart.
+  dike::util::JsonValue faults = dike::fault::toJson(dike::fault::FaultPlan{});
   dike::util::JsonObject doc;
   doc.emplace("experiment", "example");
   doc.emplace("workloads", "all");
@@ -64,6 +70,7 @@ void printDefaultConfig() {
   doc.emplace("machine", std::move(machine));
   doc.emplace("dike", std::move(dike));
   doc.emplace("telemetry", std::move(telemetry));
+  doc.emplace("faults", std::move(faults));
   std::printf("%s\n", dike::util::JsonValue{std::move(doc)}.dump(2).c_str());
 }
 
@@ -108,6 +115,11 @@ int main(int argc, char** argv) {
         throw std::runtime_error{"--trace-capacity must be a positive count"};
       config.telemetry.traceCapacity = static_cast<std::size_t>(capacity);
     }
+    // --faults overrides (or adds) the config's "faults" section with a
+    // standalone fault-plan JSON file.
+    if (const auto faultsPath = args.get("faults"))
+      config.faults =
+          dike::fault::parseFaultPlan(dike::util::parseJsonFile(*faultsPath));
     if (!config.telemetry.quantumMetrics.empty())
       requireWritable(config.telemetry.quantumMetrics, "--quantum-metrics");
     if (!config.telemetry.traceOut.empty())
@@ -120,9 +132,15 @@ int main(int argc, char** argv) {
     if (config.telemetry.enabled) dike::telemetry::setEnabled(true);
 
     std::printf("experiment '%s': %zu workloads x %zu schedulers, scale "
-                "%.2f, %d rep(s)\n\n",
+                "%.2f, %d rep(s)\n",
                 config.name.c_str(), config.workloadIds.size(),
                 config.kinds.size(), config.scale, config.reps);
+    if (config.faults && config.faults->enabled())
+      std::printf("fault injection armed (seed %llu, window [%lld, %lld))\n",
+                  static_cast<unsigned long long>(config.faults->seed),
+                  static_cast<long long>(config.faults->window.startTick),
+                  static_cast<long long>(config.faults->window.endTick));
+    std::printf("\n");
 
     const std::vector<dike::exp::ExperimentCell> cells =
         dike::exp::runExperiment(config);
