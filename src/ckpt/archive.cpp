@@ -1,0 +1,404 @@
+#include "ckpt/archive.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace dike::ckpt {
+
+namespace {
+
+constexpr std::size_t kMaxNameLength = 4096;
+
+std::string printable(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (static_cast<unsigned char>(c) >= 0x20 &&
+        static_cast<unsigned char>(c) < 0x7F) {
+      out.push_back(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string formatF64(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view toString(Tag tag) noexcept {
+  switch (tag) {
+    case Tag::U64: return "u64";
+    case Tag::I64: return "i64";
+    case Tag::F64: return "f64";
+    case Tag::Bool: return "bool";
+    case Tag::Str: return "str";
+    case Tag::VecF64: return "vec<f64>";
+    case Tag::VecI64: return "vec<i64>";
+    case Tag::SectionBegin: return "section-begin";
+    case Tag::SectionEnd: return "section-end";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- BinWriter
+
+void BinWriter::raw32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    buf_.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void BinWriter::raw64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    buf_.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void BinWriter::header(Tag tag, std::string_view name) {
+  buf_.push_back(static_cast<char>(tag));
+  raw32(static_cast<std::uint32_t>(name.size()));
+  buf_.append(name);
+}
+
+void BinWriter::u64(std::string_view name, std::uint64_t v) {
+  header(Tag::U64, name);
+  raw64(v);
+}
+
+void BinWriter::i64(std::string_view name, std::int64_t v) {
+  header(Tag::I64, name);
+  raw64(static_cast<std::uint64_t>(v));
+}
+
+void BinWriter::f64(std::string_view name, double v) {
+  header(Tag::F64, name);
+  raw64(std::bit_cast<std::uint64_t>(v));
+}
+
+void BinWriter::boolean(std::string_view name, bool v) {
+  header(Tag::Bool, name);
+  buf_.push_back(v ? 1 : 0);
+}
+
+void BinWriter::str(std::string_view name, std::string_view v) {
+  header(Tag::Str, name);
+  raw32(static_cast<std::uint32_t>(v.size()));
+  buf_.append(v);
+}
+
+void BinWriter::vecF64(std::string_view name, std::span<const double> v) {
+  header(Tag::VecF64, name);
+  raw32(static_cast<std::uint32_t>(v.size()));
+  for (const double x : v) raw64(std::bit_cast<std::uint64_t>(x));
+}
+
+void BinWriter::vecI64(std::string_view name,
+                       std::span<const std::int64_t> v) {
+  header(Tag::VecI64, name);
+  raw32(static_cast<std::uint32_t>(v.size()));
+  for (const std::int64_t x : v) raw64(static_cast<std::uint64_t>(x));
+}
+
+void BinWriter::vecInt(std::string_view name, std::span<const int> v) {
+  header(Tag::VecI64, name);
+  raw32(static_cast<std::uint32_t>(v.size()));
+  for (const int x : v) raw64(static_cast<std::uint64_t>(std::int64_t{x}));
+}
+
+void BinWriter::beginSection(std::string_view name) {
+  header(Tag::SectionBegin, name);
+  open_.emplace_back(name);
+}
+
+void BinWriter::endSection() {
+  if (open_.empty())
+    throw CheckpointError{"BinWriter::endSection with no open section"};
+  header(Tag::SectionEnd, open_.back());
+  open_.pop_back();
+}
+
+std::string BinWriter::take() {
+  if (!open_.empty())
+    throw CheckpointError{"BinWriter::take with unclosed section '" +
+                          open_.back() + "'"};
+  return std::move(buf_);
+}
+
+// ---------------------------------------------------------------- BinReader
+
+std::string_view BinReader::rawBytes(std::size_t n, std::string_view what) {
+  if (bytes_.size() - pos_ < n)
+    throw CheckpointError{"truncated checkpoint payload at offset " +
+                          std::to_string(pos_) + " while reading " +
+                          std::string{what}};
+  const std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint32_t BinReader::raw32(std::string_view what) {
+  const std::string_view b = rawBytes(4, what);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t BinReader::raw64(std::string_view what) {
+  const std::string_view b = rawBytes(8, what);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+void BinReader::expectHeader(Tag tag, std::string_view name) {
+  const std::size_t at = pos_;
+  const std::string_view tagByte = rawBytes(1, "record tag");
+  const auto found = static_cast<Tag>(static_cast<unsigned char>(tagByte[0]));
+  const std::uint32_t nameLen = raw32("field-name length");
+  if (nameLen > kMaxNameLength)
+    throw CheckpointError{"corrupt checkpoint payload at offset " +
+                          std::to_string(at) + ": implausible field-name " +
+                          "length " + std::to_string(nameLen)};
+  const std::string_view foundName = rawBytes(nameLen, "field name");
+  if (found != tag || foundName != name)
+    throw CheckpointError{
+        "checkpoint schema mismatch at offset " + std::to_string(at) +
+        ": expected " + std::string{toString(tag)} + " '" + std::string{name} +
+        "', found " + std::string{toString(found)} + " '" +
+        printable(foundName) + "'"};
+}
+
+std::uint64_t BinReader::u64(std::string_view name) {
+  expectHeader(Tag::U64, name);
+  return raw64(name);
+}
+
+std::int64_t BinReader::i64(std::string_view name) {
+  expectHeader(Tag::I64, name);
+  return static_cast<std::int64_t>(raw64(name));
+}
+
+double BinReader::f64(std::string_view name) {
+  expectHeader(Tag::F64, name);
+  return std::bit_cast<double>(raw64(name));
+}
+
+bool BinReader::boolean(std::string_view name) {
+  expectHeader(Tag::Bool, name);
+  return rawBytes(1, name)[0] != 0;
+}
+
+std::string BinReader::str(std::string_view name) {
+  expectHeader(Tag::Str, name);
+  const std::uint32_t len = raw32(name);
+  return std::string{rawBytes(len, name)};
+}
+
+std::vector<double> BinReader::vecF64(std::string_view name) {
+  expectHeader(Tag::VecF64, name);
+  const std::uint32_t count = raw32(name);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out.push_back(std::bit_cast<double>(raw64(name)));
+  return out;
+}
+
+std::vector<std::int64_t> BinReader::vecI64(std::string_view name) {
+  expectHeader(Tag::VecI64, name);
+  const std::uint32_t count = raw32(name);
+  std::vector<std::int64_t> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out.push_back(static_cast<std::int64_t>(raw64(name)));
+  return out;
+}
+
+std::vector<int> BinReader::vecInt(std::string_view name) {
+  const std::size_t at = pos_;
+  const std::vector<std::int64_t> wide = vecI64(name);
+  std::vector<int> out;
+  out.reserve(wide.size());
+  for (const std::int64_t v : wide) {
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+      throw CheckpointError{"checkpoint field '" + std::string{name} +
+                            "' at offset " + std::to_string(at) +
+                            " holds a value outside int range"};
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+void BinReader::beginSection(std::string_view name) {
+  expectHeader(Tag::SectionBegin, name);
+}
+
+void BinReader::endSection() {
+  const std::size_t at = pos_;
+  const std::string_view tagByte = rawBytes(1, "section end");
+  const auto found = static_cast<Tag>(static_cast<unsigned char>(tagByte[0]));
+  const std::uint32_t nameLen = raw32("section-end name length");
+  if (nameLen > kMaxNameLength)
+    throw CheckpointError{"corrupt checkpoint payload at offset " +
+                          std::to_string(at) +
+                          ": implausible section-name length"};
+  const std::string_view name = rawBytes(nameLen, "section-end name");
+  if (found != Tag::SectionEnd)
+    throw CheckpointError{"checkpoint schema mismatch at offset " +
+                          std::to_string(at) + ": expected end of section, " +
+                          "found " + std::string{toString(found)} + " '" +
+                          printable(name) + "'"};
+}
+
+void BinReader::expectEnd() const {
+  if (pos_ < bytes_.size())
+    throw CheckpointError{
+        "checkpoint payload has " + std::to_string(bytes_.size() - pos_) +
+        " unconsumed trailing bytes (schema drift between writer and reader)"};
+}
+
+// ----------------------------------------------------------------- tokenize
+
+std::vector<Token> tokenize(std::string_view bytes) {
+  std::vector<Token> tokens;
+  std::vector<std::string> path;
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n, const char* what) -> std::string_view {
+    if (bytes.size() - pos < n)
+      throw CheckpointError{"truncated checkpoint payload at offset " +
+                            std::to_string(pos) + " while tokenizing " +
+                            what};
+    const std::string_view out = bytes.substr(pos, n);
+    pos += n;
+    return out;
+  };
+  const auto get32 = [&](const char* what) {
+    const std::string_view b = need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+           << (8 * i);
+    return v;
+  };
+  const auto get64 = [&](const char* what) {
+    const std::string_view b = need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+           << (8 * i);
+    return v;
+  };
+  const auto joinPath = [&](std::string_view leaf) {
+    std::string out;
+    for (const std::string& p : path) {
+      out += p;
+      out += '/';
+    }
+    out += leaf;
+    return out;
+  };
+
+  while (pos < bytes.size()) {
+    const std::size_t at = pos;
+    const auto tag =
+        static_cast<Tag>(static_cast<unsigned char>(need(1, "tag")[0]));
+    const std::uint32_t nameLen = get32("name length");
+    if (nameLen > kMaxNameLength)
+      throw CheckpointError{"corrupt checkpoint payload at offset " +
+                            std::to_string(at) +
+                            ": implausible field-name length"};
+    const std::string name{need(nameLen, "name")};
+
+    Token tok;
+    tok.tag = tag;
+    tok.offset = at;
+    switch (tag) {
+      case Tag::SectionBegin:
+        path.push_back(name);
+        continue;
+      case Tag::SectionEnd:
+        if (path.empty())
+          throw CheckpointError{"corrupt checkpoint payload at offset " +
+                                std::to_string(at) +
+                                ": section end without a section"};
+        path.pop_back();
+        continue;
+      case Tag::U64: {
+        const std::uint64_t v = get64(name.c_str());
+        tok.bits = std::string{bytes.substr(pos - 8, 8)};
+        tok.value = std::to_string(v);
+        break;
+      }
+      case Tag::I64: {
+        const auto v = static_cast<std::int64_t>(get64(name.c_str()));
+        tok.bits = std::string{bytes.substr(pos - 8, 8)};
+        tok.value = std::to_string(v);
+        break;
+      }
+      case Tag::F64: {
+        const double v = std::bit_cast<double>(get64(name.c_str()));
+        tok.bits = std::string{bytes.substr(pos - 8, 8)};
+        tok.value = formatF64(v);
+        break;
+      }
+      case Tag::Bool: {
+        const char v = need(1, name.c_str())[0];
+        tok.bits = std::string(1, v);
+        tok.value = v != 0 ? "true" : "false";
+        break;
+      }
+      case Tag::Str: {
+        const std::uint32_t len = get32(name.c_str());
+        tok.bits = std::string{need(len, name.c_str())};
+        tok.value = '"' + printable(tok.bits) + '"';
+        break;
+      }
+      case Tag::VecF64:
+      case Tag::VecI64: {
+        const std::uint32_t count = get32(name.c_str());
+        const std::string_view payload =
+            need(std::size_t{count} * 8, name.c_str());
+        tok.bits = std::string{payload};
+        tok.value = '[';
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (i > 0) tok.value += ", ";
+          std::uint64_t v = 0;
+          for (int b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(payload[i * 8 + b]))
+                 << (8 * b);
+          tok.value += tag == Tag::VecF64
+                           ? formatF64(std::bit_cast<double>(v))
+                           : std::to_string(static_cast<std::int64_t>(v));
+        }
+        tok.value += ']';
+        break;
+      }
+      default:
+        throw CheckpointError{"corrupt checkpoint payload at offset " +
+                              std::to_string(at) + ": unknown record tag " +
+                              std::to_string(static_cast<unsigned>(tag))};
+    }
+    tok.path = joinPath(name);
+    tokens.push_back(std::move(tok));
+  }
+  if (!path.empty())
+    throw CheckpointError{"corrupt checkpoint payload: section '" +
+                          path.back() + "' never ends"};
+  return tokens;
+}
+
+}  // namespace dike::ckpt

@@ -1,0 +1,138 @@
+// Schema-checked binary archive for run checkpoints.
+//
+// Every value is written as a (tag, field-name, payload) record and values
+// are grouped into named sections, so a reader that expects a different
+// field than the writer produced fails immediately with both names and the
+// byte offset — a schema check paid once per field, not a silent
+// misinterpretation of the byte stream. The same self-description powers
+// tools/dike_diff: tokenize() re-parses a payload into a flat token stream
+// whose paths ("machine/thread 3/executed") localise the first diverging
+// byte to a named quantity.
+//
+// Encoding rules (all integers little-endian, fixed width):
+//   * doubles are stored as their raw IEEE-754 bit pattern (bit-exact
+//     round-trip; NaN payloads preserved),
+//   * strings and names are u32 length + bytes,
+//   * vectors are u32 count + packed payloads.
+// The container format around a payload (magic, version, checksum) lives in
+// ckpt/checkpoint.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dike::ckpt {
+
+/// Every checkpoint failure — truncation, corruption, schema or version
+/// mismatch — throws this; the message carries the offset and field context.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Record type tags. Values are part of the on-disk format — append only.
+enum class Tag : std::uint8_t {
+  U64 = 1,
+  I64 = 2,
+  F64 = 3,
+  Bool = 4,
+  Str = 5,
+  VecF64 = 6,
+  VecI64 = 7,
+  SectionBegin = 8,
+  SectionEnd = 9,
+};
+
+[[nodiscard]] std::string_view toString(Tag tag) noexcept;
+
+/// Serializer. Field order is the schema: the reader must consume the same
+/// fields in the same order, which the per-field name check enforces.
+class BinWriter {
+ public:
+  void u64(std::string_view name, std::uint64_t v);
+  void i64(std::string_view name, std::int64_t v);
+  void f64(std::string_view name, double v);
+  void boolean(std::string_view name, bool v);
+  void str(std::string_view name, std::string_view v);
+  void vecF64(std::string_view name, std::span<const double> v);
+  void vecI64(std::string_view name, std::span<const std::int64_t> v);
+  /// Convenience: widen a vector<int> (placement maps, live-thread lists).
+  void vecInt(std::string_view name, std::span<const int> v);
+
+  void beginSection(std::string_view name);
+  void endSection();
+
+  /// Finish and take the payload. Throws if a section is still open.
+  [[nodiscard]] std::string take();
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void header(Tag tag, std::string_view name);
+  void raw32(std::uint32_t v);
+  void raw64(std::uint64_t v);
+
+  std::string buf_;
+  std::vector<std::string> open_;  // open section names, for error messages
+};
+
+/// Deserializer over a payload produced by BinWriter. Every accessor
+/// verifies the tag and field name before touching the value; every read is
+/// bounds-checked, so a truncated payload throws instead of reading past
+/// the end — a failed read never yields a value.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint64_t u64(std::string_view name);
+  [[nodiscard]] std::int64_t i64(std::string_view name);
+  [[nodiscard]] double f64(std::string_view name);
+  [[nodiscard]] bool boolean(std::string_view name);
+  [[nodiscard]] std::string str(std::string_view name);
+  [[nodiscard]] std::vector<double> vecF64(std::string_view name);
+  [[nodiscard]] std::vector<std::int64_t> vecI64(std::string_view name);
+  /// Narrowing counterpart of BinWriter::vecInt; range-checks every element.
+  [[nodiscard]] std::vector<int> vecInt(std::string_view name);
+
+  void beginSection(std::string_view name);
+  void endSection();
+
+  [[nodiscard]] bool atEnd() const noexcept { return pos_ >= bytes_.size(); }
+  /// Throws when payload bytes remain unconsumed (schema drift guard).
+  void expectEnd() const;
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+
+ private:
+  void expectHeader(Tag tag, std::string_view name);
+  [[nodiscard]] std::uint32_t raw32(std::string_view what);
+  [[nodiscard]] std::uint64_t raw64(std::string_view what);
+  [[nodiscard]] std::string_view rawBytes(std::size_t n, std::string_view what);
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// One record of a payload, re-parsed for differential comparison. `path`
+/// joins the enclosing section names and the field name with '/'; `bits`
+/// is the raw payload (bit pattern for scalars, bytes for strings/vectors)
+/// so two tokens compare exactly; `value` is a printable rendering.
+struct Token {
+  std::string path;
+  Tag tag = Tag::U64;
+  std::string bits;
+  std::string value;
+  std::size_t offset = 0;
+
+  [[nodiscard]] friend bool operator==(const Token& a, const Token& b) {
+    return a.path == b.path && a.tag == b.tag && a.bits == b.bits;
+  }
+};
+
+/// Flatten a payload into its token stream. Throws CheckpointError on a
+/// malformed payload.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view bytes);
+
+}  // namespace dike::ckpt

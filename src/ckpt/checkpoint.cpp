@@ -1,0 +1,137 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dike::ckpt {
+
+namespace {
+
+void append64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void append32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+std::uint64_t read64(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint32_t read32(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  return v;
+}
+
+// magic(8) + version(4) + payload length(8) + checksum(8)
+constexpr std::size_t kHeaderSize = 28;
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string encodeCheckpoint(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kCheckpointMagic);
+  append32(out, kCheckpointVersion);
+  append64(out, payload.size());
+  append64(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+std::string decodeCheckpoint(std::string_view bytes) {
+  if (bytes.size() < kCheckpointMagic.size() ||
+      bytes.substr(0, kCheckpointMagic.size()) != kCheckpointMagic)
+    throw CheckpointError{
+        "not a Dike checkpoint (bad magic; expected a file written by "
+        "ckpt::writeCheckpointFile)"};
+  if (bytes.size() < kHeaderSize)
+    throw CheckpointError{"truncated checkpoint: " +
+                          std::to_string(bytes.size()) +
+                          " bytes is shorter than the " +
+                          std::to_string(kHeaderSize) + "-byte header"};
+  const std::uint32_t version = read32(bytes, 8);
+  if (version != kCheckpointVersion)
+    throw CheckpointError{
+        "checkpoint format version " + std::to_string(version) +
+        " is not supported by this build (expects version " +
+        std::to_string(kCheckpointVersion) + "); nothing was restored"};
+  const std::uint64_t length = read64(bytes, 12);
+  if (bytes.size() - kHeaderSize < length)
+    throw CheckpointError{
+        "truncated checkpoint: header declares a " + std::to_string(length) +
+        "-byte payload but only " +
+        std::to_string(bytes.size() - kHeaderSize) + " bytes follow"};
+  if (bytes.size() - kHeaderSize > length)
+    throw CheckpointError{"corrupt checkpoint: " +
+                          std::to_string(bytes.size() - kHeaderSize - length) +
+                          " trailing bytes after the declared payload"};
+  const std::uint64_t expected = read64(bytes, 20);
+  const std::string_view payload = bytes.substr(kHeaderSize, length);
+  const std::uint64_t actual = fnv1a64(payload);
+  if (actual != expected) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%016llx, expected %016llx",
+                  static_cast<unsigned long long>(actual),
+                  static_cast<unsigned long long>(expected));
+    throw CheckpointError{
+        std::string{"corrupt checkpoint: payload checksum "} + buf +
+        "; nothing was restored"};
+  }
+  return std::string{payload};
+}
+
+void writeCheckpointFile(const std::string& path, std::string_view payload) {
+  const std::string encoded = encodeCheckpoint(payload);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out)
+      throw CheckpointError{"cannot open checkpoint file for writing: " + tmp};
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out)
+      throw CheckpointError{"failed writing checkpoint file: " + tmp};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError{"cannot move checkpoint into place: " + path};
+  }
+}
+
+std::string readCheckpointFile(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in)
+    throw CheckpointError{"cannot open checkpoint file: " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad())
+    throw CheckpointError{"failed reading checkpoint file: " + path};
+  try {
+    return decodeCheckpoint(buffer.str());
+  } catch (const CheckpointError& e) {
+    throw CheckpointError{path + ": " + e.what()};
+  }
+}
+
+}  // namespace dike::ckpt

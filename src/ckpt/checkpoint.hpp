@@ -1,0 +1,46 @@
+// Checkpoint file container: magic, format version, length, checksum.
+//
+// The container makes every failure mode loud before any state is touched:
+//   * wrong magic          -> "not a Dike checkpoint",
+//   * unknown version      -> names both versions,
+//   * short file           -> "truncated",
+//   * bit rot in the body  -> checksum mismatch.
+// Only a payload that passes all four checks is handed to the restore path,
+// so a restore either succeeds completely or changes nothing (the caller
+// builds the run state into fresh objects that are discarded on throw).
+//
+// Files are written to `path + ".tmp"` and renamed into place, so a crash
+// mid-write can never leave a half-written checkpoint under the final name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ckpt/archive.hpp"
+
+namespace dike::ckpt {
+
+/// On-disk format version. Bump on any payload schema change.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// 8-byte file magic.
+inline constexpr std::string_view kCheckpointMagic = "DIKECKPT";
+
+/// 64-bit FNV-1a (the payload checksum).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Wrap a payload in the container (magic + version + length + checksum).
+[[nodiscard]] std::string encodeCheckpoint(std::string_view payload);
+
+/// Validate a container and return its payload. Throws CheckpointError on
+/// any of the four failure modes above.
+[[nodiscard]] std::string decodeCheckpoint(std::string_view bytes);
+
+/// Atomically write `encodeCheckpoint(payload)` to `path` (tmp + rename).
+void writeCheckpointFile(const std::string& path, std::string_view payload);
+
+/// Read and validate a checkpoint file; returns the payload.
+[[nodiscard]] std::string readCheckpointFile(const std::string& path);
+
+}  // namespace dike::ckpt

@@ -11,6 +11,11 @@
 #include "core/predictor.hpp"
 #include "util/types.hpp"
 
+namespace dike::ckpt {
+class BinWriter;
+class BinReader;
+}  // namespace dike::ckpt
+
 namespace dike::core {
 
 struct DeciderConfig {
@@ -63,6 +68,10 @@ class Decider {
   [[nodiscard]] const DeciderConfig& config() const noexcept {
     return config_;
   }
+
+  /// Serialize cooldown timestamps and failure-backoff state.
+  void saveState(ckpt::BinWriter& w) const;
+  void loadState(ckpt::BinReader& r);
 
  private:
   [[nodiscard]] util::Tick cooldownWindow(util::Tick quantumTicks) const;

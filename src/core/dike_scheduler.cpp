@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "ckpt/archive.hpp"
 #include "telemetry/registry.hpp"
 
 namespace dike::core {
@@ -372,6 +374,115 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
       ++moved;
     }
   }
+}
+
+void DikeScheduler::saveExtraState(ckpt::BinWriter& w) const {
+  w.i64("swapSize", params_.swapSize);
+  w.i64("quantaLengthMs", params_.quantaLengthMs);
+  w.i64("quantumIndex", quantumIndex_);
+  w.i64("totalSwaps", totalSwaps_);
+  w.beginSection("lastStats");
+  w.i64("quantumIndex", lastStats_.quantumIndex);
+  w.f64("unfairness", lastStats_.unfairness);
+  w.boolean("acted", lastStats_.acted);
+  w.i64("pairsConsidered", lastStats_.pairsConsidered);
+  w.i64("pairsRejectedCooldown", lastStats_.pairsRejectedCooldown);
+  w.i64("pairsRejectedProfit", lastStats_.pairsRejectedProfit);
+  w.i64("swapsExecuted", lastStats_.swapsExecuted);
+  w.i64("swapsFailed", lastStats_.swapsFailed);
+  w.i64("migrationsFailed", lastStats_.migrationsFailed);
+  w.boolean("fallbackActive", lastStats_.fallbackActive);
+  w.i64("paramsSwapSize", lastStats_.params.swapSize);
+  w.i64("paramsQuantaLengthMs", lastStats_.params.quantaLengthMs);
+  w.i64("workloadType", static_cast<std::int64_t>(lastStats_.workloadType));
+  w.endSection();
+  w.beginSection("totals");
+  w.i64("quanta", totals_.quanta);
+  w.i64("actedQuanta", totals_.actedQuanta);
+  w.i64("pairsConsidered", totals_.pairsConsidered);
+  w.i64("rejectedCooldown", totals_.rejectedCooldown);
+  w.i64("rejectedProfit", totals_.rejectedProfit);
+  w.i64("swapsExecuted", totals_.swapsExecuted);
+  w.i64("swapsFailed", totals_.swapsFailed);
+  w.i64("migrationsFailed", totals_.migrationsFailed);
+  w.i64("fallbackQuanta", totals_.fallbackQuanta);
+  w.i64("fallbackEngagements", totals_.fallbackEngagements);
+  w.i64("divergenceResets", totals_.divergenceResets);
+  w.endSection();
+  w.boolean("faultsActive", faultsActive_);
+  w.i64("fairnessStallStreak", fairnessStallStreak_);
+  w.i64("fallbackLeft", fallbackLeft_);
+  observer_.saveState(w);
+  decider_.saveState(w);
+  tracker_.saveState(w);
+}
+
+void DikeScheduler::loadExtraState(ckpt::BinReader& r) {
+  DikeParams params;
+  params.swapSize = static_cast<int>(r.i64("swapSize"));
+  params.quantaLengthMs = static_cast<int>(r.i64("quantaLengthMs"));
+  const std::int64_t quantumIndex = r.i64("quantumIndex");
+  const std::int64_t totalSwaps = r.i64("totalSwaps");
+  QuantumDecisionStats lastStats;
+  r.beginSection("lastStats");
+  lastStats.quantumIndex = r.i64("quantumIndex");
+  lastStats.unfairness = r.f64("unfairness");
+  lastStats.acted = r.boolean("acted");
+  lastStats.pairsConsidered = static_cast<int>(r.i64("pairsConsidered"));
+  lastStats.pairsRejectedCooldown =
+      static_cast<int>(r.i64("pairsRejectedCooldown"));
+  lastStats.pairsRejectedProfit =
+      static_cast<int>(r.i64("pairsRejectedProfit"));
+  lastStats.swapsExecuted = static_cast<int>(r.i64("swapsExecuted"));
+  lastStats.swapsFailed = static_cast<int>(r.i64("swapsFailed"));
+  lastStats.migrationsFailed = static_cast<int>(r.i64("migrationsFailed"));
+  lastStats.fallbackActive = r.boolean("fallbackActive");
+  lastStats.params.swapSize = static_cast<int>(r.i64("paramsSwapSize"));
+  lastStats.params.quantaLengthMs =
+      static_cast<int>(r.i64("paramsQuantaLengthMs"));
+  lastStats.workloadType = static_cast<WorkloadType>(r.i64("workloadType"));
+  r.endSection();
+  DecisionTotals totals;
+  r.beginSection("totals");
+  totals.quanta = r.i64("quanta");
+  totals.actedQuanta = r.i64("actedQuanta");
+  totals.pairsConsidered = r.i64("pairsConsidered");
+  totals.rejectedCooldown = r.i64("rejectedCooldown");
+  totals.rejectedProfit = r.i64("rejectedProfit");
+  totals.swapsExecuted = r.i64("swapsExecuted");
+  totals.swapsFailed = r.i64("swapsFailed");
+  totals.migrationsFailed = r.i64("migrationsFailed");
+  totals.fallbackQuanta = r.i64("fallbackQuanta");
+  totals.fallbackEngagements = r.i64("fallbackEngagements");
+  totals.divergenceResets = r.i64("divergenceResets");
+  r.endSection();
+  const bool faultsActive = r.boolean("faultsActive");
+  const int fairnessStallStreak =
+      static_cast<int>(r.i64("fairnessStallStreak"));
+  const int fallbackLeft = static_cast<int>(r.i64("fallbackLeft"));
+  // The components restore into scratch copies first, so a schema failure
+  // deep in one of them leaves this scheduler untouched.
+  Observer observer{config_.observer};
+  observer.loadState(r);
+  Decider decider{decider_.config()};
+  decider.loadState(r);
+  PredictionTracker tracker;
+  if (config_.resilience.divergenceWatchdog)
+    tracker.armDivergenceWatchdog(config_.resilience.divergenceErrorThreshold,
+                                  config_.resilience.divergenceQuanta);
+  tracker.loadState(r);
+
+  params_ = params;
+  quantumIndex_ = quantumIndex;
+  totalSwaps_ = totalSwaps;
+  lastStats_ = lastStats;
+  totals_ = totals;
+  faultsActive_ = faultsActive;
+  fairnessStallStreak_ = fairnessStallStreak;
+  fallbackLeft_ = fallbackLeft;
+  observer_ = std::move(observer);
+  decider_ = std::move(decider);
+  tracker_ = std::move(tracker);
 }
 
 }  // namespace dike::core

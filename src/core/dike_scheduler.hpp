@@ -98,6 +98,10 @@ class DikeScheduler final : public sched::Scheduler {
     return decisionTrace_;
   }
 
+ protected:
+  void saveExtraState(ckpt::BinWriter& w) const override;
+  void loadExtraState(ckpt::BinReader& r) override;
+
  private:
   void migrateToFreeCores(sched::SchedulerView& view,
                           telemetry::DecisionRecord* record,

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "ckpt/state_io.hpp"
 #include "telemetry/registry.hpp"
 
 namespace dike::core {
@@ -264,6 +268,173 @@ double Observer::coreBw(int coreId) const {
 
 bool Observer::isHighBandwidthCore(int coreId) const {
   return highBandwidth_.at(static_cast<std::size_t>(coreId));
+}
+
+namespace {
+
+/// Serialize an int-keyed map in ascending key order (the maps are
+/// lookup-only, so insertion order carries no state; sorting makes the
+/// byte stream deterministic).
+template <typename V>
+std::map<int, V> sorted(const std::unordered_map<int, V>& m) {
+  return std::map<int, V>{m.begin(), m.end()};
+}
+
+}  // namespace
+
+void Observer::saveState(ckpt::BinWriter& w) const {
+  w.beginSection("observer");
+  w.i64("observedQuanta", observedQuanta_);
+  w.i64("heldSamples", heldSamples_);
+  w.i64("discardedSamples", discardedSamples_);
+  w.f64("unfairness", unfairness_);
+  w.i64("workloadType", static_cast<std::int64_t>(type_));
+  w.i64("memCount", memCount_);
+  w.i64("compCount", compCount_);
+
+  w.i64("threadInfoCount", util::isize(threads_));
+  for (const ThreadInfo& t : threads_) {
+    w.beginSection("info");
+    w.i64("threadId", t.threadId);
+    w.i64("processId", t.processId);
+    w.i64("coreId", t.coreId);
+    w.f64("accessRate", t.accessRate);
+    w.f64("avgAccessRate", t.avgAccessRate);
+    w.f64("cumAccessRate", t.cumAccessRate);
+    w.f64("deficit", t.deficit);
+    w.f64("llcMissRatio", t.llcMissRatio);
+    w.i64("class", static_cast<std::int64_t>(t.cls));
+    w.i64("staleAge", t.staleAge);
+    w.endSection();
+  }
+
+  const auto rates = sorted(threadRate_);
+  w.i64("threadRateCount", static_cast<std::int64_t>(rates.size()));
+  for (const auto& [id, mm] : rates) {
+    w.beginSection("rate");
+    w.i64("threadId", id);
+    ckpt::save(w, "window", mm);
+    w.endSection();
+  }
+
+  const auto holds = sorted(lastGood_);
+  w.i64("holdCount", static_cast<std::int64_t>(holds.size()));
+  for (const auto& [id, h] : holds) {
+    w.beginSection("hold");
+    w.i64("threadId", id);
+    w.f64("accessRate", h.accessRate);
+    w.f64("llcMissRatio", h.llcMissRatio);
+    w.i64("age", h.age);
+    w.endSection();
+  }
+
+  {
+    std::vector<std::int64_t> ids;
+    std::vector<double> accesses;
+    std::vector<double> seconds;
+    for (const auto& [id, v] : sorted(cumAccesses_)) {
+      ids.push_back(id);
+      accesses.push_back(v);
+      seconds.push_back(cumSeconds_.count(id) != 0 ? cumSeconds_.at(id) : 0.0);
+    }
+    w.vecI64("cumThreadIds", ids);
+    w.vecF64("cumAccesses", accesses);
+    w.vecF64("cumSeconds", seconds);
+  }
+
+  w.vecF64("coreBwRaw", coreBwRaw_);
+  w.vecF64("coreBwEffective", coreBwEffective_);
+  w.i64("coreBwWindowCount", util::isize(coreBwWindow_));
+  for (const util::MovingMean& mm : coreBwWindow_)
+    ckpt::save(w, "coreBwWindow", mm);
+  std::vector<std::int64_t> high(highBandwidth_.size());
+  for (std::size_t i = 0; i < highBandwidth_.size(); ++i)
+    high[i] = highBandwidth_[i] ? 1 : 0;
+  w.vecI64("highBandwidth", high);
+  w.endSection();
+}
+
+void Observer::loadState(ckpt::BinReader& r) {
+  Observer fresh{config_};
+  r.beginSection("observer");
+  fresh.observedQuanta_ = r.i64("observedQuanta");
+  fresh.heldSamples_ = r.i64("heldSamples");
+  fresh.discardedSamples_ = r.i64("discardedSamples");
+  fresh.unfairness_ = r.f64("unfairness");
+  fresh.type_ = static_cast<WorkloadType>(r.i64("workloadType"));
+  fresh.memCount_ = static_cast<int>(r.i64("memCount"));
+  fresh.compCount_ = static_cast<int>(r.i64("compCount"));
+
+  const std::int64_t infoCount = r.i64("threadInfoCount");
+  fresh.threads_.reserve(static_cast<std::size_t>(infoCount));
+  for (std::int64_t i = 0; i < infoCount; ++i) {
+    r.beginSection("info");
+    ThreadInfo t;
+    t.threadId = static_cast<int>(r.i64("threadId"));
+    t.processId = static_cast<int>(r.i64("processId"));
+    t.coreId = static_cast<int>(r.i64("coreId"));
+    t.accessRate = r.f64("accessRate");
+    t.avgAccessRate = r.f64("avgAccessRate");
+    t.cumAccessRate = r.f64("cumAccessRate");
+    t.deficit = r.f64("deficit");
+    t.llcMissRatio = r.f64("llcMissRatio");
+    t.cls = static_cast<ThreadClass>(r.i64("class"));
+    t.staleAge = static_cast<int>(r.i64("staleAge"));
+    r.endSection();
+    fresh.threads_.push_back(t);
+  }
+
+  const std::int64_t rateCount = r.i64("threadRateCount");
+  for (std::int64_t i = 0; i < rateCount; ++i) {
+    r.beginSection("rate");
+    const int id = static_cast<int>(r.i64("threadId"));
+    util::MovingMean mm{config_.threadRateWindow};
+    ckpt::load(r, "window", mm);
+    r.endSection();
+    fresh.threadRate_.emplace(id, std::move(mm));
+  }
+
+  const std::int64_t holdCount = r.i64("holdCount");
+  for (std::int64_t i = 0; i < holdCount; ++i) {
+    r.beginSection("hold");
+    const int id = static_cast<int>(r.i64("threadId"));
+    HeldSample h;
+    h.accessRate = r.f64("accessRate");
+    h.llcMissRatio = r.f64("llcMissRatio");
+    h.age = static_cast<int>(r.i64("age"));
+    r.endSection();
+    fresh.lastGood_.emplace(id, h);
+  }
+
+  const std::vector<std::int64_t> cumIds = r.vecI64("cumThreadIds");
+  const std::vector<double> cumAccesses = r.vecF64("cumAccesses");
+  const std::vector<double> cumSeconds = r.vecF64("cumSeconds");
+  if (cumIds.size() != cumAccesses.size() ||
+      cumIds.size() != cumSeconds.size())
+    throw ckpt::CheckpointError{
+        "observer checkpoint: cumulative id/accesses/seconds lists disagree "
+        "in length"};
+  for (std::size_t i = 0; i < cumIds.size(); ++i) {
+    fresh.cumAccesses_[static_cast<int>(cumIds[i])] = cumAccesses[i];
+    fresh.cumSeconds_[static_cast<int>(cumIds[i])] = cumSeconds[i];
+  }
+
+  fresh.coreBwRaw_ = r.vecF64("coreBwRaw");
+  fresh.coreBwEffective_ = r.vecF64("coreBwEffective");
+  const std::int64_t windowCount = r.i64("coreBwWindowCount");
+  fresh.coreBwWindow_.reserve(static_cast<std::size_t>(windowCount));
+  for (std::int64_t i = 0; i < windowCount; ++i) {
+    util::MovingMean mm{config_.movingMeanWindow};
+    ckpt::load(r, "coreBwWindow", mm);
+    fresh.coreBwWindow_.push_back(std::move(mm));
+  }
+  const std::vector<std::int64_t> high = r.vecI64("highBandwidth");
+  fresh.highBandwidth_.resize(high.size());
+  for (std::size_t i = 0; i < high.size(); ++i)
+    fresh.highBandwidth_[i] = high[i] != 0;
+  r.endSection();
+
+  *this = std::move(fresh);
 }
 
 }  // namespace dike::core

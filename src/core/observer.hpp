@@ -124,6 +124,13 @@ class Observer {
   /// fairness signal's input) is deliberately preserved.
   void resetClosedLoopState();
 
+  /// Serialize every mutable estimate — the closed-loop filters, sanitization
+  /// holds, cumulative progress accounting, and the core partition. The
+  /// moving-window filters carry their raw running sums (path dependent), so
+  /// restore is bit-exact.
+  void saveState(ckpt::BinWriter& w) const;
+  void loadState(ckpt::BinReader& r);
+
  private:
   void updateCoreBw(const Observation& obs);
   void classifyThreads(const sim::QuantumSample& sample);

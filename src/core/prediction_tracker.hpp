@@ -101,6 +101,12 @@ class PredictionTracker {
 
   void reset();
 
+  /// Serialize outstanding predictions, per-thread aggregates, the error
+  /// trace, and the watchdog streak. Watchdog *configuration* (threshold,
+  /// quanta) is not state — the owner re-arms it from its config on rebuild.
+  void saveState(ckpt::BinWriter& w) const;
+  void loadState(ckpt::BinReader& r);
+
  private:
   std::unordered_map<int, double> pending_;
   std::unordered_map<int, util::OnlineStats> perThread_;

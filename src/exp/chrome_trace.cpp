@@ -1,6 +1,7 @@
 #include "exp/chrome_trace.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <istream>
 #include <map>
@@ -377,18 +378,32 @@ std::vector<sim::TraceEvent> readTraceCsv(std::istream& in) {
     const std::string at = "trace CSV line " + std::to_string(lineNo);
     if (fields.size() != expected.size())
       throw std::runtime_error{at + ": expected " +
-                               std::to_string(expected.size()) + " fields"};
+                               std::to_string(expected.size()) +
+                               " fields, got " +
+                               std::to_string(fields.size())};
+    // Whole-token integer parse per field. std::stoi accepted trailing
+    // garbage ("12abc" parsed as 12) and the error did not say which
+    // field was bad; a malformed trace must be rejected with the field
+    // name and line number.
+    const auto intField = [&at, &fields,
+                           &expected](std::size_t index) -> std::int64_t {
+      const std::string& text = fields[index];
+      std::int64_t value = 0;
+      const auto [end, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc{} || end != text.data() + text.size() ||
+          text.empty())
+        throw std::runtime_error{at + ": field \"" + expected[index] +
+                                 "\" is not an integer: '" + text + "'"};
+      return value;
+    };
     sim::TraceEvent e;
-    try {
-      e.tick = static_cast<util::Tick>(std::stoll(fields[0]));
-      e.threadId = std::stoi(fields[2]);
-      e.processId = std::stoi(fields[3]);
-      e.fromCore = std::stoi(fields[4]);
-      e.toCore = std::stoi(fields[5]);
-      e.detail = std::stoi(fields[6]);
-    } catch (const std::exception&) {
-      throw std::runtime_error{at + ": malformed numeric field"};
-    }
+    e.tick = static_cast<util::Tick>(intField(0));
+    e.threadId = static_cast<int>(intField(2));
+    e.processId = static_cast<int>(intField(3));
+    e.fromCore = static_cast<int>(intField(4));
+    e.toCore = static_cast<int>(intField(5));
+    e.detail = static_cast<int>(intField(6));
     const auto kind = sim::traceEventKindFromName(fields[1]);
     if (!kind)
       throw std::runtime_error{at + ": unknown event kind \"" + fields[1] +

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exp/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/workloads.hpp"
 
@@ -166,7 +167,24 @@ ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
 }
 
 std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
-  std::vector<ExperimentCell> cells;
+  return runExperiment(config, std::string{}, 1);
+}
+
+std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config,
+                                          const std::string& sweepStateFile,
+                                          int jobs) {
+  // Flatten the grid into share-nothing specs: per (workload, rep) one
+  // internal CFS baseline plus one spec per non-CFS scheduler. The pool
+  // can then run them in any order — and a killed sweep can resume — with
+  // aggregation deferred until every index has its metrics.
+  struct CellRef {
+    int workloadId;
+    SchedulerKind kind;
+    std::size_t specIndex;
+    std::size_t baselineIndex;
+  };
+  std::vector<RunSpec> specs;
+  std::vector<CellRef> refs;
   // Telemetry run outputs attach to exactly one run: the first listed
   // scheduler on the first listed workload, rep 0. When that scheduler is
   // CFS, the internally-run baseline is that run.
@@ -174,11 +192,6 @@ std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
   const SchedulerKind telemetryKind =
       config.kinds.empty() ? SchedulerKind::Cfs : config.kinds.front();
   for (const int workloadId : config.workloadIds) {
-    std::map<SchedulerKind, util::OnlineStats> fairness;
-    std::map<SchedulerKind, util::OnlineStats> speedups;
-    std::map<SchedulerKind, util::OnlineStats> swaps;
-    std::map<SchedulerKind, util::OnlineStats> makespans;
-
     for (int rep = 0; rep < config.reps; ++rep) {
       RunSpec spec;
       spec.workloadId = workloadId;
@@ -195,25 +208,45 @@ std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config) {
         spec.telemetry = config.telemetry.runTelemetry();
         telemetryPending = false;
       }
-      const RunMetrics baseline = runWorkload(spec);
+      const std::size_t baselineIndex = specs.size();
+      specs.push_back(spec);
       spec.telemetry = RunTelemetry{};
 
       for (const SchedulerKind kind : config.kinds) {
+        if (kind == SchedulerKind::Cfs) {
+          refs.push_back({workloadId, kind, baselineIndex, baselineIndex});
+          continue;
+        }
         spec.kind = kind;
         if (telemetryPending && kind == telemetryKind) {
           spec.telemetry = config.telemetry.runTelemetry();
           telemetryPending = false;
         }
-        const RunMetrics m =
-            kind == SchedulerKind::Cfs ? baseline : runWorkload(spec);
+        refs.push_back({workloadId, kind, specs.size(), baselineIndex});
+        specs.push_back(spec);
         spec.telemetry = RunTelemetry{};
-        fairness[kind].add(m.fairness);
-        speedups[kind].add(speedup(baseline.makespan, m.makespan));
-        swaps[kind].add(static_cast<double>(m.swaps));
-        makespans[kind].add(util::ticksToSeconds(m.makespan));
       }
     }
+  }
 
+  const std::vector<RunMetrics> metrics =
+      runWorkloadsParallel(specs, jobs, sweepStateFile);
+
+  std::vector<ExperimentCell> cells;
+  for (const int workloadId : config.workloadIds) {
+    std::map<SchedulerKind, util::OnlineStats> fairness;
+    std::map<SchedulerKind, util::OnlineStats> speedups;
+    std::map<SchedulerKind, util::OnlineStats> swaps;
+    std::map<SchedulerKind, util::OnlineStats> makespans;
+    for (const CellRef& ref : refs) {
+      if (ref.workloadId != workloadId) continue;
+      const RunMetrics& m = metrics[ref.specIndex];
+      const RunMetrics& baseline = metrics[ref.baselineIndex];
+      fairness[ref.kind].add(m.fairness);
+      speedups[ref.kind].add(speedup(baseline.makespan, m.makespan));
+      swaps[ref.kind].add(static_cast<double>(m.swaps));
+      makespans[ref.kind].add(util::ticksToSeconds(m.makespan));
+    }
     for (const SchedulerKind kind : config.kinds) {
       ExperimentCell cell;
       cell.workloadId = workloadId;

@@ -117,6 +117,17 @@ struct ExperimentCell {
 [[nodiscard]] std::vector<ExperimentCell> runExperiment(
     const ExperimentConfig& config);
 
+/// Resumable/parallel variant. With a non-empty sweepStateFile, every
+/// completed run's metrics are persisted there (see runWorkloadsParallel
+/// in exp/parallel.hpp), so a killed sweep rerun with the same config
+/// skips finished runs; the file is deleted on completion, and a state
+/// file written for a different config is rejected. jobs <= 0 picks
+/// defaultJobs(); 1 runs sequentially. Results are identical to
+/// runExperiment(config) regardless of jobs or interruption.
+[[nodiscard]] std::vector<ExperimentCell> runExperiment(
+    const ExperimentConfig& config, const std::string& sweepStateFile,
+    int jobs);
+
 /// Serialise results for the "json" output option.
 [[nodiscard]] util::JsonValue toJson(const ExperimentConfig& config,
                                      const std::vector<ExperimentCell>& cells);

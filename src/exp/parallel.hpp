@@ -64,4 +64,18 @@ void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
 [[nodiscard]] std::vector<RunMetrics> runWorkloadsParallel(
     std::span<const RunSpec> specs, int jobs = 0);
 
+/// Fingerprint of a spec list (FNV-1a over the canonical JSON encoding).
+/// A sweep state file carries this so a resume against a different spec
+/// list is rejected instead of silently mixing results.
+[[nodiscard]] std::uint64_t sweepFingerprint(std::span<const RunSpec> specs);
+
+/// Resumable variant: after every completed run the state file is
+/// atomically rewritten with that run's metrics, so a killed sweep rerun
+/// with the same arguments skips finished specs and recomputes only the
+/// rest. The state file is deleted once every spec has completed. Throws
+/// std::runtime_error if the state file exists but was written for a
+/// different spec list (fingerprint mismatch) or cannot be parsed.
+[[nodiscard]] std::vector<RunMetrics> runWorkloadsParallel(
+    std::span<const RunSpec> specs, int jobs, const std::string& stateFile);
+
 }  // namespace dike::exp

@@ -154,8 +154,11 @@ std::ofstream openTelemetryOutput(const std::string& path) {
   return out;
 }
 
-RunMetrics collect(sim::Machine& machine, const sim::RunOutcome& outcome,
-                   const sched::Scheduler& scheduler) {
+}  // namespace
+
+RunMetrics collectRunMetrics(sim::Machine& machine,
+                             const sim::RunOutcome& outcome,
+                             const sched::Scheduler& scheduler) {
   RunMetrics m;
   m.scheduler = std::string{scheduler.name()};
   m.makespan = outcome.finishTick;
@@ -182,8 +185,6 @@ RunMetrics collect(sim::Machine& machine, const sim::RunOutcome& outcome,
   }
   return m;
 }
-
-}  // namespace
 
 RunMetrics runWorkload(const RunSpec& spec) {
   const wl::WorkloadSpec& workload = spec.customWorkload
@@ -248,7 +249,7 @@ RunMetrics runWorkload(const RunSpec& spec) {
 
   const sim::RunOutcome outcome = sim::runMachine(machine, *policy);
 
-  RunMetrics metrics = collect(machine, outcome, *scheduler);
+  RunMetrics metrics = collectRunMetrics(machine, outcome, *scheduler);
   metrics.workload = workload.name;
   if (injector) {
     metrics.faults = injector->tally();
@@ -293,7 +294,7 @@ RunMetrics runStandalone(const std::string& benchmark, double scale,
   sched::SchedulerAdapter adapter{scheduler};
   const sim::RunOutcome outcome = sim::runMachine(machine, adapter);
 
-  RunMetrics metrics = collect(machine, outcome, scheduler);
+  RunMetrics metrics = collectRunMetrics(machine, outcome, scheduler);
   metrics.workload = benchmark + "-standalone";
   return metrics;
 }

@@ -120,6 +120,12 @@ struct RunMetrics {
 [[nodiscard]] std::unique_ptr<sched::Scheduler> makeScheduler(
     const RunSpec& spec);
 
+/// Assemble the RunMetrics for a finished machine/scheduler pair (shared by
+/// runWorkload and the checkpoint/replay session in exp/replay.hpp).
+[[nodiscard]] RunMetrics collectRunMetrics(sim::Machine& machine,
+                                           const sim::RunOutcome& outcome,
+                                           const sched::Scheduler& scheduler);
+
 /// Run one workload under one scheduler.
 [[nodiscard]] RunMetrics runWorkload(const RunSpec& spec);
 

@@ -40,6 +40,10 @@ class FaultInjectionPolicy final : public sim::QuantumPolicy {
     return static_cast<int>(dips_.size());
   }
 
+  /// Serialize the core-fault RNG, live dips, and the window-edge latch.
+  void saveState(ckpt::BinWriter& w) const;
+  void loadState(ckpt::BinReader& r);
+
  private:
   struct Dip {
     double savedGhz = 0.0;

@@ -55,6 +55,10 @@ class FaultInjector final : public sched::SampleFilter,
   /// Deterministic: the nth call returns the same stream for a given seed.
   [[nodiscard]] util::Rng forkStream() noexcept { return streamSource_.fork(); }
 
+  /// Serialize the three RNG streams, stuck episodes, and the tally.
+  void saveState(ckpt::BinWriter& w) const;
+  void loadState(ckpt::BinReader& r);
+
  private:
   struct StuckEpisode {
     int quantaLeft = 0;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ckpt/state_io.hpp"
+
 namespace dike::sched {
 
 RandomScheduler::RandomScheduler(util::Tick quantumTicks, int pairsPerQuantum,
@@ -24,6 +26,14 @@ void RandomScheduler::onQuantum(SchedulerView& view) {
     if (b >= a) ++b;
     (void)view.swap(live[a], live[b]);
   }
+}
+
+void RandomScheduler::saveExtraState(ckpt::BinWriter& w) const {
+  ckpt::save(w, "rng", rng_);
+}
+
+void RandomScheduler::loadExtraState(ckpt::BinReader& r) {
+  ckpt::load(r, "rng", rng_);
 }
 
 }  // namespace dike::sched

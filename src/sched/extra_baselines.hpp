@@ -24,6 +24,10 @@ class RandomScheduler final : public Scheduler {
   [[nodiscard]] util::Tick quantumTicks() const override { return quantum_; }
   void onQuantum(SchedulerView& view) override;
 
+ protected:
+  void saveExtraState(ckpt::BinWriter& w) const override;
+  void loadExtraState(ckpt::BinReader& r) override;
+
  private:
   util::Tick quantum_;
   int pairs_;

@@ -1,6 +1,33 @@
 #include "sched/scheduler.hpp"
 
+#include <string>
+
+#include "ckpt/archive.hpp"
+
 namespace dike::sched {
+
+void Scheduler::saveState(ckpt::BinWriter& w) const {
+  w.beginSection("scheduler");
+  w.str("policy", name());
+  saveExtraState(w);
+  w.endSection();
+}
+
+void Scheduler::loadState(ckpt::BinReader& r) {
+  r.beginSection("scheduler");
+  const std::string policy = r.str("policy");
+  if (policy != name())
+    throw ckpt::CheckpointError{
+        "checkpoint was taken under scheduler '" + policy +
+        "' but this run uses '" + std::string{name()} +
+        "' — nothing was restored"};
+  loadExtraState(r);
+  r.endSection();
+}
+
+void Scheduler::saveExtraState(ckpt::BinWriter&) const {}
+
+void Scheduler::loadExtraState(ckpt::BinReader&) {}
 
 SchedulerView::SchedulerView(sim::Machine& machine,
                              const sim::QuantumSample& sample,

@@ -109,6 +109,21 @@ class Scheduler {
 
   /// Make decisions for the quantum that just ended.
   virtual void onQuantum(SchedulerView& view) = 0;
+
+  /// Serialize the policy's mutable state under a "scheduler" section that
+  /// records the policy name, then delegates to saveExtraState. Stateless
+  /// policies (CFS, DIO, the static oracle) need no override.
+  void saveState(ckpt::BinWriter& w) const;
+
+  /// Restore state captured by saveState. Verifies the recorded policy name
+  /// against name() — restoring a checkpoint into a different policy throws
+  /// ckpt::CheckpointError instead of silently misreading the stream.
+  void loadState(ckpt::BinReader& r);
+
+ protected:
+  /// Hooks for stateful policies; the base implementations hold no state.
+  virtual void saveExtraState(ckpt::BinWriter& w) const;
+  virtual void loadExtraState(ckpt::BinReader& r);
 };
 
 /// Observer of quantum boundaries, called after the scheduler has made its

@@ -2,7 +2,10 @@
 
 #include <map>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "ckpt/archive.hpp"
 #include "util/stats.hpp"
 
 namespace dike::sched {
@@ -41,6 +44,37 @@ void SuspensionScheduler::onQuantum(SchedulerView& view) {
       }
     }
   }
+}
+
+void SuspensionScheduler::saveExtraState(ckpt::BinWriter& w) const {
+  // Sort the lookup-only map so the serialized order is deterministic.
+  const std::map<int, double> sorted{cumulativeInstructions_.begin(),
+                                     cumulativeInstructions_.end()};
+  std::vector<std::int64_t> ids;
+  std::vector<double> values;
+  ids.reserve(sorted.size());
+  values.reserve(sorted.size());
+  for (const auto& [id, value] : sorted) {
+    ids.push_back(id);
+    values.push_back(value);
+  }
+  w.vecI64("cumulativeThreadIds", ids);
+  w.vecF64("cumulativeInstructions", values);
+  w.i64("suspensions", suspensions_);
+}
+
+void SuspensionScheduler::loadExtraState(ckpt::BinReader& r) {
+  const std::vector<std::int64_t> ids = r.vecI64("cumulativeThreadIds");
+  const std::vector<double> values = r.vecF64("cumulativeInstructions");
+  if (ids.size() != values.size())
+    throw ckpt::CheckpointError{
+        "suspension scheduler checkpoint has " + std::to_string(ids.size()) +
+        " thread ids but " + std::to_string(values.size()) + " values"};
+  const std::int64_t suspensions = r.i64("suspensions");
+  cumulativeInstructions_.clear();
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    cumulativeInstructions_[static_cast<int>(ids[i])] = values[i];
+  suspensions_ = suspensions;
 }
 
 }  // namespace dike::sched

@@ -30,6 +30,10 @@ class SuspensionScheduler final : public Scheduler {
     return suspensions_;
   }
 
+ protected:
+  void saveExtraState(ckpt::BinWriter& w) const override;
+  void loadExtraState(ckpt::BinReader& r) override;
+
  private:
   util::Tick quantum_;
   double margin_;

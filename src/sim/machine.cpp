@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ckpt/archive.hpp"
+#include "ckpt/state_io.hpp"
 #include "telemetry/registry.hpp"
 
 namespace dike::sim {
@@ -613,9 +615,200 @@ QuantumSample Machine::sampleAndReset() {
   return sample;
 }
 
+void Machine::saveState(ckpt::BinWriter& w) const {
+  w.beginSection("machine");
+  w.i64("now", now_);
+  w.i64("lastSampleTick", lastSampleTick_);
+  w.i64("swapCount", swapCount_);
+  w.i64("migrationCount", migrationCount_);
+  w.f64("energyJoules", energyJ_);
+  w.i64("computedTicks", stats_.computedTicks);
+  w.i64("leapedTicks", stats_.leapedTicks);
+  ckpt::save(w, "rng", rng_);
+  w.vecF64("physFreqGhz", physFreqGhz_);
+  w.vecInt("coreToThread", coreToThread_);
+  w.vecInt("liveThreads", liveThreads_);
+  w.vecF64("coreQuantumAccesses", coreQuantumAccesses_);
+  w.i64("threadCount", util::isize(threads_));
+  for (const SimThread& t : threads_) {
+    w.beginSection("thread " + std::to_string(t.id));
+    w.i64("id", t.id);
+    w.i64("processId", t.processId);
+    w.i64("indexInProcess", t.indexInProcess);
+    w.f64("executed", t.executed);
+    w.f64("phaseExecuted", t.phaseExecuted);
+    w.i64("phaseIndex", t.phaseIndex);
+    w.i64("coreId", t.coreId);
+    w.i64("stallUntilTick", t.stallUntilTick);
+    w.i64("coldUntilTick", t.coldUntilTick);
+    w.boolean("suspended", t.suspended);
+    w.boolean("waitingAtBarrier", t.waitingAtBarrier);
+    w.i64("barriersPassed", t.barriersPassed);
+    w.i64("startTick", t.startTick);
+    w.boolean("finished", t.finished);
+    w.i64("finishTick", t.finishTick);
+    w.f64("quantumInstructions", t.quantumInstructions);
+    w.f64("quantumAccesses", t.quantumAccesses);
+    w.f64("totalAccesses", t.totalAccesses);
+    w.i64("migrations", t.migrations);
+    w.i64("lastMigrationTick", t.lastMigrationTick);
+    w.vecF64("socketConflict", t.socketConflict);
+    w.f64("prevUtilization", t.prevUtilization);
+    w.i64("runnableTicks", t.runnableTicks);
+    w.i64("stallTicks", t.stallTicks);
+    w.i64("barrierTicks", t.barrierTicks);
+    w.i64("suspendedTicks", t.suspendedTicks);
+    w.i64("fastCoreTicks", t.fastCoreTicks);
+    w.i64("slowCoreTicks", t.slowCoreTicks);
+    w.endSection();
+  }
+  w.i64("processCount", util::isize(processes_));
+  for (const SimProcess& p : processes_) {
+    w.beginSection("process " + std::to_string(p.id));
+    w.str("name", p.name);
+    w.i64("finishTick", p.finishTick);
+    w.endSection();
+  }
+  w.endSection();
+}
+
+void Machine::loadState(ckpt::BinReader& r) {
+  r.beginSection("machine");
+  const util::Tick now = r.i64("now");
+  const util::Tick lastSampleTick = r.i64("lastSampleTick");
+  const std::int64_t swapCount = r.i64("swapCount");
+  const std::int64_t migrationCount = r.i64("migrationCount");
+  const double energyJ = r.f64("energyJoules");
+  StepStats stats;
+  stats.computedTicks = r.i64("computedTicks");
+  stats.leapedTicks = r.i64("leapedTicks");
+  util::Rng rng{0};
+  ckpt::load(r, "rng", rng);
+  const std::vector<double> physFreqGhz = r.vecF64("physFreqGhz");
+  if (physFreqGhz.size() != physFreqGhz_.size())
+    throw ckpt::CheckpointError{
+        "checkpointed machine has " + std::to_string(physFreqGhz.size()) +
+        " physical cores but this topology has " +
+        std::to_string(physFreqGhz_.size())};
+  const std::vector<int> coreToThread = r.vecInt("coreToThread");
+  if (coreToThread.size() != coreToThread_.size())
+    throw ckpt::CheckpointError{
+        "checkpointed machine has " + std::to_string(coreToThread.size()) +
+        " vcores but this topology has " +
+        std::to_string(coreToThread_.size())};
+  const std::vector<int> liveThreads = r.vecInt("liveThreads");
+  const std::vector<double> coreQuantumAccesses =
+      r.vecF64("coreQuantumAccesses");
+  if (coreQuantumAccesses.size() != coreQuantumAccesses_.size())
+    throw ckpt::CheckpointError{
+        "checkpointed per-core counters cover " +
+        std::to_string(coreQuantumAccesses.size()) +
+        " vcores but this topology has " +
+        std::to_string(coreQuantumAccesses_.size())};
+  const std::int64_t threadCount = r.i64("threadCount");
+  if (threadCount != util::isize(threads_))
+    throw ckpt::CheckpointError{
+        "checkpointed machine has " + std::to_string(threadCount) +
+        " threads but this run spec builds " +
+        std::to_string(threads_.size()) +
+        " — the checkpoint was taken under a different config"};
+  std::vector<SimThread> restored = threads_;
+  for (SimThread& t : restored) {
+    r.beginSection("thread " + std::to_string(t.id));
+    const std::int64_t id = r.i64("id");
+    const std::int64_t processId = r.i64("processId");
+    const std::int64_t indexInProcess = r.i64("indexInProcess");
+    if (id != t.id || processId != t.processId ||
+        indexInProcess != t.indexInProcess)
+      throw ckpt::CheckpointError{
+          "checkpointed thread " + std::to_string(id) +
+          " does not match the constructed thread " + std::to_string(t.id) +
+          " — the checkpoint was taken under a different config"};
+    t.executed = r.f64("executed");
+    t.phaseExecuted = r.f64("phaseExecuted");
+    t.phaseIndex = static_cast<int>(r.i64("phaseIndex"));
+    t.coreId = static_cast<int>(r.i64("coreId"));
+    t.stallUntilTick = r.i64("stallUntilTick");
+    t.coldUntilTick = r.i64("coldUntilTick");
+    t.suspended = r.boolean("suspended");
+    t.waitingAtBarrier = r.boolean("waitingAtBarrier");
+    t.barriersPassed = static_cast<int>(r.i64("barriersPassed"));
+    t.startTick = r.i64("startTick");
+    t.finished = r.boolean("finished");
+    t.finishTick = r.i64("finishTick");
+    t.quantumInstructions = r.f64("quantumInstructions");
+    t.quantumAccesses = r.f64("quantumAccesses");
+    t.totalAccesses = r.f64("totalAccesses");
+    t.migrations = static_cast<int>(r.i64("migrations"));
+    t.lastMigrationTick = r.i64("lastMigrationTick");
+    t.socketConflict = r.vecF64("socketConflict");
+    if (t.socketConflict.size() !=
+        static_cast<std::size_t>(topology_.socketCount()))
+      throw ckpt::CheckpointError{
+          "checkpointed thread " + std::to_string(t.id) + " carries " +
+          std::to_string(t.socketConflict.size()) +
+          " socket-conflict draws but this topology has " +
+          std::to_string(topology_.socketCount()) + " sockets"};
+    t.prevUtilization = r.f64("prevUtilization");
+    t.runnableTicks = r.i64("runnableTicks");
+    t.stallTicks = r.i64("stallTicks");
+    t.barrierTicks = r.i64("barrierTicks");
+    t.suspendedTicks = r.i64("suspendedTicks");
+    t.fastCoreTicks = r.i64("fastCoreTicks");
+    t.slowCoreTicks = r.i64("slowCoreTicks");
+    r.endSection();
+  }
+  const std::int64_t processCount = r.i64("processCount");
+  if (processCount != util::isize(processes_))
+    throw ckpt::CheckpointError{
+        "checkpointed machine has " + std::to_string(processCount) +
+        " processes but this run spec builds " +
+        std::to_string(processes_.size()) +
+        " — the checkpoint was taken under a different config"};
+  std::vector<util::Tick> processFinish(processes_.size(), -1);
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    r.beginSection("process " + std::to_string(processes_[i].id));
+    const std::string name = r.str("name");
+    if (name != processes_[i].name)
+      throw ckpt::CheckpointError{
+          "checkpointed process " + std::to_string(processes_[i].id) +
+          " is '" + name + "' but this run spec builds '" +
+          processes_[i].name +
+          "' — the checkpoint was taken under a different config"};
+    processFinish[i] = r.i64("finishTick");
+    r.endSection();
+  }
+  r.endSection();
+
+  // Everything parsed and validated — commit. No throw below this line.
+  now_ = now;
+  lastSampleTick_ = lastSampleTick;
+  swapCount_ = swapCount;
+  migrationCount_ = migrationCount;
+  energyJ_ = energyJ;
+  stats_ = stats;
+  rng_ = rng;
+  physFreqGhz_ = physFreqGhz;
+  coreToThread_ = coreToThread;
+  liveThreads_ = liveThreads;
+  coreQuantumAccesses_ = coreQuantumAccesses;
+  threads_ = std::move(restored);
+  for (std::size_t i = 0; i < processes_.size(); ++i)
+    processes_[i].finishTick = processFinish[i];
+  tickHadEvent_ = false;
+}
+
 RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
                       RunLimits limits) {
-  util::Tick nextQuantumAt = policy.quantumTicks();
+  return runMachine(machine, policy, limits, RunCursor{}, nullptr);
+}
+
+RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
+                      RunLimits limits, RunCursor start,
+                      const QuantumHook& afterQuantum) {
+  util::Tick nextQuantumAt =
+      start.nextQuantumAt >= 0 ? start.nextQuantumAt : policy.quantumTicks();
+  std::int64_t quantumIndex = start.quantumIndex;
   while (!machine.allFinished() && machine.now() < limits.maxTicks) {
     const util::Tick target = std::min(
         limits.maxTicks, std::max(nextQuantumAt, machine.now() + 1));
@@ -630,6 +823,8 @@ RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
       nextQuantumAt = std::max(
           nextQuantumAt + std::max<util::Tick>(1, policy.quantumTicks()),
           machine.now() + 1);
+      if (afterQuantum) afterQuantum(machine, quantumIndex, nextQuantumAt);
+      ++quantumIndex;
     }
   }
   return RunOutcome{machine.now(), !machine.allFinished()};

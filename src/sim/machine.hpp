@@ -15,6 +15,8 @@
 //     sched_setaffinity. Each migration costs a cache-warmth stall (swapOH).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -25,6 +27,11 @@
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
+
+namespace dike::ckpt {
+class BinWriter;
+class BinReader;
+}  // namespace dike::ckpt
 
 namespace dike::sim {
 
@@ -219,6 +226,20 @@ class Machine {
     return trace_;
   }
 
+  /// Serialize every piece of mutable simulation state — the clock, thread
+  /// progress, placement, RNG stream (including per-thread socket-conflict
+  /// draws, stored on the threads), counters, and energy — into the archive.
+  /// Per-tick transients (scratch buffers, the intra-tick event flag) are
+  /// rebuilt by the next step and are deliberately excluded.
+  void saveState(ckpt::BinWriter& w) const;
+
+  /// Restore state captured by saveState into a machine constructed with
+  /// the same topology, config, processes, and threads (i.e. rebuilt from
+  /// the same RunSpec). Validates thread/process identity before touching
+  /// anything and throws ckpt::CheckpointError on any mismatch, so a failed
+  /// load never leaves a partially-restored machine.
+  void loadState(ckpt::BinReader& r);
+
  private:
   /// Result of evaluating one tick with the full model. `steady` means the
   /// next tick is provably bit-identical to this one until a time-based
@@ -311,5 +332,30 @@ struct RunOutcome {
 /// invoking the policy at each quantum boundary.
 RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
                       RunLimits limits = {});
+
+/// Where in the quantum schedule a (possibly resumed) run stands.
+/// `nextQuantumAt < 0` means a fresh run: the first deadline is
+/// policy.quantumTicks(). A resumed run must supply the exact deadline the
+/// checkpoint recorded — the drift-free schedule (`nextQuantumAt = max(prev
+/// + quantum, now + 1)`) chains off the previous deadline, which is not
+/// derivable from the clock under adaptive quanta.
+struct RunCursor {
+  std::int64_t quantumIndex = 0;
+  util::Tick nextQuantumAt = -1;
+};
+
+/// Called after each quantum's onQuantum and deadline update, with the index
+/// of the quantum that just completed and the next deadline — everything a
+/// checkpoint needs to resume the loop bit-exactly.
+using QuantumHook =
+    std::function<void(Machine&, std::int64_t quantumIndex,
+                       util::Tick nextQuantumAt)>;
+
+/// runMachine with an explicit start cursor and an optional per-quantum
+/// hook. The loop body is shared with the plain overload, so a resumed run
+/// executes exactly the arithmetic an uninterrupted run would.
+RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
+                      RunLimits limits, RunCursor start,
+                      const QuantumHook& afterQuantum);
 
 }  // namespace dike::sim

@@ -1,9 +1,29 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
+#include <charconv>
 #include <stdexcept>
 
 namespace dike::util {
+
+namespace {
+
+/// Parse the full token or fail loudly with the flag name. The previous
+/// std::atoi/atoll/atof implementations silently produced 0 for malformed
+/// values ("--seed 12x" ran with seed 0), which is exactly the wrong
+/// behaviour for experiment configuration.
+template <typename T>
+T parseOrThrow(std::string_view flag, const std::string& text,
+               const char* typeName) {
+  T value{};
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size() || text.empty())
+    throw std::runtime_error{"--" + std::string{flag} + " expects " +
+                             typeName + ", got '" + text + "'"};
+  return value;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -46,25 +66,30 @@ std::string CliArgs::getOr(std::string_view name,
 }
 
 int CliArgs::getInt(std::string_view name, int fallback) const {
-  if (auto v = get(name)) return std::atoi(v->c_str());
+  if (auto v = get(name)) return parseOrThrow<int>(name, *v, "an integer");
   return fallback;
 }
 
 std::int64_t CliArgs::getInt64(std::string_view name,
                                std::int64_t fallback) const {
-  if (auto v = get(name)) return std::atoll(v->c_str());
+  if (auto v = get(name))
+    return parseOrThrow<std::int64_t>(name, *v, "an integer");
   return fallback;
 }
 
 double CliArgs::getDouble(std::string_view name, double fallback) const {
-  if (auto v = get(name)) return std::atof(v->c_str());
+  if (auto v = get(name)) return parseOrThrow<double>(name, *v, "a number");
   return fallback;
 }
 
 bool CliArgs::getBool(std::string_view name, bool fallback) const {
-  auto v = get(name);
+  const auto v = get(name);
   if (!v) return fallback;
-  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::runtime_error{"--" + std::string{name} +
+                           " expects a boolean (true/false/1/0/yes/no/"
+                           "on/off), got '" + *v + "'"};
 }
 
 }  // namespace dike::util

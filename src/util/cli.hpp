@@ -21,6 +21,9 @@ class CliArgs {
   [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
   [[nodiscard]] std::string getOr(std::string_view name,
                                   std::string_view fallback) const;
+  // The typed getters return the fallback when the flag is absent, and
+  // throw std::runtime_error naming the flag when it is present but
+  // malformed ("--seed 12x") — a typo must never silently become 0.
   [[nodiscard]] int getInt(std::string_view name, int fallback) const;
   [[nodiscard]] std::int64_t getInt64(std::string_view name,
                                       std::int64_t fallback) const;

@@ -4,13 +4,18 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace dike::util {
 
 double percentile(std::span<const double> xs, double p) {
+  // Validate p before the empty-input shortcut, and with a negated range
+  // test so NaN (for which both p < 0 and p > 100 are false) is rejected
+  // instead of flowing into floor()/array indexing as undefined behaviour.
+  if (!(p >= 0.0 && p <= 100.0))
+    throw std::invalid_argument{"percentile must be in [0, 100], got " +
+                                std::to_string(p)};
   if (xs.empty()) return 0.0;
-  if (p < 0.0 || p > 100.0)
-    throw std::invalid_argument{"percentile must be in [0, 100]"};
   std::vector<double> sorted{xs.begin(), xs.end()};
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);

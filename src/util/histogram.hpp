@@ -7,8 +7,9 @@
 
 namespace dike::util {
 
-/// Exact percentile (linear interpolation between order statistics).
-/// p in [0, 100]. Returns 0 for empty input.
+/// Exact percentile: linear interpolation between order statistics at
+/// rank p/100 * (n-1). Throws std::invalid_argument when p is outside
+/// [0, 100] or NaN (even for empty input); returns 0 for empty input.
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
 /// Equal-width histogram over [lo, hi); out-of-range samples clamp into the

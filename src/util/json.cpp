@@ -77,9 +77,15 @@ void escapeInto(std::string& out, const std::string& s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
+        // Print through unsigned char: char is signed here, so a negative
+        // byte passed to %04x would sign-extend into an 8-digit escape.
+        // Bytes >= 0x20 (including non-ASCII UTF-8 bytes) pass through
+        // verbatim; the parser accepts them verbatim too, so dump -> parse
+        // round-trips any byte content.
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out.push_back(c);

@@ -109,6 +109,23 @@ class Rng {
   /// Derive an independent child generator (e.g., one per thread).
   [[nodiscard]] Rng fork() noexcept { return Rng{(*this)()}; }
 
+  /// Complete generator state, exposed so checkpoints can capture and
+  /// restore the stream position exactly (including the Box-Muller spare,
+  /// without which a restored run would consume draws in a different order).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare = 0.0;
+    bool haveSpare = false;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return State{s_, spare_, haveSpare_};
+  }
+  void setState(const State& state) noexcept {
+    s_ = state.s;
+    spare_ = state.spare;
+    haveSpare_ = state.haveSpare;
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
                                                     int k) noexcept {

@@ -109,6 +109,14 @@ void MovingMean::reset() noexcept {
   sum_ = 0.0;
 }
 
+void MovingMean::restore(std::span<const double> samples, double sum) {
+  if (samples.size() > window_)
+    throw std::invalid_argument{
+        "MovingMean::restore: more samples than the window holds"};
+  samples_.assign(samples.begin(), samples.end());
+  sum_ = sum;
+}
+
 double MovingMean::value() const noexcept {
   if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());

@@ -27,6 +27,27 @@ class OnlineStats {
   [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
+  /// Raw accumulator state for checkpointing. The mean/m2 values are path
+  /// dependent (Welford updates do not commute bit-exactly), so restoring a
+  /// run must restore them verbatim rather than re-accumulating.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return State{n_, mean_, m2_, min_, max_};
+  }
+  void setState(const State& s) noexcept {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -60,6 +81,17 @@ class MovingMean {
   /// Mean over the last `window` samples; zero when no samples yet.
   [[nodiscard]] double value() const noexcept;
   [[nodiscard]] double last() const noexcept;
+
+  /// Window contents for checkpointing. The running sum is serialized too:
+  /// it accumulates add/subtract round-off over the window's history, so
+  /// recomputing it from the samples would not be bit-exact.
+  [[nodiscard]] const std::deque<double>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] double rawSum() const noexcept { return sum_; }
+  /// Restore a previously captured window verbatim. Throws
+  /// std::invalid_argument when more samples than the window are supplied.
+  void restore(std::span<const double> samples, double sum);
 
  private:
   std::size_t window_;

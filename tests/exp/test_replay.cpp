@@ -1,0 +1,420 @@
+// Deterministic checkpoint/restore: a run checkpointed at quantum k and
+// resumed must produce a final report byte-identical to the uninterrupted
+// run, for every scheduler kind, including Dike with the fault layer armed.
+// These simulations take seconds each; the target carries the "replay"
+// ctest label (select with `ctest -L replay`, skip with `-LE replay`).
+#include "exp/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/archive.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "exp/config_io.hpp"
+#include "exp/parallel.hpp"
+#include "util/json.hpp"
+
+namespace dike::exp {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+RunSpec smallSpec(SchedulerKind kind, std::uint64_t seed = 42) {
+  RunSpec spec;
+  spec.workloadId = 3;
+  spec.kind = kind;
+  spec.scale = 0.1;
+  spec.seed = seed;
+  return spec;
+}
+
+std::string report(const RunMetrics& m) { return runMetricsToJson(m).dump(2); }
+
+/// Arm every fault class inside a window the checkpoint lands in.
+fault::FaultPlan noisyPlan() {
+  fault::FaultPlan plan;
+  plan.seed = 99;
+  plan.window.startTick = 200;
+  plan.window.endTick = 0;  // until the run ends
+  plan.samples.dropProbability = 0.05;
+  plan.samples.corruptProbability = 0.05;
+  plan.samples.stuckAtZeroProbability = 0.02;
+  plan.samples.saturateMissRatioProbability = 0.05;
+  plan.actuation.swapFailProbability = 0.10;
+  plan.actuation.migrationFailProbability = 0.10;
+  plan.cores.freqDipProbability = 0.05;
+  return plan;
+}
+
+// The core guarantee, per scheduler kind: step a few quanta, checkpoint,
+// restore into a fresh session, finish both — the stepped, restored, and
+// uninterrupted reports must all be byte-identical.
+class ReplayAllKinds : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(ReplayAllKinds, CheckpointRestoreIsByteExact) {
+  const RunSpec spec = smallSpec(GetParam());
+  const std::string uninterrupted = report(RunSession{spec}.finish());
+
+  RunSession stepped{spec};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(stepped.stepQuantum());
+  const std::string path =
+      tempPath("replay_" + std::string{toString(GetParam())} + ".ckpt");
+  stepped.writeCheckpoint(path);
+
+  const std::unique_ptr<RunSession> restored = RunSession::restore(path);
+  EXPECT_EQ(restored->quantumIndex(), stepped.quantumIndex());
+  // The restored session's serialized state must match the live one's
+  // exactly before either takes another step.
+  EXPECT_EQ(firstDivergence(stepped.checkpointPayload(),
+                            restored->checkpointPayload()),
+            std::nullopt);
+
+  EXPECT_EQ(report(stepped.finish()), uninterrupted);
+  EXPECT_EQ(report(restored->finish()), uninterrupted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, ReplayAllKinds,
+    ::testing::Values(SchedulerKind::Cfs, SchedulerKind::Dio,
+                      SchedulerKind::Dike, SchedulerKind::DikeAF,
+                      SchedulerKind::DikeAP, SchedulerKind::Random,
+                      SchedulerKind::StaticOracle, SchedulerKind::Suspension),
+    [](const ::testing::TestParamInfo<SchedulerKind>& param) {
+      std::string name{toString(param.param)};
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Checkpoint taken inside the fault window: the injector and fault-policy
+// RNG forks are mid-stream, so any serialization gap would desynchronise
+// the remaining injections and show up in the tallies or the placements.
+TEST(Replay, DikeWithActiveFaultsIsByteExact) {
+  RunSpec spec = smallSpec(SchedulerKind::DikeAF);
+  spec.faults = noisyPlan();
+  const std::string uninterrupted = report(RunSession{spec}.finish());
+
+  RunSession stepped{spec};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(stepped.stepQuantum());
+  const std::string path = tempPath("replay_faults.ckpt");
+  stepped.writeCheckpoint(path);
+
+  const std::unique_ptr<RunSession> restored = RunSession::restore(path);
+  EXPECT_EQ(report(restored->finish()), uninterrupted);
+  EXPECT_EQ(report(stepped.finish()), uninterrupted);
+}
+
+// The wrappers dike_run uses: rolling checkpoints during a full run, then
+// resume from the last one — the resumed report matches the original.
+TEST(Replay, RunCheckpointedThenResumeMatches) {
+  const RunSpec spec = smallSpec(SchedulerKind::Dike);
+  const std::string path = tempPath("replay_rolling.ckpt");
+  CheckpointOptions opts;
+  opts.path = path;
+  opts.everyQuanta = 2;
+  const std::string full = report(runWorkloadCheckpointed(spec, opts));
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(report(resumeWorkload(path)), full);
+}
+
+// The acceptance-scale scenario: a ~300-quantum adaptive run checkpointed
+// at quantum 100 resumes to a byte-identical report.
+TEST(Replay, LongRunCheckpointAtQuantum100) {
+  RunSpec spec;
+  spec.workloadId = 5;
+  spec.kind = SchedulerKind::DikeAF;
+  spec.params.quantaLengthMs = 100;
+  spec.scale = 3.0;
+  spec.seed = 7;
+
+  RunSession stepped{spec};
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(stepped.stepQuantum()) << "run too short at quantum " << i;
+  const std::string path = tempPath("replay_long.ckpt");
+  stepped.writeCheckpoint(path);
+
+  const std::unique_ptr<RunSession> restored = RunSession::restore(path);
+  const RunMetrics fromRestored = restored->finish();
+  const RunMetrics fromStepped = stepped.finish();
+  EXPECT_GE(fromStepped.decisions.quanta, 300)
+      << "scenario must span >= 300 quanta to exercise a deep resume";
+  EXPECT_EQ(report(fromRestored), report(fromStepped));
+
+  const std::string uninterrupted = report(RunSession{spec}.finish());
+  EXPECT_EQ(report(fromStepped), uninterrupted);
+}
+
+// --- spec / metrics JSON codecs ------------------------------------------
+
+TEST(Replay, RunSpecJsonRoundTripsExactly) {
+  RunSpec spec;
+  spec.workloadId = 9;
+  wl::WorkloadSpec custom;
+  custom.id = 77;
+  custom.name = "odd \"name\"\nwith\tescapes";
+  custom.cls = wl::WorkloadClass::UnbalancedMemory;
+  custom.apps = {"jacobi", "kmeans"};
+  custom.includeKmeans = false;
+  spec.customWorkload = custom;
+  spec.kind = SchedulerKind::DikeAP;
+  spec.params.swapSize = 4;
+  spec.params.quantaLengthMs = 250;
+  core::DikeConfig dike;
+  dike.fairnessThreshold = 0.05;
+  dike.observer.movingMeanWindow = 12;
+  dike.resilience.fallbackQuanta = 3;
+  spec.dikeConfig = dike;
+  spec.scale = 0.125;
+  spec.seed = (std::uint64_t{1} << 53) + 1;  // not representable as double
+  spec.heterogeneous = false;
+  spec.machine.seed = 0xFFFFFFFFFFFFFFFFULL;
+  spec.machine.tickLeaping = false;
+  spec.threadsPerApp = 3;
+  spec.faults = noisyPlan();
+
+  const util::JsonValue encoded = runSpecToJson(spec);
+  const RunSpec decoded = runSpecFromJson(util::parseJson(encoded.dump(2)));
+  EXPECT_EQ(decoded.seed, spec.seed);
+  EXPECT_EQ(decoded.machine.seed, spec.machine.seed);
+  EXPECT_EQ(decoded.customWorkload->name, custom.name);
+  EXPECT_EQ(runSpecToJson(decoded).dump(), encoded.dump());
+}
+
+TEST(Replay, RunSpecFromJsonRejectsBadInput) {
+  EXPECT_THROW((void)runSpecFromJson(util::parseJson("[1, 2]")),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)runSpecFromJson(util::parseJson(R"({"scheduler": "nope"})")),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)runSpecFromJson(util::parseJson(R"({"seed": "12x"})")),
+      std::runtime_error);
+}
+
+TEST(Replay, RunMetricsJsonRoundTripsExactly) {
+  const RunMetrics metrics = RunSession{smallSpec(SchedulerKind::DikeAF)}
+                                 .finish();
+  const std::string dumped = report(metrics);
+  const RunMetrics decoded = runMetricsFromJson(util::parseJson(dumped));
+  EXPECT_EQ(report(decoded), dumped);
+}
+
+// --- divergence reporting -------------------------------------------------
+
+TEST(Replay, FirstDivergenceNamesTheQuantity) {
+  RunSession a{smallSpec(SchedulerKind::Dike, 42)};
+  RunSession b{smallSpec(SchedulerKind::Dike, 43)};  // placement differs
+  const std::optional<std::string> diff =
+      firstDivergence(a.checkpointPayload(), b.checkpointPayload());
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("run/"), std::string::npos) << *diff;
+}
+
+TEST(Replay, FirstDivergenceLengthMismatch) {
+  ckpt::BinWriter wa, wb;
+  wa.u64("a", 1);
+  wb.u64("a", 1);
+  wb.u64("b", 2);
+  const std::optional<std::string> diff =
+      firstDivergence(wa.take(), wb.take());
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("ends early"), std::string::npos) << *diff;
+}
+
+// --- schema evolution / corruption ---------------------------------------
+
+class ReplayCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunSession session{smallSpec(SchedulerKind::Dike)};
+    ASSERT_TRUE(session.stepQuantum());
+    path_ = tempPath("replay_corruption.ckpt");
+    session.writeCheckpoint(path_);
+    std::ifstream in{path_, std::ios::binary};
+    bytes_.assign(std::istreambuf_iterator<char>{in},
+                  std::istreambuf_iterator<char>{});
+    ASSERT_FALSE(bytes_.empty());
+  }
+
+  std::string rewrite(const std::string& name, const std::string& bytes) {
+    const std::string path = tempPath(name);
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << bytes;
+    return path;
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(ReplayCorruption, FutureVersionFailsBeforeAnyRestore) {
+  std::string tampered = bytes_;
+  tampered[8] = static_cast<char>(ckpt::kCheckpointVersion + 1);
+  const std::string path = rewrite("replay_future_version.ckpt", tampered);
+  try {
+    (void)RunSession::restore(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const ckpt::CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find("nothing was restored"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ReplayCorruption, TruncationAtAnyHeaderBoundaryFails) {
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{27}, bytes_.size() / 2,
+        bytes_.size() - 1}) {
+    const std::string path = rewrite("replay_truncated.ckpt",
+                                     bytes_.substr(0, keep));
+    EXPECT_THROW((void)RunSession::restore(path), ckpt::CheckpointError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(ReplayCorruption, PayloadBitFlipFailsChecksum) {
+  std::string tampered = bytes_;
+  tampered[tampered.size() / 2] =
+      static_cast<char>(tampered[tampered.size() / 2] ^ 0x10);
+  const std::string path = rewrite("replay_bitflip.ckpt", tampered);
+  EXPECT_THROW((void)RunSession::restore(path), ckpt::CheckpointError);
+}
+
+TEST_F(ReplayCorruption, ErrorNamesThePath) {
+  const std::string path =
+      rewrite("replay_named.ckpt", bytes_.substr(0, 10));
+  try {
+    (void)RunSession::restore(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const ckpt::CheckpointError& e) {
+    EXPECT_NE(std::string{e.what()}.find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+// Restoring one policy's state into a different policy must fail naming
+// both, not partially load: the scheduler section leads with the policy
+// name exactly so this is caught before any field is consumed.
+TEST(Replay, SchedulerStateRejectsWrongPolicy) {
+  const std::unique_ptr<sched::Scheduler> cfs =
+      makeScheduler(smallSpec(SchedulerKind::Cfs));
+  const std::unique_ptr<sched::Scheduler> dike =
+      makeScheduler(smallSpec(SchedulerKind::Dike));
+  ckpt::BinWriter w;
+  cfs->saveState(w);
+  const std::string payload = w.take();
+  ckpt::BinReader r{payload};
+  try {
+    dike->loadState(r);
+    FAIL() << "expected CheckpointError";
+  } catch (const ckpt::CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::string{cfs->name()}), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::string{dike->name()}), std::string::npos)
+        << what;
+  }
+}
+
+// --- resumable parallel sweeps -------------------------------------------
+
+TEST(SweepResume, CompletedRunsAreNotRecomputed) {
+  const std::vector<RunSpec> specs = {smallSpec(SchedulerKind::Cfs, 1),
+                                      smallSpec(SchedulerKind::Dio, 2),
+                                      smallSpec(SchedulerKind::Dike, 3)};
+  const std::string stateFile = tempPath("sweep_resume_state.json");
+  std::filesystem::remove(stateFile);
+
+  // Seed the state file with a sentinel result for spec 0, as a killed
+  // sweep would have left behind. The resumed sweep must hand it back
+  // verbatim (proof it skipped the run) and compute the rest.
+  RunMetrics sentinel;
+  sentinel.scheduler = "sentinel-not-a-real-run";
+  sentinel.workload = "wl-sentinel";
+  {
+    util::JsonObject completed;
+    completed["0"] = runMetricsToJson(sentinel);
+    util::JsonObject state;
+    state["sweepFingerprint"] = std::to_string(sweepFingerprint(specs));
+    state["completed"] = util::JsonValue{completed};
+    std::ofstream out{stateFile};
+    out << util::JsonValue{std::move(state)}.dump(2);
+  }
+
+  const std::vector<RunMetrics> results =
+      runWorkloadsParallel(specs, 2, stateFile);
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(results[0].scheduler, "sentinel-not-a-real-run");
+  EXPECT_EQ(results[1].scheduler, "dio");
+  EXPECT_FALSE(results[2].scheduler.empty());
+  // Completed sweep cleans up its state file.
+  EXPECT_FALSE(std::filesystem::exists(stateFile));
+}
+
+TEST(SweepResume, ResultsMatchThePlainSweep) {
+  const std::vector<RunSpec> specs = {smallSpec(SchedulerKind::Cfs, 11),
+                                      smallSpec(SchedulerKind::Dike, 12)};
+  const std::string stateFile = tempPath("sweep_match_state.json");
+  std::filesystem::remove(stateFile);
+  const std::vector<RunMetrics> plain = runWorkloadsParallel(specs, 2);
+  const std::vector<RunMetrics> resumable =
+      runWorkloadsParallel(specs, 2, stateFile);
+  ASSERT_EQ(plain.size(), resumable.size());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_EQ(report(resumable[i]), report(plain[i])) << "spec " << i;
+}
+
+// The experiment grid built on the resumable pool must aggregate to
+// exactly the sequential runner's cells, whatever the worker count.
+TEST(SweepResume, ExperimentGridMatchesSequential) {
+  ExperimentConfig config;
+  config.workloadIds = {3};
+  config.kinds = {SchedulerKind::Cfs, SchedulerKind::Dike};
+  config.scale = 0.05;
+  config.seed = 5;
+  config.reps = 2;
+  const std::vector<ExperimentCell> seq = runExperiment(config);
+  const std::string stateFile = tempPath("sweep_grid_state.json");
+  std::filesystem::remove(stateFile);
+  const std::vector<ExperimentCell> par = runExperiment(config, stateFile, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par[i].workloadId, seq[i].workloadId);
+    EXPECT_EQ(par[i].kind, seq[i].kind);
+    EXPECT_EQ(par[i].fairness, seq[i].fairness) << "cell " << i;
+    EXPECT_EQ(par[i].speedupVsCfs, seq[i].speedupVsCfs) << "cell " << i;
+    EXPECT_EQ(par[i].swaps, seq[i].swaps) << "cell " << i;
+    EXPECT_EQ(par[i].makespanSeconds, seq[i].makespanSeconds) << "cell " << i;
+  }
+  EXPECT_FALSE(std::filesystem::exists(stateFile));
+}
+
+TEST(SweepResume, FingerprintMismatchThrows) {
+  const std::vector<RunSpec> specs = {smallSpec(SchedulerKind::Cfs, 21)};
+  const std::string stateFile = tempPath("sweep_mismatch_state.json");
+  {
+    std::ofstream out{stateFile};
+    out << R"({"sweepFingerprint": "12345", "completed": {}})";
+  }
+  try {
+    (void)runWorkloadsParallel(specs, 1, stateFile);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("different spec list"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(stateFile);
+}
+
+}  // namespace
+}  // namespace dike::exp

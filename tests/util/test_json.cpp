@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <string>
+
+#include "util/rng.hpp"
 
 namespace dike::util {
 namespace {
@@ -121,6 +124,67 @@ TEST(Json, TypeMismatchThrows) {
 TEST(Json, ParseFileMissingThrows) {
   EXPECT_THROW({ [[maybe_unused]] auto v = parseJsonFile("/no/such.json"); },
                std::runtime_error);
+}
+
+// Strings must survive dump -> parse byte for byte, whatever bytes they
+// hold: quotes, backslashes, every control character (escaped as \uXXXX
+// or the short forms), DEL, and non-ASCII / invalid-UTF-8 bytes (passed
+// through verbatim). Embedded NUL included — std::string carries it.
+TEST(Json, StringRoundTripExhaustiveBytes) {
+  std::string all;
+  for (int b = 0; b < 256; ++b) all.push_back(static_cast<char>(b));
+  const JsonValue v{all};
+  const JsonValue back = parseJson(v.dump());
+  EXPECT_EQ(back.asString(), all);
+}
+
+TEST(Json, ControlCharactersEscapeToUnicode) {
+  const std::string dumped = JsonValue{std::string{"\x01\x1f"}}.dump();
+  EXPECT_EQ(dumped, "\"\\u0001\\u001f\"");
+  EXPECT_EQ(parseJson(dumped).asString(), std::string{"\x01\x1f"});
+}
+
+// High bytes are passed through, never sign-extended into 8-digit \u
+// escapes (char is signed on this target).
+TEST(Json, HighBytesPassThroughUnescaped) {
+  const std::string bytes{"\xc3\xa9\xff"};  // UTF-8 é plus a lone 0xFF
+  const std::string dumped = JsonValue{bytes}.dump();
+  EXPECT_EQ(dumped, "\"" + bytes + "\"");
+  EXPECT_EQ(parseJson(dumped).asString(), bytes);
+}
+
+// Fuzz-ish: random byte strings (biased toward quotes, backslashes, and
+// control bytes) must round-trip exactly. Deterministic seed, so a
+// failure reproduces.
+TEST(Json, StringRoundTripFuzz) {
+  Rng rng{0xD1CE};
+  std::string alphabet =
+      "\"\\\b\f\n\r\t\x01\x1f\x7f\x80\xc3\xa9\xff aZ09{}[]:,";
+  alphabet.push_back('\0');
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string s;
+    const std::uint64_t length = rng.below(64);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      if (rng.below(2) == 0)
+        s.push_back(alphabet[rng.below(alphabet.size())]);
+      else
+        s.push_back(static_cast<char>(rng.below(256)));
+    }
+    const JsonValue back = parseJson(JsonValue{s}.dump());
+    ASSERT_EQ(back.asString(), s) << "iteration " << iteration;
+  }
+}
+
+// Round-trip through nested structure too: object keys are strings with
+// the same escaping rules.
+TEST(Json, ObjectKeyEscapingRoundTrip) {
+  JsonObject o;
+  o[std::string{"quote\" slash\\ tab\t"}] = 1;
+  o[std::string{"newline\n"}] = 2;
+  const JsonValue back = parseJson(JsonValue{o}.dump(2));
+  EXPECT_EQ(back.asObject().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.numberOr("quote\" slash\\ tab\t", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(back.numberOr("newline\n", 0.0), 2.0);
 }
 
 TEST(Json, ParseFileRoundTrip) {

@@ -7,6 +7,8 @@
 //            [--trace-out chrome.json] [--events-csv events.csv]
 //            [--quantum-metrics qm.csv] [--trace-capacity N]
 //            [--faults faults.json]
+//            [--checkpoint-out run.ckpt [--checkpoint-every N]]
+//   dike_run --resume-from run.ckpt [--json out.json]
 //   dike_run --print-default-config
 //
 // The config schema is documented in src/exp/config_io.hpp; every machine
@@ -18,6 +20,7 @@
 #include <fstream>
 
 #include "exp/config_io.hpp"
+#include "exp/replay.hpp"
 #include "fault/fault_plan.hpp"
 #include "telemetry/registry.hpp"
 #include "util/cli.hpp"
@@ -74,6 +77,35 @@ void printDefaultConfig() {
   std::printf("%s\n", dike::util::JsonValue{std::move(doc)}.dump(2).c_str());
 }
 
+/// Rolling-checkpoint options from --checkpoint-out / --checkpoint-every.
+dike::exp::CheckpointOptions checkpointOptions(const dike::util::CliArgs& args) {
+  dike::exp::CheckpointOptions opts;
+  if (const auto path = args.get("checkpoint-out")) opts.path = *path;
+  opts.everyQuanta = args.getInt64("checkpoint-every", 1);
+  if (!opts.path.empty() && opts.everyQuanta < 1)
+    throw std::runtime_error{"--checkpoint-every must be a positive count"};
+  if (opts.path.empty() && args.has("checkpoint-every"))
+    throw std::runtime_error{
+        "--checkpoint-every requires --checkpoint-out <path>"};
+  return opts;
+}
+
+/// Emit the final single-run report (stdout, plus --json when given). The
+/// JSON encoding is deterministic, so an uninterrupted run and a resumed
+/// run of the same spec print byte-identical reports.
+void printSingleRunReport(const dike::exp::RunMetrics& metrics,
+                          const dike::util::CliArgs& args) {
+  const std::string report =
+      dike::exp::runMetricsToJson(metrics).dump(2) + "\n";
+  std::fputs(report.c_str(), stdout);
+  if (const auto jsonPath = args.get("json")) {
+    std::ofstream out{*jsonPath};
+    out << report;
+    if (!out)
+      throw std::runtime_error{"failed writing --json output: " + *jsonPath};
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,14 +114,32 @@ int main(int argc, char** argv) {
     printDefaultConfig();
     return 0;
   }
+  // --resume-from: pick a checkpointed run back up, run it to completion
+  // (optionally writing further rolling checkpoints), and print the final
+  // report — byte-identical to the uninterrupted run's report.
+  if (const auto ckptPath = args.get("resume-from")) {
+    try {
+      printSingleRunReport(
+          dike::exp::resumeWorkload(*ckptPath, checkpointOptions(args)),
+          args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: %s <config.json> [--csv out.csv] [--json out.json]\n"
                  "          [--telemetry] [--registry-out reg.json]\n"
                  "          [--trace-out chrome.json] [--events-csv ev.csv]\n"
                  "          [--quantum-metrics qm.csv] [--trace-capacity N]\n"
+                 "          [--checkpoint-out run.ckpt [--checkpoint-every N]]\n"
+                 "          [--sweep-state state.json] [--jobs N]\n"
+                 "       %s --resume-from run.ckpt [--json out.json]\n"
                  "       %s --print-default-config\n",
-                 args.programName().c_str(), args.programName().c_str());
+                 args.programName().c_str(), args.programName().c_str(),
+                 args.programName().c_str());
     return 2;
   }
 
@@ -120,6 +170,31 @@ int main(int argc, char** argv) {
     if (const auto faultsPath = args.get("faults"))
       config.faults =
           dike::fault::parseFaultPlan(dike::util::parseJsonFile(*faultsPath));
+
+    // --checkpoint-out: single-run mode. Runs only the experiment's first
+    // cell (first workload x first scheduler, rep 0) with rolling
+    // checkpoints every --checkpoint-every quanta, and prints that run's
+    // deterministic report instead of the grid. Resume it with
+    // --resume-from to reproduce the uninterrupted report byte for byte.
+    if (args.has("checkpoint-out")) {
+      if (config.workloadIds.empty() || config.kinds.empty())
+        throw std::runtime_error{
+            "config selects no workloads or schedulers"};
+      dike::exp::RunSpec spec;
+      spec.workloadId = config.workloadIds.front();
+      spec.kind = config.kinds.front();
+      spec.scale = config.scale;
+      spec.seed = config.seed;
+      spec.heterogeneous = config.heterogeneous;
+      spec.machine = config.machine;
+      spec.params = config.dike.params;
+      spec.dikeConfig = config.dike;
+      spec.faults = config.faults;
+      printSingleRunReport(
+          dike::exp::runWorkloadCheckpointed(spec, checkpointOptions(args)),
+          args);
+      return 0;
+    }
     if (!config.telemetry.quantumMetrics.empty())
       requireWritable(config.telemetry.quantumMetrics, "--quantum-metrics");
     if (!config.telemetry.traceOut.empty())
@@ -142,8 +217,13 @@ int main(int argc, char** argv) {
                   static_cast<long long>(config.faults->window.endTick));
     std::printf("\n");
 
+    // --sweep-state: persist completed runs so a killed sweep resumes
+    // where it left off. --jobs N fans runs across N workers (0 = all
+    // cores); the result table is identical either way.
+    const std::string sweepState = args.get("sweep-state").value_or("");
+    const int jobs = static_cast<int>(args.getInt64("jobs", 1));
     const std::vector<dike::exp::ExperimentCell> cells =
-        dike::exp::runExperiment(config);
+        dike::exp::runExperiment(config, sweepState, jobs);
 
     dike::util::TextTable table{{"workload", "scheduler", "fairness",
                                  "speedup-vs-cfs", "swaps", "makespan(s)"}};

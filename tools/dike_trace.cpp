@@ -5,6 +5,7 @@
 // Usage:
 //   dike_trace events.csv --out chrome.json     convert; prints event counts
 //   dike_trace --validate chrome.json           structural validation
+//   dike_trace --validate events.csv            raw event-CSV validation
 //   dike_trace events.csv --summary [--quantum-metrics qm.csv]
 //
 // The exported JSON loads directly in chrome://tracing or
@@ -36,7 +37,7 @@ using dike::sim::TraceEventKind;
 int usage(const std::string& program) {
   std::cerr << "usage:\n"
             << "  " << program << " <events.csv> --out <chrome.json>\n"
-            << "  " << program << " --validate <chrome.json>\n"
+            << "  " << program << " --validate <chrome.json|events.csv>\n"
             << "  " << program
             << " <events.csv> --summary [--quantum-metrics <qm.csv>]\n";
   return 1;
@@ -48,7 +49,30 @@ std::vector<TraceEvent> loadEvents(const std::string& path) {
   return dike::exp::readTraceCsv(in);
 }
 
+/// --validate on a .csv path checks the raw event CSV instead: the same
+/// hardened parser the converter uses (field counts, whole-token integer
+/// fields, known event kinds), so malformed traces fail with the line and
+/// field named rather than converting into a silently wrong timeline.
+int runValidateCsv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "error: cannot open events CSV: " << path << "\n";
+    return 1;
+  }
+  try {
+    const std::vector<TraceEvent> events = dike::exp::readTraceCsv(in);
+    std::cout << path << ": valid event CSV (" << events.size()
+              << " events)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << path << ": INVALID\n  - " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int runValidate(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    return runValidateCsv(path);
   std::ifstream in{path};
   if (!in) {
     std::cerr << "error: cannot open trace JSON: " << path << "\n";
