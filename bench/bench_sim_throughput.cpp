@@ -13,7 +13,9 @@
 // checked against the recorded trajectory.
 #include "common.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "telemetry/registry.hpp"
 #include "util/json.hpp"
@@ -152,11 +154,11 @@ void runSweepThroughput(const BenchOptions& opts,
     return secondsSince(start);
   };
 
-  const int jobs =
-      opts.jobs > 0 ? opts.jobs : dike::exp::defaultJobs();
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int jobs = opts.jobs > 0 ? opts.jobs : hw;
   const double serialNoLeap = timeSweep(false, 1);
   const double serialLeap = timeSweep(true, 1);
-  const double parallelLeap = timeSweep(true, jobs);
+  const double parallelLeap = jobs == 1 ? serialLeap : timeSweep(true, jobs);
 
   std::printf(
       "=== Figure-6-shaped sweep (%zu runs, scale=%.2f) ===\n"
@@ -166,14 +168,38 @@ void runSweepThroughput(const BenchOptions& opts,
       serialNoLeap / serialLeap, jobs, parallelLeap,
       serialNoLeap / parallelLeap);
 
+  // Scaling curve: the leap sweep at every power-of-two job count up to
+  // hardware_concurrency (always including both endpoints). On a 1-CPU
+  // host this degenerates to the single jobs=1 point — the curve reports
+  // what the machine can actually show, not an extrapolation.
+  dike::util::JsonArray scaling;
+  std::vector<int> jobCounts;
+  for (int j = 1; j < hw; j *= 2) jobCounts.push_back(j);
+  jobCounts.push_back(hw);
+  std::printf("scaling curve (leap sweep): ");
+  for (const int j : jobCounts) {
+    const double sec = j == 1       ? serialLeap
+                       : j == jobs  ? parallelLeap
+                                    : timeSweep(true, j);
+    std::printf("%dj=%.2fs ", j, sec);
+    dike::util::JsonObject point;
+    point.emplace("jobs", j);
+    point.emplace("sweep_sec", sec);
+    point.emplace("speedup_vs_1job", serialLeap / sec);
+    scaling.emplace_back(std::move(point));
+  }
+  std::printf("\n");
+
   out.emplace("sweep_runs", static_cast<double>(specs.size()));
   out.emplace("sweep_scale", opts.scale);
   out.emplace("sweep_jobs", jobs);
+  out.emplace("hardware_concurrency", hw);
   out.emplace("sweep_serial_no_leap_sec", serialNoLeap);
   out.emplace("sweep_serial_leap_sec", serialLeap);
   out.emplace("sweep_parallel_leap_sec", parallelLeap);
   out.emplace("sweep_leap_speedup", serialNoLeap / serialLeap);
   out.emplace("sweep_total_speedup", serialNoLeap / parallelLeap);
+  out.emplace("sweep_scaling", std::move(scaling));
 }
 
 void BM_RunLeap(benchmark::State& state) {

@@ -1,0 +1,47 @@
+// QuantumArena: the reusable per-quantum scratch for the Dike pipeline.
+//
+// Observer -> Selector -> Predictor -> Decider all run once per scheduling
+// quantum; the intermediate collections they need (the Observation snapshot,
+// the Selector's candidate walks, the formed pairs, the Migrator's core and
+// candidate lists) are identical in shape every time. Owning them in one
+// arena that the scheduler carries across quanta makes the steady-state hot
+// path allocation-free: every buffer is cleared — capacity retained — at
+// the point of refill, never reallocated.
+//
+// Ownership rules:
+//  * The arena is owned by the scheduler (one per DikeScheduler) and is
+//    NEVER shared between schedulers — the buffers carry no information
+//    across quanta, only capacity.
+//  * Contents are valid only within the onQuantum call that filled them;
+//    `candidates` holds pointers into the Observer's thread list, which the
+//    next observe() invalidates.
+//  * Nothing in here is serialized: a checkpoint restore starts with cold
+//    (empty) buffers and the first post-restore quantum refills them,
+//    which is behaviourally identical to the uninterrupted run.
+#pragma once
+
+#include <vector>
+
+#include "core/observer.hpp"
+#include "core/selector.hpp"
+
+namespace dike::core {
+
+struct QuantumArena {
+  /// Snapshot refilled by makeObservationInto each quantum.
+  Observation obs;
+  /// Selector candidate-walk buffers (see SelectorScratch).
+  SelectorScratch selector;
+  /// Pairs formed by Selector::formPairsInto this quantum.
+  std::vector<ThreadPair> pairs;
+  /// Round-robin fallback: live, unsuspended occupants in core order.
+  std::vector<int> occupants;
+  /// Free-core migration: free high-/low-bandwidth core ids.
+  std::vector<int> freeHigh;
+  std::vector<int> freeLow;
+  /// Free-core migration: promotion/demotion candidates (pointers into the
+  /// Observer's current thread list).
+  std::vector<const ThreadInfo*> candidates;
+};
+
+}  // namespace dike::core

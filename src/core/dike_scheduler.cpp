@@ -52,9 +52,8 @@ util::Tick DikeScheduler::quantumTicks() const {
 }
 
 double DikeScheduler::observedRate(int threadId) const noexcept {
-  for (const ThreadInfo& t : observer_.threadsByAccessRate())
-    if (t.threadId == threadId) return t.avgAccessRate;
-  return kNaN;
+  const ThreadInfo* t = observer_.findThread(threadId);
+  return t != nullptr ? t->avgAccessRate : kNaN;
 }
 
 void DikeScheduler::onQuantum(sched::SchedulerView& view) {
@@ -73,7 +72,8 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
     DIKE_COUNTER("core.dike.divergence_reset");
   }
 
-  observer_.observe(makeObservation(view));
+  makeObservationInto(view, arena_.obs);
+  observer_.observe(arena_.obs);
 
   QuantumDecisionStats stats;
   stats.quantumIndex = quantumIndex_;
@@ -139,8 +139,9 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
     // candidates (2x) because the Decider will reject some on cool-down or
     // profit; swapSize bounds the swaps actually *executed* per quantum.
     const int maxSwaps = params_.swapSize / 2;
-    const std::vector<ThreadPair> pairs =
-        selector_.formPairs(observer_, params_.swapSize * 2);
+    selector_.formPairsInto(observer_, params_.swapSize * 2, arena_.selector,
+                            arena_.pairs);
+    const std::vector<ThreadPair>& pairs = arena_.pairs;
     stats.pairsConsidered = static_cast<int>(pairs.size());
     const auto traceSwap = [&](const ThreadPair& pair,
                                const SwapPrediction* prediction,
@@ -247,7 +248,8 @@ void DikeScheduler::rotateRoundRobin(sched::SchedulerView& view,
   // first occupant. Blind by construction — ascending core ids, no counter
   // input — so a corrupt feed cannot bias it; over several quanta every
   // thread visits every core class, which is what restores fairness.
-  std::vector<int> occupants;
+  std::vector<int>& occupants = arena_.occupants;
+  occupants.clear();
   for (int c = 0; c < view.coreCount(); ++c) {
     const int t = view.coreOccupant(c);
     if (t >= 0 && !view.isSuspended(t)) occupants.push_back(t);
@@ -279,8 +281,10 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
   // low-bandwidth cores are, demote surplus compute threads to open a
   // high-bandwidth core for the next quantum. Single migrations (cheaper
   // than swaps — no partner is displaced); the cooldown still applies.
-  std::vector<int> freeHigh;
-  std::vector<int> freeLow;
+  std::vector<int>& freeHigh = arena_.freeHigh;
+  std::vector<int>& freeLow = arena_.freeLow;
+  freeHigh.clear();
+  freeLow.clear();
   for (int c = 0; c < view.coreCount(); ++c) {
     if (view.coreOccupant(c) != -1) continue;
     (observer_.isHighBandwidthCore(c) ? freeHigh : freeLow).push_back(c);
@@ -301,7 +305,8 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
   if (!freeHigh.empty()) {
     // Promotion candidates: threads on low-bandwidth cores — memory-class
     // violators first, then anyone starved — most starved first.
-    std::vector<const ThreadInfo*> candidates;
+    std::vector<const ThreadInfo*>& candidates = arena_.candidates;
+    candidates.clear();
     for (const ThreadInfo& t : observer_.threadsByAccessRate())
       if (!observer_.isHighBandwidthCore(t.coreId)) candidates.push_back(&t);
     std::sort(candidates.begin(), candidates.end(),
@@ -341,7 +346,8 @@ void DikeScheduler::migrateToFreeCores(sched::SchedulerView& view,
   } else {
     // No free high-bandwidth core: open one by demoting a surplus compute
     // thread into a free low-bandwidth core.
-    std::vector<const ThreadInfo*> candidates;
+    std::vector<const ThreadInfo*>& candidates = arena_.candidates;
+    candidates.clear();
     for (const ThreadInfo& t : observer_.threadsByAccessRate())
       if (observer_.isHighBandwidthCore(t.coreId) &&
           t.cls == ThreadClass::Compute &&

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "core/arena.hpp"
 #include "core/config.hpp"
 #include "core/decider.hpp"
 #include "core/observer.hpp"
@@ -130,6 +131,8 @@ class DikeScheduler final : public sched::Scheduler {
   bool faultsActive_ = false;
   int fairnessStallStreak_ = 0;
   int fallbackLeft_ = 0;
+  /// Per-quantum scratch; capacity persists across quanta, contents do not.
+  QuantumArena arena_;
 };
 
 }  // namespace dike::core

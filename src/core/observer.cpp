@@ -24,15 +24,24 @@ std::string_view toString(WorkloadType type) noexcept {
 
 Observation makeObservation(const sched::SchedulerView& view) {
   Observation obs;
-  obs.sample = view.sample();
-  const int cores = view.coreCount();
-  obs.coreOccupant.reserve(static_cast<std::size_t>(cores));
-  obs.coreSocket.reserve(static_cast<std::size_t>(cores));
-  for (int c = 0; c < cores; ++c) {
-    obs.coreOccupant.push_back(view.coreOccupant(c));
-    obs.coreSocket.push_back(view.socketOf(c));
-  }
+  makeObservationInto(view, obs);
   return obs;
+}
+
+void makeObservationInto(const sched::SchedulerView& view, Observation& out) {
+  // Copy-assignment into the existing sample reuses the capacity of its
+  // per-thread and per-core vectors; the topology vectors likewise keep
+  // theirs across clear().
+  out.sample = view.sample();
+  const int cores = view.coreCount();
+  out.coreOccupant.clear();
+  out.coreSocket.clear();
+  out.coreOccupant.reserve(static_cast<std::size_t>(cores));
+  out.coreSocket.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    out.coreOccupant.push_back(view.coreOccupant(c));
+    out.coreSocket.push_back(view.socketOf(c));
+  }
 }
 
 Observer::Observer(ObserverConfig config) : config_(config) {}
@@ -136,22 +145,108 @@ void Observer::classifyThreads(const sim::QuantumSample& sample) {
   }
 
   // Deficits: starvation relative to sibling threads of the same process.
-  std::map<int, util::OnlineStats> perProcess;
-  for (const ThreadInfo& t : threads_)
-    perProcess[t.processId].add(t.cumAccessRate);
+  // Computed before the sort so the per-process accumulation order (sample
+  // order) matches the historical behaviour exactly.
+  accumulatePerProcess();
   for (ThreadInfo& t : threads_) {
-    const double mean = perProcess[t.processId].mean();
+    double mean = 0.0;
+    for (const auto& [pid, stats] : perProcess_)
+      if (pid == t.processId) {
+        mean = stats.mean();
+        break;
+      }
     t.deficit = mean > config_.processRateFloor
                     ? 1.0 - t.cumAccessRate / mean
                     : 0.0;
   }
 
-  std::sort(threads_.begin(), threads_.end(),
-            [](const ThreadInfo& a, const ThreadInfo& b) {
-              if (a.avgAccessRate != b.avgAccessRate)
-                return a.avgAccessRate < b.avgAccessRate;
-              return a.threadId < b.threadId;
-            });
+  const auto byRate = [](const ThreadInfo& a, const ThreadInfo& b) {
+    if (a.avgAccessRate != b.avgAccessRate)
+      return a.avgAccessRate < b.avgAccessRate;
+    return a.threadId < b.threadId;
+  };
+
+  // Index the fresh (sample-order) list by id, then decide between the
+  // incremental repair path and a full sort. Membership is unchanged when
+  // the previous order has the same length and every id it names is still
+  // live — distinct ids on both sides make that a bijection.
+  int maxId = -1;
+  for (const ThreadInfo& t : threads_) maxId = std::max(maxId, t.threadId);
+  threadIndexById_.assign(static_cast<std::size_t>(maxId + 1), -1);
+  for (int i = 0; i < util::isize(threads_); ++i)
+    threadIndexById_[static_cast<std::size_t>(threads_[static_cast<std::size_t>(i)]
+                                                  .threadId)] = i;
+  bool sameMembership = prevOrder_.size() == threads_.size();
+  if (sameMembership)
+    for (int id : prevOrder_)
+      if (id > maxId || threadIndexById_[static_cast<std::size_t>(id)] < 0) {
+        sameMembership = false;
+        break;
+      }
+
+  if (sameMembership) {
+    // Rates drift slowly quantum to quantum, so the previous sorted order
+    // is near-sorted for the new keys: permute into it and repair with an
+    // adaptive insertion sort (O(n + inversions)). The comparator is a
+    // strict total order, so this yields the identical sequence a full
+    // sort would.
+    DIKE_COUNTER("core.observer.sort_repair");
+    orderScratch_.clear();
+    for (int id : prevOrder_)
+      orderScratch_.push_back(threads_[static_cast<std::size_t>(
+          threadIndexById_[static_cast<std::size_t>(id)])]);
+    threads_.swap(orderScratch_);
+    for (std::size_t i = 1; i < threads_.size(); ++i) {
+      ThreadInfo key = threads_[i];
+      std::size_t j = i;
+      while (j > 0 && byRate(key, threads_[j - 1])) {
+        threads_[j] = threads_[j - 1];
+        --j;
+      }
+      threads_[j] = key;
+    }
+  } else {
+    DIKE_COUNTER("core.observer.sort_full");
+    std::sort(threads_.begin(), threads_.end(), byRate);
+  }
+  recordThreadOrder();
+}
+
+void Observer::accumulatePerProcess() {
+  perProcess_.clear();
+  for (const ThreadInfo& t : threads_) {
+    util::OnlineStats* stats = nullptr;
+    for (auto& [pid, s] : perProcess_)
+      if (pid == t.processId) {
+        stats = &s;
+        break;
+      }
+    if (stats == nullptr) {
+      perProcess_.emplace_back(t.processId, util::OnlineStats{});
+      stats = &perProcess_.back().second;
+    }
+    stats->add(t.cumAccessRate);
+  }
+}
+
+void Observer::recordThreadOrder() {
+  int maxId = -1;
+  for (const ThreadInfo& t : threads_) maxId = std::max(maxId, t.threadId);
+  threadIndexById_.assign(static_cast<std::size_t>(maxId + 1), -1);
+  prevOrder_.clear();
+  for (int i = 0; i < util::isize(threads_); ++i) {
+    const ThreadInfo& t = threads_[static_cast<std::size_t>(i)];
+    prevOrder_.push_back(t.threadId);
+    threadIndexById_[static_cast<std::size_t>(t.threadId)] = i;
+  }
+}
+
+const ThreadInfo* Observer::findThread(int threadId) const noexcept {
+  if (threadId < 0 ||
+      threadId >= static_cast<int>(threadIndexById_.size()))
+    return nullptr;
+  const int idx = threadIndexById_[static_cast<std::size_t>(threadId)];
+  return idx >= 0 ? &threads_[static_cast<std::size_t>(idx)] : nullptr;
 }
 
 void Observer::updateCoreBw(const Observation& obs) {
@@ -176,15 +271,15 @@ void Observer::updateCoreBw(const Observation& obs) {
   // best core on its (homogeneous-silicon) socket has demonstrated.
   int socketCount = 0;
   for (int s : obs.coreSocket) socketCount = std::max(socketCount, s + 1);
-  std::vector<double> socketCap(static_cast<std::size_t>(socketCount), 0.0);
+  socketCapScratch_.assign(static_cast<std::size_t>(socketCount), 0.0);
   for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
-    double& cap = socketCap[static_cast<std::size_t>(obs.coreSocket[c])];
+    double& cap = socketCapScratch_[static_cast<std::size_t>(obs.coreSocket[c])];
     cap = std::max(cap, coreBwRaw_[c]);
   }
   for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
     const double blended =
         config_.socketShare *
-        socketCap[static_cast<std::size_t>(obs.coreSocket[c])];
+        socketCapScratch_[static_cast<std::size_t>(obs.coreSocket[c])];
     coreBwEffective_[c] = std::max(coreBwRaw_[c], blended);
   }
 }
@@ -193,7 +288,8 @@ void Observer::partitionCores(const Observation& obs) {
   // Rank every core with a bandwidth estimate (occupied now, or exercised
   // earlier — a freed fast core keeps its capability); top half is "high
   // bandwidth".
-  std::vector<int> known;
+  std::vector<int>& known = knownScratch_;
+  known.clear();
   known.reserve(coreBwEffective_.size());
   for (int c = 0; c < static_cast<int>(coreBwEffective_.size()); ++c) {
     if (obs.coreOccupant[static_cast<std::size_t>(c)] >= 0 ||
@@ -217,15 +313,13 @@ void Observer::partitionCores(const Observation& obs) {
 void Observer::computeUnfairness() {
   // CV of cumulative access rates across each process's live threads:
   // homogeneous data-parallel threads should accumulate service equally.
-  std::map<int, util::OnlineStats> perProcess;
-  for (const ThreadInfo& t : threads_)
-    perProcess[t.processId].add(t.cumAccessRate);
+  accumulatePerProcess();
 
   // The signal is the *worst* process: one starving application is an
   // unfair system even when the others are uniform (a mean would dilute it
   // below theta_f).
   double worst = 0.0;
-  for (const auto& [pid, stats] : perProcess) {
+  for (const auto& [pid, stats] : perProcess_) {
     if (stats.count() < 2) continue;
     if (stats.mean() < config_.processRateFloor) continue;  // noise-dominated
     worst = std::max(worst, stats.coefficientOfVariation());
@@ -435,6 +529,11 @@ void Observer::loadState(ckpt::BinReader& r) {
   r.endSection();
 
   *this = std::move(fresh);
+  // The order/index caches are never serialized (pure scratch); rebuild
+  // them from the restored thread list so findThread and the sort-repair
+  // path work from the first post-restore quantum — exactly as they would
+  // have in the uninterrupted run.
+  recordThreadOrder();
 }
 
 }  // namespace dike::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -29,6 +30,10 @@ struct Observation {
 
 /// Build an Observation from a simulator scheduler view.
 [[nodiscard]] Observation makeObservation(const sched::SchedulerView& view);
+
+/// Allocation-free makeObservation: refills `out` in place so its vectors
+/// (and the sample's per-thread rows) keep their capacity across quanta.
+void makeObservationInto(const sched::SchedulerView& view, Observation& out);
 
 enum class ThreadClass { Compute, Memory };
 
@@ -79,6 +84,11 @@ class Observer {
       const noexcept {
     return threads_;
   }
+
+  /// O(1) lookup into threadsByAccessRate() by thread id, or nullptr when
+  /// the thread was not observed in the most recent quantum. The pointer is
+  /// invalidated by the next observe()/loadState() call.
+  [[nodiscard]] const ThreadInfo* findThread(int threadId) const noexcept;
 
   /// CoreBW: the capability estimate for a core (accesses/second).
   [[nodiscard]] double coreBw(int coreId) const;
@@ -137,6 +147,11 @@ class Observer {
   void partitionCores(const Observation& obs);
   void computeUnfairness();
   void classifyWorkload();
+  /// Accumulate per-process OnlineStats of cumAccessRate over threads_ in
+  /// its current iteration order, into the reusable flat scratch.
+  void accumulatePerProcess();
+  /// Rebuild prevOrder_ and threadIndexById_ from the (sorted) threads_.
+  void recordThreadOrder();
 
   ObserverConfig config_;
   std::int64_t observedQuanta_ = 0;
@@ -167,6 +182,28 @@ class Observer {
   WorkloadType type_ = WorkloadType::Balanced;
   int memCount_ = 0;
   int compCount_ = 0;
+
+  // --- Reusable per-quantum scratch (never serialized; pure caches). ---
+  /// (processId, stats) pairs, first-encounter order. A flat vector beats a
+  /// node-based map here: a handful of processes, scanned linearly, zero
+  /// steady-state allocation. Accumulation order per process is unchanged
+  /// from the historical std::map version (encounter order), and the
+  /// unfairness reduction is a max — order-independent — so the fairness
+  /// signal stays bit-identical.
+  std::vector<std::pair<int, util::OnlineStats>> perProcess_;
+  /// Thread ids in the previous quantum's sorted order. When the live set
+  /// is unchanged, threads_ is permuted into this order and repaired with
+  /// an adaptive insertion sort instead of a full re-sort; the comparator
+  /// (avgAccessRate, threadId) is a strict total order, so every sorting
+  /// algorithm produces the one and only sorted sequence — the repair path
+  /// is bit-identical to the full sort by construction.
+  std::vector<int> prevOrder_;
+  std::vector<ThreadInfo> orderScratch_;  ///< permutation staging buffer
+  /// Dense threadId -> index into threads_ (-1 when absent); backs
+  /// findThread and the membership check of the sort-repair path.
+  std::vector<int> threadIndexById_;
+  std::vector<double> socketCapScratch_;  ///< updateCoreBw per-socket maxima
+  std::vector<int> knownScratch_;         ///< partitionCores ranking buffer
 };
 
 }  // namespace dike::core

@@ -8,12 +8,6 @@ namespace dike::core {
 
 namespace {
 
-const ThreadInfo* findThread(const Observer& observer, int threadId) {
-  for (const ThreadInfo& t : observer.threadsByAccessRate())
-    if (t.threadId == threadId) return &t;
-  return nullptr;
-}
-
 /// Defensive input clamp: the Observer sanitizes its feed, but the
 /// Predictor is also driven directly by tests and (on a live host) by
 /// counter paths with their own failure modes. A non-finite or negative
@@ -32,8 +26,8 @@ Predictor::Predictor(PredictorConfig config) : config_(config) {
 SwapPrediction Predictor::predict(const Observer& observer,
                                   const ThreadPair& pair,
                                   int quantaLengthMs) const {
-  const ThreadInfo* low = findThread(observer, pair.lowThread);
-  const ThreadInfo* high = findThread(observer, pair.highThread);
+  const ThreadInfo* low = observer.findThread(pair.lowThread);
+  const ThreadInfo* high = observer.findThread(pair.highThread);
   if (low == nullptr || high == nullptr)
     throw std::invalid_argument{"pair references a thread the observer has not seen"};
   if (quantaLengthMs <= 0)

@@ -11,16 +11,25 @@ Selector::Selector(SelectorConfig config) : config_(config) {}
 
 std::vector<ThreadPair> Selector::formPairs(const Observer& observer,
                                             int swapSize) const {
+  SelectorScratch scratch;
   std::vector<ThreadPair> pairs;
-  if (!observer.ready()) return pairs;
+  formPairsInto(observer, swapSize, scratch, pairs);
+  return pairs;
+}
+
+void Selector::formPairsInto(const Observer& observer, int swapSize,
+                             SelectorScratch& scratch,
+                             std::vector<ThreadPair>& pairs) const {
+  pairs.clear();
+  if (!observer.ready()) return;
 
   // Algorithm 1, lines 1-4: skip the quantum when the system is fair.
-  if (observer.systemUnfairness() < config_.fairnessThreshold) return pairs;
+  if (observer.systemUnfairness() < config_.fairnessThreshold) return;
 
   const std::vector<ThreadInfo>& threads = observer.threadsByAccessRate();
   const int n = util::isize(threads);
   const int maxPairs = swapSize / 2;
-  if (n < 2 || maxPairs < 1) return pairs;
+  if (n < 2 || maxPairs < 1) return;
 
   // Lines 10-15: all threads of one class — pair from both ends regardless
   // of the placement rule.
@@ -38,7 +47,7 @@ std::vector<ThreadPair> Selector::formPairs(const Observer& observer,
       ++head;
       --tail;
     }
-    return pairs;
+    return;
   }
 
   // Lines 16-32, generalised to two candidate walks.
@@ -47,8 +56,10 @@ std::vector<ThreadPair> Selector::formPairs(const Observer& observer,
   // violators (compute-classified threads squatting on high-BW cores) come
   // first; within each group the thread with the largest service *surplus*
   // relative to its siblings (most negative deficit) is demoted first.
-  std::vector<const ThreadInfo*> lows;
-  std::vector<const ThreadInfo*> lowsRest;
+  std::vector<const ThreadInfo*>& lows = scratch.lows;
+  std::vector<const ThreadInfo*>& lowsRest = scratch.lowsRest;
+  lows.clear();
+  lowsRest.clear();
   for (const ThreadInfo& t : threads) {
     if (!observer.isHighBandwidthCore(t.coreId)) continue;
     if (t.cls == ThreadClass::Compute)
@@ -59,8 +70,10 @@ std::vector<ThreadPair> Selector::formPairs(const Observer& observer,
   // Promote side: threads stuck on low-bandwidth cores. Memory-classified
   // violators first; within each group the most-starved thread (largest
   /// positive deficit) is promoted first.
-  std::vector<const ThreadInfo*> highs;
-  std::vector<const ThreadInfo*> highsRest;
+  std::vector<const ThreadInfo*>& highs = scratch.highs;
+  std::vector<const ThreadInfo*>& highsRest = scratch.highsRest;
+  highs.clear();
+  highsRest.clear();
   for (const ThreadInfo& t : threads) {
     if (observer.isHighBandwidthCore(t.coreId)) continue;
     if (t.cls == ThreadClass::Memory)
@@ -101,7 +114,6 @@ std::vector<ThreadPair> Selector::formPairs(const Observer& observer,
       continue;
     pairs.push_back(ThreadPair{tl->threadId, th->threadId});
   }
-  return pairs;
 }
 
 }  // namespace dike::core

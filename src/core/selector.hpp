@@ -35,6 +35,17 @@ struct SelectorConfig {
   double pairRateMargin = 0.03;
 };
 
+/// Reusable candidate-walk buffers for allocation-free pair forming. The
+/// pointers held between calls are stale (they reference a previous
+/// quantum's ThreadInfo list) but never read: every formPairsInto call
+/// clears the vectors before use, so only their capacity survives.
+struct SelectorScratch {
+  std::vector<const ThreadInfo*> lows;
+  std::vector<const ThreadInfo*> lowsRest;
+  std::vector<const ThreadInfo*> highs;
+  std::vector<const ThreadInfo*> highsRest;
+};
+
 class Selector {
  public:
   explicit Selector(SelectorConfig config = {});
@@ -44,6 +55,12 @@ class Selector {
   /// fair or no eligible pairs exist. Every returned thread id is distinct.
   [[nodiscard]] std::vector<ThreadPair> formPairs(const Observer& observer,
                                                   int swapSize) const;
+
+  /// Allocation-free formPairs: identical pair sequence, refilling `pairs`
+  /// in place and reusing `scratch` across quanta.
+  void formPairsInto(const Observer& observer, int swapSize,
+                     SelectorScratch& scratch,
+                     std::vector<ThreadPair>& pairs) const;
 
   [[nodiscard]] const SelectorConfig& config() const noexcept {
     return config_;

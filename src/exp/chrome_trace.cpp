@@ -103,6 +103,14 @@ util::JsonValue buildChromeTrace(const std::vector<sim::TraceEvent>& events,
                                  const ChromeTraceMeta& meta,
                                  const telemetry::DecisionTrace* decisions) {
   util::JsonArray out;
+  // Upper-bound estimate of the emission count: fixed metadata, at most two
+  // entries per machine event (a close + an open), the end-of-window closes,
+  // and two entries per decision record. One reservation instead of
+  // log2(n) reallocation-and-move cycles of the whole event array.
+  out.reserve(2 + static_cast<std::size_t>(std::max(0, meta.coreCount)) +
+              events.size() * 2 +
+              (decisions != nullptr ? decisions->records().size() * 2 + 2
+                                    : 0));
 
   const auto processName = [&meta](int processId) -> std::string {
     if (processId >= 0 &&

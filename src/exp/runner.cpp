@@ -89,20 +89,28 @@ class QuantumMetricsListener final : public sched::QuantumListener {
   void afterQuantum(const sim::Machine& machine,
                     const sched::SchedulerView& view,
                     sched::Scheduler& scheduler) override {
-    telemetry::QuantumRecord rec;
+    // The record and the scored-prediction index are member buffers: one
+    // listener serves one run, so per-quantum churn reuses their capacity
+    // (thread rows, strings, hash buckets) instead of reallocating.
+    telemetry::QuantumRecord& rec = rec_;
+    rec.threads.clear();
+    rec.workloadClass.clear();
     rec.tick = machine.now();
     rec.quantumIndex = quantumIndex_++;
-    rec.scheduler = std::string{scheduler.name()};
+    rec.scheduler.assign(scheduler.name());
     rec.unfairness = kQuietNaN;
+    rec.quantaLengthMs = -1;
+    rec.swapSize = -1;
     rec.swapsExecuted = view.swapsThisQuantum();
     rec.migrationsExecuted = view.migrationsThisQuantum();
 
     const auto* dike = dynamic_cast<const core::DikeScheduler*>(&scheduler);
-    std::unordered_map<int, core::ScoredPrediction> scored;
+    std::unordered_map<int, core::ScoredPrediction>& scored = scored_;
+    scored.clear();
     if (dike != nullptr) {
       const core::Observer& observer = dike->observer();
       rec.unfairness = observer.systemUnfairness();
-      rec.workloadClass = std::string{toString(observer.workloadType())};
+      rec.workloadClass = toString(observer.workloadType());
       rec.quantaLengthMs = dike->params().quantaLengthMs;
       rec.swapSize = dike->params().swapSize;
       for (const core::ScoredPrediction& p : dike->predictions().lastScored())
@@ -142,6 +150,8 @@ class QuantumMetricsListener final : public sched::QuantumListener {
  private:
   telemetry::QuantumStreamWriter* writer_;
   std::int64_t quantumIndex_ = 0;
+  telemetry::QuantumRecord rec_;
+  std::unordered_map<int, core::ScoredPrediction> scored_;
 };
 
 /// Open a telemetry output for writing, failing fast (before the simulation

@@ -81,7 +81,11 @@ bool SchedulerView::isSuspended(int threadId) const {
 }
 
 void SchedulerAdapter::onQuantum(sim::Machine& machine) {
-  sim::QuantumSample sample = machine.sampleAndReset();
+  // The sample snapshot reuses one member buffer across quanta: per-thread
+  // rows and per-core bandwidths keep their capacity, so steady-state quanta
+  // allocate nothing here.
+  machine.sampleAndResetInto(sampleScratch_);
+  sim::QuantumSample& sample = sampleScratch_;
   if (filter_ != nullptr) filter_->filterSample(sample, machine.now());
   SchedulerView view{machine, sample, hook_};
   scheduler_->onQuantum(view);

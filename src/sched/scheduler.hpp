@@ -185,6 +185,9 @@ class SchedulerAdapter final : public sim::QuantumPolicy {
   ActuationHook* hook_ = nullptr;
   std::int64_t swaps_ = 0;
   std::int64_t quanta_ = 0;
+  /// Capacity-reusing snapshot buffer filled by Machine::sampleAndResetInto
+  /// each quantum; valid only within onQuantum.
+  sim::QuantumSample sampleScratch_;
 };
 
 }  // namespace dike::sched

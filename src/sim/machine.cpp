@@ -1,7 +1,9 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -27,6 +29,22 @@ constexpr double kEps = 1e-9;
   const auto margin = static_cast<util::Tick>(3.0 + est * 1e-7);
   const auto whole = static_cast<util::Tick>(est);
   return whole > margin ? whole - margin : 0;
+}
+
+/// Bitwise equality of two demand vectors (the arbitration memo key).
+/// Bit-level comparison, not operator==: distinguishing -0.0 from 0.0 (and
+/// never equating NaNs) is what makes "equal demands" imply "bit-identical
+/// arbitration output".
+[[nodiscard]] bool sameDemands(const std::vector<MemoryDemand>& a,
+                               const std::vector<MemoryDemand>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].socket != b[i].socket ||
+        std::bit_cast<std::uint64_t>(a[i].accesses) !=
+            std::bit_cast<std::uint64_t>(b[i].accesses))
+      return false;
+  }
+  return true;
 }
 }  // namespace
 
@@ -70,9 +88,121 @@ int Machine::addProcess(std::string name, PhaseProgram program,
     proc.threadIds.push_back(t.id);
     liveThreads_.push_back(t.id);  // new ids are largest: order stays ascending
     threads_.push_back(t);
+    appendHotThread(threads_.back());
   }
   processes_.push_back(std::move(proc));
+  for (int id : processes_.back().threadIds) refreshPhaseCache(id);
+  llcDirty_ = true;
   return processes_.back().id;
+}
+
+void Machine::appendHotThread(const SimThread& t) {
+  hot_.executed.push_back(t.executed);
+  hot_.phaseExecuted.push_back(t.phaseExecuted);
+  hot_.quantumInstructions.push_back(t.quantumInstructions);
+  hot_.quantumAccesses.push_back(t.quantumAccesses);
+  hot_.totalAccesses.push_back(t.totalAccesses);
+  hot_.prevUtilization.push_back(t.prevUtilization);
+  hot_.runnableTicks.push_back(t.runnableTicks);
+  hot_.stallTicks.push_back(t.stallTicks);
+  hot_.barrierTicks.push_back(t.barrierTicks);
+  hot_.suspendedTicks.push_back(t.suspendedTicks);
+  hot_.fastCoreTicks.push_back(t.fastCoreTicks);
+  hot_.slowCoreTicks.push_back(t.slowCoreTicks);
+  hot_.coreId.push_back(t.coreId);
+  hot_.stallUntil.push_back(t.stallUntilTick);
+  hot_.coldUntil.push_back(t.coldUntilTick);
+  hot_.suspended.push_back(0);
+  hot_.waiting.push_back(0);
+  hot_.finished.push_back(0);
+  hot_.barriersPassed.push_back(t.barriersPassed);
+  hot_.socket.push_back(-1);
+  hot_.physicalCore.push_back(-1);
+  hot_.fastCore.push_back(0);
+  hot_.conflict.push_back(1.0);
+  hot_.phase.push_back(nullptr);
+  hot_.barrierEvery.push_back(0.0);
+  hot_.totalInstructions.push_back(0.0);
+  syncHotThread(t.id);
+  // The phase cache is refreshed by the caller once the owning process is
+  // in processes_ (currentPhase needs it there).
+}
+
+void Machine::syncHotThread(int threadId) {
+  const auto i = static_cast<std::size_t>(threadId);
+  const SimThread& t = threads_[i];
+  hot_.coreId[i] = t.coreId;
+  hot_.stallUntil[i] = t.stallUntilTick;
+  hot_.coldUntil[i] = t.coldUntilTick;
+  hot_.suspended[i] = t.suspended ? 1 : 0;
+  hot_.waiting[i] = t.waitingAtBarrier ? 1 : 0;
+  hot_.finished[i] = t.finished ? 1 : 0;
+  hot_.barriersPassed[i] = t.barriersPassed;
+  if (t.coreId >= 0) {
+    const CoreDesc& core = topology_.core(t.coreId);
+    hot_.socket[i] = core.socket;
+    hot_.physicalCore[i] = core.physicalCore;
+    hot_.fastCore[i] = core.type == CoreType::Fast ? 1 : 0;
+    hot_.conflict[i] =
+        t.socketConflict[static_cast<std::size_t>(core.socket)];
+  } else {
+    hot_.socket[i] = -1;
+    hot_.physicalCore[i] = -1;
+    hot_.fastCore[i] = 0;
+    hot_.conflict[i] = 1.0;
+  }
+}
+
+void Machine::refreshPhaseCache(int threadId) {
+  const auto i = static_cast<std::size_t>(threadId);
+  const SimThread& t = threads_[i];
+  const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
+  hot_.phase[i] = &currentPhase(t);
+  hot_.barrierEvery[i] = proc.program.barrierEveryInstructions;
+  hot_.totalInstructions[i] = proc.program.totalInstructions();
+}
+
+void Machine::rebuildHotState() {
+  for (const SimThread& t : threads_) {
+    const auto i = static_cast<std::size_t>(t.id);
+    hot_.executed[i] = t.executed;
+    hot_.phaseExecuted[i] = t.phaseExecuted;
+    hot_.quantumInstructions[i] = t.quantumInstructions;
+    hot_.quantumAccesses[i] = t.quantumAccesses;
+    hot_.totalAccesses[i] = t.totalAccesses;
+    hot_.prevUtilization[i] = t.prevUtilization;
+    hot_.runnableTicks[i] = t.runnableTicks;
+    hot_.stallTicks[i] = t.stallTicks;
+    hot_.barrierTicks[i] = t.barrierTicks;
+    hot_.suspendedTicks[i] = t.suspendedTicks;
+    hot_.fastCoreTicks[i] = t.fastCoreTicks;
+    hot_.slowCoreTicks[i] = t.slowCoreTicks;
+    syncHotThread(t.id);
+    refreshPhaseCache(t.id);
+  }
+  hotDirty_ = false;
+  llcDirty_ = true;
+  servedValid_ = false;
+}
+
+void Machine::flushHotState() const noexcept {
+  if (!hotDirty_) return;
+  for (SimThread& t : threads_) {
+    const auto i = static_cast<std::size_t>(t.id);
+    t.executed = hot_.executed[i];
+    t.phaseExecuted = hot_.phaseExecuted[i];
+    t.quantumInstructions = hot_.quantumInstructions[i];
+    t.quantumAccesses = hot_.quantumAccesses[i];
+    t.totalAccesses = hot_.totalAccesses[i];
+    t.prevUtilization = hot_.prevUtilization[i];
+    t.runnableTicks = hot_.runnableTicks[i];
+    t.stallTicks = hot_.stallTicks[i];
+    t.barrierTicks = hot_.barrierTicks[i];
+    t.suspendedTicks = hot_.suspendedTicks[i];
+    t.fastCoreTicks = hot_.fastCoreTicks[i];
+    t.slowCoreTicks = hot_.slowCoreTicks[i];
+  }
+  hotDirty_ = false;
 }
 
 void Machine::placeThread(int threadId, int coreId) {
@@ -83,6 +213,8 @@ void Machine::placeThread(int threadId, int coreId) {
   t.coreId = coreId;
   t.startTick = now_;
   coreToThread_[static_cast<std::size_t>(coreId)] = threadId;
+  syncHotThread(threadId);
+  llcDirty_ = true;
   emit(TraceEventKind::Placement, t, -1, coreId);
 }
 
@@ -109,42 +241,6 @@ void Machine::emit(TraceEventKind kind, const SimThread& t, int fromCore,
   trace_->record(e);
 }
 
-double Machine::accountTime() {
-  // Energy: idle power for every physical core, plus cubic-in-frequency
-  // dynamic power scaled by each runnable occupant's issue utilisation.
-  double watts = config_.idlePowerW *
-                 static_cast<double>(topology_.physicalCoreCount());
-  for (int id : liveThreads_) {
-    const SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (!isRunnable(t)) continue;
-    const double f =
-        physFreqGhz_[static_cast<std::size_t>(
-            topology_.core(t.coreId).physicalCore)] /
-        std::max(1e-9, config_.refFreqGhz);
-    watts += config_.dynamicPowerW * f * f * f * t.prevUtilization;
-  }
-  energyJ_ += watts * util::kTickSeconds;
-
-  for (int id : liveThreads_) {
-    SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (t.coreId < 0) continue;
-    if (t.suspended) {
-      ++t.suspendedTicks;
-    } else if (now_ < t.stallUntilTick) {
-      ++t.stallTicks;
-    } else if (t.waitingAtBarrier) {
-      ++t.barrierTicks;
-    } else {
-      ++t.runnableTicks;
-      if (topology_.core(t.coreId).type == CoreType::Fast)
-        ++t.fastCoreTicks;
-      else
-        ++t.slowCoreTicks;
-    }
-  }
-  return watts;
-}
-
 bool Machine::isRunnable(const SimThread& t) const noexcept {
   return !t.finished && t.coreId >= 0 && now_ >= t.stallUntilTick &&
          !t.waitingAtBarrier && !t.suspended;
@@ -163,36 +259,73 @@ void Machine::step() { (void)stepOnce(); }
 Machine::TickOutcome Machine::stepOnce() {
   const util::Tick tickEnd = now_ + 1;
   tickHadEvent_ = false;
+  hotDirty_ = true;
   bool utilChanged = false;
-  const double watts = accountTime();
+  bool timerEdge = false;
 
   // LLC pressure: per socket, the summed working sets of resident threads
-  // (stalled and barrier-blocked threads still occupy cache).
-  llcPressureScratch_.assign(static_cast<std::size_t>(topology_.socketCount()),
-                             0.0);
-  for (int id : liveThreads_) {
-    const SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (t.coreId < 0) continue;
-    llcPressureScratch_[static_cast<std::size_t>(
-        topology_.core(t.coreId).socket)] += currentPhase(t).workingSetMB;
+  // (stalled and barrier-blocked threads still occupy cache). Its inputs
+  // change only on placement/phase/membership events, so the transformed
+  // inflation factors are cached across ticks (recomputing would repeat the
+  // exact same summation — the cache is bit-identical).
+  if (llcDirty_) {
+    llcPressureScratch_.assign(
+        static_cast<std::size_t>(topology_.socketCount()), 0.0);
+    for (int id : liveThreads_) {
+      const auto i = static_cast<std::size_t>(id);
+      if (hot_.coreId[i] < 0) continue;
+      llcPressureScratch_[static_cast<std::size_t>(hot_.socket[i])] +=
+          hot_.phase[i]->workingSetMB;
+    }
+    for (double& mb : llcPressureScratch_) {
+      const double pressure =
+          config_.llcPerSocketMB > 0.0 ? mb / config_.llcPerSocketMB : 0.0;
+      mb = std::min(
+          2.0, 1.0 + config_.llcPressureFactor * std::max(0.0, pressure - 1.0));
+    }
+    llcFactor_ = llcPressureScratch_;
+    llcDirty_ = false;
   }
-  for (double& mb : llcPressureScratch_) {
-    const double pressure =
-        config_.llcPerSocketMB > 0.0 ? mb / config_.llcPerSocketMB : 0.0;
-    mb = std::min(2.0,
-                  1.0 + config_.llcPressureFactor * std::max(0.0, pressure - 1.0));
-  }
+  const std::vector<double>& llcFactor = llcFactor_;
 
-  // SMT pressure: per physical core, the summed previous-tick utilisation
-  // of runnable occupants (a stalled sibling costs its partner little).
+  // Fused accounting pass: energy watts, per-state tick counters, SMT load
+  // per physical core, and the leap-blocking stall/cold expiry probe — one
+  // stream over the SoA arrays. Each accumulator still sees exactly the
+  // additions, in exactly the liveThreads_ order, of the unfused loops.
+  double watts = config_.idlePowerW *
+                 static_cast<double>(topology_.physicalCoreCount());
   smtLoadScratch_.assign(
       static_cast<std::size_t>(topology_.physicalCoreCount()), 0.0);
   for (int id : liveThreads_) {
-    const SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (isRunnable(t))
-      smtLoadScratch_[static_cast<std::size_t>(
-          topology_.core(t.coreId).physicalCore)] += t.prevUtilization;
+    const auto i = static_cast<std::size_t>(id);
+    const int core = hot_.coreId[i];
+    if (core < 0) continue;
+    if (hot_.stallUntil[i] == tickEnd || hot_.coldUntil[i] == tickEnd)
+      timerEdge = true;
+    const bool stalled = now_ < hot_.stallUntil[i];
+    const bool runnable =
+        !stalled && hot_.waiting[i] == 0 && hot_.suspended[i] == 0;
+    if (runnable) {
+      const double f =
+          physFreqGhz_[static_cast<std::size_t>(hot_.physicalCore[i])] /
+          std::max(1e-9, config_.refFreqGhz);
+      watts += config_.dynamicPowerW * f * f * f * hot_.prevUtilization[i];
+      smtLoadScratch_[static_cast<std::size_t>(hot_.physicalCore[i])] +=
+          hot_.prevUtilization[i];
+      ++hot_.runnableTicks[i];
+      if (hot_.fastCore[i] != 0)
+        ++hot_.fastCoreTicks[i];
+      else
+        ++hot_.slowCoreTicks[i];
+    } else if (hot_.suspended[i] != 0) {
+      ++hot_.suspendedTicks[i];
+    } else if (stalled) {
+      ++hot_.stallTicks[i];
+    } else {
+      ++hot_.barrierTicks[i];
+    }
   }
+  energyJ_ += watts * util::kTickSeconds;
 
   // Gather issue capacities and memory demands for runnable threads.
   demandScratch_.clear();
@@ -200,69 +333,76 @@ Machine::TickOutcome Machine::stepOnce() {
   activeScratch_.clear();
   std::vector<int>& activeThreads = activeScratch_;
   for (int id : liveThreads_) {
-    SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (!isRunnable(t)) continue;
-    const CoreDesc& core = topology_.core(t.coreId);
-    const Phase& phase = currentPhase(t);
+    const auto i = static_cast<std::size_t>(id);
+    if (hot_.coreId[i] < 0 || now_ < hot_.stallUntil[i] ||
+        hot_.waiting[i] != 0 || hot_.suspended[i] != 0)
+      continue;
+    const Phase& phase = *hot_.phase[i];
     const double siblingUtil = std::clamp(
-        smtLoadScratch_[static_cast<std::size_t>(core.physicalCore)] -
-            t.prevUtilization,
+        smtLoadScratch_[static_cast<std::size_t>(hot_.physicalCore[i])] -
+            hot_.prevUtilization[i],
         0.0, 1.0);
     const double smtFactor =
         1.0 - (1.0 - config_.smtSharedFactor) * siblingUtil;
-    const bool cold = now_ < t.coldUntilTick;
+    const bool cold = now_ < hot_.coldUntil[i];
     const double coldIpc = cold ? config_.cacheColdSlowdown : 1.0;
     const double coldTraffic = cold ? config_.cacheColdFactor : 1.0;
-    const double conflict =
-        t.socketConflict[static_cast<std::size_t>(core.socket)];
+    const double conflict = hot_.conflict[i];
     const double llcInflate =
-        llcPressureScratch_[static_cast<std::size_t>(core.socket)];
+        llcFactor[static_cast<std::size_t>(hot_.socket[i])];
     const double freqGhz =
-        physFreqGhz_[static_cast<std::size_t>(core.physicalCore)];
+        physFreqGhz_[static_cast<std::size_t>(hot_.physicalCore[i])];
     const double capInstr = freqGhz * 1e9 * phase.ipc * smtFactor * coldIpc *
                             util::kTickSeconds;
     capScratch_.push_back(capInstr);
     demandScratch_.push_back(
-        MemoryDemand{core.socket, capInstr * phase.memPerInstr * coldTraffic *
-                                      conflict * llcInflate});
-    activeThreads.push_back(t.id);
+        MemoryDemand{hot_.socket[i], capInstr * phase.memPerInstr *
+                                         coldTraffic * conflict * llcInflate});
+    activeThreads.push_back(id);
   }
 
-  arbitrateInto(demandScratch_, config_.memory, topology_.socketCount(),
-                util::kTickSeconds, arbScratch_, servedScratch_);
+  // Memoized arbitration: bitwise-identical demands (the active-set
+  // signature) make arbitrateInto — a pure function of them — return the
+  // previous tick's served vector unchanged, so it is simply reused.
+  if (servedValid_ && sameDemands(demandScratch_, prevDemands_)) {
+    DIKE_COUNTER("sim.mem.arb_cache_hits");
+  } else {
+    arbitrateInto(demandScratch_, config_.memory, topology_.socketCount(),
+                  util::kTickSeconds, arbScratch_, servedScratch_);
+    prevDemands_.assign(demandScratch_.begin(), demandScratch_.end());
+    servedValid_ = true;
+  }
   const std::vector<double>& served = servedScratch_;
 
   executedScratch_.clear();
   accessesScratch_.clear();
-  for (std::size_t i = 0; i < activeThreads.size(); ++i) {
-    SimThread& t = threads_[static_cast<std::size_t>(activeThreads[i])];
-    const Phase& phase = currentPhase(t);
-    const double capInstr = capScratch_[i];
-    const double cold = now_ < t.coldUntilTick ? config_.cacheColdFactor : 1.0;
-    const double conflict = t.socketConflict[static_cast<std::size_t>(
-        topology_.core(t.coreId).socket)];
-    const double llcInflate = llcPressureScratch_[static_cast<std::size_t>(
-        topology_.core(t.coreId).socket)];
+  for (std::size_t k = 0; k < activeThreads.size(); ++k) {
+    const auto i = static_cast<std::size_t>(activeThreads[k]);
+    const Phase& phase = *hot_.phase[i];
+    const double capInstr = capScratch_[k];
+    const double cold = now_ < hot_.coldUntil[i] ? config_.cacheColdFactor : 1.0;
+    const double conflict = hot_.conflict[i];
+    const double llcInflate =
+        llcFactor[static_cast<std::size_t>(hot_.socket[i])];
     const double effMemPerInstr =
         phase.memPerInstr * cold * conflict * llcInflate;
     const double memLimited =
-        effMemPerInstr > 0.0 ? served[i] / effMemPerInstr : capInstr;
+        effMemPerInstr > 0.0 ? served[k] / effMemPerInstr : capInstr;
     double executed = std::min(capInstr, memLimited);
 
     // Clip to the current phase boundary.
-    const double phaseRemaining = phase.instructions - t.phaseExecuted;
+    const double phaseRemaining = phase.instructions - hot_.phaseExecuted[i];
     executed = std::min(executed, phaseRemaining);
 
     // Clip to the next barrier, if the program synchronises.
-    const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
-    const double barrierEvery = proc.program.barrierEveryInstructions;
+    const double barrierEvery = hot_.barrierEvery[i];
     bool hitBarrier = false;
     if (barrierEvery > 0.0) {
       const double nextBarrierAt =
-          static_cast<double>(t.barriersPassed + 1) * barrierEvery;
-      const double total = proc.program.totalInstructions();
+          static_cast<double>(hot_.barriersPassed[i] + 1) * barrierEvery;
+      const double total = hot_.totalInstructions[i];
       if (nextBarrierAt < total - kEps) {
-        const double toBarrier = nextBarrierAt - t.executed;
+        const double toBarrier = nextBarrierAt - hot_.executed[i];
         if (executed >= toBarrier - kEps) {
           executed = std::max(0.0, toBarrier);
           hitBarrier = true;
@@ -273,18 +413,21 @@ Machine::TickOutcome Machine::stepOnce() {
     const double newUtil = capInstr > 0.0 ? executed / capInstr : 0.0;
     // Snap to the previous utilisation when the move is within epsilon so
     // the SMT feedback loop reaches an exact fixed point (see MachineConfig).
-    if (std::abs(newUtil - t.prevUtilization) >
+    if (std::abs(newUtil - hot_.prevUtilization[i]) >
         config_.utilizationSnapEpsilon) {
-      t.prevUtilization = newUtil;
+      hot_.prevUtilization[i] = newUtil;
       utilChanged = true;
     }
     const double accesses = executed * effMemPerInstr;
     executedScratch_.push_back(executed);
     accessesScratch_.push_back(accesses);
-    advanceThread(t, executed, accesses);
-    if (hitBarrier && !t.finished) {
+    advanceThread(activeThreads[k], executed, accesses);
+    if (hitBarrier && hot_.finished[i] == 0) {
+      SimThread& t = threads_[i];
       ++t.barriersPassed;
       t.waitingAtBarrier = true;
+      hot_.barriersPassed[i] = t.barriersPassed;
+      hot_.waiting[i] = 1;
       tickHadEvent_ = true;
       emit(TraceEventKind::BarrierWait, t, -1, -1, t.barriersPassed);
     }
@@ -298,18 +441,10 @@ Machine::TickOutcome Machine::stepOnce() {
   // The next tick repeats this one bitwise unless something structural
   // happened, a utilisation moved, or a stall/cold window expires exactly
   // at the next tick boundary (which would flip a predicate between the
-  // computed tick and its first replay).
-  bool steady = !tickHadEvent_ && !utilChanged;
-  if (steady) {
-    for (int id : liveThreads_) {
-      const SimThread& t = threads_[static_cast<std::size_t>(id)];
-      if (t.coreId >= 0 &&
-          (t.stallUntilTick == now_ || t.coldUntilTick == now_)) {
-        steady = false;
-        break;
-      }
-    }
-  }
+  // computed tick and its first replay). The expiry probe ran in the fused
+  // accounting pass: within a tick stallUntil/coldUntil are immutable, and
+  // the only membership change — a finish — also sets tickHadEvent_.
+  const bool steady = !tickHadEvent_ && !utilChanged && !timerEdge;
   return TickOutcome{steady, watts};
 }
 
@@ -317,28 +452,28 @@ util::Tick Machine::leapHorizon(util::Tick target) const {
   util::Tick n = target - now_;
   // Stall/cold windows: keep every time predicate constant across the leap.
   for (int id : liveThreads_) {
-    const SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (t.coreId < 0) continue;
-    if (now_ < t.stallUntilTick) n = std::min(n, t.stallUntilTick - now_);
-    if (now_ < t.coldUntilTick) n = std::min(n, t.coldUntilTick - now_);
+    const auto i = static_cast<std::size_t>(id);
+    if (hot_.coreId[i] < 0) continue;
+    if (now_ < hot_.stallUntil[i]) n = std::min(n, hot_.stallUntil[i] - now_);
+    if (now_ < hot_.coldUntil[i]) n = std::min(n, hot_.coldUntil[i] - now_);
   }
   // Progress events: stop (conservatively) before any active thread can
   // cross its phase boundary or reach its next barrier.
-  for (std::size_t i = 0; i < activeScratch_.size(); ++i) {
-    const SimThread& t =
-        threads_[static_cast<std::size_t>(activeScratch_[i])];
-    const double e = executedScratch_[i];
+  for (std::size_t k = 0; k < activeScratch_.size(); ++k) {
+    const auto i = static_cast<std::size_t>(activeScratch_[k]);
+    const double e = executedScratch_[k];
     if (e <= 0.0) continue;
-    const Phase& phase = currentPhase(t);
+    const Phase& phase = *hot_.phase[i];
     const double slack = std::max(kEps, phase.instructions * 1e-12);
-    n = std::min(n, ticksBelow(phase.instructions - slack - t.phaseExecuted, e));
-    const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
-    const double barrierEvery = proc.program.barrierEveryInstructions;
+    n = std::min(n,
+                 ticksBelow(phase.instructions - slack - hot_.phaseExecuted[i],
+                            e));
+    const double barrierEvery = hot_.barrierEvery[i];
     if (barrierEvery > 0.0) {
       const double nextBarrierAt =
-          static_cast<double>(t.barriersPassed + 1) * barrierEvery;
-      if (nextBarrierAt < proc.program.totalInstructions() - kEps)
-        n = std::min(n, ticksBelow(nextBarrierAt - kEps - t.executed, e));
+          static_cast<double>(hot_.barriersPassed[i] + 1) * barrierEvery;
+      if (nextBarrierAt < hot_.totalInstructions[i] - kEps)
+        n = std::min(n, ticksBelow(nextBarrierAt - kEps - hot_.executed[i], e));
     }
   }
   return std::max<util::Tick>(n, 0);
@@ -350,41 +485,43 @@ void Machine::replayTicks(util::Tick n, double watts) {
   // is not equal to one multiply-add). Integer counters are exact either
   // way. Everything else — pressure, arbitration, phase lookups — is
   // provably unchanged across the window and simply not recomputed.
+  hotDirty_ = true;
   const double wJ = watts * util::kTickSeconds;
   for (util::Tick k = 0; k < n; ++k) energyJ_ += wJ;
 
   for (int id : liveThreads_) {
-    SimThread& t = threads_[static_cast<std::size_t>(id)];
-    if (t.coreId < 0) continue;
-    if (t.suspended) {
-      t.suspendedTicks += n;
-    } else if (now_ < t.stallUntilTick) {
-      t.stallTicks += n;
-    } else if (t.waitingAtBarrier) {
-      t.barrierTicks += n;
+    const auto i = static_cast<std::size_t>(id);
+    if (hot_.coreId[i] < 0) continue;
+    if (hot_.suspended[i] != 0) {
+      hot_.suspendedTicks[i] += n;
+    } else if (now_ < hot_.stallUntil[i]) {
+      hot_.stallTicks[i] += n;
+    } else if (hot_.waiting[i] != 0) {
+      hot_.barrierTicks[i] += n;
     } else {
-      t.runnableTicks += n;
-      if (topology_.core(t.coreId).type == CoreType::Fast)
-        t.fastCoreTicks += n;
+      hot_.runnableTicks[i] += n;
+      if (hot_.fastCore[i] != 0)
+        hot_.fastCoreTicks[i] += n;
       else
-        t.slowCoreTicks += n;
+        hot_.slowCoreTicks[i] += n;
     }
   }
 
-  for (std::size_t i = 0; i < activeScratch_.size(); ++i) {
-    SimThread& t = threads_[static_cast<std::size_t>(activeScratch_[i])];
-    const double e = executedScratch_[i];
-    const double a = accessesScratch_[i];
+  for (std::size_t k = 0; k < activeScratch_.size(); ++k) {
+    const auto i = static_cast<std::size_t>(activeScratch_[k]);
+    const double e = executedScratch_[k];
+    const double a = accessesScratch_[k];
     // The six chains are independent of each other, so one fused loop lets
     // them retire in parallel instead of serialising six latency-bound
     // chains; within each chain the addition order is unchanged.
-    double executed = t.executed;
-    double phaseExecuted = t.phaseExecuted;
-    double quantumInstructions = t.quantumInstructions;
-    double quantumAccesses = t.quantumAccesses;
-    double totalAccesses = t.totalAccesses;
-    double coreAccesses = coreQuantumAccesses_[static_cast<std::size_t>(t.coreId)];
-    for (util::Tick k = 0; k < n; ++k) {
+    double executed = hot_.executed[i];
+    double phaseExecuted = hot_.phaseExecuted[i];
+    double quantumInstructions = hot_.quantumInstructions[i];
+    double quantumAccesses = hot_.quantumAccesses[i];
+    double totalAccesses = hot_.totalAccesses[i];
+    double coreAccesses =
+        coreQuantumAccesses_[static_cast<std::size_t>(hot_.coreId[i])];
+    for (util::Tick t = 0; t < n; ++t) {
       executed += e;
       phaseExecuted += e;
       quantumInstructions += e;
@@ -392,12 +529,13 @@ void Machine::replayTicks(util::Tick n, double watts) {
       totalAccesses += a;
       coreAccesses += a;
     }
-    t.executed = executed;
-    t.phaseExecuted = phaseExecuted;
-    t.quantumInstructions = quantumInstructions;
-    t.quantumAccesses = quantumAccesses;
-    t.totalAccesses = totalAccesses;
-    coreQuantumAccesses_[static_cast<std::size_t>(t.coreId)] = coreAccesses;
+    hot_.executed[i] = executed;
+    hot_.phaseExecuted[i] = phaseExecuted;
+    hot_.quantumInstructions[i] = quantumInstructions;
+    hot_.quantumAccesses[i] = quantumAccesses;
+    hot_.totalAccesses[i] = totalAccesses;
+    coreQuantumAccesses_[static_cast<std::size_t>(hot_.coreId[i])] =
+        coreAccesses;
   }
 
   now_ += n;
@@ -417,15 +555,17 @@ void Machine::stepUntil(util::Tick target, bool stopWhenAllFinished) {
   }
 }
 
-void Machine::advanceThread(SimThread& t, double executed, double accesses) {
-  t.executed += executed;
-  t.phaseExecuted += executed;
-  t.quantumInstructions += executed;
-  t.quantumAccesses += accesses;
-  t.totalAccesses += accesses;
-  if (t.coreId >= 0)
-    coreQuantumAccesses_[static_cast<std::size_t>(t.coreId)] += accesses;
+void Machine::advanceThread(int threadId, double executed, double accesses) {
+  const auto i = static_cast<std::size_t>(threadId);
+  hot_.executed[i] += executed;
+  hot_.phaseExecuted[i] += executed;
+  hot_.quantumInstructions[i] += executed;
+  hot_.quantumAccesses[i] += accesses;
+  hot_.totalAccesses[i] += accesses;
+  if (hot_.coreId[i] >= 0)
+    coreQuantumAccesses_[static_cast<std::size_t>(hot_.coreId[i])] += accesses;
 
+  SimThread& t = threads_[i];
   const SimProcess& proc = processes_[static_cast<std::size_t>(t.processId)];
   const auto& phases = proc.program.phases;
 
@@ -436,12 +576,14 @@ void Machine::advanceThread(SimThread& t, double executed, double accesses) {
   if (t.phaseIndex < static_cast<int>(phases.size())) {
     const Phase& phase = phases[static_cast<std::size_t>(t.phaseIndex)];
     const double slack = std::max(kEps, phase.instructions * 1e-12);
-    if (t.phaseExecuted >= phase.instructions - slack) {
+    if (hot_.phaseExecuted[i] >= phase.instructions - slack) {
       ++t.phaseIndex;
-      t.phaseExecuted = 0.0;
+      hot_.phaseExecuted[i] = 0.0;
       tickHadEvent_ = true;
+      llcDirty_ = true;  // the new phase's working set changes LLC pressure
       if (t.phaseIndex < static_cast<int>(phases.size()))
         emit(TraceEventKind::PhaseChange, t, -1, -1, t.phaseIndex);
+      refreshPhaseCache(threadId);
     }
   }
 
@@ -453,9 +595,13 @@ void Machine::advanceThread(SimThread& t, double executed, double accesses) {
 
 void Machine::finishThread(SimThread& t) {
   if (t.finished) return;
+  const auto i = static_cast<std::size_t>(t.id);
   t.finished = true;
   t.finishTick = now_ + 1;  // completes at the end of the current tick
   t.waitingAtBarrier = false;
+  hot_.finished[i] = 1;
+  hot_.waiting[i] = 0;
+  llcDirty_ = true;  // the thread's working set leaves its socket's LLC
   tickHadEvent_ = true;
   if (t.coreId >= 0) coreToThread_[static_cast<std::size_t>(t.coreId)] = -1;
   // Ordered erase keeps liveThreads_ ascending, preserving the FP summation
@@ -491,6 +637,7 @@ void Machine::resolveBarriers() {
       SimThread& t = threads_[static_cast<std::size_t>(id)];
       if (!t.finished && t.waitingAtBarrier && t.barriersPassed <= minPassed) {
         t.waitingAtBarrier = false;
+        hot_.waiting[static_cast<std::size_t>(id)] = 0;
         tickHadEvent_ = true;
         emit(TraceEventKind::BarrierRelease, t, -1, -1, t.barriersPassed);
       }
@@ -526,6 +673,9 @@ void Machine::swapThreads(int threadA, int threadB) {
   coreToThread_[static_cast<std::size_t>(b.coreId)] = b.id;
   applyMigrationStall(a, coreA);
   applyMigrationStall(b, coreB);
+  syncHotThread(a.id);
+  syncHotThread(b.id);
+  llcDirty_ = true;
   ++swapCount_;
   DIKE_COUNTER("sim.swaps");
 }
@@ -540,6 +690,8 @@ void Machine::migrateThread(int threadId, int coreId) {
   t.coreId = coreId;
   coreToThread_[static_cast<std::size_t>(coreId)] = threadId;
   applyMigrationStall(t, fromCore);
+  syncHotThread(threadId);
+  llcDirty_ = true;
 }
 
 void Machine::setPhysicalCoreFrequency(int physicalCore, double freqGhz) {
@@ -568,6 +720,7 @@ void Machine::suspendThread(int threadId) {
   if (t.finished) throw std::logic_error{"cannot suspend a finished thread"};
   if (t.suspended) return;
   t.suspended = true;
+  hot_.suspended[static_cast<std::size_t>(threadId)] = 1;
   emit(TraceEventKind::Suspend, t);
 }
 
@@ -575,47 +728,58 @@ void Machine::resumeThread(int threadId) {
   SimThread& t = threads_.at(static_cast<std::size_t>(threadId));
   if (!t.suspended) return;
   t.suspended = false;
+  hot_.suspended[static_cast<std::size_t>(threadId)] = 0;
   emit(TraceEventKind::Resume, t);
 }
 
 QuantumSample Machine::sampleAndReset() {
-  DIKE_SCOPE_TIMER("sim.sample_and_reset");
-  DIKE_COUNTER("sim.samples");
   QuantumSample sample;
-  sample.periodTicks = std::max<util::Tick>(1, now_ - lastSampleTick_);
-  const double periodSec =
-      static_cast<double>(sample.periodTicks) * util::kTickSeconds;
-
-  sample.threads.reserve(threads_.size());
-  for (SimThread& t : threads_) {
-    ThreadSample s;
-    s.threadId = t.id;
-    s.processId = t.processId;
-    s.coreId = t.coreId;
-    s.finished = t.finished;
-    const double noise = rng_.noiseFactor(config_.measurementNoiseSigma);
-    s.instructions = t.quantumInstructions;
-    s.accesses = t.quantumAccesses;
-    s.accessRate = (t.quantumAccesses / periodSec) * noise;
-    const double ratioNoise = rng_.noiseFactor(config_.measurementNoiseSigma);
-    s.llcMissRatio =
-        std::clamp(currentPhase(t).llcMissRatio * ratioNoise, 0.0, 1.0);
-    sample.threads.push_back(s);
-
-    t.quantumInstructions = 0.0;
-    t.quantumAccesses = 0.0;
-  }
-
-  sample.coreAchievedBw.resize(coreQuantumAccesses_.size());
-  for (std::size_t c = 0; c < coreQuantumAccesses_.size(); ++c) {
-    sample.coreAchievedBw[c] = coreQuantumAccesses_[c] / periodSec;
-    coreQuantumAccesses_[c] = 0.0;
-  }
-  lastSampleTick_ = now_;
+  sampleAndResetInto(sample);
   return sample;
 }
 
+void Machine::sampleAndResetInto(QuantumSample& out) {
+  DIKE_SCOPE_TIMER("sim.sample_and_reset");
+  DIKE_COUNTER("sim.samples");
+  out.periodTicks = std::max<util::Tick>(1, now_ - lastSampleTick_);
+  const double periodSec =
+      static_cast<double>(out.periodTicks) * util::kTickSeconds;
+
+  // Every thread — finished ones included — is visited in id order so the
+  // two noise draws per thread consume the RNG stream exactly as before.
+  out.threads.clear();
+  out.threads.reserve(threads_.size());
+  for (const SimThread& t : threads_) {
+    const auto i = static_cast<std::size_t>(t.id);
+    ThreadSample s;
+    s.threadId = t.id;
+    s.processId = t.processId;
+    s.coreId = hot_.coreId[i];
+    s.finished = hot_.finished[i] != 0;
+    const double noise = rng_.noiseFactor(config_.measurementNoiseSigma);
+    s.instructions = hot_.quantumInstructions[i];
+    s.accesses = hot_.quantumAccesses[i];
+    s.accessRate = (hot_.quantumAccesses[i] / periodSec) * noise;
+    const double ratioNoise = rng_.noiseFactor(config_.measurementNoiseSigma);
+    s.llcMissRatio =
+        std::clamp(hot_.phase[i]->llcMissRatio * ratioNoise, 0.0, 1.0);
+    out.threads.push_back(s);
+
+    hot_.quantumInstructions[i] = 0.0;
+    hot_.quantumAccesses[i] = 0.0;
+  }
+  hotDirty_ = true;  // the quantum accumulators were just zeroed
+
+  out.coreAchievedBw.resize(coreQuantumAccesses_.size());
+  for (std::size_t c = 0; c < coreQuantumAccesses_.size(); ++c) {
+    out.coreAchievedBw[c] = coreQuantumAccesses_[c] / periodSec;
+    coreQuantumAccesses_[c] = 0.0;
+  }
+  lastSampleTick_ = now_;
+}
+
 void Machine::saveState(ckpt::BinWriter& w) const {
+  flushHotState();  // checkpoints serialize the struct-of-record threads
   w.beginSection("machine");
   w.i64("now", now_);
   w.i64("lastSampleTick", lastSampleTick_);
@@ -796,6 +960,7 @@ void Machine::loadState(ckpt::BinReader& r) {
   for (std::size_t i = 0; i < processes_.size(); ++i)
     processes_[i].finishTick = processFinish[i];
   tickHadEvent_ = false;
+  rebuildHotState();
 }
 
 RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,

@@ -170,11 +170,16 @@ class Machine {
   void suspendThread(int threadId);
   void resumeThread(int threadId);
   [[nodiscard]] bool isSuspended(int threadId) const {
-    return thread(threadId).suspended;
+    return hot_.suspended.at(static_cast<std::size_t>(threadId)) != 0;
   }
 
   /// Read and reset per-quantum counters. Applies measurement noise.
   [[nodiscard]] QuantumSample sampleAndReset();
+
+  /// sampleAndReset into a caller-owned sample whose vectors keep their
+  /// capacity across quanta (the steady-state-allocation-free path). Draws
+  /// the same RNG stream and produces the same values as sampleAndReset.
+  void sampleAndResetInto(QuantumSample& out);
 
   /// DVFS: change a physical core's frequency at runtime (both SMT
   /// siblings are affected). The paper's testbed *is* such a setting — one
@@ -196,12 +201,14 @@ class Machine {
   }
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::span<const SimThread> threads() const noexcept {
+    flushHotState();
     return threads_;
   }
   [[nodiscard]] std::span<const SimProcess> processes() const noexcept {
     return processes_;
   }
   [[nodiscard]] const SimThread& thread(int id) const {
+    flushHotState();
     return threads_.at(static_cast<std::size_t>(id));
   }
   [[nodiscard]] const SimProcess& process(int id) const {
@@ -257,21 +264,64 @@ class Machine {
   /// per-accumulator additions per-tick stepping would perform, skipping
   /// the (unchanged) model evaluation.
   void replayTicks(util::Tick n, double watts);
-  void advanceThread(SimThread& t, double executed, double accesses);
+  void advanceThread(int threadId, double executed, double accesses);
   void resolveBarriers();
   void finishThread(SimThread& t);
   void applyMigrationStall(SimThread& t, int fromCore);
-  [[nodiscard]] double accountTime();
   void emit(TraceEventKind kind, const SimThread& t, int fromCore = -1,
             int toCore = -1, int detail = 0);
   [[nodiscard]] bool isRunnable(const SimThread& t) const noexcept;
   [[nodiscard]] const Phase& currentPhase(const SimThread& t) const;
 
+  // --- Structure-of-arrays hot state (see DESIGN.md "SoA hot path") ---
+  // The per-tick loops stream over these parallel arrays, indexed by thread
+  // id, instead of striding across SimThread objects. Two ownership classes:
+  //   * accumulators — written every tick; the SoA copy is authoritative and
+  //     the SimThread fields are flushed on demand (flushHotState);
+  //   * mirrors/caches — placement, blocking flags, and phase-derived
+  //     constants; the SimThread/process copy is authoritative and the array
+  //     is refreshed at every (rare) mutation via syncHotThread.
+  struct HotState {
+    // Authoritative per-tick accumulators.
+    std::vector<double> executed, phaseExecuted, quantumInstructions,
+        quantumAccesses, totalAccesses, prevUtilization;
+    std::vector<util::Tick> runnableTicks, stallTicks, barrierTicks,
+        suspendedTicks, fastCoreTicks, slowCoreTicks;
+    // Read-only mirrors of struct-authoritative fields.
+    std::vector<int> coreId;
+    std::vector<util::Tick> stallUntil, coldUntil;
+    std::vector<std::uint8_t> suspended, waiting, finished;
+    std::vector<int> barriersPassed;
+    // Placement-derived caches (refreshed when coreId changes).
+    std::vector<int> socket, physicalCore;
+    std::vector<std::uint8_t> fastCore;
+    std::vector<double> conflict;  ///< socketConflict[socket of coreId]
+    // Phase-derived caches. Phase pointers stay valid across process-vector
+    // reallocation because each PhaseProgram's phases buffer is moved, not
+    // copied; they are refreshed on phase transitions and loadState.
+    std::vector<const Phase*> phase;
+    // Per-thread copies of per-process constants (barrier clipping inputs).
+    std::vector<double> barrierEvery, totalInstructions;
+  };
+  /// Append SoA slots for a freshly constructed thread.
+  void appendHotThread(const SimThread& t);
+  /// Refresh a thread's mirrors and placement caches from its struct.
+  void syncHotThread(int threadId);
+  /// Refresh a thread's phase-pointer cache from its struct.
+  void refreshPhaseCache(int threadId);
+  /// Rebuild every SoA array from the structs (loadState).
+  void rebuildHotState();
+  /// Write the authoritative SoA accumulators back into the SimThread
+  /// structs so external readers (reports, checkpoints, tests) see them.
+  void flushHotState() const noexcept;
+
   MachineTopology topology_;
   MachineConfig config_;
   util::Rng rng_;
 
-  std::vector<SimThread> threads_;
+  // threads_ is mutable because the const accessors lazily flush the SoA
+  // accumulators into the structs before handing them out.
+  mutable std::vector<SimThread> threads_;
   std::vector<SimProcess> processes_;
   std::vector<int> coreToThread_;
   /// Ids of unfinished threads, ascending. Maintained on addProcess/finish
@@ -293,6 +343,9 @@ class Machine {
   /// a structural event happened, so the next tick is not a repeat.
   bool tickHadEvent_ = false;
 
+  HotState hot_;
+  mutable bool hotDirty_ = false;
+
   // Scratch buffers reused across ticks to avoid per-tick allocation. The
   // active/executed/accesses triple doubles as the steady-tick record that
   // leapHorizon/replayTicks consume.
@@ -305,6 +358,21 @@ class Machine {
   std::vector<double> accessesScratch_;
   std::vector<double> servedScratch_;
   ArbitrationScratch arbScratch_;
+
+  /// LLC-pressure inflation factor per socket, cached across ticks: its
+  /// inputs (which threads are resident where, and their phases' working
+  /// sets) only change on placement, phase, membership, or restore events,
+  /// all of which set llcDirty_. Recomputing would sum the same values in
+  /// the same order, so the cache is bit-identical by construction.
+  std::vector<double> llcFactor_;
+  bool llcDirty_ = true;
+
+  /// Memoized memory arbitration: when a computed tick presents bitwise-
+  /// identical demands to the previous one (the active-set signature),
+  /// arbitrateInto is a pure function of them and servedScratch_ is reused
+  /// as-is instead of being recomputed.
+  std::vector<MemoryDemand> prevDemands_;
+  bool servedValid_ = false;
 };
 
 /// Quantum-driven policy hook: the bridge between the engine and the

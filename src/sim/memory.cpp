@@ -1,6 +1,8 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 
@@ -8,10 +10,48 @@
 
 namespace dike::sim {
 
+namespace {
+
+/// Bitwise equality of two double vectors (memo keys). Bit-level, not
+/// operator==: -0.0 vs 0.0 must miss the memo rather than alias results.
+[[nodiscard]] bool sameBits(std::span<const double> a,
+                            const std::vector<double>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+/// True when `order` (a permutation left behind by a previous sort of a
+/// same-length demand vector) still ranks `demands` ascending. Equal
+/// neighbours are accepted only at 0.0: zero demands always rank first and
+/// contribute nothing — grant 0, remaining capacity untouched — so any
+/// order among them yields bit-identical grants. Nonzero ties are rejected
+/// because the water level is recomputed after every grant and the per-rank
+/// shares of tied demands can differ in their last bits, making the grant
+/// each index receives depend on the permutation; a full sort then
+/// reproduces the historical ordering exactly.
+[[nodiscard]] bool stillSorted(std::span<const double> demands,
+                               const std::vector<std::size_t>& order) {
+  if (order.size() != demands.size()) return false;
+  double prev = -1.0;  // demands are validated non-negative
+  for (std::size_t i : order) {
+    const double d = demands[i];
+    if (d < prev || (d == prev && d != 0.0)) return false;
+    prev = d;
+  }
+  return true;
+}
+
+}  // namespace
+
 void waterFillInto(std::span<const double> demands, double capacity,
                    std::vector<std::size_t>& order,
                    std::vector<double>& served) {
-  served.assign(demands.size(), 0.0);
+  served.resize(demands.size());
   if (demands.empty()) return;
 
   double total = 0.0;
@@ -26,12 +66,20 @@ void waterFillInto(std::span<const double> demands, double capacity,
 
   // Water-filling: process demands in ascending order; a demand at or below
   // the running fair share is satisfied in full, the rest split the
-  // remaining capacity equally.
-  order.resize(demands.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return demands[a] < demands[b];
-  });
+  // remaining capacity equally. Demands drift slowly between consecutive
+  // ticks, so the previous call's ranking usually still applies and the
+  // sort is skipped (an ascending permutation of distinct keys is unique,
+  // so the reused order is exactly what the sort would produce).
+  if (stillSorted(demands, order)) {
+    DIKE_COUNTER("sim.mem.waterfill_order_reuse");
+  } else {
+    DIKE_COUNTER("sim.mem.waterfill_sorts");
+    order.resize(demands.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return demands[a] < demands[b];
+    });
+  }
 
   double remaining = capacity;
   std::size_t left = demands.size();
@@ -67,7 +115,13 @@ void arbitrateInto(std::span<const MemoryDemand> demands,
       throw std::out_of_range{"demand names an unknown socket"};
   }
 
-  // Stage 1: per-socket link, max-min within each socket.
+  // Stage 1: per-socket link, max-min within each socket. Each socket keeps
+  // its own sorted-order hint so waterFillInto can skip the re-sort while
+  // that socket's relative demand ranking is stable.
+  if (scratch.linkOrder.size() < static_cast<std::size_t>(socketCount))
+    scratch.linkOrder.resize(static_cast<std::size_t>(socketCount));
+  if (scratch.linkMemo.size() < static_cast<std::size_t>(socketCount))
+    scratch.linkMemo.resize(static_cast<std::size_t>(socketCount));
   scratch.afterLink.assign(demands.size(), 0.0);
   for (int s = 0; s < socketCount; ++s) {
     scratch.socketDemands.clear();
@@ -79,14 +133,41 @@ void arbitrateInto(std::span<const MemoryDemand> demands,
       }
     }
     if (scratch.socketMembers.empty()) continue;
-    waterFillInto(scratch.socketDemands, linkCap, scratch.order,
-                  scratch.granted);
+    ArbitrationScratch::StageMemo& memo =
+        scratch.linkMemo[static_cast<std::size_t>(s)];
+    if (memo.valid && memo.capacity == linkCap &&
+        sameBits(scratch.socketDemands, memo.demands)) {
+      DIKE_COUNTER("sim.mem.link_memo_hits");
+    } else {
+      waterFillInto(scratch.socketDemands, linkCap,
+                    scratch.linkOrder[static_cast<std::size_t>(s)],
+                    memo.granted);
+      memo.demands.assign(scratch.socketDemands.begin(),
+                          scratch.socketDemands.end());
+      memo.capacity = linkCap;
+      memo.valid = true;
+    }
     for (std::size_t k = 0; k < scratch.socketMembers.size(); ++k)
-      scratch.afterLink[scratch.socketMembers[k]] = scratch.granted[k];
+      scratch.afterLink[scratch.socketMembers[k]] = memo.granted[k];
   }
 
   // Stage 2: shared controller, max-min across everything that survived.
-  waterFillInto(scratch.afterLink, controllerCap, scratch.order, served);
+  // Saturated links often absorb upstream demand drift, so the controller
+  // input — and therefore its output — repeats bitwise even when the raw
+  // demands did not.
+  ArbitrationScratch::StageMemo& cmemo = scratch.controllerMemo;
+  if (cmemo.valid && cmemo.capacity == controllerCap &&
+      sameBits(scratch.afterLink, cmemo.demands)) {
+    DIKE_COUNTER("sim.mem.controller_memo_hits");
+    served.assign(cmemo.granted.begin(), cmemo.granted.end());
+  } else {
+    waterFillInto(scratch.afterLink, controllerCap, scratch.controllerOrder,
+                  served);
+    cmemo.demands.assign(scratch.afterLink.begin(), scratch.afterLink.end());
+    cmemo.granted.assign(served.begin(), served.end());
+    cmemo.capacity = controllerCap;
+    cmemo.valid = true;
+  }
 }
 
 std::vector<double> arbitrate(std::span<const MemoryDemand> demands,

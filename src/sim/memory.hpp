@@ -36,12 +36,32 @@ struct MemoryDemand {
 /// Reusable buffers for allocation-free arbitration. The engine calls
 /// arbitrate once per simulated tick — millions of times per run — so the
 /// intermediate vectors live here instead of being reallocated every call.
+/// The per-stage order vectors double as sorted-order hints: demands drift
+/// slowly tick-to-tick, so the previous tick's ranking usually still sorts
+/// the new demands and the O(n log n) re-sort is skipped (see waterFillInto
+/// for why reusing a still-sorted permutation is bit-identical).
 struct ArbitrationScratch {
   std::vector<double> afterLink;
   std::vector<double> socketDemands;
   std::vector<std::size_t> socketMembers;
   std::vector<std::size_t> order;
   std::vector<double> granted;
+  std::vector<std::vector<std::size_t>> linkOrder;  ///< per-socket hints
+  std::vector<std::size_t> controllerOrder;         ///< stage-2 hint
+
+  /// Memo of one water-filling stage: when the inputs (and capacity) are
+  /// bitwise identical to the previous call's, the cached grants are the
+  /// grants — water-filling is a pure function of them. Keyed per socket
+  /// (and once for the controller stage) so one thread's drifting demand
+  /// only re-fills its own socket.
+  struct StageMemo {
+    std::vector<double> demands;
+    std::vector<double> granted;
+    double capacity = 0.0;
+    bool valid = false;
+  };
+  std::vector<StageMemo> linkMemo;
+  StageMemo controllerMemo;
 };
 
 /// Max-min arbitration over one tick.
@@ -72,8 +92,13 @@ void arbitrateInto(std::span<const MemoryDemand> demands,
 [[nodiscard]] std::vector<double> waterFill(std::span<const double> demands,
                                             double capacity);
 
-/// Allocation-free waterFill: identical arithmetic, reusing `order` for the
-/// ranking pass and writing into `served`.
+/// Allocation-free waterFill: identical arithmetic (bit-for-bit), reusing
+/// `order` for the ranking pass and writing into `served`. `order` is also
+/// an input: when it is a same-length permutation that still sorts the new
+/// demands it is reused as-is and the sort is skipped. Callers that want
+/// that fast path must pass the same vector for the same demand stream;
+/// passing a stale or foreign vector is safe (it fails the sortedness check
+/// and a full sort runs).
 void waterFillInto(std::span<const double> demands, double capacity,
                    std::vector<std::size_t>& order,
                    std::vector<double>& served);

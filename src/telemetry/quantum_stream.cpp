@@ -13,10 +13,15 @@ namespace {
 
 /// Deterministic shortest-ish representation; empty for NaN (CSV) — the
 /// stream must be byte-identical across repeated runs of the same build.
-std::string formatDouble(double v) {
-  if (std::isnan(v)) return {};
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
+/// Formats into a caller-owned buffer so row emission reuses capacity.
+const std::string& formatDouble(std::string& buf, double v) {
+  if (std::isnan(v)) {
+    buf.clear();
+    return buf;
+  }
+  char tmp[40];
+  const int n = std::snprintf(tmp, sizeof tmp, "%.12g", v);
+  buf.assign(tmp, static_cast<std::size_t>(n));
   return buf;
 }
 
@@ -69,10 +74,14 @@ void QuantumStreamWriter::writeCsv(const QuantumRecord& record) {
     csv.row(static_cast<long long>(record.tick),
             static_cast<long long>(record.quantumIndex), record.scheduler,
             t.threadId, t.processId, t.coreId, t.highBandwidthCore,
-            formatDouble(t.accessRate), formatDouble(t.llcMissRatio),
-            formatDouble(t.coreAchievedBw), formatDouble(t.coreBwEstimate),
-            formatDouble(t.predictedRate), formatDouble(t.realizedRate),
-            formatDouble(t.predictionError), formatDouble(record.unfairness),
+            formatDouble(fmt_[0], t.accessRate),
+            formatDouble(fmt_[1], t.llcMissRatio),
+            formatDouble(fmt_[2], t.coreAchievedBw),
+            formatDouble(fmt_[3], t.coreBwEstimate),
+            formatDouble(fmt_[4], t.predictedRate),
+            formatDouble(fmt_[5], t.realizedRate),
+            formatDouble(fmt_[6], t.predictionError),
+            formatDouble(fmt_[7], record.unfairness),
             record.workloadClass, record.quantaLengthMs, record.swapSize,
             static_cast<long long>(record.swapsExecuted),
             static_cast<long long>(record.migrationsExecuted));
@@ -81,6 +90,7 @@ void QuantumStreamWriter::writeCsv(const QuantumRecord& record) {
 
 void QuantumStreamWriter::writeJsonLine(const QuantumRecord& record) {
   util::JsonArray threads;
+  threads.reserve(record.threads.size());
   for (const QuantumThreadRecord& t : record.threads) {
     util::JsonObject o;
     o.emplace("thread", t.threadId);

@@ -10,6 +10,7 @@
 // NaN / -1 / empty and serialise as empty CSV cells or JSON nulls.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <fstream>
@@ -89,6 +90,10 @@ class QuantumStreamWriter {
   StreamFormat format_;
   bool headerWritten_ = false;
   std::int64_t records_ = 0;
+  /// Reusable per-field formatting buffers for CSV rows (one per double
+  /// column): the stream emits one row per thread per quantum, so the
+  /// string storage is recycled instead of reallocated each row.
+  std::array<std::string, 8> fmt_;
 };
 
 /// File-backed writer; format chosen from the path's extension. Throws

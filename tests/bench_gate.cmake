@@ -1,0 +1,40 @@
+# Throughput regression gate: measure the engine benchmark fresh, then let
+# bench_check compare its per-workload leap ticks/sec against the committed
+# BENCH_sim.json — a >MAX_PCT% geometric-mean regression fails the test.
+#
+# Opt-in (DIKE_BENCH_GATE / the `bench` preset): the comparison is
+# wall-clock sensitive and only meaningful on a quiet machine comparable to
+# the one that produced the baseline.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DBENCH_SIM=<bench_sim_throughput binary> -DBENCH_CHECK=<bench_check
+#   binary> -DBASELINE=<committed BENCH_sim.json> -DWORK_DIR=<scratch dir>
+#   [-DMAX_PCT=<budget, default 10>]
+foreach(var BENCH_SIM BENCH_CHECK BASELINE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_gate.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED MAX_PCT)
+  set(MAX_PCT 10)
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(FRESH "${WORK_DIR}/BENCH_fresh.json")
+
+# Same options the BENCH_sim.json refresh uses (bench/CMakeLists.txt), so
+# the two measurements are comparable.
+execute_process(COMMAND ${BENCH_SIM} --gbench=false --scale=0.5
+                        --json=${FRESH}
+                RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bench_sim_throughput failed (exit ${code})")
+endif()
+
+execute_process(COMMAND ${BENCH_CHECK} ${BASELINE} ${FRESH}
+                        --max-regression-pct=${MAX_PCT}
+                RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bench_check gate failed (exit ${code})")
+endif()

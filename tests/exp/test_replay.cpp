@@ -82,6 +82,36 @@ TEST_P(ReplayAllKinds, CheckpointRestoreIsByteExact) {
   EXPECT_EQ(report(restored->finish()), uninterrupted);
 }
 
+// The hot path carries warm performance caches the checkpoint never
+// records: the machine's SoA accumulators and arbitration memos, the
+// Observer's sort-repair order and id index, the pipeline's scratch
+// arena. A restored session starts all of them cold. Step the warm
+// (checkpointed-and-continued) and cold (restored) sessions in lockstep
+// and demand a byte-identical serialized state after every quantum — the
+// first diverging field path must stay empty — proving the caches are
+// pure accelerators with no behavioural content, for every policy.
+TEST_P(ReplayAllKinds, WarmAndColdCachesStayLockstep) {
+  const RunSpec spec = smallSpec(GetParam());
+  RunSession warm{spec};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(warm.stepQuantum());
+  const std::string path =
+      tempPath("lockstep_" + std::string{toString(GetParam())} + ".ckpt");
+  warm.writeCheckpoint(path);
+
+  const std::unique_ptr<RunSession> cold = RunSession::restore(path);
+  for (int i = 0; i < 5; ++i) {
+    const bool warmMore = warm.stepQuantum();
+    const bool coldMore = cold->stepQuantum();
+    ASSERT_EQ(warmMore, coldMore)
+        << "runs disagree on completion at quantum " << warm.quantumIndex();
+    ASSERT_EQ(firstDivergence(warm.checkpointPayload(),
+                              cold->checkpointPayload()),
+              std::nullopt)
+        << "diverged at quantum " << warm.quantumIndex();
+    if (!warmMore) break;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, ReplayAllKinds,
     ::testing::Values(SchedulerKind::Cfs, SchedulerKind::Dio,

@@ -1,0 +1,103 @@
+// bench_check: the throughput regression gate.
+//
+// Compares a freshly measured BENCH_sim.json against a baseline (normally
+// the committed one) on the single-threaded leap ticks/sec of each
+// workload, and fails — exit 1 — when the geometric-mean ratio has
+// regressed by more than the allowed percentage. Wall-clock measurements
+// are noisy, so the gate is a budget, not an equality check: run it on the
+// machine that produced the baseline (the `bench` preset + `ctest -L
+// bench` wires this up).
+//
+//   bench_check <baseline.json> <candidate.json> [--max-regression-pct P]
+//
+// Exit codes: 0 within budget, 1 regression beyond budget, 2 usage or
+// malformed input.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+/// workload id -> leap ticks/sec, from a BENCH_sim.json document.
+std::map<int, double> leapRates(const dike::util::JsonValue& doc,
+                                const std::string& label) {
+  const auto per = doc.get("leap_per_workload");
+  if (!per || !per->isArray())
+    throw std::runtime_error{label +
+                             ": missing \"leap_per_workload\" array — not a "
+                             "bench_sim_throughput report?"};
+  std::map<int, double> rates;
+  for (const dike::util::JsonValue& row : per->asArray()) {
+    const int workload = row.intOr("workload", -1);
+    const double rate = row.numberOr("leap_ticks_per_sec", -1.0);
+    if (workload < 0 || rate <= 0.0)
+      throw std::runtime_error{
+          label + ": malformed leap_per_workload row (workload id or "
+                  "leap_ticks_per_sec missing/non-positive)"};
+    rates[workload] = rate;
+  }
+  if (rates.empty())
+    throw std::runtime_error{label + ": leap_per_workload is empty"};
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dike::util::CliArgs args{argc, argv};
+  const std::vector<std::string>& positional = args.positional();
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <candidate.json> "
+                 "[--max-regression-pct P]\n",
+                 argv[0]);
+    return 2;
+  }
+  const double maxRegressionPct = args.getDouble("max-regression-pct", 10.0);
+
+  try {
+    const auto baseline =
+        leapRates(dike::util::parseJsonFile(positional[0]), positional[0]);
+    const auto candidate =
+        leapRates(dike::util::parseJsonFile(positional[1]), positional[1]);
+
+    std::vector<double> ratios;
+    std::printf("%-10s %18s %18s %8s\n", "workload", "baseline ticks/s",
+                "candidate ticks/s", "ratio");
+    for (const auto& [workload, baseRate] : baseline) {
+      const auto it = candidate.find(workload);
+      if (it == candidate.end()) {
+        std::fprintf(stderr,
+                     "candidate is missing workload %d present in the "
+                     "baseline\n",
+                     workload);
+        return 2;
+      }
+      const double ratio = it->second / baseRate;
+      ratios.push_back(ratio);
+      std::printf("wl%-8d %18.0f %18.0f %7.3fx\n", workload, baseRate,
+                  it->second, ratio);
+    }
+
+    const double geo = dike::util::geometricMean(ratios);
+    const double regressionPct = (1.0 - geo) * 100.0;
+    std::printf("geomean ratio: %.3fx (%+.1f%%, budget -%.1f%%)\n", geo,
+                (geo - 1.0) * 100.0, maxRegressionPct);
+    if (regressionPct > maxRegressionPct) {
+      std::fprintf(stderr,
+                   "FAIL: leap throughput regressed %.1f%% > %.1f%% budget\n",
+                   regressionPct, maxRegressionPct);
+      return 1;
+    }
+    std::printf("OK: within regression budget\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_check: %s\n", e.what());
+    return 2;
+  }
+}
