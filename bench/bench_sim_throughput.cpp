@@ -17,6 +17,8 @@
 #include <chrono>
 #include <thread>
 
+#include "telemetry/aggregator.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
 #include "util/json.hpp"
 
@@ -125,6 +127,70 @@ void runTelemetryOverhead(const BenchOptions& opts,
   out.emplace("telemetry_off_sec", offSec);
   out.emplace("telemetry_on_sec", onSec);
   out.emplace("telemetry_overhead_pct", overheadPct);
+}
+
+/// Cost of the live observability plane: the same workloads timed with
+/// ring publishing off (the default) and fully on — registry + live
+/// publisher + background aggregator draining, i.e. what `dike_run
+/// --live-metrics` adds to a run. The gate budget for the overhead
+/// percentage lives in bench_check (--max-live-overhead-pct).
+void runLiveOverhead(const BenchOptions& opts, dike::util::JsonObject& out) {
+  auto timeRuns = [&opts](bool live) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const int workloadId : kWorkloads) {
+      dike::exp::RunSpec spec;
+      spec.workloadId = workloadId;
+      spec.kind = SchedulerKind::Dike;
+      spec.scale = opts.scale;
+      spec.seed = opts.seed;
+      spec.telemetry.livePublish = live;
+      const RunMetrics m = dike::exp::runWorkload(spec);
+      benchmark::DoNotOptimize(m.fairness);
+    }
+    return secondsSince(start);
+  };
+  // One pass is tens of milliseconds — single-shot timing would compare
+  // scheduler-noise, not plane cost. Best-of-N keeps the gate honest.
+  constexpr int kReps = 3;
+  auto bestOf = [&timeRuns](bool live) {
+    double best = timeRuns(live);
+    for (int rep = 1; rep < kReps; ++rep)
+      best = std::min(best, timeRuns(live));
+    return best;
+  };
+
+  const double offSec = bestOf(false);
+
+  auto& aggregator = dike::telemetry::Aggregator::instance();
+  aggregator.resetForTest();
+  dike::telemetry::setEnabled(true);
+  dike::telemetry::setLiveEnabled(true);
+  aggregator.start();  // dike_run's --live-metrics configuration
+  const double onSec = bestOf(true);
+  aggregator.stop();
+  dike::telemetry::setLiveEnabled(false);
+  dike::telemetry::setEnabled(false);
+  const std::uint64_t delivered = dike::telemetry::Registry::instance()
+                                      .counter("live.ring.records")
+                                      .value();
+  const std::uint64_t dropped = dike::telemetry::Registry::instance()
+                                    .counter("live.ring.dropped")
+                                    .value();
+  aggregator.resetForTest();
+
+  const double overheadPct = (onSec / offSec - 1.0) * 100.0;
+  std::printf(
+      "=== Live export plane overhead (%zu workloads under Dike) ===\n"
+      "live off: %.2fs   live on: %.2fs   overhead: %+.1f%%   "
+      "(%llu records aggregated, %llu dropped)\n\n",
+      kWorkloads.size(), offSec, onSec, overheadPct,
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(dropped));
+  out.emplace("live_off_sec", offSec);
+  out.emplace("live_on_sec", onSec);
+  out.emplace("live_overhead_pct", overheadPct);
+  out.emplace("live_records", static_cast<double>(delivered));
+  out.emplace("live_dropped", static_cast<double>(dropped));
 }
 
 /// End-to-end Figure-6-shaped sweep (16 workloads x 5 schedulers) timed
@@ -240,6 +306,7 @@ int main(int argc, char** argv) {
   out.emplace("seed", static_cast<std::int64_t>(opts.seed));
   runLeapThroughput(opts, out);
   runTelemetryOverhead(opts, out);
+  runLiveOverhead(opts, out);
   runSweepThroughput(opts, out);
 
   const dike::util::JsonValue doc{std::move(out)};

@@ -1,12 +1,14 @@
 #include "core/dike_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "ckpt/archive.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
 
 namespace dike::core {
@@ -58,9 +60,25 @@ double DikeScheduler::observedRate(int threadId) const noexcept {
 
 void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   DIKE_SCOPE_TIMER("core.dike.on_quantum");
+  // Live-plane timing: wall-clock the whole decide step (everything below)
+  // so the /metrics latency summary reflects what an online scheduler would
+  // steal from the application. Only costs a clock read when live is on.
+  const bool live = telemetry::liveEnabled();
+  const auto decideStart =
+      live ? std::chrono::steady_clock::now()
+           : std::chrono::steady_clock::time_point{};
   // Close the loop: score the predictions registered last quantum against
   // the rates just measured.
   tracker_.scoreQuantum(view.sample(), view.now());
+  if (live) {
+    for (const ScoredPrediction& scored : tracker_.lastScored()) {
+      if (std::isnan(scored.error)) continue;
+      telemetry::publish(telemetry::EventKind::PredictionError,
+                         static_cast<std::uint32_t>(scored.threadId),
+                         quantumIndex_, std::fabs(scored.error),
+                         scored.error);
+    }
+  }
 
   // Divergence watchdog: a persistently saturated signed error means the
   // closed loop is tracking garbage (stuck counters, corrupt feed) —
@@ -238,6 +256,15 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   totals_.swapsExecuted += stats.swapsExecuted;
   totals_.swapsFailed += stats.swapsFailed;
   totals_.migrationsFailed += stats.migrationsFailed;
+  if (live) {
+    const auto elapsed = std::chrono::steady_clock::now() - decideStart;
+    telemetry::publish(
+        telemetry::EventKind::DecideLatency,
+        static_cast<std::uint32_t>(quantumIndex_), view.now(),
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
   ++quantumIndex_;
 }
 

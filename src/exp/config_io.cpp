@@ -133,6 +133,7 @@ void decodeTelemetry(const util::JsonValue& t, ExperimentTelemetry& out) {
   out.traceOut = t.stringOr("traceOut", out.traceOut);
   out.eventsCsv = t.stringOr("eventsCsv", out.eventsCsv);
   out.registryOut = t.stringOr("registryOut", out.registryOut);
+  out.livePublish = t.boolOr("livePublish", out.livePublish);
   const double capacity = t.numberOr(
       "traceCapacity", static_cast<double>(out.traceCapacity));
   if (capacity < 1.0)
@@ -161,6 +162,8 @@ ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
   if (const auto dike = document.get("dike")) decodeDike(*dike, config.dike);
   if (const auto telemetry = document.get("telemetry"))
     decodeTelemetry(*telemetry, config.telemetry);
+  if (const auto slo = document.get("slo"))
+    config.slo = telemetry::parseSloConfig(*slo);
   if (const auto faults = document.get("faults"))
     config.faults = fault::parseFaultPlan(*faults);
   return config;

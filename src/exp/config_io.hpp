@@ -26,7 +26,10 @@
 //     "telemetry": { "enabled": false, "quantumMetrics": "qm.csv",
 //                    "traceOut": "chrome.json", "eventsCsv": "events.csv",
 //                    "registryOut": "registry.json",
-//                    "traceCapacity": 1048576 },
+//                    "traceCapacity": 1048576, "livePublish": false },
+//     "slo":     { "enabled": false, "maxFairnessSpread": 1.25,
+//                  "maxPredictionAbsError": 0.0, "windowQuanta": 100,
+//                  "warmupQuanta": 0 },
 //     "faults":  { "seed": 1, "window": {"startTick": .., "endTick": ..},
 //                  "samples": { "dropProbability": .., ... },
 //                  "actuation": { "swapFailProbability": .., ... },
@@ -45,6 +48,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "telemetry/slo.hpp"
 #include "util/json.hpp"
 
 namespace dike::exp {
@@ -58,11 +62,15 @@ struct ExperimentTelemetry {
   std::string eventsCsv;       ///< raw event CSV path (dike_trace input)
   std::string registryOut;     ///< registry JSON dump path (dike_run)
   std::size_t traceCapacity = std::size_t{1} << 20;
+  /// Publish per-quantum live events into the ring/aggregator plane
+  /// (dike_run --live-metrics implies this for the telemetry-carrying run).
+  bool livePublish = false;
 
-  /// True when some single run must carry telemetry attachments.
+  /// True when some single run must carry telemetry attachments (file
+  /// outputs or the live ring publisher).
   [[nodiscard]] bool anyRunOutput() const noexcept {
     return !quantumMetrics.empty() || !traceOut.empty() ||
-           !eventsCsv.empty();
+           !eventsCsv.empty() || livePublish;
   }
   /// The per-run attachment view of these settings.
   [[nodiscard]] RunTelemetry runTelemetry() const {
@@ -71,6 +79,7 @@ struct ExperimentTelemetry {
     t.chromeTracePath = traceOut;
     t.eventsCsvPath = eventsCsv;
     t.traceCapacity = traceCapacity;
+    t.livePublish = livePublish;
     return t;
   }
 };
@@ -86,6 +95,10 @@ struct ExperimentConfig {
   sim::MachineConfig machine{};
   core::DikeConfig dike{};
   ExperimentTelemetry telemetry{};
+  /// Fairness SLO targets (the "slo" section); evaluated online by the
+  /// aggregator during --live-metrics runs and synchronously by the soak
+  /// harness. Disabled by default.
+  telemetry::SloConfig slo{};
   /// Fault plan applied to every run of the grid (including the internal
   /// CFS baseline, so comparisons stay within-condition). Unset = no
   /// injection, byte-identical to configs without the section.

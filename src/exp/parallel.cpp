@@ -8,8 +8,12 @@
 #include <string>
 #include <utility>
 
+#include <atomic>
+#include <chrono>
+
 #include "ckpt/checkpoint.hpp"
 #include "exp/replay.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -74,7 +78,21 @@ void ThreadPool::workerLoop() {
     }
     {
       DIKE_SCOPE_TIMER("exp.pool.task_time");
+      const bool live = telemetry::liveEnabled();
+      const auto jobStart = live ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
       task();
+      if (live) {
+        // Process-wide job ordinal: pools are created per sweep, but the
+        // live plane only needs a distinguishing id per record.
+        static std::atomic<std::uint32_t> jobOrdinal{0};
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - jobStart;
+        telemetry::publish(
+            telemetry::EventKind::SweepJobSeconds,
+            jobOrdinal.fetch_add(1, std::memory_order_relaxed), 0,
+            elapsed.count());
+      }
     }
     DIKE_COUNTER("exp.pool.tasks");
     {

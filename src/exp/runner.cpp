@@ -17,7 +17,10 @@
 #include "sched/extra_baselines.hpp"
 #include "sched/suspension.hpp"
 #include "sched/placement.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/quantum_stream.hpp"
+#include "telemetry/slowdown.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -89,6 +92,19 @@ class QuantumMetricsListener final : public sched::QuantumListener {
   void afterQuantum(const sim::Machine& machine,
                     const sched::SchedulerView& view,
                     sched::Scheduler& scheduler) override {
+    // Slowdown proxy: feed this quantum's access rates into the shared
+    // estimator before building the record, so per-thread slowdown and the
+    // quantum's fairness spread come from the same closed computation the
+    // live publisher uses (the live-vs-file differential test relies on
+    // the two paths agreeing exactly).
+    const double dt = util::ticksToSeconds(machine.now() - lastTick_);
+    lastTick_ = machine.now();
+    slowdown_.beginQuantum(dt);
+    for (const sim::ThreadSample& s : view.sample().threads) {
+      if (s.finished || s.coreId < 0) continue;
+      slowdown_.add(s.threadId, s.processId, s.accessRate);
+    }
+    slowdown_.finishQuantum();
     // The record and the scored-prediction index are member buffers: one
     // listener serves one run, so per-quantum churn reuses their capacity
     // (thread rows, strings, hash buckets) instead of reallocating.
@@ -103,6 +119,7 @@ class QuantumMetricsListener final : public sched::QuantumListener {
     rec.swapSize = -1;
     rec.swapsExecuted = view.swapsThisQuantum();
     rec.migrationsExecuted = view.migrationsThisQuantum();
+    rec.fairnessSpread = slowdown_.fairnessSpread();
 
     const auto* dike = dynamic_cast<const core::DikeScheduler*>(&scheduler);
     std::unordered_map<int, core::ScoredPrediction>& scored = scored_;
@@ -132,6 +149,7 @@ class QuantumMetricsListener final : public sched::QuantumListener {
       t.predictedRate = kQuietNaN;
       t.realizedRate = kQuietNaN;
       t.predictionError = kQuietNaN;
+      t.slowdown = slowdown_.slowdownOf(s.threadId);
       if (dike != nullptr && dike->observer().ready()) {
         t.coreBwEstimate = dike->observer().coreBw(s.coreId);
         t.highBandwidthCore =
@@ -150,8 +168,84 @@ class QuantumMetricsListener final : public sched::QuantumListener {
  private:
   telemetry::QuantumStreamWriter* writer_;
   std::int64_t quantumIndex_ = 0;
+  util::Tick lastTick_ = 0;
+  telemetry::SlowdownEstimator slowdown_;
   telemetry::QuantumRecord rec_;
   std::unordered_map<int, core::ScoredPrediction> scored_;
+};
+
+/// Publishes the per-quantum live events (thread slowdowns, fairness
+/// spread) into the ring transport and refreshes the aggregator's placement
+/// snapshot for /state. Runs its own SlowdownEstimator over exactly the
+/// inputs QuantumMetricsListener sees, so live aggregates and the NDJSON
+/// stream agree sample-for-sample.
+class LiveQuantumPublisher final : public sched::QuantumListener {
+ public:
+  void afterQuantum(const sim::Machine& machine,
+                    const sched::SchedulerView& view,
+                    sched::Scheduler& scheduler) override {
+    const double dt = util::ticksToSeconds(machine.now() - lastTick_);
+    lastTick_ = machine.now();
+    slowdown_.beginQuantum(dt);
+    const sim::QuantumSample& sample = view.sample();
+    for (const sim::ThreadSample& s : sample.threads) {
+      if (s.finished || s.coreId < 0) continue;
+      slowdown_.add(s.threadId, s.processId, s.accessRate);
+    }
+    slowdown_.finishQuantum();
+
+    const auto* dike = dynamic_cast<const core::DikeScheduler*>(&scheduler);
+    const double unfairness =
+        dike != nullptr ? dike->observer().systemUnfairness() : kQuietNaN;
+    const double spread = slowdown_.fairnessSpread();
+
+    // Ring events flow every quantum (the live histograms must match the
+    // NDJSON stream sample-for-sample), but the /state placement snapshot
+    // only feeds a few-Hz dike_top poll — rebuilding and mutex-publishing
+    // it per quantum is pure simulation-thread overhead. Refresh every
+    // eighth quantum; sub-millisecond staleness at observed quantum rates.
+    const bool refresh = (quantumIndex_ & 0x7) == 0;
+    telemetry::LiveState state;
+    if (refresh) {
+      state.tick = machine.now();
+      state.quantum = quantumIndex_;
+      state.unfairness = unfairness;
+      state.fairnessSpread = std::isnan(spread) ? 0.0 : spread;
+      state.scheduler.assign(scheduler.name());
+      state.cores.reserve(static_cast<std::size_t>(view.coreCount()));
+      for (int core = 0; core < view.coreCount(); ++core) {
+        telemetry::LiveCoreState c;
+        c.core = core;
+        c.thread = view.coreOccupant(core);
+        if (dike != nullptr && dike->observer().ready())
+          c.highBw = dike->observer().isHighBandwidthCore(core);
+        state.cores.push_back(c);
+      }
+    }
+    for (const sim::ThreadSample& s : sample.threads) {
+      if (s.finished || s.coreId < 0) continue;
+      const double sd = slowdown_.slowdownOf(s.threadId);
+      telemetry::publish(telemetry::EventKind::ThreadSlowdown,
+                         static_cast<std::uint32_t>(s.threadId),
+                         machine.now(), sd);
+      if (refresh) {
+        auto& c = state.cores[static_cast<std::size_t>(s.coreId)];
+        c.process = s.processId;
+        c.slowdown = std::isnan(sd) ? 0.0 : sd;
+      }
+    }
+    telemetry::publish(telemetry::EventKind::FairnessSpread,
+                       static_cast<std::uint32_t>(quantumIndex_),
+                       machine.now(), spread, unfairness);
+    if (refresh)
+      telemetry::Aggregator::instance().updateLiveState(std::move(state));
+    ++quantumIndex_;
+  }
+
+ private:
+  std::int64_t quantumIndex_ = 0;
+  util::Tick lastTick_ = 0;
+  telemetry::SlowdownEstimator slowdown_;
 };
 
 /// Open a telemetry output for writing, failing fast (before the simulation
@@ -173,6 +267,7 @@ RunMetrics collectRunMetrics(sim::Machine& machine,
   m.scheduler = std::string{scheduler.name()};
   m.makespan = outcome.finishTick;
   m.timedOut = outcome.timedOut;
+  m.stopped = outcome.stopped;
   m.swaps = machine.swapCount();
   m.migrations = machine.migrationCount();
   m.energyJoules = machine.energyJoules();
@@ -223,6 +318,8 @@ RunMetrics runWorkload(const RunSpec& spec) {
   std::optional<std::ofstream> chromeOut;
   std::optional<telemetry::QuantumStreamFile> metricsFile;
   std::unique_ptr<QuantumMetricsListener> metricsListener;
+  std::unique_ptr<LiveQuantumPublisher> livePublisher;
+  sched::QuantumListenerChain listenerChain;
   sim::TraceRecorder recorder{tel.traceCapacity};
   telemetry::DecisionTrace decisions;
   if (!tel.eventsCsvPath.empty())
@@ -234,11 +331,31 @@ RunMetrics runWorkload(const RunSpec& spec) {
     metricsFile.emplace(tel.quantumMetricsPath);
     metricsListener =
         std::make_unique<QuantumMetricsListener>(metricsFile->writer());
-    adapter.setListener(metricsListener.get());
+    listenerChain.add(metricsListener.get());
   }
+  if (tel.livePublish) {
+    livePublisher = std::make_unique<LiveQuantumPublisher>();
+    listenerChain.add(livePublisher.get());
+  }
+  if (listenerChain.size() > 0) adapter.setListener(&listenerChain);
   if (tel.any())
     if (auto* dike = dynamic_cast<core::DikeScheduler*>(scheduler.get()))
       dike->setDecisionTrace(&decisions);
+  // Route live-SLO alerts into this run's decision trace so breach records
+  // line up with the scheduler decisions around them. The guard detaches
+  // before `decisions` goes out of scope, whatever exit path is taken.
+  telemetry::SloMonitor* const liveSlo =
+      tel.livePublish ? telemetry::Aggregator::instance().slo() : nullptr;
+  if (liveSlo != nullptr) liveSlo->setDecisionTrace(&decisions);
+  struct SloTraceGuard {
+    telemetry::SloMonitor* slo;
+    ~SloTraceGuard() {
+      if (slo != nullptr) {
+        telemetry::Aggregator::instance().drainNow();
+        slo->setDecisionTrace(nullptr);
+      }
+    }
+  } sloTraceGuard{liveSlo};
 
   // Fault layer: counter/actuation seams on the adapter, core faults (and
   // the faults-active hint the fairness watchdog keys on) on a policy

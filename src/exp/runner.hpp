@@ -45,10 +45,15 @@ struct RunTelemetry {
   std::string eventsCsvPath;
   /// TraceRecorder capacity; beyond it events are dropped (and reported).
   std::size_t traceCapacity = std::size_t{1} << 20;
+  /// Publish per-quantum events (slowdown, fairness spread, placement)
+  /// into the live ring -> aggregator -> /metrics plane. Requires
+  /// telemetry::setLiveEnabled(true) process-wide (dike_run --live-metrics
+  /// does both); off by default so batch sweeps pay nothing.
+  bool livePublish = false;
 
   [[nodiscard]] bool any() const noexcept {
     return !quantumMetricsPath.empty() || !chromeTracePath.empty() ||
-           !eventsCsvPath.empty();
+           !eventsCsvPath.empty() || livePublish;
   }
   /// True when the run must record the structured event stream.
   [[nodiscard]] bool wantsEvents() const noexcept {
@@ -91,6 +96,9 @@ struct RunMetrics {
   std::string workload;
   util::Tick makespan = 0;
   bool timedOut = false;
+  /// True when the run was interrupted by a stop request (SIGINT/SIGTERM)
+  /// and unwound cleanly at a quantum boundary.
+  bool stopped = false;
   double fairness = 0.0;  ///< Eqn 4
   std::int64_t swaps = 0;
   std::int64_t migrations = 0;

@@ -10,7 +10,9 @@
 #include "fault/fault_policy.hpp"
 #include "fault/injector.hpp"
 #include "sched/placement.hpp"
+#include "telemetry/slowdown.hpp"
 #include "util/rng.hpp"
+#include "util/types.hpp"
 #include "workload/workloads.hpp"
 
 namespace dike::exp {
@@ -38,13 +40,32 @@ namespace {
 /// scheduler actually saw (i.e. after the fault filter ran).
 class SoakInvariantListener final : public sched::QuantumListener {
  public:
+  /// `slo` may be null (SLO checking disabled). When set, the listener
+  /// feeds the monitor the same per-quantum fairness spread the live
+  /// aggregator would see, evaluated synchronously so soak verdicts stay
+  /// deterministic.
+  explicit SoakInvariantListener(telemetry::SloMonitor* slo = nullptr)
+      : slo_(slo) {}
+
   void afterQuantum(const sim::Machine& machine,
                     const sched::SchedulerView& view,
                     sched::Scheduler& scheduler) override {
-    (void)machine;
+    const sim::QuantumSample& sample = view.sample();
+    if (slo_ != nullptr) {
+      const double dt = util::ticksToSeconds(machine.now() - lastTick_);
+      lastTick_ = machine.now();
+      slowdown_.beginQuantum(dt);
+      for (const sim::ThreadSample& s : sample.threads) {
+        if (s.finished || s.coreId < 0) continue;
+        slowdown_.add(s.threadId, s.processId, s.accessRate);
+      }
+      slowdown_.finishQuantum();
+      const double spread = slowdown_.fairnessSpread();
+      if (std::isfinite(spread))
+        slo_->observeFairnessSpread(quantaChecked_, spread);
+    }
     ++quantaChecked_;
 
-    const sim::QuantumSample& sample = view.sample();
     for (const double bw : sample.coreAchievedBw)
       if (!std::isfinite(bw) || bw < 0.0) ++nanViolations_;
     for (const sim::ThreadSample& s : sample.threads) {
@@ -82,6 +103,9 @@ class SoakInvariantListener final : public sched::QuantumListener {
   }
 
  private:
+  telemetry::SloMonitor* slo_;
+  telemetry::SlowdownEstimator slowdown_;
+  util::Tick lastTick_ = 0;
   std::int64_t quantaChecked_ = 0;
   std::int64_t nanViolations_ = 0;
   std::int64_t placementViolations_ = 0;
@@ -125,6 +149,8 @@ struct SoakRun {
   std::int64_t placementViolations = 0;
   int churnInjected = 0;
   int churnPending = 0;
+  std::int64_t sloBreaches = 0;
+  std::int64_t sloFirstBreachQuantum = -1;
 };
 
 SoakRun runOnce(const SoakSpec& spec, bool withFaults) {
@@ -159,7 +185,9 @@ SoakRun runOnce(const SoakSpec& spec, bool withFaults) {
   auto* dike = dynamic_cast<core::DikeScheduler*>(scheduler.get());
   sched::SchedulerAdapter adapter{*scheduler};
 
-  SoakInvariantListener invariants;
+  std::optional<telemetry::SloMonitor> slo;
+  if (spec.slo.enabled) slo.emplace(spec.slo);
+  SoakInvariantListener invariants{slo ? &*slo : nullptr};
   adapter.setListener(&invariants);
 
   std::optional<fault::FaultInjector> injector;
@@ -206,6 +234,10 @@ SoakRun runOnce(const SoakSpec& spec, bool withFaults) {
   run.quantaChecked = invariants.quantaChecked();
   run.nanViolations = invariants.nanViolations();
   run.placementViolations = invariants.placementViolations();
+  if (slo) {
+    run.sloBreaches = slo->breaches();
+    run.sloFirstBreachQuantum = slo->firstBreachQuantum();
+  }
   return run;
 }
 
@@ -229,6 +261,9 @@ SoakReport runSoak(const SoakSpec& spec) {
                                    baseline.metrics.fairness
                              : 0.0;
   report.fairnessRecovered = report.fairnessRatio >= 0.9;
+  report.sloBreaches = faulted.sloBreaches;
+  report.sloFirstBreachQuantum = faulted.sloFirstBreachQuantum;
+  report.sloBaselineBreaches = baseline.sloBreaches;
   return report;
 }
 
@@ -275,6 +310,11 @@ util::JsonValue toJson(const SoakReport& report) {
               static_cast<double>(report.placementViolations));
   doc.emplace("quanta_checked", static_cast<double>(report.quantaChecked));
   doc.emplace("scheduler", report.metrics.scheduler);
+  doc.emplace("slo_baseline_breaches",
+              static_cast<double>(report.sloBaselineBreaches));
+  doc.emplace("slo_breaches", static_cast<double>(report.sloBreaches));
+  doc.emplace("slo_first_breach_quantum",
+              static_cast<double>(report.sloFirstBreachQuantum));
   doc.emplace("swaps", static_cast<double>(report.metrics.swaps));
   doc.emplace("timed_out", report.metrics.timedOut);
   return util::JsonValue{std::move(doc)};

@@ -21,6 +21,7 @@
 
 #include "exp/runner.hpp"
 #include "fault/fault_plan.hpp"
+#include "telemetry/slo.hpp"
 #include "util/json.hpp"
 
 namespace dike::exp {
@@ -40,6 +41,11 @@ struct SoakSpec {
   /// What to inject. Churn arrivals are scheduled inside the plan's window
   /// from the plan's forked RNG stream.
   fault::FaultPlan faults{};
+  /// Fairness SLO evaluated synchronously per quantum on BOTH runs. With
+  /// faults injected the monitor is expected to flag a breach shortly after
+  /// fault onset while the fault-free twin stays clean — the detection-
+  /// latency property the soak asserts.
+  telemetry::SloConfig slo{};
 };
 
 /// A standard acceptance plan: counter corruption + drops, failing
@@ -60,6 +66,10 @@ struct SoakReport {
   std::int64_t placementViolations = 0;
   int churnArrivalsInjected = 0;
   int churnArrivalsPending = 0;
+  /// SLO monitor results (all zero / -1 when spec.slo is disabled).
+  std::int64_t sloBreaches = 0;           ///< faulted run
+  std::int64_t sloFirstBreachQuantum = -1;  ///< faulted run; -1 = never
+  std::int64_t sloBaselineBreaches = 0;   ///< fault-free twin (should be 0)
 
   [[nodiscard]] bool passed() const noexcept {
     return nanViolations == 0 && placementViolations == 0 &&

@@ -9,7 +9,9 @@
 
 #include "ckpt/archive.hpp"
 #include "ckpt/state_io.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
+#include "util/stop.hpp"
 
 namespace dike::sim {
 
@@ -678,6 +680,12 @@ void Machine::swapThreads(int threadA, int threadB) {
   llcDirty_ = true;
   ++swapCount_;
   DIKE_COUNTER("sim.swaps");
+  const auto stall =
+      static_cast<double>(config_.migrationStallTicks + config_.cacheColdTicks);
+  telemetry::publish(telemetry::EventKind::ActuationStall,
+                     static_cast<std::uint32_t>(a.id), now_, stall, 1.0);
+  telemetry::publish(telemetry::EventKind::ActuationStall,
+                     static_cast<std::uint32_t>(b.id), now_, stall, 1.0);
 }
 
 void Machine::migrateThread(int threadId, int coreId) {
@@ -692,6 +700,11 @@ void Machine::migrateThread(int threadId, int coreId) {
   applyMigrationStall(t, fromCore);
   syncHotThread(threadId);
   llcDirty_ = true;
+  telemetry::publish(
+      telemetry::EventKind::ActuationStall, static_cast<std::uint32_t>(t.id),
+      now_,
+      static_cast<double>(config_.migrationStallTicks + config_.cacheColdTicks),
+      2.0);
 }
 
 void Machine::setPhysicalCoreFrequency(int physicalCore, double freqGhz) {
@@ -974,25 +987,33 @@ RunOutcome runMachine(Machine& machine, QuantumPolicy& policy,
   util::Tick nextQuantumAt =
       start.nextQuantumAt >= 0 ? start.nextQuantumAt : policy.quantumTicks();
   std::int64_t quantumIndex = start.quantumIndex;
-  while (!machine.allFinished() && machine.now() < limits.maxTicks) {
+  // The stop flag is checked once per loop pass (a quantum boundary at
+  // most), so a SIGINT unwinds through the normal return path and every
+  // telemetry sink finalises cleanly — never mid-row, never mid-file.
+  while (!machine.allFinished() && machine.now() < limits.maxTicks &&
+         !util::stopRequested()) {
     const util::Tick target = std::min(
         limits.maxTicks, std::max(nextQuantumAt, machine.now() + 1));
     machine.stepUntil(target);
     if (machine.now() >= nextQuantumAt) {
       if (machine.allFinished()) break;
       policy.onQuantum(machine);
+      const util::Tick quantum = std::max<util::Tick>(1, policy.quantumTicks());
+      telemetry::publish(telemetry::EventKind::QuantumTicks,
+                         static_cast<std::uint32_t>(quantumIndex),
+                         machine.now(), static_cast<double>(quantum));
       // Schedule from the previous deadline, not the observed tick, so one
       // late quantum cannot shift the whole subsequent schedule. stepUntil
       // never overshoots the target, so the clamp only guards pathological
       // policies that move the deadline into the past.
-      nextQuantumAt = std::max(
-          nextQuantumAt + std::max<util::Tick>(1, policy.quantumTicks()),
-          machine.now() + 1);
+      nextQuantumAt = std::max(nextQuantumAt + quantum, machine.now() + 1);
       if (afterQuantum) afterQuantum(machine, quantumIndex, nextQuantumAt);
       ++quantumIndex;
     }
   }
-  return RunOutcome{machine.now(), !machine.allFinished()};
+  const bool stopped = util::stopRequested() && !machine.allFinished();
+  return RunOutcome{machine.now(), !machine.allFinished() && !stopped,
+                    stopped};
 }
 
 }  // namespace dike::sim

@@ -394,6 +394,10 @@ struct RunLimits {
 struct RunOutcome {
   util::Tick finishTick = 0;
   bool timedOut = false;
+  /// True when the run ended early because util::stopRequested() (SIGINT /
+  /// SIGTERM) was observed at a quantum boundary. The machine is left in a
+  /// consistent state; telemetry sinks finalise via their destructors.
+  bool stopped = false;
 };
 
 /// Drive the machine until every thread completes (or the tick limit hits),

@@ -1,0 +1,132 @@
+#include "telemetry/aggregator.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "telemetry/registry.hpp"
+
+namespace dike::telemetry {
+
+Aggregator& Aggregator::instance() {
+  static Aggregator aggregator;
+  return aggregator;
+}
+
+std::shared_ptr<SpscRing> Aggregator::registerRing(std::size_t capacity) {
+  auto ring = std::make_shared<SpscRing>(capacity);
+  const std::lock_guard lock{mu_};
+  rings_.push_back(RingSlot{ring, 0});
+  return ring;
+}
+
+void Aggregator::start(int intervalMs) {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  const auto interval =
+      std::chrono::milliseconds(intervalMs < 1 ? 1 : intervalMs);
+  thread_ = std::jthread([this, interval](std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      drainNow();
+      std::this_thread::sleep_for(interval);
+    }
+    drainNow();  // final sweep so nothing published before stop is lost
+  });
+}
+
+void Aggregator::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Aggregator::drainRing(RingSlot& slot, std::size_t& consumed) {
+  auto& registry = Registry::instance();
+  SloMonitor* slo = slo_;  // mu_ held by caller
+  consumed += slot.ring->drain([&](const EventRecord& record) {
+    switch (record.kind) {
+      case EventKind::ThreadSlowdown:
+        registry.histogram("live.slowdown").record(record.a);
+        break;
+      case EventKind::FairnessSpread:
+        registry.histogram("live.fairness_spread").record(record.a);
+        if (slo != nullptr) {
+          slo->observeFairnessSpread(static_cast<std::int64_t>(record.id),
+                                     record.a);
+        }
+        break;
+      case EventKind::PredictionError:
+        registry.histogram("live.prediction_abs_error").record(record.a);
+        if (slo != nullptr) {
+          slo->observePredictionError(record.tick, record.a);
+        }
+        break;
+      case EventKind::DecideLatency:
+        registry.histogram("live.decide_latency_ns").record(record.a);
+        break;
+      case EventKind::ActuationStall:
+        registry.histogram("live.actuation_stall_ticks").record(record.a);
+        break;
+      case EventKind::QuantumTicks:
+        registry.histogram("live.quantum_ticks").record(record.a);
+        break;
+      case EventKind::SweepJobSeconds:
+        registry.histogram("live.sweep_job_seconds").record(record.a);
+        break;
+    }
+  });
+  const std::uint64_t dropped = slot.ring->dropped();
+  if (dropped > slot.droppedSeen) {
+    registry.counter("live.ring.dropped").add(dropped - slot.droppedSeen);
+    slot.droppedSeen = dropped;
+  }
+}
+
+std::size_t Aggregator::drainNow() {
+  // Two locks: drainMu_ keeps "exactly one consumer" true even when a test
+  // calls drainNow() while the background thread runs; mu_ protects the
+  // ring list and may be taken by producers registering mid-drain.
+  const std::lock_guard drainLock{drainMu_};
+  std::size_t consumed = 0;
+  {
+    const std::lock_guard lock{mu_};
+    for (RingSlot& slot : rings_) drainRing(slot, consumed);
+  }
+  if (consumed > 0) {
+    Registry::instance().counter("live.ring.records").add(consumed);
+  }
+  return consumed;
+}
+
+void Aggregator::setSlo(SloMonitor* slo) {
+  const std::lock_guard lock{mu_};
+  slo_ = slo;
+}
+
+SloMonitor* Aggregator::slo() const {
+  const std::lock_guard lock{mu_};
+  return slo_;
+}
+
+void Aggregator::updateLiveState(LiveState state) {
+  const std::lock_guard lock{stateMu_};
+  state_ = std::move(state);
+}
+
+LiveState Aggregator::liveState() const {
+  const std::lock_guard lock{stateMu_};
+  return state_;
+}
+
+void Aggregator::resetForTest() {
+  stop();
+  const std::lock_guard drainLock{drainMu_};
+  const std::lock_guard lock{mu_};
+  rings_.clear();
+  slo_ = nullptr;
+  {
+    const std::lock_guard stateLock{stateMu_};
+    state_ = LiveState{};
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace dike::telemetry

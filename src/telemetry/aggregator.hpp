@@ -1,0 +1,123 @@
+// Background aggregator for the live observability plane.
+//
+// Producers (simulator run threads, sweep-pool workers) publish fixed-size
+// EventRecords into per-thread SPSC rings via telemetry::publish(); the
+// aggregator's drain thread empties every ring a few hundred times a second
+// and folds the records into registry histograms (live.*), counters
+// (live.ring.*), and — when attached — the fairness SLO monitor. Nothing on
+// the producer side ever blocks: a full ring drops and counts.
+//
+// The aggregator is a process-wide singleton because the rings are reached
+// through thread_local caches in live.cpp. Tests reset it between cases via
+// resetForTest(), which bumps an epoch so stale thread_local rings from a
+// previous case re-register instead of publishing into a dead ring.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/ring.hpp"
+#include "telemetry/slo.hpp"
+
+namespace dike::telemetry {
+
+/// Live placement snapshot for the /state endpoint and dike_top: what is
+/// running where right now, with each thread's current slowdown proxy.
+struct LiveCoreState {
+  int core = -1;
+  int thread = -1;   ///< -1 = idle core
+  int process = -1;
+  bool highBw = false;
+  double slowdown = 0.0;  ///< NaN-free: 0 when unknown
+};
+
+struct LiveState {
+  std::int64_t tick = 0;
+  std::int64_t quantum = 0;
+  double unfairness = 0.0;
+  double fairnessSpread = 0.0;
+  std::string scheduler;
+  std::vector<LiveCoreState> cores;
+};
+
+class Aggregator {
+ public:
+  [[nodiscard]] static Aggregator& instance();
+
+  /// Register a new ring owned by the calling producer thread. The
+  /// aggregator keeps a reference for draining; the producer keeps the
+  /// returned shared_ptr alive in a thread_local (live.cpp).
+  [[nodiscard]] std::shared_ptr<SpscRing> registerRing(
+      std::size_t capacity = 1 << 14);
+
+  /// Bumped by resetForTest(); producers re-register when it changes.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Start the drain thread (idempotent). `intervalMs` only bounds ring
+  /// occupancy between drains — a /metrics scrape drains synchronously
+  /// first, so exported freshness does not depend on it. The default
+  /// keeps rings far from full at observed publish rates (~40 records/ms
+  /// against 16k capacity) while waking the thread rarely enough not to
+  /// contend with the simulation on small machines.
+  void start(int intervalMs = 50);
+  /// Stop the drain thread after one final drain (idempotent).
+  void stop();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Drain every ring synchronously on the calling thread — the
+  /// deterministic path for tests and for end-of-run flushes. Returns the
+  /// number of records consumed.
+  std::size_t drainNow();
+
+  /// Attach/detach the SLO monitor fed from FairnessSpread /
+  /// PredictionError events (nullptr detaches). The monitor must outlive
+  /// its attachment.
+  void setSlo(SloMonitor* slo);
+  /// The attached monitor (nullptr when none) — lets the run that owns the
+  /// decision trace route SLO alerts into it (exp/runner.cpp).
+  [[nodiscard]] SloMonitor* slo() const;
+
+  /// Replace the live placement snapshot (run thread, once per quantum).
+  void updateLiveState(LiveState state);
+  [[nodiscard]] LiveState liveState() const;
+
+  /// Tear down between tests: stops the thread, drops all rings, detaches
+  /// the SLO monitor, clears the live state, and bumps the epoch.
+  void resetForTest();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+ private:
+  Aggregator() = default;
+
+  /// One registered ring and the drop tally already forwarded to the
+  /// registry (so live.ring.dropped advances by deltas).
+  struct RingSlot {
+    std::shared_ptr<SpscRing> ring;
+    std::uint64_t droppedSeen = 0;
+  };
+
+  void drainRing(RingSlot& slot, std::size_t& consumed);
+
+  mutable std::mutex mu_;        ///< guards rings_, slo_
+  std::vector<RingSlot> rings_;
+  SloMonitor* slo_ = nullptr;
+  mutable std::mutex stateMu_;   ///< guards state_
+  LiveState state_;
+  std::mutex drainMu_;           ///< serialises drain passes (SPSC consumer)
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<bool> running_{false};
+  std::jthread thread_;
+};
+
+}  // namespace dike::telemetry

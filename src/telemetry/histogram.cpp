@@ -1,0 +1,103 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dike::telemetry {
+
+std::size_t HdrHistogram::bucketIndex(double value) noexcept {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  // frexp: value = mantissa * 2^exp with mantissa in [0.5, 1).
+  const double mantissa = std::frexp(value, &exp);
+  // The bucket family for exponent e covers [2^(e-1), 2^e).
+  if (exp <= kMinExp) return 0;
+  if (exp > kMaxExp) return kBucketCount - 1;
+  const int family = exp - 1 - kMinExp;  // 0-based power-of-two range
+  int sub = static_cast<int>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return static_cast<std::size_t>(family) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double HdrHistogram::bucketMid(std::size_t index) noexcept {
+  index = std::min(index, kBucketCount - 1);
+  const int family = static_cast<int>(index) / kSubBuckets;
+  const int sub = static_cast<int>(index) % kSubBuckets;
+  const double lo =
+      std::ldexp(0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets),
+                 family + kMinExp + 1);
+  const double hi =
+      std::ldexp(0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets),
+                 family + kMinExp + 1);
+  // Geometric midpoint: symmetric relative error within the bucket.
+  return std::sqrt(lo * hi);
+}
+
+void HdrHistogram::record(double value) noexcept {
+  if (std::isnan(value)) {
+    nans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!(value > 0.0)) nonPositive_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot HdrHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = n;
+    total += n;
+  }
+  snap.count = total;
+  snap.nonPositive = nonPositive_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  snap.min = std::isinf(lo) ? 0.0 : lo;
+  snap.max = std::isinf(hi) ? 0.0 : hi;
+  return snap;
+}
+
+void HdrHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  nonPositive_.store(0, std::memory_order_relaxed);
+  nans_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based), ceil(q * count) clamped to >= 1.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    // Clamp the bucket midpoint into the observed [min, max] so estimates
+    // never report a value outside what was actually recorded (a midpoint
+    // can overshoot the true extreme by up to half a bucket width).
+    if (seen >= rank)
+      return std::clamp(HdrHistogram::bucketMid(i), min, max);
+  }
+  return max;
+}
+
+}  // namespace dike::telemetry

@@ -1,0 +1,27 @@
+#include "telemetry/live.hpp"
+
+#include <memory>
+
+#include "telemetry/aggregator.hpp"
+
+namespace dike::telemetry {
+
+void publish(const EventRecord& record) {
+  if (!liveEnabled()) return;
+  // Thread-local ring, re-registered when the aggregator epoch moves (a
+  // test reset dropped the old ring; publishing into it would be silent).
+  struct TlsRing {
+    std::shared_ptr<SpscRing> ring;
+    std::uint64_t epoch = 0;
+  };
+  thread_local TlsRing tls;
+  auto& aggregator = Aggregator::instance();
+  const std::uint64_t epoch = aggregator.epoch();
+  if (tls.ring == nullptr || tls.epoch != epoch) {
+    tls.ring = aggregator.registerRing();
+    tls.epoch = epoch;
+  }
+  tls.ring->tryPush(record);
+}
+
+}  // namespace dike::telemetry

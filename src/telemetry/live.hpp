@@ -1,0 +1,50 @@
+// Producer-side facade for the live observability plane.
+//
+// publish() is the one call instrumentation sites make: it routes a fixed-
+// size EventRecord into the calling thread's SPSC ring (registered lazily
+// with the Aggregator, re-registered when the aggregator epoch changes).
+// Like the DIKE_* macros, the off path is a single relaxed atomic load and
+// a predicted branch — live publishing is opt-in per run (--live-metrics /
+// telemetry.livePublish) and must cost nothing when off.
+//
+// liveEnabled() is deliberately separate from telemetry::enabled(): the
+// registry metrics are cheap enough for soak tests and benchmarks, while
+// ring publishing adds a per-record copy that only live serving justifies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "telemetry/ring.hpp"
+
+namespace dike::telemetry {
+
+namespace detail {
+inline std::atomic<bool> gLiveEnabled{false};
+}  // namespace detail
+
+/// Global switch for ring publishing. Safe to toggle at any time from any
+/// thread; records published while off are simply not produced.
+inline void setLiveEnabled(bool on) noexcept {
+  detail::gLiveEnabled.store(on, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool liveEnabled() noexcept {
+#if defined(DIKE_TELEMETRY_DISABLED)
+  return false;
+#else
+  return detail::gLiveEnabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Publish one event into the calling thread's ring. No-op when live
+/// publishing is off. Never blocks; a full ring drops (counted).
+void publish(const EventRecord& record);
+
+inline void publish(EventKind kind, std::uint32_t id, std::int64_t tick,
+                    double a, double b = 0.0) {
+  if (!liveEnabled()) return;
+  publish(EventRecord{kind, id, tick, a, b});
+}
+
+}  // namespace dike::telemetry

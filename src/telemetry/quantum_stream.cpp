@@ -50,7 +50,8 @@ const std::vector<std::string>& QuantumStreamWriter::csvColumns() {
       "thread",         "process",        "core",
       "high_bw_core",   "access_rate",    "llc_miss_ratio",
       "core_achieved_bw", "core_bw_estimate", "predicted_rate",
-      "realized_rate",  "prediction_error", "unfairness",
+      "realized_rate",  "prediction_error", "slowdown",
+      "unfairness",     "fairness_spread",
       "workload_class", "quanta_length_ms", "swap_size",
       "swaps_executed", "migrations_executed"};
   return columns;
@@ -81,7 +82,9 @@ void QuantumStreamWriter::writeCsv(const QuantumRecord& record) {
             formatDouble(fmt_[4], t.predictedRate),
             formatDouble(fmt_[5], t.realizedRate),
             formatDouble(fmt_[6], t.predictionError),
-            formatDouble(fmt_[7], record.unfairness),
+            formatDouble(fmt_[7], t.slowdown),
+            formatDouble(fmt_[8], record.unfairness),
+            formatDouble(fmt_[9], record.fairnessSpread),
             record.workloadClass, record.quantaLengthMs, record.swapSize,
             static_cast<long long>(record.swapsExecuted),
             static_cast<long long>(record.migrationsExecuted));
@@ -107,6 +110,7 @@ void QuantumStreamWriter::writeJsonLine(const QuantumRecord& record) {
     o.emplace("predicted_rate", jsonNumberOrNull(t.predictedRate));
     o.emplace("realized_rate", jsonNumberOrNull(t.realizedRate));
     o.emplace("prediction_error", jsonNumberOrNull(t.predictionError));
+    o.emplace("slowdown", jsonNumberOrNull(t.slowdown));
     threads.emplace_back(std::move(o));
   }
   util::JsonObject doc;
@@ -114,6 +118,7 @@ void QuantumStreamWriter::writeJsonLine(const QuantumRecord& record) {
   doc.emplace("quantum", static_cast<double>(record.quantumIndex));
   doc.emplace("scheduler", record.scheduler);
   doc.emplace("unfairness", jsonNumberOrNull(record.unfairness));
+  doc.emplace("fairness_spread", jsonNumberOrNull(record.fairnessSpread));
   doc.emplace("workload_class", record.workloadClass.empty()
                                     ? util::JsonValue{nullptr}
                                     : util::JsonValue{record.workloadClass});

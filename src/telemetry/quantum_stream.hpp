@@ -43,6 +43,9 @@ struct QuantumThreadRecord {
   /// Signed relative error (predicted - realised) / realised; NaN when the
   /// pair was below the tracker's scoring floors.
   double predictionError = 0.0;
+  /// Slowdown proxy vs the thread's process front-runner (>= 1); NaN when
+  /// the process has < 2 live threads or the thread has no work yet.
+  double slowdown = 0.0;
 };
 
 /// One scheduling quantum's full record.
@@ -58,6 +61,9 @@ struct QuantumRecord {
   int swapSize = -1;        ///< optimizer's current value; -1 for non-Dike
   std::int64_t swapsExecuted = 0;       ///< swaps this quantum
   std::int64_t migrationsExecuted = 0;  ///< free-core migrations this quantum
+  /// Max per-thread slowdown across eligible processes this quantum (the
+  /// min is 1 by construction); NaN when nothing was eligible.
+  double fairnessSpread = 0.0;
   std::vector<QuantumThreadRecord> threads;
 };
 
@@ -93,7 +99,7 @@ class QuantumStreamWriter {
   /// Reusable per-field formatting buffers for CSV rows (one per double
   /// column): the stream emits one row per thread per quantum, so the
   /// string storage is recycled instead of reallocated each row.
-  std::array<std::string, 8> fmt_;
+  std::array<std::string, 10> fmt_;
 };
 
 /// File-backed writer; format chosen from the path's extension. Throws

@@ -9,6 +9,7 @@ std::string_view toString(MetricKind kind) noexcept {
     case MetricKind::Counter: return "counter";
     case MetricKind::Timer: return "timer";
     case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
   }
   return "?";
 }
@@ -41,6 +42,17 @@ Gauge& Registry::gauge(std::string_view name) {
   return find(name, MetricKind::Gauge).gauge;
 }
 
+HdrHistogram& Registry::histogram(std::string_view name) {
+  Entry& entry = find(name, MetricKind::Histogram);
+  {
+    const std::lock_guard lock{mu_};
+    if (entry.histogram == nullptr) {
+      entry.histogram = std::make_unique<HdrHistogram>();
+    }
+  }
+  return *entry.histogram;
+}
+
 std::vector<MetricSnapshot> Registry::snapshot() const {
   const std::lock_guard lock{mu_};
   std::vector<MetricSnapshot> out;
@@ -62,8 +74,29 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
         row.value = entry.gauge.value();
         row.count = entry.gauge.updates();
         break;
+      case MetricKind::Histogram: {
+        const HistogramSnapshot snap =
+            entry.histogram != nullptr ? entry.histogram->snapshot()
+                                       : HistogramSnapshot{};
+        row.value = snap.sum;
+        row.count = snap.count;
+        break;
+      }
     }
     out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::histogramSnapshots() const {
+  const std::lock_guard lock{mu_};
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != MetricKind::Histogram || entry.histogram == nullptr) {
+      continue;
+    }
+    out.emplace_back(name, entry.histogram->snapshot());
   }
   return out;
 }
@@ -79,6 +112,7 @@ void Registry::resetAll() {
     entry.counter.reset();
     entry.timer.reset();
     entry.gauge.reset();
+    if (entry.histogram != nullptr) entry.histogram->reset();
   }
 }
 
@@ -101,13 +135,29 @@ util::JsonValue Registry::toJson() const {
       case MetricKind::Gauge:
         gauges.emplace(m.name, m.value);
         break;
+      case MetricKind::Histogram:
+        break;  // emitted below with full quantile detail
     }
+  }
+  util::JsonObject histograms;
+  for (const auto& [name, snap] : histogramSnapshots()) {
+    util::JsonObject h;
+    h.emplace("count", static_cast<double>(snap.count));
+    h.emplace("sum", snap.sum);
+    h.emplace("min", snap.min);
+    h.emplace("max", snap.max);
+    h.emplace("p50", snap.p50());
+    h.emplace("p90", snap.p90());
+    h.emplace("p99", snap.p99());
+    h.emplace("p999", snap.p999());
+    histograms.emplace(name, std::move(h));
   }
   util::JsonObject doc;
   doc.emplace("enabled", enabled());
   doc.emplace("counters", std::move(counters));
   doc.emplace("timers", std::move(timers));
   doc.emplace("gauges", std::move(gauges));
+  doc.emplace("histograms", std::move(histograms));
   return util::JsonValue{std::move(doc)};
 }
 

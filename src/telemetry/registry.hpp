@@ -18,11 +18,14 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "telemetry/histogram.hpp"
 #include "util/json.hpp"
 
 namespace dike::telemetry {
@@ -108,7 +111,7 @@ class Gauge {
   std::atomic<std::uint64_t> updates_{0};
 };
 
-enum class MetricKind { Counter, Timer, Gauge };
+enum class MetricKind { Counter, Timer, Gauge, Histogram };
 
 [[nodiscard]] std::string_view toString(MetricKind kind) noexcept;
 
@@ -131,9 +134,17 @@ class Registry {
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Timer& timer(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Log-bucketed distribution metric. Allocated lazily on first lookup
+  /// (an HdrHistogram is ~24 KiB; counters must not pay for it).
+  [[nodiscard]] HdrHistogram& histogram(std::string_view name);
 
-  /// All registered metrics, sorted by name.
+  /// All registered metrics, sorted by name. Histogram rows carry
+  /// value = sum and count = sample count; full distributions come from
+  /// histogramSnapshots().
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+  /// Every registered histogram's consistent snapshot, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  histogramSnapshots() const;
   /// Number of registered metrics (0 until a site runs while enabled).
   [[nodiscard]] std::size_t size() const;
   /// Zero every metric's value; registrations are kept.
@@ -158,6 +169,8 @@ class Registry {
     Counter counter;
     Timer timer;
     Gauge gauge;
+    /// Only allocated for MetricKind::Histogram entries.
+    std::unique_ptr<HdrHistogram> histogram;
   };
   // std::map keeps node addresses stable across insertions.
   std::map<std::string, Entry, std::less<>> entries_;

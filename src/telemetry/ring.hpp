@@ -1,0 +1,130 @@
+// Lock-free single-producer / single-consumer ring buffer of fixed-size
+// telemetry event records — the transport between the simulator / Dike
+// pipeline hot paths and the background aggregator thread.
+//
+// Invariants the hot path depends on:
+//   * tryPush never blocks, never locks, never allocates: one acquire load,
+//     one record copy, one release store. A full ring drops the record and
+//     counts the drop — publishing must never stall the simulation.
+//   * exactly one producer thread pushes and exactly one consumer thread
+//     drains any given ring (each worker owns its ring; the aggregator is
+//     the only drainer), so two indices with acquire/release ordering are
+//     sufficient — no CAS on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace dike::telemetry {
+
+/// What a published record measures. Payload semantics per kind:
+///   a = the measured value, b = auxiliary (documented per kind).
+enum class EventKind : std::uint32_t {
+  /// One thread's per-quantum slowdown proxy. id=threadId, a=slowdown.
+  ThreadSlowdown = 1,
+  /// Per-quantum fairness spread (max/min slowdown ratio across threads).
+  /// id=quantumIndex (low 32 bits), a=spread, b=Observer unfairness (NaN
+  /// for non-Dike schedulers).
+  FairnessSpread = 2,
+  /// One scored prediction's error. id=threadId, tick=quantumIndex (so the
+  /// SLO monitor can attribute the observation), a=|relative error|,
+  /// b=signed relative error.
+  PredictionError = 3,
+  /// Wall-clock latency of one Dike decide step. id=quantumIndex low bits,
+  /// a=nanoseconds.
+  DecideLatency = 4,
+  /// One executed actuation's stall cost. id=threadId, a=stall ticks,
+  /// b=1 for swap halves, 2 for free-core migrations.
+  ActuationStall = 5,
+  /// Engine quantum boundary. id=quantumIndex low bits, a=quantum length
+  /// in ticks.
+  QuantumTicks = 6,
+  /// One completed sweep-pool job. id=job index, a=wall seconds.
+  SweepJobSeconds = 7,
+};
+
+/// Fixed-size (32-byte) record; the ring stores records by value so the
+/// producer never allocates.
+struct EventRecord {
+  EventKind kind = EventKind::ThreadSlowdown;
+  std::uint32_t id = 0;
+  std::int64_t tick = 0;
+  double a = 0.0;
+  double b = 0.0;
+};
+static_assert(sizeof(EventRecord) == 32);
+
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit SpscRing(std::size_t capacity = 1 << 14) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+  /// Producer side. False (and a counted drop) when the ring is full.
+  bool tryPush(const EventRecord& record) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[tail & (slots_.size() - 1)] = record;
+    tail_.store(tail + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side: invoke `fn(const EventRecord&)` for up to `max`
+  /// available records; returns how many were consumed.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn, std::size_t max = SIZE_MAX) {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t consumed = 0;
+    while (head != tail && consumed < max) {
+      fn(static_cast<const EventRecord&>(slots_[head & (slots_.size() - 1)]));
+      ++head;
+      ++consumed;
+    }
+    head_.store(head, std::memory_order_release);
+    return consumed;
+  }
+
+  /// Records accepted so far (producer-side tally, relaxed).
+  [[nodiscard]] std::uint64_t pushed() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  /// Records rejected because the ring was full. Never reset: drops are an
+  /// accounting truth, not a transient.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Records currently waiting to be drained (approximate under races).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<EventRecord> slots_;
+  // Producer and consumer cursors on separate cache lines so the producer's
+  // stores never false-share with the consumer's.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next write slot
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next read slot
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace dike::telemetry

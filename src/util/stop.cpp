@@ -1,0 +1,47 @@
+#include "util/stop.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace dike::util {
+namespace {
+
+std::atomic<bool> gStopRequested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+extern "C" void dikeStopSignalHandler(int signo) {
+  // Second signal: the cooperative unwind is taking too long (or is
+  // wedged) — force-exit with the conventional status. _exit is
+  // async-signal-safe; exit() is not.
+  if (gStopRequested.exchange(true, std::memory_order_relaxed)) {
+    _exit(128 + signo);
+  }
+}
+
+}  // namespace
+
+bool stopRequested() noexcept {
+  return gStopRequested.load(std::memory_order_relaxed);
+}
+
+void requestStop() noexcept {
+  gStopRequested.store(true, std::memory_order_relaxed);
+}
+
+void resetStopRequest() noexcept {
+  gStopRequested.store(false, std::memory_order_relaxed);
+}
+
+void installStopSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = dikeStopSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: let blocking syscalls wake up
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace dike::util

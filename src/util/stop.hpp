@@ -1,0 +1,28 @@
+// Cooperative stop flag wired to SIGINT/SIGTERM so interrupted runs unwind
+// cleanly instead of dying mid-write: the simulator loop checks
+// stopRequested() once per quantum, returns through the normal path, and
+// every telemetry sink (NDJSON quantum stream, decision trace, checkpoint)
+// finalises via its destructor — no truncated rows, no half-written JSON.
+//
+// The handler itself is async-signal-safe: it only stores to a lock-free
+// atomic. A second signal while unwinding force-exits with the
+// conventional 128+SIGINT status, so a wedged run can still be killed.
+#pragma once
+
+namespace dike::util {
+
+/// True once a stop was requested (signal or explicit requestStop()).
+[[nodiscard]] bool stopRequested() noexcept;
+
+/// Request a cooperative stop (also what the signal handler does).
+void requestStop() noexcept;
+
+/// Clear the flag — for tests that simulate interruption.
+void resetStopRequest() noexcept;
+
+/// Install SIGINT/SIGTERM handlers that call requestStop(). Idempotent.
+/// The first signal requests a cooperative stop; the second _exit()s with
+/// 128+signo.
+void installStopSignalHandlers();
+
+}  // namespace dike::util

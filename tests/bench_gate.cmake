@@ -10,6 +10,7 @@
 #   -DBENCH_SIM=<bench_sim_throughput binary> -DBENCH_CHECK=<bench_check
 #   binary> -DBASELINE=<committed BENCH_sim.json> -DWORK_DIR=<scratch dir>
 #   [-DMAX_PCT=<budget, default 10>]
+#   [-DMAX_LIVE_PCT=<live-plane overhead budget, default 5>]
 foreach(var BENCH_SIM BENCH_CHECK BASELINE WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_gate.cmake: -D${var}=... is required")
@@ -17,6 +18,9 @@ foreach(var BENCH_SIM BENCH_CHECK BASELINE WORK_DIR)
 endforeach()
 if(NOT DEFINED MAX_PCT)
   set(MAX_PCT 10)
+endif()
+if(NOT DEFINED MAX_LIVE_PCT)
+  set(MAX_LIVE_PCT 5)
 endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")
@@ -34,6 +38,7 @@ endif()
 
 execute_process(COMMAND ${BENCH_CHECK} ${BASELINE} ${FRESH}
                         --max-regression-pct=${MAX_PCT}
+                        --max-live-overhead-pct=${MAX_LIVE_PCT}
                 RESULT_VARIABLE code)
 if(NOT code EQUAL 0)
   message(FATAL_ERROR "bench_check gate failed (exit ${code})")

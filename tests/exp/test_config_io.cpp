@@ -62,6 +62,25 @@ TEST(ConfigIo, MachineAndDikeOverrides) {
   EXPECT_DOUBLE_EQ(config.dike.swapOhMs, core::DikeConfig{}.swapOhMs);
 }
 
+TEST(ConfigIo, LivePublishAndSloSectionsParse) {
+  const ExperimentConfig config = parseExperimentConfig(parseJson(
+      R"({"telemetry": {"enabled": true, "livePublish": true},
+          "slo": {"enabled": true, "maxFairnessSpread": 1.5,
+                  "windowQuanta": 50, "warmupQuanta": 10}})"));
+  EXPECT_TRUE(config.telemetry.enabled);
+  EXPECT_TRUE(config.telemetry.livePublish);
+  EXPECT_TRUE(config.telemetry.anyRunOutput())
+      << "livePublish alone must attach run telemetry to a cell";
+  EXPECT_TRUE(config.slo.enabled);
+  EXPECT_DOUBLE_EQ(config.slo.maxFairnessSpread, 1.5);
+  EXPECT_EQ(config.slo.windowQuanta, 50);
+  EXPECT_EQ(config.slo.warmupQuanta, 10);
+  // Both sections default to off/disabled when absent.
+  const ExperimentConfig defaults = parseExperimentConfig(parseJson("{}"));
+  EXPECT_FALSE(defaults.telemetry.livePublish);
+  EXPECT_FALSE(defaults.slo.enabled);
+}
+
 TEST(ConfigIo, RejectsInvalidDocuments) {
   for (const char* bad : {
            "[]",
@@ -74,6 +93,10 @@ TEST(ConfigIo, RejectsInvalidDocuments) {
            R"({"schedulers":"dike"})",
            R"({"scale":0})",
            R"({"reps":0})",
+           R"({"slo":{"enabled":"yes"}})",
+           R"({"slo":{"maxFairnessSpread":0.5}})",
+           R"({"slo":{"windowQuanta":0}})",
+           R"({"slo":"tight"})",
        }) {
     EXPECT_THROW(
         { [[maybe_unused]] auto c = parseExperimentConfig(parseJson(bad)); },

@@ -42,6 +42,34 @@ TEST(Soak, AcceptanceRunHoldsEveryInvariant) {
   EXPECT_TRUE(report.passed());
 }
 
+// Detection latency: with the SLO armed, the faulted run must flag a
+// fairness breach within one window of fault onset while the fault-free
+// twin stays clean for the whole run.
+TEST(Soak, SloFlagsTheFaultedRunWithinAWindowOfOnset) {
+  SoakSpec spec = acceptanceSpec();
+  spec.slo.enabled = true;
+  // On a heterogeneous machine sibling threads pinned to slow cores show a
+  // natural spread up to ~1.5, so the target sits above the fault-free
+  // envelope and well below the corruption-driven spread (> 2.5).
+  spec.slo.maxFairnessSpread = 2.0;
+  spec.slo.windowQuanta = 4;
+  spec.slo.warmupQuanta = 2;
+  const SoakReport report = runSoak(spec);
+
+  EXPECT_GT(report.sloBreaches, 0) << "injected faults must breach the SLO";
+  // Faults open at tick 1000, i.e. quantum 2 at the initial 500-tick quanta
+  // (dike-af shrinks them later). Detection needs the 4-quantum window to
+  // fill with post-onset samples: the breach must land within ~10 quanta
+  // of onset, not at the end of the run.
+  const std::int64_t onsetQuantum = 2;
+  EXPECT_GE(report.sloFirstBreachQuantum, onsetQuantum)
+      << "no breach may fire before faults start";
+  EXPECT_LE(report.sloFirstBreachQuantum, onsetQuantum + 10)
+      << "breach must be detected shortly after fault onset";
+  EXPECT_EQ(report.sloBaselineBreaches, 0)
+      << "the fault-free twin must never breach";
+}
+
 TEST(Soak, SameSpecIsByteIdentical) {
   const std::string a = toJson(runSoak(acceptanceSpec())).dump(2);
   const std::string b = toJson(runSoak(acceptanceSpec())).dump(2);

@@ -1,0 +1,140 @@
+// HdrHistogram: log-bucketed quantile accuracy, NaN/non-positive
+// accounting, snapshot consistency, and concurrent recording.
+#include "telemetry/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace telemetry = dike::telemetry;
+
+namespace {
+
+constexpr double kQuietNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(HdrHistogram, EmptySnapshotIsAllZero) {
+  const telemetry::HdrHistogram h;
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p999(), 0.0);
+}
+
+TEST(HdrHistogram, CountSumMinMaxAreExact) {
+  telemetry::HdrHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  h.record(4.0);
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.mean(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(HdrHistogram, QuantilesHaveBoundedRelativeError) {
+  telemetry::HdrHistogram h;
+  // Uniform 1..10000: the true quantile(q) is q * 10000.
+  for (int i = 1; i <= 10000; ++i) h.record(static_cast<double>(i));
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  // Bucket relative error bound: < 2 / kSubBuckets plus interpolation slack.
+  const double tolerance = 2.0 / telemetry::HdrHistogram::kSubBuckets;
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double expected = q * 10000.0;
+    EXPECT_NEAR(s.quantile(q) / expected, 1.0, tolerance) << "q=" << q;
+  }
+}
+
+TEST(HdrHistogram, QuantilesNeverLeaveObservedRange) {
+  telemetry::HdrHistogram h;
+  h.record(1.107);
+  h.record(1.32);
+  h.record(2.03);
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_GE(s.quantile(q), s.min) << "q=" << q;
+    EXPECT_LE(s.quantile(q), s.max) << "q=" << q;
+  }
+}
+
+TEST(HdrHistogram, NanIsCountedSeparatelyAndIgnored) {
+  telemetry::HdrHistogram h;
+  h.record(1.0);
+  h.record(kQuietNaN);
+  h.record(kQuietNaN);
+  EXPECT_EQ(h.nanCount(), 2u);
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 1.0);
+}
+
+TEST(HdrHistogram, NonPositiveLandsInLowestBucketAndIsTallied) {
+  telemetry::HdrHistogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(8.0);
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.nonPositive, 2u);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(HdrHistogram, ExtremeValuesClampToEdgeBuckets) {
+  telemetry::HdrHistogram h;
+  h.record(1e-300);  // far below 2^kMinExp
+  h.record(1e300);   // far above 2^kMaxExp
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 1e-300);
+  EXPECT_DOUBLE_EQ(s.max, 1e300);
+}
+
+TEST(HdrHistogram, ResetZeroesEverything) {
+  telemetry::HdrHistogram h;
+  h.record(3.0);
+  h.record(kQuietNaN);
+  h.reset();
+  EXPECT_EQ(h.nanCount(), 0u);
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  h.record(2.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(HdrHistogram, BucketIndexIsMonotoneAndMidIsRepresentative) {
+  std::size_t last = 0;
+  for (double v = 1e-6; v < 1e9; v *= 1.7) {
+    const std::size_t index = telemetry::HdrHistogram::bucketIndex(v);
+    EXPECT_GE(index, last) << "bucket index must be monotone in the value";
+    last = index;
+    const double mid = telemetry::HdrHistogram::bucketMid(index);
+    EXPECT_NEAR(mid / v, 1.0, 2.0 / telemetry::HdrHistogram::kSubBuckets)
+        << "v=" << v;
+  }
+}
+
+TEST(HdrHistogram, ConcurrentRecordingLosesNothing) {
+  telemetry::HdrHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i)
+        h.record(static_cast<double>(i));
+    });
+  for (std::thread& w : workers) w.join();
+  const telemetry::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kPerThread));
+}
+
+}  // namespace

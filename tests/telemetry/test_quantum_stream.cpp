@@ -180,6 +180,43 @@ TEST(QuantumStream, RunProducesSchemaConformingRows) {
       << "Dike runs must stream predicted vs realised rates";
 }
 
+TEST(QuantumStream, RunPopulatesSlowdownAndFairnessSpreadColumns) {
+  const std::string path = ::testing::TempDir() + "qs_slowdown.csv";
+  (void)dike::exp::runWorkload(streamSpec(path));
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const std::vector<std::string>& columns =
+      telemetry::QuantumStreamWriter::csvColumns();
+  const auto column = [&columns](const std::string& name) {
+    for (std::size_t i = 0; i < columns.size(); ++i)
+      if (columns[i] == name) return i;
+    throw std::runtime_error{"missing column " + name};
+  };
+  int slowdownRows = 0;
+  int spreadRows = 0;
+  int rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    const std::vector<std::string> cells = dike::util::parseCsvLine(line);
+    ++rows;
+    if (!cells[column("slowdown")].empty()) {
+      const double sd = std::stod(cells[column("slowdown")]);
+      EXPECT_GE(sd, 1.0) << "the front-runner defines slowdown 1";
+      ++slowdownRows;
+    }
+    if (!cells[column("fairness_spread")].empty()) {
+      EXPECT_GE(std::stod(cells[column("fairness_spread")]), 1.0);
+      ++spreadRows;
+    }
+  }
+  EXPECT_GT(rows, 0);
+  EXPECT_GT(slowdownRows, 0)
+      << "multi-thread processes must report per-thread slowdowns";
+  EXPECT_GT(spreadRows, 0);
+}
+
 TEST(QuantumStream, IdenticalRunsProduceIdenticalStreams) {
   const std::string a = ::testing::TempDir() + "qs_det_a.csv";
   const std::string b = ::testing::TempDir() + "qs_det_b.csv";

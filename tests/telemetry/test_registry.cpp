@@ -152,6 +152,33 @@ TEST(Registry, ToJsonGroupsByKind) {
   EXPECT_TRUE(timer->get("count")->isNumber());
 }
 
+TEST(Registry, ToJsonReportsHistogramsWithQuantiles) {
+  const EnabledGuard guard;
+  telemetry::setEnabled(true);
+  auto& h = telemetry::Registry::instance().histogram("test.json.hist");
+  h.reset();
+  h.record(1.0);
+  h.record(2.0);
+  h.record(4.0);
+  const dike::util::JsonValue doc =
+      telemetry::Registry::instance().toJson();
+  const auto histograms = doc.get("histograms");
+  ASSERT_TRUE(histograms.has_value() && histograms->isObject());
+  const auto hist = histograms->get("test.json.hist");
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_DOUBLE_EQ(hist->numberOr("count", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(hist->numberOr("sum", 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(hist->numberOr("min", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist->numberOr("max", 0.0), 4.0);
+  for (const char* q : {"p50", "p90", "p99", "p999"}) {
+    const double v = hist->numberOr(q, -1.0);
+    EXPECT_GE(v, 1.0) << q;
+    EXPECT_LE(v, 4.0) << q;
+  }
+  // Histogram rows must not leak into the scalar sections.
+  EXPECT_FALSE(doc.get("counters")->get("test.json.hist").has_value());
+}
+
 TEST(Registry, ResetAllZeroesValuesButKeepsRegistrations) {
   const EnabledGuard guard;
   telemetry::setEnabled(true);

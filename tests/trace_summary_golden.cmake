@@ -1,0 +1,35 @@
+# Golden-output test for `dike_trace --summary`: the per-thread tallies and
+# the per-phase duration percentile table must reproduce byte-for-byte from
+# the committed fixture. The fixture is hand-written (known intervals), so
+# a histogram/quantile regression shows up as a readable text diff.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DDIKE_TRACE=<dike_trace binary> -DFIXTURE=<events.csv>
+#   -DGOLDEN=<expected.txt> -DWORK_DIR=<scratch dir>
+foreach(var DIKE_TRACE FIXTURE GOLDEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_summary_golden.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${DIKE_TRACE}" "${FIXTURE}" --summary
+  OUTPUT_FILE "${WORK_DIR}/summary.txt"
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "dike_trace --summary failed (exit ${code})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/summary.txt" "${GOLDEN}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  file(READ "${WORK_DIR}/summary.txt" actual)
+  message(FATAL_ERROR "summary output drifted from ${GOLDEN}:\n${actual}")
+endif()
+
+message(STATUS "trace summary golden passed in ${WORK_DIR}")

@@ -8,7 +8,14 @@
 // machine that produced the baseline (the `bench` preset + `ctest -L
 // bench` wires this up).
 //
+// It also budgets the candidate's live observability-plane overhead
+// (live_overhead_pct, measured by bench_sim_throughput as live-on vs
+// live-off wall time): runs with --live-metrics may cost at most
+// --max-live-overhead-pct (default 5%) over a plain run. Baselines
+// predating the field are accepted — only the candidate is checked.
+//
 //   bench_check <baseline.json> <candidate.json> [--max-regression-pct P]
+//               [--max-live-overhead-pct P]
 //
 // Exit codes: 0 within budget, 1 regression beyond budget, 2 usage or
 // malformed input.
@@ -54,17 +61,20 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> "
-                 "[--max-regression-pct P]\n",
+                 "[--max-regression-pct P] [--max-live-overhead-pct P]\n",
                  argv[0]);
     return 2;
   }
   const double maxRegressionPct = args.getDouble("max-regression-pct", 10.0);
+  const double maxLiveOverheadPct =
+      args.getDouble("max-live-overhead-pct", 5.0);
 
   try {
+    const dike::util::JsonValue candidateDoc =
+        dike::util::parseJsonFile(positional[1]);
     const auto baseline =
         leapRates(dike::util::parseJsonFile(positional[0]), positional[0]);
-    const auto candidate =
-        leapRates(dike::util::parseJsonFile(positional[1]), positional[1]);
+    const auto candidate = leapRates(candidateDoc, positional[1]);
 
     std::vector<double> ratios;
     std::printf("%-10s %18s %18s %8s\n", "workload", "baseline ticks/s",
@@ -93,6 +103,20 @@ int main(int argc, char** argv) {
                    "FAIL: leap throughput regressed %.1f%% > %.1f%% budget\n",
                    regressionPct, maxRegressionPct);
       return 1;
+    }
+
+    if (const auto live = candidateDoc.get("live_overhead_pct");
+        live && live->isNumber()) {
+      const double liveOverheadPct = live->asNumber();
+      std::printf("live-plane overhead: %+.1f%% (budget +%.1f%%)\n",
+                  liveOverheadPct, maxLiveOverheadPct);
+      if (liveOverheadPct > maxLiveOverheadPct) {
+        std::fprintf(
+            stderr,
+            "FAIL: live observability overhead %.1f%% > %.1f%% budget\n",
+            liveOverheadPct, maxLiveOverheadPct);
+        return 1;
+      }
     }
     std::printf("OK: within regression budget\n");
     return 0;

@@ -16,15 +16,23 @@
 // with modified physics from one file. The telemetry flags override the
 // config's "telemetry" section; run outputs attach to the experiment's
 // first cell (first workload x first scheduler, rep 0).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
+#include <thread>
 
 #include "exp/config_io.hpp"
 #include "exp/replay.hpp"
 #include "fault/fault_plan.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/live.hpp"
+#include "telemetry/promhttp.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/slo.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/stop.hpp"
 #include "util/table.hpp"
 #include "workload/workloads.hpp"
 
@@ -57,6 +65,10 @@ void printDefaultConfig() {
   telemetry.emplace("eventsCsv", "");
   telemetry.emplace("registryOut", "");
   telemetry.emplace("traceCapacity", 1048576);
+  telemetry.emplace("livePublish", false);
+  // The "slo" section: print the real default (telemetry::SloConfig) so the
+  // printed schema and the parser can never drift apart.
+  dike::util::JsonValue slo = dike::telemetry::toJson(dike::telemetry::SloConfig{});
   // The "faults" section (off by default). Its full schema is the
   // serialisation of fault::FaultPlan — print the real default so the two
   // can never drift apart.
@@ -73,6 +85,7 @@ void printDefaultConfig() {
   doc.emplace("machine", std::move(machine));
   doc.emplace("dike", std::move(dike));
   doc.emplace("telemetry", std::move(telemetry));
+  doc.emplace("slo", std::move(slo));
   doc.emplace("faults", std::move(faults));
   std::printf("%s\n", dike::util::JsonValue{std::move(doc)}.dump(2).c_str());
 }
@@ -106,10 +119,71 @@ void printSingleRunReport(const dike::exp::RunMetrics& metrics,
   }
 }
 
+/// The live observability plane behind --live-metrics: ring aggregation,
+/// the /metrics HTTP endpoint, and the fairness SLO monitor. RAII so the
+/// server and aggregator always wind down (including on exceptions), with
+/// a final drain so late records still reach the histograms.
+class LivePlane {
+ public:
+  LivePlane(int port, const dike::telemetry::SloConfig& sloConfig,
+            const std::string& portFile) {
+    if (sloConfig.enabled) {
+      slo_.emplace(sloConfig);
+      dike::telemetry::Aggregator::instance().setSlo(&*slo_);
+    }
+    dike::telemetry::setEnabled(true);
+    dike::telemetry::setLiveEnabled(true);
+    dike::telemetry::Aggregator::instance().start();
+    server_.start(static_cast<std::uint16_t>(port));
+    std::printf("live metrics: http://127.0.0.1:%u/metrics (state: /state)\n",
+                static_cast<unsigned>(server_.port()));
+    if (!portFile.empty()) {
+      std::ofstream out{portFile, std::ios::trunc};
+      out << server_.port() << '\n';
+      if (!out)
+        throw std::runtime_error{"failed writing --live-port-file: " +
+                                 portFile};
+    }
+  }
+
+  LivePlane(const LivePlane&) = delete;
+  LivePlane& operator=(const LivePlane&) = delete;
+
+  ~LivePlane() {
+    dike::telemetry::Aggregator::instance().drainNow();
+    if (slo_) {
+      std::printf("SLO: %lld breach(es)%s\n",
+                  static_cast<long long>(slo_->breaches()),
+                  slo_->inBreach() ? " (still in breach at exit)" : "");
+    }
+    server_.stop();
+    dike::telemetry::setLiveEnabled(false);
+    dike::telemetry::Aggregator::instance().stop();
+    dike::telemetry::Aggregator::instance().setSlo(nullptr);
+  }
+
+  /// Keep /metrics up for `holdMs` after the run so an attached dike_top
+  /// can observe the final state; a stop request cuts the hold short.
+  void hold(std::int64_t holdMs) const {
+    using namespace std::chrono;
+    const auto deadline = steady_clock::now() + milliseconds{holdMs};
+    while (steady_clock::now() < deadline && !dike::util::stopRequested())
+      std::this_thread::sleep_for(milliseconds{10});
+  }
+
+ private:
+  std::optional<dike::telemetry::SloMonitor> slo_;
+  dike::telemetry::PromHttpServer server_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const dike::util::CliArgs args{argc, argv};
+  // SIGINT/SIGTERM request a clean stop: the simulator unwinds at the next
+  // quantum boundary and the telemetry writers finalise (no truncated
+  // rows). A second signal force-exits.
+  dike::util::installStopSignalHandlers();
   if (args.getBool("print-default-config", false)) {
     printDefaultConfig();
     return 0;
@@ -136,6 +210,8 @@ int main(int argc, char** argv) {
                  "          [--quantum-metrics qm.csv] [--trace-capacity N]\n"
                  "          [--checkpoint-out run.ckpt [--checkpoint-every N]]\n"
                  "          [--sweep-state state.json] [--jobs N]\n"
+                 "          [--live-metrics PORT [--live-port-file p.txt]\n"
+                 "           [--live-hold-ms N]]\n"
                  "       %s --resume-from run.ckpt [--json out.json]\n"
                  "       %s --print-default-config\n",
                  args.programName().c_str(), args.programName().c_str(),
@@ -171,6 +247,28 @@ int main(int argc, char** argv) {
       config.faults =
           dike::fault::parseFaultPlan(dike::util::parseJsonFile(*faultsPath));
 
+    // --live-metrics PORT: serve Prometheus /metrics (+ /state JSON) from
+    // an embedded HTTP endpoint while the experiment runs, fed by the
+    // lock-free ring -> aggregator plane. Port 0 picks an ephemeral port
+    // (written to --live-port-file for scripts/tests). Implies telemetry
+    // and per-quantum live publishing for the telemetry-carrying run.
+    std::optional<int> livePort;
+    if (args.has("live-metrics")) {
+      const std::int64_t port = args.getInt64("live-metrics", -1);
+      if (port < 0 || port > 65535)
+        throw std::runtime_error{
+            "--live-metrics port must be in [0, 65535] (0 = ephemeral)"};
+      livePort = static_cast<int>(port);
+      config.telemetry.enabled = true;
+      config.telemetry.livePublish = true;
+    }
+    const std::int64_t liveHoldMs = args.getInt64("live-hold-ms", 0);
+    if (liveHoldMs < 0)
+      throw std::runtime_error{"--live-hold-ms must be >= 0"};
+    if (!livePort && (args.has("live-port-file") || args.has("live-hold-ms")))
+      throw std::runtime_error{
+          "--live-port-file/--live-hold-ms require --live-metrics PORT"};
+
     // --checkpoint-out: single-run mode. Runs only the experiment's first
     // cell (first workload x first scheduler, rep 0) with rolling
     // checkpoints every --checkpoint-every quanta, and prints that run's
@@ -205,6 +303,11 @@ int main(int argc, char** argv) {
       requireWritable(config.telemetry.registryOut, "--registry-out");
 
     if (config.telemetry.enabled) dike::telemetry::setEnabled(true);
+
+    std::optional<LivePlane> live;
+    if (livePort)
+      live.emplace(*livePort, config.slo,
+                   args.get("live-port-file").value_or(""));
 
     std::printf("experiment '%s': %zu workloads x %zu schedulers, scale "
                 "%.2f, %d rep(s)\n",
@@ -285,6 +388,12 @@ int main(int argc, char** argv) {
                     "(--registry-out to dump)\n",
                     registry.size());
       }
+    }
+    if (live && liveHoldMs > 0) live->hold(liveHoldMs);
+    if (dike::util::stopRequested()) {
+      std::printf("\ninterrupted: stop honoured at a quantum boundary; "
+                  "the outputs above are finalised partial results\n");
+      return 130;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

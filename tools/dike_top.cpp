@@ -1,0 +1,285 @@
+// dike_top: live terminal dashboard for a running `dike_run --live-metrics`
+// session — the scheduler's `top`.
+//
+// Usage:
+//   dike_top --port P [--host 127.0.0.1] [--interval-ms 500]
+//            [--once] [--no-color]
+//
+// Polls the embedded exporter's /state (placement snapshot) and /metrics
+// (Prometheus text) endpoints and renders, with plain ANSI escapes (no
+// curses dependency):
+//   * per-core placement: which thread/process occupies each core, grouped
+//     fast socket first, high-bandwidth cores marked,
+//   * per-core slowdown bars (the live fairness picture at a glance),
+//   * a fairness-spread trend sparkline accumulated client-side from
+//     successive polls, plus the live SLO breach state.
+//
+// --once renders a single frame without clearing the screen (smoke tests,
+// piping to a file); --no-color strips the ANSI SGR codes (dumb terminals).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/promhttp.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/stop.hpp"
+
+namespace {
+
+struct CoreRow {
+  int core = -1;
+  int thread = -1;
+  int process = -1;
+  bool highBw = false;
+  double slowdown = 0.0;
+};
+
+struct Frame {
+  std::int64_t tick = 0;
+  std::int64_t quantum = 0;
+  double unfairness = 0.0;
+  double fairnessSpread = 0.0;
+  std::string scheduler;
+  std::vector<CoreRow> cores;
+};
+
+Frame parseState(const std::string& body) {
+  const dike::util::JsonValue doc = dike::util::parseJson(body);
+  Frame f;
+  f.tick = static_cast<std::int64_t>(doc.numberOr("tick", 0.0));
+  f.quantum = static_cast<std::int64_t>(doc.numberOr("quantum", 0.0));
+  f.unfairness = doc.numberOr("unfairness", 0.0);
+  f.fairnessSpread = doc.numberOr("fairnessSpread", 0.0);
+  f.scheduler = doc.stringOr("scheduler", "");
+  if (const auto cores = doc.get("cores"); cores && cores->isArray()) {
+    for (const dike::util::JsonValue& c : cores->asArray()) {
+      CoreRow row;
+      row.core = static_cast<int>(c.intOr("core", -1));
+      row.thread = static_cast<int>(c.intOr("thread", -1));
+      row.process = static_cast<int>(c.intOr("process", -1));
+      row.highBw = c.boolOr("highBw", false);
+      row.slowdown = c.numberOr("slowdown", 0.0);
+      f.cores.push_back(row);
+    }
+  }
+  return f;
+}
+
+/// Pull one scalar sample out of a Prometheus text body ("name value").
+std::optional<double> promValue(const std::string& text,
+                                const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const std::size_t after = pos + name.size();
+    pos = after;
+    if (after >= text.size() || text[after] != ' ') continue;
+    // Must start a line (not a prefix of a longer metric / a # TYPE line).
+    const std::size_t lineStart = text.rfind('\n', after);
+    const std::size_t nameStart = lineStart == std::string::npos
+                                      ? 0
+                                      : lineStart + 1;
+    if (text.compare(nameStart, name.size(), name) != 0) continue;
+    try {
+      return std::stod(text.substr(after + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+const char* kSparkGlyphs[8] = {"▁", "▂", "▃", "▄",
+                               "▅", "▆", "▇", "█"};
+
+std::string sparkline(const std::deque<double>& values) {
+  if (values.empty()) return "";
+  double lo = values.front(), hi = values.front();
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (const double v : values) {
+    const int idx =
+        span <= 0.0 ? 0
+                    : std::clamp(static_cast<int>((v - lo) / span * 7.0), 0, 7);
+    out += kSparkGlyphs[idx];
+  }
+  return out;
+}
+
+std::string bar(double slowdown, int width) {
+  // 1.0 (no slowdown) maps to an empty bar; 3.0+ fills it.
+  const double norm = std::clamp((slowdown - 1.0) / 2.0, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(norm * width));
+  std::string out(static_cast<std::size_t>(filled), '#');
+  out.append(static_cast<std::size_t>(width - filled), '.');
+  return out;
+}
+
+struct Palette {
+  const char* reset = "";
+  const char* bold = "";
+  const char* dim = "";
+  const char* green = "";
+  const char* yellow = "";
+  const char* red = "";
+  const char* cyan = "";
+};
+
+Palette colorPalette() {
+  Palette p;
+  p.reset = "\x1b[0m";
+  p.bold = "\x1b[1m";
+  p.dim = "\x1b[2m";
+  p.green = "\x1b[32m";
+  p.yellow = "\x1b[33m";
+  p.red = "\x1b[31m";
+  p.cyan = "\x1b[36m";
+  return p;
+}
+
+const char* slowdownColor(const Palette& p, double s) {
+  if (s >= 1.5) return p.red;
+  if (s >= 1.15) return p.yellow;
+  return p.green;
+}
+
+void render(const Frame& f, const std::deque<double>& trend,
+            std::optional<double> sloBreaches, std::optional<double> inBreach,
+            const Palette& p, bool clear) {
+  std::string out;
+  if (clear) out += "\x1b[H\x1b[2J";
+  out += p.bold;
+  out += "dike_top";
+  out += p.reset;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "  scheduler=%s  quantum=%lld  tick=%lld\n",
+                f.scheduler.empty() ? "-" : f.scheduler.c_str(),
+                static_cast<long long>(f.quantum),
+                static_cast<long long>(f.tick));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "fairness spread %.3f   unfairness %.4f   trend %s\n",
+                f.fairnessSpread, f.unfairness, sparkline(trend).c_str());
+  out += line;
+  if (sloBreaches || inBreach) {
+    const bool breached = inBreach.value_or(0.0) > 0.0;
+    out += breached ? p.red : p.green;
+    std::snprintf(line, sizeof line, "SLO: %s (%.0f breach transitions)\n",
+                  breached ? "IN BREACH" : "ok", sloBreaches.value_or(0.0));
+    out += line;
+    out += p.reset;
+  }
+  out += "\n";
+
+  // Occupied cores first (sorted by slowdown, worst on top), then a short
+  // idle summary — 40 cores of mostly idle rows is noise, not signal.
+  std::vector<CoreRow> occupied;
+  int idle = 0;
+  for (const CoreRow& c : f.cores) {
+    if (c.thread >= 0)
+      occupied.push_back(c);
+    else
+      ++idle;
+  }
+  std::sort(occupied.begin(), occupied.end(),
+            [](const CoreRow& a, const CoreRow& b) {
+              return a.slowdown > b.slowdown;
+            });
+  out += p.dim;
+  out += " core  type  proc  thread  slowdown\n";
+  out += p.reset;
+  for (const CoreRow& c : occupied) {
+    std::snprintf(line, sizeof line, "  %3d  %s  %4d  %6d  ", c.core,
+                  c.highBw ? "fast" : "slow", c.process, c.thread);
+    out += line;
+    out += slowdownColor(p, c.slowdown);
+    std::snprintf(line, sizeof line, "%5.2f %s\n", c.slowdown,
+                  bar(c.slowdown, 24).c_str());
+    out += line;
+    out += p.reset;
+  }
+  if (idle > 0) {
+    std::snprintf(line, sizeof line, "  %s%d idle core(s)%s\n", p.dim, idle,
+                  p.reset);
+    out += line;
+  }
+  if (occupied.empty())
+    out += "  (no live placement yet - is the run still warming up?)\n";
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dike::util::CliArgs args{argc, argv};
+  try {
+    if (!args.has("port")) {
+      std::fprintf(stderr,
+                   "usage: %s --port P [--host 127.0.0.1] [--interval-ms N]"
+                   " [--once] [--no-color]\n",
+                   args.programName().c_str());
+      return 2;
+    }
+    const std::int64_t port = args.getInt64("port", -1);
+    if (port < 1 || port > 65535)
+      throw std::runtime_error{"--port must be in [1, 65535]"};
+    const std::string host = args.getOr("host", "127.0.0.1");
+    const std::int64_t intervalMs = args.getInt64("interval-ms", 500);
+    if (intervalMs < 1)
+      throw std::runtime_error{"--interval-ms must be a positive count"};
+    const bool once = args.getBool("once", false);
+    const Palette palette =
+        args.getBool("no-color", false) ? Palette{} : colorPalette();
+
+    dike::util::installStopSignalHandlers();
+    std::deque<double> trend;
+    std::int64_t lastQuantum = -1;
+    int failures = 0;
+    while (!dike::util::stopRequested()) {
+      std::string state;
+      std::optional<double> breaches;
+      std::optional<double> inBreach;
+      try {
+        state = dike::telemetry::httpGet(static_cast<std::uint16_t>(port),
+                                         "/state", host);
+        const std::string metrics = dike::telemetry::httpGet(
+            static_cast<std::uint16_t>(port), "/metrics", host);
+        breaches = promValue(metrics, "dike_slo_breaches_total");
+        inBreach = promValue(metrics, "dike_slo_in_breach");
+        failures = 0;
+      } catch (const std::exception& e) {
+        if (once) throw;
+        // The run may simply have exited; give up after a few misses.
+        if (++failures >= 5)
+          throw std::runtime_error{std::string{"endpoint gone: "} + e.what()};
+        std::this_thread::sleep_for(std::chrono::milliseconds{intervalMs});
+        continue;
+      }
+      const Frame frame = parseState(state);
+      if (frame.quantum != lastQuantum) {
+        lastQuantum = frame.quantum;
+        trend.push_back(frame.fairnessSpread);
+        while (trend.size() > 60) trend.pop_front();
+      }
+      render(frame, trend, breaches, inBreach, palette, /*clear=*/!once);
+      if (once) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds{intervalMs});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -23,11 +23,13 @@
 
 #include "exp/chrome_trace.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/histogram.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/types.hpp"
 
 namespace {
 
@@ -168,6 +170,66 @@ void printMigrationSummary(const std::vector<TraceEvent>& events) {
   table.print();
 }
 
+/// Per-phase duration percentiles. A phase interval opens at a thread's
+/// PhaseChange and closes at that thread's next PhaseChange (or its
+/// ThreadFinish); durations are pooled across threads by phase index into
+/// log-bucketed histograms (telemetry::HdrHistogram), so the percentiles
+/// have bounded relative error no matter how skewed the phases are.
+void printPhaseDurationSummary(const std::vector<TraceEvent>& events) {
+  struct OpenPhase {
+    int phase = -1;
+    dike::util::Tick start = 0;
+  };
+  std::map<int, OpenPhase> open;                          // by thread
+  std::map<int, dike::telemetry::HdrHistogram> byPhase;   // by phase index
+  dike::telemetry::HdrHistogram all;
+  std::int64_t intervals = 0;
+  const auto close = [&](const OpenPhase& p, dike::util::Tick end) {
+    const double ms = static_cast<double>(end - p.start) *
+                      static_cast<double>(dike::util::kTickMillis);
+    byPhase.try_emplace(p.phase).first->second.record(ms);
+    all.record(ms);
+    ++intervals;
+  };
+  for (const TraceEvent& e : events) {
+    if (e.threadId < 0) continue;
+    if (e.kind == TraceEventKind::PhaseChange) {
+      if (const auto it = open.find(e.threadId); it != open.end())
+        close(it->second, e.tick);
+      open[e.threadId] = OpenPhase{e.detail, e.tick};
+    } else if (e.kind == TraceEventKind::ThreadFinish) {
+      if (const auto it = open.find(e.threadId); it != open.end()) {
+        close(it->second, e.tick);
+        open.erase(it);
+      }
+    }
+  }
+
+  std::cout << "\nPhase durations (" << intervals << " intervals, "
+            << byPhase.size() << " phases; ms):\n";
+  if (intervals == 0) {
+    std::cout << "  no phase intervals in the trace\n";
+    return;
+  }
+  dike::util::TextTable table{
+      {"phase", "count", "p50", "p90", "p99", "max"}};
+  const auto row = [&table](const std::string& label,
+                            const dike::telemetry::HdrHistogram& h) {
+    const dike::telemetry::HistogramSnapshot s = h.snapshot();
+    table.newRow()
+        .cell(label)
+        .cell(static_cast<std::int64_t>(s.count))
+        .cell(s.p50(), 1)
+        .cell(s.p90(), 1)
+        .cell(s.p99(), 1)
+        .cell(s.max, 1);
+  };
+  for (const auto& [phase, hist] : byPhase)
+    row(std::to_string(phase), hist);
+  row("all", all);
+  table.print();
+}
+
 void printPredictionSummary(const std::string& qmPath) {
   std::ifstream in{qmPath};
   if (!in)
@@ -243,6 +305,7 @@ int main(int argc, char** argv) {
     if (args.getBool("summary", false)) {
       const std::vector<TraceEvent> events = loadEvents(eventsPath);
       printMigrationSummary(events);
+      printPhaseDurationSummary(events);
       if (const auto qm = args.get("quantum-metrics"))
         printPredictionSummary(*qm);
       return 0;
