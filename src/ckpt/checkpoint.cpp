@@ -1,8 +1,13 @@
 #include "ckpt/checkpoint.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "util/atomic_file.hpp"
 
 namespace dike::ckpt {
 
@@ -102,20 +107,14 @@ std::string decodeCheckpoint(std::string_view bytes) {
 }
 
 void writeCheckpointFile(const std::string& path, std::string_view payload) {
-  const std::string encoded = encodeCheckpoint(payload);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
-    if (!out)
-      throw CheckpointError{"cannot open checkpoint file for writing: " + tmp};
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out)
-      throw CheckpointError{"failed writing checkpoint file: " + tmp};
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw CheckpointError{"cannot move checkpoint into place: " + path};
+  // tmp + fsync + rename + parent-dir fsync: a kill -9 at any instruction
+  // leaves either the previous checkpoint or the new one under `path`,
+  // never a torn file (the supervised-resume path depends on this).
+  try {
+    util::writeFileAtomic(path, encodeCheckpoint(payload));
+  } catch (const std::exception& e) {
+    throw CheckpointError{std::string{"cannot write checkpoint: "} +
+                          e.what()};
   }
 }
 
@@ -132,6 +131,62 @@ std::string readCheckpointFile(const std::string& path) {
   } catch (const CheckpointError& e) {
     throw CheckpointError{path + ": " + e.what()};
   }
+}
+
+std::string checkpointFileName(std::int64_t quantum) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "ckpt-%012lld.ckpt",
+                static_cast<long long>(quantum));
+  return buf;
+}
+
+namespace {
+
+/// Parse the quantum index out of a canonical checkpoint file name;
+/// -1 for any other name (still a valid checkpoint, just unordered).
+std::int64_t quantumFromFileName(const std::string& name) {
+  if (name.rfind("ckpt-", 0) != 0 || name.size() <= 10) return -1;
+  const std::string_view digits{name.data() + 5, name.size() - 10};
+  if (name.substr(name.size() - 5) != ".ckpt" || digits.empty()) return -1;
+  std::int64_t v = 0;
+  const auto [end, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v);
+  if (ec != std::errc{} || end != digits.data() + digits.size()) return -1;
+  return v;
+}
+
+}  // namespace
+
+CheckpointDirScan findLatestValidCheckpoint(const std::string& dir) {
+  namespace fs = std::filesystem;
+  CheckpointDirScan scan;
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator{dir, ec}) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.ends_with(".ckpt"))
+      names.push_back(name);
+    else if (name.ends_with(".ckpt.tmp"))
+      // Expected debris after a kill mid-checkpoint: the atomic-write
+      // protocol guarantees the final name was never touched. Reported,
+      // not treated as corruption.
+      scan.partials.push_back(dir + "/" + name +
+                              ": partial write (interrupted before rename)");
+  }
+  // Zero-padded names make lexicographic descending order == newest first.
+  std::sort(names.begin(), names.end(), std::greater<>{});
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    try {
+      (void)readCheckpointFile(path);
+      scan.path = path;
+      scan.quantum = quantumFromFileName(name);
+      return scan;
+    } catch (const CheckpointError& e) {
+      scan.skipped.push_back(std::string{e.what()});
+    }
+  }
+  return scan;
 }
 
 }  // namespace dike::ckpt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -9,8 +10,10 @@
 #include "ckpt/archive.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "core/dike_scheduler.hpp"
+#include "exp/stream_listener.hpp"
 #include "fault/fault_policy.hpp"
 #include "sched/placement.hpp"
+#include "telemetry/quantum_stream.hpp"
 
 namespace dike::exp {
 
@@ -455,6 +458,13 @@ RunSession::RunSession(RunSpec spec)
   }
 }
 
+RunSession::~RunSession() = default;
+
+void RunSession::attachQuantumStream(telemetry::QuantumStreamWriter& writer) {
+  streamListener_ = std::make_unique<QuantumMetricsListener>(writer);
+  adapter_->setListener(streamListener_.get());
+}
+
 bool RunSession::done() const {
   return machine_->allFinished() || machine_->now() >= limits_.maxTicks;
 }
@@ -517,6 +527,11 @@ std::string RunSession::checkpointPayload() const {
     injector_->saveState(w);
     faultPolicy_->saveState(w);
   }
+  // The stream cursor rides in the payload when a stream is attached:
+  // resumed NDJSON records are only byte-identical if the listener's
+  // path-dependent accumulators restart exactly (format version 2).
+  w.boolean("hasQuantumStream", streamListener_ != nullptr);
+  if (streamListener_) streamListener_->saveState(w);
   w.endSection();
   return w.take();
 }
@@ -525,7 +540,8 @@ void RunSession::writeCheckpoint(const std::string& path) const {
   ckpt::writeCheckpointFile(path, checkpointPayload());
 }
 
-std::unique_ptr<RunSession> RunSession::restore(const std::string& path) {
+std::unique_ptr<RunSession> RunSession::restore(
+    const std::string& path, telemetry::QuantumStreamWriter* stream) {
   const std::string payload = ckpt::readCheckpointFile(path);
   ckpt::BinReader r{payload};
   r.beginSection("run");
@@ -561,6 +577,24 @@ std::unique_ptr<RunSession> RunSession::restore(const std::string& path) {
   if (session->injector_) {
     session->injector_->loadState(r);
     session->faultPolicy_->loadState(r);
+  }
+  const bool hasStream = r.boolean("hasQuantumStream");
+  if (hasStream) {
+    if (stream != nullptr) {
+      session->attachQuantumStream(*stream);
+      session->streamListener_->loadState(r);
+    } else {
+      // Consume (and drop) the cursor so stream-less consumers can still
+      // restore supervised checkpoints; their payloads simply lose the
+      // cursor, symmetrically on both sides of a dike_diff comparison.
+      std::ostringstream devnull;
+      telemetry::QuantumStreamWriter sink{devnull,
+                                          telemetry::StreamFormat::JsonLines};
+      QuantumMetricsListener discard{sink};
+      discard.loadState(r);
+    }
+  } else if (stream != nullptr) {
+    session->attachQuantumStream(*stream);
   }
   r.endSection();
   r.expectEnd();

@@ -31,7 +31,13 @@
 #include "fault/fault_policy.hpp"
 #include "util/json.hpp"
 
+namespace dike::telemetry {
+class QuantumStreamWriter;
+}  // namespace dike::telemetry
+
 namespace dike::exp {
+
+class QuantumMetricsListener;
 
 /// Encode a RunSpec as JSON (embedded in every checkpoint). 64-bit seeds
 /// are written as decimal strings — JSON numbers are doubles and lose
@@ -69,8 +75,16 @@ struct CheckpointOptions {
 class RunSession {
  public:
   explicit RunSession(RunSpec spec);
+  ~RunSession();
   RunSession(const RunSession&) = delete;
   RunSession& operator=(const RunSession&) = delete;
+
+  /// Attach a per-quantum metrics stream: every subsequent stepQuantum()
+  /// emits one record into `writer` (which must outlive the session). The
+  /// stream cursor — record counter, last tick, slowdown accumulators —
+  /// becomes part of checkpointPayload(), so a run restored with a writer
+  /// appends records byte-identical to the uninterrupted stream's.
+  void attachQuantumStream(telemetry::QuantumStreamWriter& writer);
 
   /// Advance the run through exactly one more quantum boundary. Returns
   /// false once the run finished (or hit the tick limit) instead.
@@ -92,9 +106,14 @@ class RunSession {
   /// Rebuild a session from a checkpoint file: reconstructs the stack from
   /// the embedded RunSpec, then overwrites the mutable state. Throws
   /// ckpt::CheckpointError on any corruption, version, or schema mismatch —
-  /// never returns a partially-restored session.
+  /// never returns a partially-restored session. When the checkpoint was
+  /// taken from a stream-attached run and `stream` is given, the listener
+  /// is reattached with its saved cursor (byte-identical resumed records);
+  /// with `stream == nullptr` the cursor is read and discarded, so
+  /// stream-less consumers (dike_diff) restore supervised checkpoints too.
   [[nodiscard]] static std::unique_ptr<RunSession> restore(
-      const std::string& path);
+      const std::string& path,
+      telemetry::QuantumStreamWriter* stream = nullptr);
 
   /// Completed quanta so far.
   [[nodiscard]] std::int64_t quantumIndex() const noexcept {
@@ -118,6 +137,7 @@ class RunSession {
   sim::RunLimits limits_{};
   std::int64_t quantumIndex_ = 0;
   util::Tick nextQuantumAt_ = -1;  ///< < 0 until the first quantum
+  std::unique_ptr<QuantumMetricsListener> streamListener_;
 };
 
 /// runWorkload with rolling checkpoints (no telemetry attachments).

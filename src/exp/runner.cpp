@@ -5,12 +5,14 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "core/dike_scheduler.hpp"
 #include "exp/analysis.hpp"
 #include "exp/chrome_trace.hpp"
+#include "exp/stream_listener.hpp"
 #include "fault/fault_policy.hpp"
 #include "sched/cfs.hpp"
 #include "sched/dio.hpp"
@@ -18,9 +20,11 @@
 #include "sched/suspension.hpp"
 #include "sched/placement.hpp"
 #include "telemetry/aggregator.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/live.hpp"
 #include "telemetry/quantum_stream.hpp"
 #include "telemetry/slowdown.hpp"
+#include "util/atomic_file.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -79,100 +83,9 @@ namespace {
 
 constexpr double kQuietNaN = std::numeric_limits<double>::quiet_NaN();
 
-/// Streams one QuantumRecord per quantum to the metrics writer. For Dike
-/// variants the record carries the Observer's fairness signal, workload
-/// class, CoreBW partition, optimizer parameters, and the predictor's value
-/// against the realised rate; other policies leave those fields NaN/-1 so
-/// the schema is scheduler-independent.
-class QuantumMetricsListener final : public sched::QuantumListener {
- public:
-  explicit QuantumMetricsListener(telemetry::QuantumStreamWriter& writer)
-      : writer_(&writer) {}
-
-  void afterQuantum(const sim::Machine& machine,
-                    const sched::SchedulerView& view,
-                    sched::Scheduler& scheduler) override {
-    // Slowdown proxy: feed this quantum's access rates into the shared
-    // estimator before building the record, so per-thread slowdown and the
-    // quantum's fairness spread come from the same closed computation the
-    // live publisher uses (the live-vs-file differential test relies on
-    // the two paths agreeing exactly).
-    const double dt = util::ticksToSeconds(machine.now() - lastTick_);
-    lastTick_ = machine.now();
-    slowdown_.beginQuantum(dt);
-    for (const sim::ThreadSample& s : view.sample().threads) {
-      if (s.finished || s.coreId < 0) continue;
-      slowdown_.add(s.threadId, s.processId, s.accessRate);
-    }
-    slowdown_.finishQuantum();
-    // The record and the scored-prediction index are member buffers: one
-    // listener serves one run, so per-quantum churn reuses their capacity
-    // (thread rows, strings, hash buckets) instead of reallocating.
-    telemetry::QuantumRecord& rec = rec_;
-    rec.threads.clear();
-    rec.workloadClass.clear();
-    rec.tick = machine.now();
-    rec.quantumIndex = quantumIndex_++;
-    rec.scheduler.assign(scheduler.name());
-    rec.unfairness = kQuietNaN;
-    rec.quantaLengthMs = -1;
-    rec.swapSize = -1;
-    rec.swapsExecuted = view.swapsThisQuantum();
-    rec.migrationsExecuted = view.migrationsThisQuantum();
-    rec.fairnessSpread = slowdown_.fairnessSpread();
-
-    const auto* dike = dynamic_cast<const core::DikeScheduler*>(&scheduler);
-    std::unordered_map<int, core::ScoredPrediction>& scored = scored_;
-    scored.clear();
-    if (dike != nullptr) {
-      const core::Observer& observer = dike->observer();
-      rec.unfairness = observer.systemUnfairness();
-      rec.workloadClass = toString(observer.workloadType());
-      rec.quantaLengthMs = dike->params().quantaLengthMs;
-      rec.swapSize = dike->params().swapSize;
-      for (const core::ScoredPrediction& p : dike->predictions().lastScored())
-        scored.emplace(p.threadId, p);
-    }
-
-    const sim::QuantumSample& sample = view.sample();
-    for (const sim::ThreadSample& s : sample.threads) {
-      if (s.finished || s.coreId < 0) continue;
-      telemetry::QuantumThreadRecord t;
-      t.threadId = s.threadId;
-      t.processId = s.processId;
-      t.coreId = s.coreId;
-      t.accessRate = s.accessRate;
-      t.llcMissRatio = s.llcMissRatio;
-      t.coreAchievedBw =
-          sample.coreAchievedBw[static_cast<std::size_t>(s.coreId)];
-      t.coreBwEstimate = kQuietNaN;
-      t.predictedRate = kQuietNaN;
-      t.realizedRate = kQuietNaN;
-      t.predictionError = kQuietNaN;
-      t.slowdown = slowdown_.slowdownOf(s.threadId);
-      if (dike != nullptr && dike->observer().ready()) {
-        t.coreBwEstimate = dike->observer().coreBw(s.coreId);
-        t.highBandwidthCore =
-            dike->observer().isHighBandwidthCore(s.coreId) ? 1 : 0;
-      }
-      if (const auto it = scored.find(s.threadId); it != scored.end()) {
-        t.predictedRate = it->second.predicted;
-        t.realizedRate = it->second.actual;
-        t.predictionError = it->second.error;
-      }
-      rec.threads.push_back(std::move(t));
-    }
-    writer_->write(rec);
-  }
-
- private:
-  telemetry::QuantumStreamWriter* writer_;
-  std::int64_t quantumIndex_ = 0;
-  util::Tick lastTick_ = 0;
-  telemetry::SlowdownEstimator slowdown_;
-  telemetry::QuantumRecord rec_;
-  std::unordered_map<int, core::ScoredPrediction> scored_;
-};
+// The QuantumMetricsListener that used to live here moved to
+// exp/stream_listener.{hpp,cpp}: supervised runs need its stream cursor in
+// checkpoints, so it became a first-class, serialisable component.
 
 /// Publishes the per-quantum live events (thread slowdowns, fairness
 /// spread) into the ring transport and refreshes the aggregator's placement
@@ -239,6 +152,9 @@ class LiveQuantumPublisher final : public sched::QuantumListener {
                        machine.now(), spread, unfairness);
     if (refresh)
       telemetry::Aggregator::instance().updateLiveState(std::move(state));
+    // Liveness stamp for /healthz (two relaxed stores — negligible against
+    // the live-plane overhead gate): this quantum just completed, now.
+    telemetry::heartbeat(quantumIndex_);
     ++quantumIndex_;
   }
 
@@ -248,14 +164,16 @@ class LiveQuantumPublisher final : public sched::QuantumListener {
   telemetry::SlowdownEstimator slowdown_;
 };
 
-/// Open a telemetry output for writing, failing fast (before the simulation
-/// runs) with a path-carrying error when the location is not writable.
-std::ofstream openTelemetryOutput(const std::string& path) {
-  std::ofstream out{path};
-  if (!out)
+/// Fail fast (before the simulation runs) with a path-carrying error when a
+/// telemetry output location is not writable. The artifact itself is
+/// buffered and committed atomically at end of run — a kill mid-run leaves
+/// the previous complete file (or nothing), never a torn one. Probing in
+/// append mode never clobbers that previous file.
+void probeTelemetryOutput(const std::string& path) {
+  std::ofstream probe{path, std::ios::app};
+  if (!probe)
     throw std::runtime_error{"cannot open telemetry output for writing: " +
                              path};
-  return out;
 }
 
 }  // namespace
@@ -314,18 +232,14 @@ RunMetrics runWorkload(const RunSpec& spec) {
   // Telemetry attachments. Outputs are opened before the simulation so an
   // unwritable path fails in milliseconds, not after a full run.
   const RunTelemetry& tel = spec.telemetry;
-  std::optional<std::ofstream> eventsOut;
-  std::optional<std::ofstream> chromeOut;
   std::optional<telemetry::QuantumStreamFile> metricsFile;
   std::unique_ptr<QuantumMetricsListener> metricsListener;
   std::unique_ptr<LiveQuantumPublisher> livePublisher;
   sched::QuantumListenerChain listenerChain;
   sim::TraceRecorder recorder{tel.traceCapacity};
   telemetry::DecisionTrace decisions;
-  if (!tel.eventsCsvPath.empty())
-    eventsOut.emplace(openTelemetryOutput(tel.eventsCsvPath));
-  if (!tel.chromeTracePath.empty())
-    chromeOut.emplace(openTelemetryOutput(tel.chromeTracePath));
+  if (!tel.eventsCsvPath.empty()) probeTelemetryOutput(tel.eventsCsvPath);
+  if (!tel.chromeTracePath.empty()) probeTelemetryOutput(tel.chromeTracePath);
   if (tel.wantsEvents()) machine.setTraceRecorder(&recorder);
   if (!tel.quantumMetricsPath.empty()) {
     metricsFile.emplace(tel.quantumMetricsPath);
@@ -389,13 +303,17 @@ RunMetrics runWorkload(const RunSpec& spec) {
       util::logWarn("trace recorder dropped ", recorder.dropped(),
                     " events (capacity ", tel.traceCapacity,
                     "); raise telemetry.traceCapacity to keep the full run");
-    if (eventsOut) writeTraceCsv(recorder, *eventsOut);
-    if (chromeOut) {
+    if (!tel.eventsCsvPath.empty()) {
+      std::ostringstream csv;
+      writeTraceCsv(recorder, csv);
+      util::writeFileAtomic(tel.eventsCsvPath, csv.str());
+    }
+    if (!tel.chromeTracePath.empty()) {
       const ChromeTraceMeta meta = metaFromMachine(machine);
       const util::JsonValue doc = buildChromeTrace(
           recorder.events(), meta,
           decisions.records().empty() ? nullptr : &decisions);
-      *chromeOut << doc.dump(2) << "\n";
+      util::writeFileAtomic(tel.chromeTracePath, doc.dump(2) + "\n");
     }
     machine.setTraceRecorder(nullptr);
   }

@@ -1,0 +1,153 @@
+// Crash-tolerant supervised execution: run a checkpointed RunSession in a
+// forked child, watch its liveness over a heartbeat pipe, and auto-restart
+// it from the newest valid checkpoint after crashes and hangs — composing
+// PR 4's byte-identical checkpoint/restore with PR 7's health plane into
+// survival of `kill -9`.
+//
+// The contract, differential-tested by the chaos harness (and the `crash`
+// ctest tier): however many times the child is SIGKILLed or wedged, the
+// final report, the quantum NDJSON stream, and the surviving checkpoints
+// are byte-identical to an uninterrupted run's. The pieces that make that
+// hold:
+//   * every artifact is crash-atomic (util/atomic_file) or append-only and
+//     trimmed to the checkpoint cursor on resume;
+//   * the quantum stream's cursor (record counter, slowdown accumulators)
+//     rides inside the checkpoint, so resumed records restart from the
+//     exact path-dependent state;
+//   * the stream is fsynced before each checkpoint commits, so a
+//     checkpoint claiming quantum N guarantees records 0..N-1 exist.
+//
+// Supervision loop state machine (docs/RESILIENCE.md has the diagram):
+//
+//   spawn -> monitor --(exit 0 + report)--> success
+//              |  \--(exit != 0 / signal)--> classify crash
+//              \--(heartbeat age > deadline)--> hang:
+//                      SIGTERM group -> grace -> SIGKILL group -> reap
+//   classify -> scan checkpoints (corrupt files skipped loudly)
+//            -> backoff (exponential, reset on progress) -> spawn
+//            -> or give up after maxRestarts without success.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/replay.hpp"
+#include "exp/runner.hpp"
+
+namespace dike::exp {
+
+/// One supervised run: what to execute, where its artifacts live, and the
+/// liveness/restart policy around it.
+struct SuperviseSpec {
+  RunSpec run;
+  std::string dir;  ///< artifact directory (created if missing)
+
+  std::int64_t checkpointEvery = 8;  ///< rolling checkpoint cadence (quanta)
+  int keepCheckpoints = 3;           ///< newest checkpoints retained
+
+  /// No heartbeat for this long => the child is wedged (hang).
+  int heartbeatDeadlineMs = 5000;
+  /// SIGTERM -> SIGKILL escalation grace when putting a hung child down.
+  int termGraceMs = 500;
+
+  int maxRestarts = 8;        ///< give-up budget (restarts, not launches)
+  int initialBackoffMs = 10;  ///< doubled per restart without progress...
+  int maxBackoffMs = 1000;    ///< ...capped here; reset when quanta advance
+
+  // Test hooks, active on the first attempt only so the retry succeeds.
+  std::int64_t crashAtQuantum = -1;  ///< _exit(13) after this quantum
+  std::int64_t stallAtQuantum = -1;  ///< stop making progress mid-quantum
+};
+
+/// Why a restart happened. CorruptCheckpoint flags that the resume scan had
+/// to skip damaged files (whatever killed the child), since that is the
+/// fact an operator must act on.
+enum class RestartCause { Crash, Hang, CorruptCheckpoint };
+
+[[nodiscard]] std::string_view toString(RestartCause cause) noexcept;
+
+/// Provenance of one restart, mirrored into supervise_events.ndjson and the
+/// supervise.* registry counters.
+struct RestartEvent {
+  int attempt = 0;            ///< 1-based launch that died
+  RestartCause cause = RestartCause::Crash;
+  int termSignal = 0;         ///< signal that killed the child (0 = exited)
+  int exitCode = -1;          ///< exit code when it exited (-1 = signalled)
+  std::int64_t lastQuantum = -1;    ///< last heartbeat before death
+  std::int64_t resumeQuantum = 0;   ///< checkpoint resumed from (0 = fresh)
+  std::int64_t corruptCheckpoints = 0;  ///< files skipped by the scan
+  int backoffMs = 0;          ///< delay applied before the relaunch
+};
+
+struct SuperviseOutcome {
+  bool succeeded = false;
+  bool gaveUp = false;
+  int attempts = 0;  ///< total child launches
+  std::int64_t finalQuantum = -1;  ///< last heartbeat quantum observed
+  bool orphansLeft = false;  ///< child group still alive after reaping
+  std::vector<RestartEvent> restarts;
+  RunMetrics metrics;  ///< parsed from report.json when succeeded
+};
+
+/// Chaos hook: consulted on every heartbeat with the current launch number
+/// and last-completed quantum; return a signal number (SIGKILL, SIGSTOP,
+/// ...) to deliver to the child's process group, or 0 to do nothing.
+using ChaosHook = std::function<int(int attempt, std::int64_t quantum)>;
+
+/// Artifact names inside SuperviseSpec::dir.
+[[nodiscard]] std::string checkpointDir(const std::string& dir);
+[[nodiscard]] std::string streamPartPath(const std::string& dir);
+[[nodiscard]] std::string streamFinalPath(const std::string& dir);
+[[nodiscard]] std::string reportPath(const std::string& dir);
+[[nodiscard]] std::string eventsPath(const std::string& dir);
+
+/// The child body: resume from the newest valid checkpoint in dir/ckpt (or
+/// start fresh), then step quantum by quantum — appending stream records,
+/// stamping heartbeats (telemetry::heartbeat + the pipe when
+/// `heartbeatFd >= 0`), and committing rolling checkpoints — until done;
+/// finally publish the stream and report atomically. Returns the exit
+/// code. Runs in-process when `heartbeatFd < 0` (the chaos harness's
+/// uninterrupted twin uses exactly this path, so twin artifacts are
+/// byte-comparable by construction).
+int runSupervisedChild(const SuperviseSpec& spec, int heartbeatFd,
+                       int attempt);
+
+/// Supervise a run to completion (or give-up). `chaos` is the fault line
+/// for tests: signals it returns are delivered to the child's group.
+[[nodiscard]] SuperviseOutcome supervise(const SuperviseSpec& spec,
+                                         const ChaosHook& chaos = {});
+
+/// Chaos harness configuration: how many seeded SIGKILLs and SIGSTOPs to
+/// inject at random quanta, against which run.
+struct ChaosSpec {
+  SuperviseSpec spec;
+  int kills = 4;  ///< SIGKILL injections (crash path)
+  int stops = 2;  ///< SIGSTOP injections (hang path, exercises escalation)
+  std::uint64_t seed = 1;
+};
+
+struct ChaosReport {
+  int killsDelivered = 0;
+  int stopsDelivered = 0;
+  SuperviseOutcome outcome;
+  std::int64_t twinQuanta = 0;  ///< total quanta in the uninterrupted run
+  bool reportIdentical = false;
+  bool streamIdentical = false;
+  bool checkpointsIdentical = false;
+  std::string firstDifference;  ///< empty when everything matched
+
+  [[nodiscard]] bool passed() const noexcept {
+    return outcome.succeeded && !outcome.orphansLeft && reportIdentical &&
+           streamIdentical && checkpointsIdentical;
+  }
+};
+
+/// Run the uninterrupted twin in-process (spec.dir + ".twin"), then the
+/// supervised run with kills/stops injected at seeded random quanta, and
+/// byte-compare final report, quantum stream, and surviving checkpoints.
+[[nodiscard]] ChaosReport runChaos(const ChaosSpec& chaos);
+
+}  // namespace dike::exp

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "telemetry/aggregator.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/registry.hpp"
 #include "util/json.hpp"
 
@@ -256,7 +257,11 @@ void PromHttpServer::handleConnection(int fd) {
     sendAll(fd, httpResponse(200, "OK", "application/json",
                              renderLiveStateJson()));
   } else if (path == "/healthz") {
-    sendAll(fd, httpResponse(200, "OK", "text/plain", "ok\n"));
+    // A real liveness probe, not a static 200: the body carries the last
+    // completed quantum and how stale it is, so a wedged run (which keeps
+    // this server thread responsive) is still detectable from outside.
+    sendAll(fd, httpResponse(200, "OK", "application/json",
+                             renderHealthJson(healthSnapshot()) + "\n"));
   } else {
     sendAll(fd, httpResponse(404, "Not Found", "text/plain",
                              "unknown path; try /metrics, /state, /healthz\n"));

@@ -10,7 +10,8 @@
 //                   a scrape is internally consistent even mid-run.
 //   GET /state    — Aggregator::liveState() as JSON (per-core placement,
 //                   slowdowns, fairness trend) — the dike_top feed.
-//   GET /healthz  — "ok".
+//   GET /healthz  — JSON liveness probe: last-completed quantum, heartbeat
+//                   age, SLO breach state (telemetry/health.hpp).
 //
 // The server binds 127.0.0.1 only (an experiment harness has no business on
 // the network), accepts one connection at a time on a background jthread

@@ -17,6 +17,7 @@
 // qualifies.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
@@ -26,6 +27,16 @@ namespace dike::telemetry {
 
 class SlowdownEstimator {
  public:
+  /// Persistent per-thread state for checkpointing: the cumulative attained
+  /// work is path-dependent (floating-point accumulation order matters), so
+  /// a resumed stream is only byte-identical to the uninterrupted one if it
+  /// restarts from the exact accumulators, not a recomputation.
+  struct ThreadSnapshot {
+    int threadId = -1;
+    int processId = -1;
+    double cum = 0.0;
+  };
+
   /// Start a quantum; `dtSeconds` is the wall time the quantum covered.
   void beginQuantum(double dtSeconds) noexcept {
     dt_ = dtSeconds;
@@ -81,6 +92,33 @@ class SlowdownEstimator {
   /// Max slowdown across eligible threads this quantum (min is 1 by
   /// construction); NaN when nothing was eligible.
   [[nodiscard]] double fairnessSpread() const noexcept { return spread_; }
+
+  /// The persistent state, sorted by threadId (deterministic archive
+  /// order). Per-quantum transients (slowdowns, spread) are recomputed by
+  /// the next finishQuantum() and are not part of the snapshot.
+  [[nodiscard]] std::vector<ThreadSnapshot> snapshot() const {
+    std::vector<ThreadSnapshot> out;
+    out.reserve(threads_.size());
+    for (const auto& [id, thread] : threads_)
+      out.push_back({id, thread.processId, thread.cum});
+    std::sort(out.begin(), out.end(),
+              [](const ThreadSnapshot& a, const ThreadSnapshot& b) {
+                return a.threadId < b.threadId;
+              });
+    return out;
+  }
+
+  /// Replace the persistent state with a snapshot (restore path).
+  void restore(const std::vector<ThreadSnapshot>& state) {
+    threads_.clear();
+    for (const ThreadSnapshot& t : state) {
+      ThreadState& thread = threads_[t.threadId];
+      thread.processId = t.processId;
+      thread.cum = t.cum;
+    }
+    seen_.clear();
+    spread_ = std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   struct ThreadState {

@@ -108,7 +108,13 @@ TEST_F(PromHttpTest, ServerServesMetricsStateAndHealthOnEphemeralPort) {
   ASSERT_TRUE(server.running());
   ASSERT_NE(server.port(), 0) << "port 0 must resolve to a real port";
 
-  EXPECT_EQ(telemetry::httpGet(server.port(), "/healthz"), "ok\n");
+  // /healthz is a JSON liveness probe since PR 8 (still HTTP 200, so
+  // pre-existing pollers that only check the status keep working).
+  const util::JsonValue health =
+      util::parseJson(telemetry::httpGet(server.port(), "/healthz"));
+  EXPECT_TRUE(health.get("status").has_value());
+  EXPECT_TRUE(health.get("lastQuantum").has_value());
+  EXPECT_TRUE(health.get("heartbeatAgeMs").has_value());
   const std::string metrics = telemetry::httpGet(server.port(), "/metrics");
   EXPECT_TRUE(containsLine(metrics, "dike_served_requests_total 7"))
       << metrics;
@@ -133,7 +139,8 @@ TEST_F(PromHttpTest, UnknownPathIsAnHttpError) {
   EXPECT_THROW((void)telemetry::httpGet(server.port(), "/nope"),
                std::runtime_error);
   // The connection-at-a-time loop must survive the error response.
-  EXPECT_EQ(telemetry::httpGet(server.port(), "/healthz"), "ok\n");
+  EXPECT_NE(telemetry::httpGet(server.port(), "/healthz").find("status"),
+            std::string::npos);
   server.stop();
 }
 

@@ -30,6 +30,7 @@
 #include "telemetry/promhttp.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/slo.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stop.hpp"
@@ -112,10 +113,14 @@ void printSingleRunReport(const dike::exp::RunMetrics& metrics,
       dike::exp::runMetricsToJson(metrics).dump(2) + "\n";
   std::fputs(report.c_str(), stdout);
   if (const auto jsonPath = args.get("json")) {
-    std::ofstream out{*jsonPath};
-    out << report;
-    if (!out)
-      throw std::runtime_error{"failed writing --json output: " + *jsonPath};
+    // Crash-atomic: a reader (or a crash mid-write) never observes a
+    // truncated report — the file is either the old bytes or the new ones.
+    try {
+      dike::util::writeFileAtomic(*jsonPath, report);
+    } catch (const std::exception& e) {
+      throw std::runtime_error{"failed writing --json output: " + *jsonPath +
+                               ": " + e.what()};
+    }
   }
 }
 
@@ -358,8 +363,9 @@ int main(int argc, char** argv) {
       std::printf("\nCSV written to %s\n", csvPath->c_str());
     }
     if (const auto jsonPath = args.get("json")) {
-      std::ofstream out{*jsonPath};
-      out << dike::exp::toJson(config, cells).dump(2) << '\n';
+      dike::util::writeFileAtomic(*jsonPath,
+                                  dike::exp::toJson(config, cells).dump(2) +
+                                      "\n");
       std::printf("JSON written to %s\n", jsonPath->c_str());
     }
 
@@ -376,11 +382,14 @@ int main(int argc, char** argv) {
     if (config.telemetry.enabled) {
       const auto& registry = dike::telemetry::Registry::instance();
       if (!config.telemetry.registryOut.empty()) {
-        std::ofstream out{config.telemetry.registryOut};
-        out << registry.toJson().dump(2) << '\n';
-        if (!out)
+        try {
+          dike::util::writeFileAtomic(config.telemetry.registryOut,
+                                      registry.toJson().dump(2) + "\n");
+        } catch (const std::exception& e) {
           throw std::runtime_error{"failed writing registry dump: " +
-                                   config.telemetry.registryOut};
+                                   config.telemetry.registryOut + ": " +
+                                   e.what()};
+        }
         std::printf("telemetry registry (%zu metrics) written to %s\n",
                     registry.size(), config.telemetry.registryOut.c_str());
       } else {

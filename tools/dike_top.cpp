@@ -3,7 +3,7 @@
 //
 // Usage:
 //   dike_top --port P [--host 127.0.0.1] [--interval-ms 500]
-//            [--once] [--no-color]
+//            [--once] [--no-color] [--stale-ms 2000]
 //
 // Polls the embedded exporter's /state (placement snapshot) and /metrics
 // (Prometheus text) endpoints and renders, with plain ANSI escapes (no
@@ -49,6 +49,24 @@ struct Frame {
   std::string scheduler;
   std::vector<CoreRow> cores;
 };
+
+/// Parsed /healthz liveness probe (PR 8): the run's own heartbeat, not the
+/// HTTP server's reachability — a wedged run keeps serving 200s.
+struct Health {
+  std::int64_t lastQuantum = -1;
+  std::int64_t heartbeatAgeMs = -1;
+  bool starting = false;
+};
+
+Health parseHealth(const std::string& body) {
+  const dike::util::JsonValue doc = dike::util::parseJson(body);
+  Health h;
+  h.lastQuantum = static_cast<std::int64_t>(doc.numberOr("lastQuantum", -1.0));
+  h.heartbeatAgeMs =
+      static_cast<std::int64_t>(doc.numberOr("heartbeatAgeMs", -1.0));
+  h.starting = doc.stringOr("status", "") == "starting";
+  return h;
+}
 
 Frame parseState(const std::string& body) {
   const dike::util::JsonValue doc = dike::util::parseJson(body);
@@ -155,6 +173,7 @@ const char* slowdownColor(const Palette& p, double s) {
 
 void render(const Frame& f, const std::deque<double>& trend,
             std::optional<double> sloBreaches, std::optional<double> inBreach,
+            const std::optional<Health>& health, std::int64_t staleMs,
             const Palette& p, bool clear) {
   std::string out;
   if (clear) out += "\x1b[H\x1b[2J";
@@ -172,6 +191,26 @@ void render(const Frame& f, const std::deque<double>& trend,
                 "fairness spread %.3f   unfairness %.4f   trend %s\n",
                 f.fairnessSpread, f.unfairness, sparkline(trend).c_str());
   out += line;
+  if (health) {
+    // Staleness: the endpoint answered, but the run's heartbeat is old —
+    // the probe distinguishes "server up" from "run alive" (a wedged run
+    // keeps serving HTTP just fine).
+    const bool stale =
+        !health->starting && health->heartbeatAgeMs > staleMs;
+    out += stale ? p.red : (health->starting ? p.yellow : p.green);
+    if (health->starting) {
+      out += "liveness: starting (no heartbeat yet)\n";
+    } else {
+      std::snprintf(line, sizeof line,
+                    "liveness: %s  last quantum %lld  heartbeat age %lldms%s\n",
+                    stale ? "STALE" : "alive",
+                    static_cast<long long>(health->lastQuantum),
+                    static_cast<long long>(health->heartbeatAgeMs),
+                    stale ? " (run wedged or finished?)" : "");
+      out += line;
+    }
+    out += p.reset;
+  }
   if (sloBreaches || inBreach) {
     const bool breached = inBreach.value_or(0.0) > 0.0;
     out += breached ? p.red : p.green;
@@ -228,7 +267,7 @@ int main(int argc, char** argv) {
     if (!args.has("port")) {
       std::fprintf(stderr,
                    "usage: %s --port P [--host 127.0.0.1] [--interval-ms N]"
-                   " [--once] [--no-color]\n",
+                   " [--once] [--no-color] [--stale-ms N]\n",
                    args.programName().c_str());
       return 2;
     }
@@ -240,6 +279,9 @@ int main(int argc, char** argv) {
     if (intervalMs < 1)
       throw std::runtime_error{"--interval-ms must be a positive count"};
     const bool once = args.getBool("once", false);
+    const std::int64_t staleMs = args.getInt64("stale-ms", 2000);
+    if (staleMs < 1)
+      throw std::runtime_error{"--stale-ms must be a positive count"};
     const Palette palette =
         args.getBool("no-color", false) ? Palette{} : colorPalette();
 
@@ -251,6 +293,7 @@ int main(int argc, char** argv) {
       std::string state;
       std::optional<double> breaches;
       std::optional<double> inBreach;
+      std::optional<Health> health;
       try {
         state = dike::telemetry::httpGet(static_cast<std::uint16_t>(port),
                                          "/state", host);
@@ -258,6 +301,12 @@ int main(int argc, char** argv) {
             static_cast<std::uint16_t>(port), "/metrics", host);
         breaches = promValue(metrics, "dike_slo_breaches_total");
         inBreach = promValue(metrics, "dike_slo_in_breach");
+        try {
+          health = parseHealth(dike::telemetry::httpGet(
+              static_cast<std::uint16_t>(port), "/healthz", host));
+        } catch (const std::exception&) {
+          // Pre-PR-8 exporters serve a plain-text /healthz; no liveness row.
+        }
         failures = 0;
       } catch (const std::exception& e) {
         if (once) throw;
@@ -273,7 +322,8 @@ int main(int argc, char** argv) {
         trend.push_back(frame.fairnessSpread);
         while (trend.size() > 60) trend.pop_front();
       }
-      render(frame, trend, breaches, inBreach, palette, /*clear=*/!once);
+      render(frame, trend, breaches, inBreach, health, staleMs, palette,
+             /*clear=*/!once);
       if (once) break;
       std::this_thread::sleep_for(std::chrono::milliseconds{intervalMs});
     }
