@@ -1,0 +1,333 @@
+#include "core/clustered_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/archive.hpp"
+#include "telemetry/registry.hpp"
+#include "util/types.hpp"
+
+namespace dike::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::int64_t nsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+}  // namespace
+
+ClusteredDikeScheduler::ClusteredDikeScheduler(DikeConfig config)
+    : DikeScheduler(config), configuredClusters_(config.cluster.clusters) {
+  if (config.cluster.clusters < 0)
+    throw std::invalid_argument{"cluster.clusters must be >= 0"};
+  if (config.cluster.rebalanceQuanta <= 0)
+    throw std::invalid_argument{"cluster.rebalanceQuanta must be > 0"};
+  if (config.cluster.rebalanceThreshold <= 0.0)
+    throw std::invalid_argument{"cluster.rebalanceThreshold must be > 0"};
+  if (config.cluster.rebalanceStreak <= 0)
+    throw std::invalid_argument{"cluster.rebalanceStreak must be > 0"};
+  if (config.cluster.rebalanceBudget <= 0)
+    throw std::invalid_argument{"cluster.rebalanceBudget must be > 0"};
+}
+
+std::string_view ClusteredDikeScheduler::name() const {
+  // Flat mode is the equivalence contract: same policy name (checkpoints
+  // taken flat restore here and vice versa), same everything.
+  return flatMode() ? DikeScheduler::name() : "dike-clustered";
+}
+
+DikeConfig ClusteredDikeScheduler::clusterConfig() const {
+  DikeConfig sub = configuration();
+  // The sub-schedulers must not recurse into clustering, and per-cluster
+  // adaptive quantum lengths would desynchronise the clusters from the one
+  // machine-wide quantum cadence this object reports via quantumTicks() —
+  // clustered mode therefore runs fixed parameters per cluster.
+  sub.cluster = ClusterConfig{};
+  sub.cluster.clusters = 0;
+  sub.goal = AdaptationGoal::None;
+  return sub;
+}
+
+void ClusteredDikeScheduler::resolveGeometry(int coreCount) {
+  clusterCount_ = std::min(configuredClusters_, coreCount);
+  clusterOfCore_.resize(static_cast<std::size_t>(coreCount));
+  for (int c = 0; c < coreCount; ++c) {
+    // Contiguous equal chunks in core-id order. Core ids are socket-major
+    // (sim/topology numbers socket 0's cores first), so whenever K divides
+    // the socket count every cluster is a whole group of sockets.
+    clusterOfCore_[static_cast<std::size_t>(c)] = static_cast<int>(
+        static_cast<std::int64_t>(c) * clusterCount_ / coreCount);
+  }
+  clusters_.clear();
+  clusters_.reserve(static_cast<std::size_t>(clusterCount_));
+  for (int k = 0; k < clusterCount_; ++k)
+    clusters_.push_back(std::make_unique<DikeScheduler>(clusterConfig()));
+  clusterSamples_.resize(static_cast<std::size_t>(clusterCount_));
+}
+
+void ClusteredDikeScheduler::scatterSample(const sched::SchedulerView& view) {
+  const sim::QuantumSample& sample = view.sample();
+  for (sim::QuantumSample& s : clusterSamples_) {
+    s.periodTicks = sample.periodTicks;
+    s.threads.clear();
+    // Full-size bandwidth vector with foreign entries zeroed: the cluster
+    // observer indexes it by global core id, and its foreign-core guards
+    // never read the zeros into an estimate.
+    s.coreAchievedBw.assign(sample.coreAchievedBw.size(), 0.0);
+  }
+  for (const sim::ThreadSample& t : sample.threads) {
+    // Rows without a core (finished threads) are invisible to every
+    // observer regardless of routing; drop them instead of guessing.
+    if (t.coreId < 0) continue;
+    const int k = clusterOfCore_[static_cast<std::size_t>(t.coreId)];
+    clusterSamples_[static_cast<std::size_t>(k)].threads.push_back(t);
+  }
+  for (std::size_t c = 0; c < sample.coreAchievedBw.size(); ++c) {
+    const int k = clusterOfCore_[c];
+    clusterSamples_[static_cast<std::size_t>(k)].coreAchievedBw[c] =
+        sample.coreAchievedBw[c];
+  }
+}
+
+void ClusteredDikeScheduler::onQuantum(sched::SchedulerView& view) {
+  if (flatMode()) {
+    const auto start = Clock::now();
+    DikeScheduler::onQuantum(view);
+    lastDecideNs_ = nsSince(start);
+    lastScatterNs_ = 0;
+    return;
+  }
+
+  DIKE_SCOPE_TIMER("core.dike.clustered_quantum");
+  if (clusters_.empty()) resolveGeometry(view.coreCount());
+
+  const auto scatterStart = Clock::now();
+  scatterSample(view);
+  lastScatterNs_ = nsSince(scatterStart);
+
+  // Run every cluster pipeline. Serial in this process, but the instances
+  // are independent (cluster-local samples, cluster-scoped views) — as
+  // deployed, each runs on its own socket — so the quantum's decide latency
+  // is the slowest instance, not the sum.
+  std::int64_t maxClusterNs = 0;
+  bool anyActed = false;
+  for (int k = 0; k < clusterCount_; ++k) {
+    DikeScheduler& sub = *clusters_[static_cast<std::size_t>(k)];
+    sub.setFaultsActiveHint(faultsActiveHint());
+    sub.setDecisionTrace(decisionTrace());
+    sched::SchedulerView clusterView{
+        view, clusterSamples_[static_cast<std::size_t>(k)], clusterOfCore_, k};
+    const auto start = Clock::now();
+    sub.onQuantum(clusterView);
+    maxClusterNs = std::max(maxClusterNs, nsSince(start));
+    anyActed = anyActed || sub.lastQuantumStats().acted;
+  }
+
+  const auto rebalanceStart = Clock::now();
+  rebalance(view);
+  lastDecideNs_ = maxClusterNs + nsSince(rebalanceStart);
+
+  refreshAggregates(anyActed);
+  ++quantumIndex_;
+}
+
+void ClusteredDikeScheduler::rebalance(sched::SchedulerView& view) {
+  if (++quantaSinceRebalance_ < config_.cluster.rebalanceQuanta) return;
+  quantaSinceRebalance_ = 0;
+
+  // Cheap top-level signal: each cluster's own unfairness, already computed
+  // by its observer this quantum — O(K) to inspect.
+  int worst = -1, best = -1;
+  double worstU = 0.0, bestU = 0.0;
+  for (int k = 0; k < clusterCount_; ++k) {
+    const Observer& obs =
+        clusters_[static_cast<std::size_t>(k)]->observer();
+    if (!obs.ready()) return;  // too early to judge imbalance
+    const double u = obs.systemUnfairness();
+    if (worst < 0 || u > worstU) worst = k, worstU = u;
+    if (best < 0 || u < bestU) best = k, bestU = u;
+  }
+  if (worst < 0 || worst == best ||
+      worstU - bestU <= config_.cluster.rebalanceThreshold) {
+    imbalanceStreak_ = 0;
+    return;
+  }
+  if (++imbalanceStreak_ < config_.cluster.rebalanceStreak) return;
+  imbalanceStreak_ = 0;
+
+  // Sustained imbalance: move whole threads from the worst cluster to the
+  // best one. Most-starved donors first; land on a free core when the
+  // recipient has one, otherwise swap against the recipient's most-surplus
+  // thread. Everything goes through the *parent* view, so hooks fire and
+  // the adapter's totals count these like any other actuation.
+  const Observer& donor = clusters_[static_cast<std::size_t>(worst)]->observer();
+  const Observer& recipient =
+      clusters_[static_cast<std::size_t>(best)]->observer();
+
+  std::vector<const ThreadInfo*> starved;
+  for (const ThreadInfo& t : donor.threadsByAccessRate())
+    if (t.deficit > 0.0) starved.push_back(&t);
+  std::sort(starved.begin(), starved.end(),
+            [](const ThreadInfo* a, const ThreadInfo* b) {
+              if (a->deficit != b->deficit) return a->deficit > b->deficit;
+              return a->threadId < b->threadId;
+            });
+
+  int moved = 0;
+  int freeScan = 0;  // resume point into the recipient's core range
+  std::size_t surplusIdx = 0;
+  const std::vector<ThreadInfo>& recipientThreads =
+      recipient.threadsByAccessRate();
+  std::vector<const ThreadInfo*> surplus;
+  for (const ThreadInfo& t : recipientThreads) surplus.push_back(&t);
+  std::sort(surplus.begin(), surplus.end(),
+            [](const ThreadInfo* a, const ThreadInfo* b) {
+              if (a->deficit != b->deficit) return a->deficit < b->deficit;
+              return a->threadId < b->threadId;
+            });
+
+  for (const ThreadInfo* t : starved) {
+    if (moved >= config_.cluster.rebalanceBudget) break;
+    // Free core in the recipient cluster?
+    int dest = -1;
+    for (; freeScan < view.coreCount(); ++freeScan) {
+      if (clusterOfCore_[static_cast<std::size_t>(freeScan)] != best) continue;
+      if (view.coreOccupant(freeScan) == -1) {
+        dest = freeScan++;
+        break;
+      }
+    }
+    if (dest >= 0) {
+      if (!view.migrateTo(t->threadId, dest)) continue;
+    } else if (surplusIdx < surplus.size()) {
+      const ThreadInfo* partner = surplus[surplusIdx++];
+      if (!view.swap(t->threadId, partner->threadId)) continue;
+    } else {
+      break;  // recipient is full and has no partner left
+    }
+    ++moved;
+    ++rebalanceMoves_;
+    DIKE_COUNTER("core.dike.cluster_rebalance_move");
+  }
+}
+
+void ClusteredDikeScheduler::refreshAggregates(bool anyActed) {
+  // Keep every aggregate a DikeScheduler consumer reads (reports, metrics
+  // listeners, the soak checker all dynamic_cast to the base) meaningful:
+  // counters sum across clusters; unfairness is the worst cluster (one
+  // starving cluster is an unfair machine); the workload class follows the
+  // worst cluster too, since that is the cluster the signal describes.
+  QuantumDecisionStats agg;
+  agg.quantumIndex = quantumIndex_;
+  agg.acted = anyActed;
+  agg.params = params_;
+  double worstU = -1.0;
+  std::int64_t swaps = 0;
+  DecisionTotals totals;
+  for (const auto& sub : clusters_) {
+    const QuantumDecisionStats& s = sub->lastQuantumStats();
+    agg.pairsConsidered += s.pairsConsidered;
+    agg.pairsRejectedCooldown += s.pairsRejectedCooldown;
+    agg.pairsRejectedProfit += s.pairsRejectedProfit;
+    agg.swapsExecuted += s.swapsExecuted;
+    agg.swapsFailed += s.swapsFailed;
+    agg.migrationsFailed += s.migrationsFailed;
+    agg.fallbackActive = agg.fallbackActive || s.fallbackActive;
+    if (s.unfairness > worstU) {
+      worstU = s.unfairness;
+      agg.workloadType = s.workloadType;
+    }
+    const DecisionTotals& t = sub->decisionTotals();
+    totals.actedQuanta = std::max(totals.actedQuanta, t.actedQuanta);
+    totals.pairsConsidered += t.pairsConsidered;
+    totals.rejectedCooldown += t.rejectedCooldown;
+    totals.rejectedProfit += t.rejectedProfit;
+    totals.swapsExecuted += t.swapsExecuted;
+    totals.swapsFailed += t.swapsFailed;
+    totals.migrationsFailed += t.migrationsFailed;
+    totals.fallbackQuanta += t.fallbackQuanta;
+    totals.fallbackEngagements += t.fallbackEngagements;
+    totals.divergenceResets += t.divergenceResets;
+    swaps += sub->totalSwaps();
+  }
+  agg.unfairness = std::max(worstU, 0.0);
+  lastStats_ = agg;
+  // Wall quanta, not the sum of per-cluster quanta (every cluster runs in
+  // the same machine quantum); actedQuanta is the busiest cluster's count,
+  // bounded by wall quanta by construction.
+  totals.quanta = quantumIndex_ + 1;
+  totals_ = totals;
+  totalSwaps_ = swaps;
+}
+
+void ClusteredDikeScheduler::saveExtraState(ckpt::BinWriter& w) const {
+  // Flat mode writes exactly the base layout: a flat checkpoint and a
+  // 1-cluster checkpoint are interchangeable (byte-identical).
+  DikeScheduler::saveExtraState(w);
+  if (flatMode()) return;
+  w.beginSection("clustered");
+  w.i64("clusterCount", clusterCount_);
+  w.vecInt("clusterOfCore", clusterOfCore_);
+  w.i64("quantaSinceRebalance", quantaSinceRebalance_);
+  w.i64("imbalanceStreak", imbalanceStreak_);
+  w.i64("rebalanceMoves", rebalanceMoves_);
+  w.endSection();
+  for (int k = 0; k < clusterCount_; ++k) {
+    w.beginSection("cluster" + std::to_string(k));
+    clusters_[static_cast<std::size_t>(k)]->saveState(w);
+    w.endSection();
+  }
+}
+
+void ClusteredDikeScheduler::loadExtraState(ckpt::BinReader& r) {
+  DikeScheduler::loadExtraState(r);
+  if (flatMode()) return;
+  r.beginSection("clustered");
+  const int count = util::checkedInt<ckpt::CheckpointError>(
+      r.i64("clusterCount"), "clustered checkpoint: clusterCount");
+  std::vector<int> clusterOfCore = r.vecInt("clusterOfCore");
+  const int quantaSince = util::checkedInt<ckpt::CheckpointError>(
+      r.i64("quantaSinceRebalance"),
+      "clustered checkpoint: quantaSinceRebalance");
+  const int streak = util::checkedInt<ckpt::CheckpointError>(
+      r.i64("imbalanceStreak"), "clustered checkpoint: imbalanceStreak");
+  const std::int64_t moves = r.i64("rebalanceMoves");
+  r.endSection();
+  if (count < 0 || (count == 0 && !clusterOfCore.empty()))
+    throw ckpt::CheckpointError{
+        "clustered checkpoint: inconsistent cluster geometry"};
+  for (const int k : clusterOfCore)
+    if (k < 0 || k >= std::max(count, 1))
+      throw ckpt::CheckpointError{
+          "clustered checkpoint: clusterOfCore entry out of range"};
+
+  // Rebuild the per-cluster instances from the serialized geometry, then
+  // restore each one; a schema failure inside cluster j leaves this object
+  // with fewer restored clusters, but the thrown error aborts the whole
+  // scheduler restore anyway (Scheduler::loadState propagates).
+  clusterCount_ = count;
+  clusterOfCore_ = std::move(clusterOfCore);
+  quantaSinceRebalance_ = quantaSince;
+  imbalanceStreak_ = streak;
+  rebalanceMoves_ = moves;
+  clusters_.clear();
+  clusterSamples_.clear();
+  clusters_.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k)
+    clusters_.push_back(std::make_unique<DikeScheduler>(clusterConfig()));
+  clusterSamples_.resize(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    r.beginSection("cluster" + std::to_string(k));
+    clusters_[static_cast<std::size_t>(k)]->loadState(r);
+    r.endSection();
+  }
+}
+
+}  // namespace dike::core

@@ -1,0 +1,99 @@
+// ClusteredDikeScheduler: Dike for large machines.
+//
+// The flat pipeline sorts and pairs over every thread on the machine each
+// quantum — O(n log n) on n global threads, which is fine at the paper's 40
+// hardware threads and ruinous at 4096. Following the hierarchical
+// decomposition of Agon and the cluster-local decision making of Affinity
+// Tailor, this scheduler splits the machine into K contiguous core ranges
+// ("clusters", normally one per socket), runs one complete Dike instance
+// per cluster over cluster-local observations, and layers a cheap top-level
+// rebalancer on top that migrates whole threads between clusters only on
+// *sustained* fairness imbalance. Per-quantum decide work becomes
+// O((n/K) log(n/K)) per cluster instance.
+//
+// Equivalence contract: with `cluster.clusters <= 1` every virtual call
+// delegates straight to the base DikeScheduler — same name, same decisions,
+// same checkpoint bytes — so the clustered entry point is byte-identical to
+// the flat policy at 1 cluster (enforced by the `scale` test tier).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dike_scheduler.hpp"
+
+namespace dike::core {
+
+class ClusteredDikeScheduler final : public DikeScheduler {
+ public:
+  explicit ClusteredDikeScheduler(DikeConfig config);
+
+  [[nodiscard]] std::string_view name() const override;
+  void onQuantum(sched::SchedulerView& view) override;
+
+  /// Clusters requested by the configuration (the resolved count is capped
+  /// at the machine's core count on first quantum).
+  [[nodiscard]] int configuredClusters() const noexcept {
+    return configuredClusters_;
+  }
+  /// Clusters actually formed; 0 until the first quantum (or a restore)
+  /// reveals the machine size.
+  [[nodiscard]] int resolvedClusters() const noexcept { return clusterCount_; }
+  [[nodiscard]] const std::vector<int>& clusterOfCore() const noexcept {
+    return clusterOfCore_;
+  }
+  /// Per-cluster Dike instance (multi-cluster mode only; k < resolved).
+  [[nodiscard]] const DikeScheduler& clusterScheduler(int k) const {
+    return *clusters_[static_cast<std::size_t>(k)];
+  }
+
+  /// Per-instance decide latency of the last quantum, in nanoseconds: the
+  /// *maximum* over clusters of one cluster pipeline's wall time, plus the
+  /// rebalancer. Clusters are independent — deployed, each instance runs on
+  /// its own socket — so the slowest instance is the quantum's decide
+  /// latency; this process executes them serially only because it is a
+  /// simulation. The sample-scatter cost (simulator plumbing with no
+  /// deployed counterpart) is reported separately via lastScatterNs().
+  [[nodiscard]] std::int64_t lastDecideNs() const noexcept {
+    return lastDecideNs_;
+  }
+  [[nodiscard]] std::int64_t lastScatterNs() const noexcept {
+    return lastScatterNs_;
+  }
+  /// Whole-thread cross-cluster moves the rebalancer has performed.
+  [[nodiscard]] std::int64_t rebalanceMoves() const noexcept {
+    return rebalanceMoves_;
+  }
+
+ protected:
+  void saveExtraState(ckpt::BinWriter& w) const override;
+  void loadExtraState(ckpt::BinReader& r) override;
+
+ private:
+  [[nodiscard]] bool flatMode() const noexcept {
+    return configuredClusters_ <= 1;
+  }
+  [[nodiscard]] DikeConfig clusterConfig() const;
+  void resolveGeometry(int coreCount);
+  void scatterSample(const sched::SchedulerView& view);
+  void rebalance(sched::SchedulerView& view);
+  void refreshAggregates(bool anyActed);
+
+  int configuredClusters_;
+  int clusterCount_ = 0;  ///< resolved (min(configured, cores)); 0 = not yet
+  std::vector<int> clusterOfCore_;
+  std::vector<std::unique_ptr<DikeScheduler>> clusters_;
+  /// Per-cluster sample buffers; capacity persists across quanta.
+  std::vector<sim::QuantumSample> clusterSamples_;
+
+  // Rebalancer state (serialized — cadence survives restore).
+  int quantaSinceRebalance_ = 0;
+  int imbalanceStreak_ = 0;
+  std::int64_t rebalanceMoves_ = 0;
+
+  std::int64_t lastDecideNs_ = 0;
+  std::int64_t lastScatterNs_ = 0;
+};
+
+}  // namespace dike::core

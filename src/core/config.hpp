@@ -97,6 +97,30 @@ struct ResilienceConfig {
   int failedActuationCooldownQuanta = 1;
 };
 
+/// Clustered-scheduling knobs (large-machine mode; see DESIGN.md). With
+/// `clusters == 0` the flat single-instance pipeline runs unchanged; with
+/// `clusters == 1` the clustered scheduler is instantiated but degenerates
+/// to pure delegation (byte-identical to flat — the equivalence contract
+/// the scale test tier enforces); `clusters >= 2` splits the machine into
+/// that many contiguous core ranges, each served by its own Dike instance
+/// over cluster-local observations, with a top-level rebalancer migrating
+/// whole threads between clusters on sustained fairness imbalance.
+struct ClusterConfig {
+  int clusters = 0;
+  /// Rebalancer cadence: inspect per-cluster unfairness every N quanta.
+  int rebalanceQuanta = 8;
+  /// Imbalance trigger: max-min per-cluster unfairness must exceed this.
+  double rebalanceThreshold = 0.02;
+  /// Consecutive over-threshold inspections required before acting
+  /// (transient skew across clusters must not cause migration churn).
+  int rebalanceStreak = 3;
+  /// Threads moved per rebalance action (whole-thread migrations).
+  int rebalanceBudget = 2;
+
+  [[nodiscard]] friend bool operator==(const ClusterConfig&,
+                                       const ClusterConfig&) = default;
+};
+
 /// Full Dike configuration.
 struct DikeConfig {
   DikeParams params = defaultParams();
@@ -133,6 +157,8 @@ struct DikeConfig {
   /// high-bandwidth core is free, demotes surplus compute threads into free
   /// low-bandwidth cores to open one). Single migrations, not swaps.
   bool useFreeCores = true;
+  /// Large-machine clustered mode (off by default: clusters == 0).
+  ClusterConfig cluster{};
 };
 
 }  // namespace dike::core

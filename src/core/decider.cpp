@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ckpt/archive.hpp"
+#include "util/types.hpp"
 
 namespace dike::core {
 
@@ -120,11 +121,15 @@ void Decider::loadState(ckpt::BinReader& r) {
   r.endSection();
   lastMigration_.clear();
   for (std::size_t i = 0; i < migIds.size(); ++i)
-    lastMigration_[static_cast<int>(migIds[i])] = migTicks[i];
+    lastMigration_[util::checkedInt<ckpt::CheckpointError>(
+        migIds[i], "decider checkpoint: migration thread id")] = migTicks[i];
   failures_.clear();
   for (std::size_t i = 0; i < failIds.size(); ++i)
-    failures_[static_cast<int>(failIds[i])] =
-        FailureState{failTicks[i], static_cast<int>(failCounts[i])};
+    failures_[util::checkedInt<ckpt::CheckpointError>(
+        failIds[i], "decider checkpoint: failure thread id")] =
+        FailureState{failTicks[i],
+                     util::checkedInt<ckpt::CheckpointError>(
+                         failCounts[i], "decider checkpoint: failure count")};
 }
 
 }  // namespace dike::core

@@ -10,6 +10,7 @@
 #include "ckpt/archive.hpp"
 #include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
+#include "util/types.hpp"
 
 namespace dike::core {
 
@@ -160,7 +161,7 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
     selector_.formPairsInto(observer_, params_.swapSize * 2, arena_.selector,
                             arena_.pairs);
     const std::vector<ThreadPair>& pairs = arena_.pairs;
-    stats.pairsConsidered = static_cast<int>(pairs.size());
+    stats.pairsConsidered = util::isize(pairs);
     const auto traceSwap = [&](const ThreadPair& pair,
                                const SwapPrediction* prediction,
                                telemetry::SwapOutcome outcome) {
@@ -451,9 +452,16 @@ void DikeScheduler::saveExtraState(ckpt::BinWriter& w) const {
 }
 
 void DikeScheduler::loadExtraState(ckpt::BinReader& r) {
+  // All int-typed fields restore through checked narrowing: a corrupt or
+  // wildly-scaled checkpoint must fail the load with a typed error instead
+  // of silently wrapping a counter.
+  const auto asInt = [](std::int64_t v, const char* what) {
+    return util::checkedInt<ckpt::CheckpointError>(v, what);
+  };
   DikeParams params;
-  params.swapSize = static_cast<int>(r.i64("swapSize"));
-  params.quantaLengthMs = static_cast<int>(r.i64("quantaLengthMs"));
+  params.swapSize = asInt(r.i64("swapSize"), "dike checkpoint: swapSize");
+  params.quantaLengthMs =
+      asInt(r.i64("quantaLengthMs"), "dike checkpoint: quantaLengthMs");
   const std::int64_t quantumIndex = r.i64("quantumIndex");
   const std::int64_t totalSwaps = r.i64("totalSwaps");
   QuantumDecisionStats lastStats;
@@ -461,18 +469,23 @@ void DikeScheduler::loadExtraState(ckpt::BinReader& r) {
   lastStats.quantumIndex = r.i64("quantumIndex");
   lastStats.unfairness = r.f64("unfairness");
   lastStats.acted = r.boolean("acted");
-  lastStats.pairsConsidered = static_cast<int>(r.i64("pairsConsidered"));
-  lastStats.pairsRejectedCooldown =
-      static_cast<int>(r.i64("pairsRejectedCooldown"));
-  lastStats.pairsRejectedProfit =
-      static_cast<int>(r.i64("pairsRejectedProfit"));
-  lastStats.swapsExecuted = static_cast<int>(r.i64("swapsExecuted"));
-  lastStats.swapsFailed = static_cast<int>(r.i64("swapsFailed"));
-  lastStats.migrationsFailed = static_cast<int>(r.i64("migrationsFailed"));
+  lastStats.pairsConsidered =
+      asInt(r.i64("pairsConsidered"), "dike checkpoint: pairsConsidered");
+  lastStats.pairsRejectedCooldown = asInt(
+      r.i64("pairsRejectedCooldown"), "dike checkpoint: pairsRejectedCooldown");
+  lastStats.pairsRejectedProfit = asInt(
+      r.i64("pairsRejectedProfit"), "dike checkpoint: pairsRejectedProfit");
+  lastStats.swapsExecuted =
+      asInt(r.i64("swapsExecuted"), "dike checkpoint: swapsExecuted");
+  lastStats.swapsFailed =
+      asInt(r.i64("swapsFailed"), "dike checkpoint: swapsFailed");
+  lastStats.migrationsFailed =
+      asInt(r.i64("migrationsFailed"), "dike checkpoint: migrationsFailed");
   lastStats.fallbackActive = r.boolean("fallbackActive");
-  lastStats.params.swapSize = static_cast<int>(r.i64("paramsSwapSize"));
-  lastStats.params.quantaLengthMs =
-      static_cast<int>(r.i64("paramsQuantaLengthMs"));
+  lastStats.params.swapSize =
+      asInt(r.i64("paramsSwapSize"), "dike checkpoint: paramsSwapSize");
+  lastStats.params.quantaLengthMs = asInt(
+      r.i64("paramsQuantaLengthMs"), "dike checkpoint: paramsQuantaLengthMs");
   lastStats.workloadType = static_cast<WorkloadType>(r.i64("workloadType"));
   r.endSection();
   DecisionTotals totals;
@@ -490,9 +503,10 @@ void DikeScheduler::loadExtraState(ckpt::BinReader& r) {
   totals.divergenceResets = r.i64("divergenceResets");
   r.endSection();
   const bool faultsActive = r.boolean("faultsActive");
-  const int fairnessStallStreak =
-      static_cast<int>(r.i64("fairnessStallStreak"));
-  const int fallbackLeft = static_cast<int>(r.i64("fallbackLeft"));
+  const int fairnessStallStreak = asInt(
+      r.i64("fairnessStallStreak"), "dike checkpoint: fairnessStallStreak");
+  const int fallbackLeft =
+      asInt(r.i64("fallbackLeft"), "dike checkpoint: fallbackLeft");
   // The components restore into scratch copies first, so a schema failure
   // deep in one of them leaves this scheduler untouched.
   Observer observer{config_.observer};

@@ -48,7 +48,7 @@ struct DecisionTotals {
   std::int64_t divergenceResets = 0;     ///< closed-loop state resets
 };
 
-class DikeScheduler final : public sched::Scheduler {
+class DikeScheduler : public sched::Scheduler {
  public:
   explicit DikeScheduler(DikeConfig config = {});
 
@@ -103,7 +103,6 @@ class DikeScheduler final : public sched::Scheduler {
   void saveExtraState(ckpt::BinWriter& w) const override;
   void loadExtraState(ckpt::BinReader& r) override;
 
- private:
   void migrateToFreeCores(sched::SchedulerView& view,
                           telemetry::DecisionRecord* record,
                           QuantumDecisionStats& stats);
@@ -115,6 +114,12 @@ class DikeScheduler final : public sched::Scheduler {
   /// (the Selector's ranking input); NaN when the thread is not listed.
   [[nodiscard]] double observedRate(int threadId) const noexcept;
 
+  // State is protected (not private) for ClusteredDikeScheduler, which in
+  // multi-cluster mode bypasses this object's pipeline entirely and
+  // maintains the aggregate-facing members (lastStats_, totals_,
+  // totalSwaps_, quantumIndex_) from its per-cluster instances, so every
+  // consumer that dynamic_casts to DikeScheduler keeps reading meaningful
+  // numbers.
   DikeConfig config_;
   DikeParams params_;
   Observer observer_;

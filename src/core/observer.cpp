@@ -251,8 +251,12 @@ const ThreadInfo* Observer::findThread(int threadId) const noexcept {
 
 void Observer::updateCoreBw(const Observation& obs) {
   // Per-core filter: rise immediately to demonstrated bandwidth, decay
-  // slowly when the core hosts an undemanding thread.
+  // slowly when the core hosts an undemanding thread. Foreign cores (a
+  // cluster-scoped view marks cores outside its domain with kForeignCore)
+  // are skipped outright: their bandwidth belongs to another cluster's
+  // observer and must not enter this one's estimates.
   for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
+    if (obs.coreOccupant[c] <= sched::SchedulerView::kForeignCore) continue;
     const double achieved = obs.sample.coreAchievedBw[c];
     if (obs.coreOccupant[c] < 0 && achieved <= 0.0)
       continue;  // idle core: keep the last estimate
@@ -273,10 +277,18 @@ void Observer::updateCoreBw(const Observation& obs) {
   for (int s : obs.coreSocket) socketCount = std::max(socketCount, s + 1);
   socketCapScratch_.assign(static_cast<std::size_t>(socketCount), 0.0);
   for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
+    if (obs.coreOccupant[c] <= sched::SchedulerView::kForeignCore) continue;
     double& cap = socketCapScratch_[static_cast<std::size_t>(obs.coreSocket[c])];
     cap = std::max(cap, coreBwRaw_[c]);
   }
   for (std::size_t c = 0; c < coreBwRaw_.size(); ++c) {
+    if (obs.coreOccupant[c] <= sched::SchedulerView::kForeignCore) {
+      // A socket may straddle a cluster boundary; blending must not leak
+      // a neighbour cluster's capability onto cores this observer cannot
+      // schedule.
+      coreBwEffective_[c] = 0.0;
+      continue;
+    }
     const double blended =
         config_.socketShare *
         socketCapScratch_[static_cast<std::size_t>(obs.coreSocket[c])];
@@ -291,9 +303,11 @@ void Observer::partitionCores(const Observation& obs) {
   std::vector<int>& known = knownScratch_;
   known.clear();
   known.reserve(coreBwEffective_.size());
-  for (int c = 0; c < static_cast<int>(coreBwEffective_.size()); ++c) {
-    if (obs.coreOccupant[static_cast<std::size_t>(c)] >= 0 ||
-        coreBwEffective_[static_cast<std::size_t>(c)] > 0.0)
+  for (int c = 0; c < util::isize(coreBwEffective_); ++c) {
+    const int occupant = obs.coreOccupant[static_cast<std::size_t>(c)];
+    if (occupant <= sched::SchedulerView::kForeignCore)
+      continue;  // another cluster's core: never rank it here
+    if (occupant >= 0 || coreBwEffective_[static_cast<std::size_t>(c)] > 0.0)
       known.push_back(c);
   }
 

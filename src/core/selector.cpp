@@ -69,7 +69,7 @@ void Selector::formPairsInto(const Observer& observer, int swapSize,
   }
   // Promote side: threads stuck on low-bandwidth cores. Memory-classified
   // violators first; within each group the most-starved thread (largest
-  /// positive deficit) is promoted first.
+  // positive deficit) is promoted first.
   std::vector<const ThreadInfo*>& highs = scratch.highs;
   std::vector<const ThreadInfo*>& highsRest = scratch.highsRest;
   highs.clear();

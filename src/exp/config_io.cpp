@@ -108,6 +108,19 @@ void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {
     out.observer.maxPlausibleRate =
         o->numberOr("maxPlausibleRate", out.observer.maxPlausibleRate);
   }
+  if (const auto c = d.get("cluster")) {
+    out.cluster.clusters = c->intOr("clusters", out.cluster.clusters);
+    if (out.cluster.clusters < 0)
+      throw std::runtime_error{"'dike.cluster.clusters' must be >= 0"};
+    out.cluster.rebalanceQuanta =
+        c->intOr("rebalanceQuanta", out.cluster.rebalanceQuanta);
+    out.cluster.rebalanceThreshold =
+        c->numberOr("rebalanceThreshold", out.cluster.rebalanceThreshold);
+    out.cluster.rebalanceStreak =
+        c->intOr("rebalanceStreak", out.cluster.rebalanceStreak);
+    out.cluster.rebalanceBudget =
+        c->intOr("rebalanceBudget", out.cluster.rebalanceBudget);
+  }
   if (const auto r = d.get("resilience")) {
     out.resilience.divergenceWatchdog =
         r->boolOr("divergenceWatchdog", out.resilience.divergenceWatchdog);
@@ -125,6 +138,39 @@ void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {
         r->intOr("failedActuationCooldownQuanta",
                  out.resilience.failedActuationCooldownQuanta);
   }
+}
+
+std::vector<sim::SocketSpec> decodeTopology(const util::JsonValue& field) {
+  if (!field.isArray())
+    throw std::runtime_error{"'topology' must be an array of socket specs"};
+  std::vector<sim::SocketSpec> sockets;
+  for (const util::JsonValue& v : field.asArray()) {
+    if (!v.isObject())
+      throw std::runtime_error{"'topology' entries must be objects"};
+    sim::SocketSpec spec;
+    const int repeat = v.intOr("sockets", 1);
+    if (repeat < 1)
+      throw std::runtime_error{"'topology[].sockets' must be >= 1"};
+    spec.physicalCores = v.intOr("physicalCores", spec.physicalCores);
+    if (spec.physicalCores < 1)
+      throw std::runtime_error{"'topology[].physicalCores' must be >= 1"};
+    spec.smtWays = v.intOr("smtWays", spec.smtWays);
+    if (spec.smtWays < 1)
+      throw std::runtime_error{"'topology[].smtWays' must be >= 1"};
+    spec.freqGhz = v.numberOr("freqGhz", spec.freqGhz);
+    if (spec.freqGhz <= 0.0)
+      throw std::runtime_error{"'topology[].freqGhz' must be > 0"};
+    const std::string type = v.stringOr("type", "fast");
+    if (type == "fast")
+      spec.type = sim::CoreType::Fast;
+    else if (type == "slow")
+      spec.type = sim::CoreType::Slow;
+    else
+      throw std::runtime_error{"'topology[].type' must be 'fast' or 'slow'"};
+    for (int i = 0; i < repeat; ++i) sockets.push_back(spec);
+  }
+  if (sockets.empty()) throw std::runtime_error{"'topology' is empty"};
+  return sockets;
 }
 
 void decodeTelemetry(const util::JsonValue& t, ExperimentTelemetry& out) {
@@ -157,6 +203,11 @@ ExperimentConfig parseExperimentConfig(const util::JsonValue& document) {
   config.reps = document.intOr("reps", 1);
   if (config.reps < 1) throw std::runtime_error{"'reps' must be >= 1"};
   config.heterogeneous = document.boolOr("heterogeneous", true);
+  config.threadsPerApp = document.intOr("threadsPerApp", config.threadsPerApp);
+  if (config.threadsPerApp < 1)
+    throw std::runtime_error{"'threadsPerApp' must be >= 1"};
+  if (const auto topology = document.get("topology"))
+    config.topology = decodeTopology(*topology);
   if (const auto machine = document.get("machine"))
     decodeMachine(*machine, config.machine);
   if (const auto dike = document.get("dike")) decodeDike(*dike, config.dike);
@@ -201,6 +252,8 @@ std::vector<ExperimentCell> runExperiment(const ExperimentConfig& config,
       spec.scale = config.scale;
       spec.seed = config.seed + static_cast<std::uint64_t>(rep) * 1000;
       spec.heterogeneous = config.heterogeneous;
+      spec.topology = config.topology;
+      spec.threadsPerApp = config.threadsPerApp;
       spec.machine = config.machine;
       spec.params = config.dike.params;
       spec.dikeConfig = config.dike;

@@ -11,6 +11,9 @@
 //     "seed":          42,
 //     "reps":          1,
 //     "heterogeneous": true,
+//     "threadsPerApp": 8,
+//     "topology":      [ { "sockets": 8, "physicalCores": 32, "smtWays": 1,
+//                          "freqGhz": 2.33, "type": "fast" }, ... ],
 //     "machine": { "smtSharedFactor": .., "migrationStallTicks": ..,
 //                  "cacheColdTicks": .., "cacheColdFactor": ..,
 //                  "cacheColdSlowdown": .., "conflictSpread": ..,
@@ -22,7 +25,11 @@
 //                  "fairnessThreshold": .., "swapOhMs": ..,
 //                  "cooldownQuanta": .., "minCooldownMs": ..,
 //                  "requirePositiveProfit": .., "rotateWhenNoViolator": ..,
-//                  "pairRateMargin": .., "useFreeCores": .. },
+//                  "pairRateMargin": .., "useFreeCores": ..,
+//                  "cluster": { "clusters": .., "rebalanceQuanta": ..,
+//                               "rebalanceThreshold": ..,
+//                               "rebalanceStreak": ..,
+//                               "rebalanceBudget": .. } },
 //     "telemetry": { "enabled": false, "quantumMetrics": "qm.csv",
 //                    "traceOut": "chrome.json", "eventsCsv": "events.csv",
 //                    "registryOut": "registry.json",
@@ -92,6 +99,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   int reps = 1;
   bool heterogeneous = true;
+  /// Threads per application (the paper's 8; large-machine sweeps raise it
+  /// so thousands of threads actually contend).
+  int threadsPerApp = 8;
+  /// Explicit socket list (the "topology" section, each entry optionally
+  /// repeated via "sockets"); empty = the paper testbed.
+  std::vector<sim::SocketSpec> topology;
   sim::MachineConfig machine{};
   core::DikeConfig dike{};
   ExperimentTelemetry telemetry{};

@@ -121,6 +121,19 @@ util::JsonValue dikeConfigToJson(const core::DikeConfig& c) {
   res["failedActuationCooldownQuanta"] =
       c.resilience.failedActuationCooldownQuanta;
   o["resilience"] = util::JsonValue{std::move(res)};
+  // The cluster section is written only when clustering actually changes
+  // behaviour (>= 2 clusters): a 1-cluster run is byte-identical to flat by
+  // contract, and dike_diff compares embedded specs verbatim — the
+  // equivalence check depends on these specs matching too.
+  if (c.cluster.clusters >= 2) {
+    util::JsonObject cl;
+    cl["clusters"] = c.cluster.clusters;
+    cl["rebalanceQuanta"] = c.cluster.rebalanceQuanta;
+    cl["rebalanceThreshold"] = c.cluster.rebalanceThreshold;
+    cl["rebalanceStreak"] = c.cluster.rebalanceStreak;
+    cl["rebalanceBudget"] = c.cluster.rebalanceBudget;
+    o["cluster"] = util::JsonValue{std::move(cl)};
+  }
   return util::JsonValue{std::move(o)};
 }
 
@@ -179,6 +192,19 @@ core::DikeConfig dikeConfigFromJson(const util::JsonValue& v) {
     rc.fallbackQuanta = res->intOr("fallbackQuanta", rc.fallbackQuanta);
     rc.failedActuationCooldownQuanta = res->intOr(
         "failedActuationCooldownQuanta", rc.failedActuationCooldownQuanta);
+  }
+  if (const auto cl = v.get("cluster")) {
+    core::ClusterConfig& cc = c.cluster;
+    cc.clusters = cl->intOr("clusters", cc.clusters);
+    if (cc.clusters < 0)
+      throw std::runtime_error{
+          "run spec field 'dike.cluster.clusters' is out of range: " +
+          std::to_string(cc.clusters)};
+    cc.rebalanceQuanta = cl->intOr("rebalanceQuanta", cc.rebalanceQuanta);
+    cc.rebalanceThreshold =
+        cl->numberOr("rebalanceThreshold", cc.rebalanceThreshold);
+    cc.rebalanceStreak = cl->intOr("rebalanceStreak", cc.rebalanceStreak);
+    cc.rebalanceBudget = cl->intOr("rebalanceBudget", cc.rebalanceBudget);
   }
   return c;
 }
@@ -242,6 +268,18 @@ util::JsonValue runSpecToJson(const RunSpec& spec) {
   o["scale"] = spec.scale;
   o["seed"] = u64ToString(spec.seed);
   o["heterogeneous"] = spec.heterogeneous;
+  if (!spec.topology.empty()) {
+    util::JsonArray sockets;
+    for (const sim::SocketSpec& s : spec.topology) {
+      util::JsonObject so;
+      so["physicalCores"] = s.physicalCores;
+      so["smtWays"] = s.smtWays;
+      so["freqGhz"] = s.freqGhz;
+      so["type"] = std::string{sim::toString(s.type)};
+      sockets.emplace_back(std::move(so));
+    }
+    o["topology"] = util::JsonValue{std::move(sockets)};
+  }
   o["machine"] = machineConfigToJson(spec.machine);
   o["threadsPerApp"] = spec.threadsPerApp;
   if (spec.faults) o["faults"] = fault::toJson(*spec.faults);
@@ -266,6 +304,26 @@ RunSpec runSpecFromJson(const util::JsonValue& doc) {
   if (const auto seed = doc.get("seed"))
     spec.seed = u64FromString(seed->asString(), "seed");
   spec.heterogeneous = doc.boolOr("heterogeneous", spec.heterogeneous);
+  if (const auto topology = doc.get("topology")) {
+    if (!topology->isArray())
+      throw std::runtime_error{
+          "run spec field 'topology' must be an array of socket specs"};
+    for (const util::JsonValue& v : topology->asArray()) {
+      sim::SocketSpec s;
+      s.physicalCores = v.intOr("physicalCores", s.physicalCores);
+      s.smtWays = v.intOr("smtWays", s.smtWays);
+      if (s.physicalCores < 1 || s.smtWays < 1)
+        throw std::runtime_error{
+            "run spec field 'topology' has a non-positive core count"};
+      s.freqGhz = v.numberOr("freqGhz", s.freqGhz);
+      const std::string type = v.stringOr("type", "fast");
+      if (type != "fast" && type != "slow")
+        throw std::runtime_error{
+            "run spec field 'topology[].type' must be 'fast' or 'slow'"};
+      s.type = type == "fast" ? sim::CoreType::Fast : sim::CoreType::Slow;
+      spec.topology.push_back(s);
+    }
+  }
   if (const auto machine = doc.get("machine"))
     spec.machine = machineConfigFromJson(*machine);
   spec.threadsPerApp = doc.intOr("threadsPerApp", spec.threadsPerApp);
@@ -432,10 +490,7 @@ RunSession::RunSession(RunSpec spec)
   // is bit-identical to the one the checkpoint was taken from.
   sim::MachineConfig machineCfg = spec_.machine;
   machineCfg.seed = spec_.seed;
-  machine_.emplace(spec_.heterogeneous
-                       ? sim::MachineTopology::paperTestbed()
-                       : sim::MachineTopology::homogeneousTestbed(),
-                   machineCfg);
+  machine_.emplace(topologyForSpec(spec_), machineCfg);
   wl::addWorkloadProcesses(*machine_, workload_, spec_.scale,
                            spec_.threadsPerApp);
   if (spec_.kind == SchedulerKind::StaticOracle)

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/clustered_scheduler.hpp"
 #include "core/dike_scheduler.hpp"
 #include "exp/analysis.hpp"
 #include "exp/chrome_trace.hpp"
@@ -73,10 +74,21 @@ std::unique_ptr<sched::Scheduler> makeScheduler(const RunSpec& spec) {
                      : (spec.kind == SchedulerKind::DikeAF
                             ? core::AdaptationGoal::Fairness
                             : core::AdaptationGoal::Performance);
+      // clusters >= 1 selects the clustered entry point even at 1 cluster,
+      // where it degenerates to pure delegation — that is exactly the
+      // configuration the equivalence tests drive.
+      if (cfg.cluster.clusters >= 1)
+        return std::make_unique<core::ClusteredDikeScheduler>(cfg);
       return std::make_unique<core::DikeScheduler>(cfg);
     }
   }
   throw std::logic_error{"unknown scheduler kind"};
+}
+
+sim::MachineTopology topologyForSpec(const RunSpec& spec) {
+  if (!spec.topology.empty()) return sim::MachineTopology{spec.topology};
+  return spec.heterogeneous ? sim::MachineTopology::paperTestbed()
+                            : sim::MachineTopology::homogeneousTestbed();
 }
 
 namespace {
@@ -216,10 +228,7 @@ RunMetrics runWorkload(const RunSpec& spec) {
 
   sim::MachineConfig machineCfg = spec.machine;
   machineCfg.seed = spec.seed;
-  sim::Machine machine{spec.heterogeneous
-                           ? sim::MachineTopology::paperTestbed()
-                           : sim::MachineTopology::homogeneousTestbed(),
-                       machineCfg};
+  sim::Machine machine{topologyForSpec(spec), machineCfg};
   wl::addWorkloadProcesses(machine, workload, spec.scale, spec.threadsPerApp);
   if (spec.kind == SchedulerKind::StaticOracle)
     sched::placeOracle(machine);

@@ -79,6 +79,10 @@ struct RunSpec {
   std::uint64_t seed = 42;
   /// false = the homogeneous machine (both sockets fast), Figure 1 only.
   bool heterogeneous = true;
+  /// Explicit machine topology (large-machine configs). Empty = the paper
+  /// testbed selected by `heterogeneous`; non-empty builds the machine from
+  /// exactly these sockets and `heterogeneous` is ignored.
+  std::vector<sim::SocketSpec> topology;
   /// Engine overrides (memory capacities, migration costs...).
   sim::MachineConfig machine{};
   /// Threads per application (the paper uses 8).
@@ -124,9 +128,16 @@ struct RunMetrics {
 };
 
 /// Instantiate the scheduler a RunSpec names (public so composed runners —
-/// e.g. exp/dynamic.hpp — can reuse the construction rules).
+/// e.g. exp/dynamic.hpp — can reuse the construction rules). Dike kinds
+/// with `dikeConfig->cluster.clusters >= 1` build a ClusteredDikeScheduler.
 [[nodiscard]] std::unique_ptr<sched::Scheduler> makeScheduler(
     const RunSpec& spec);
+
+/// The machine topology a RunSpec describes: the explicit socket list when
+/// `spec.topology` is non-empty, else the paper testbed (heterogeneous or
+/// homogeneous). Shared by the runner, the soak harness, and replay so a
+/// checkpoint always rebuilds the machine it was taken on.
+[[nodiscard]] sim::MachineTopology topologyForSpec(const RunSpec& spec);
 
 /// Assemble the RunMetrics for a finished machine/scheduler pair (shared by
 /// runWorkload and the checkpoint/replay session in exp/replay.hpp).

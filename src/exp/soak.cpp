@@ -174,10 +174,7 @@ SoakRun runOnce(const SoakSpec& spec, bool withFaults) {
 
   sim::MachineConfig machineCfg;
   machineCfg.seed = spec.seed;
-  sim::Machine machine{spec.heterogeneous
-                           ? sim::MachineTopology::paperTestbed()
-                           : sim::MachineTopology::homogeneousTestbed(),
-                       machineCfg};
+  sim::Machine machine{topologyForSpec(runSpec), machineCfg};
   wl::addWorkloadProcesses(machine, workload, spec.scale, spec.threadsPerApp);
   sched::placeRandom(machine, spec.seed);
 

@@ -249,8 +249,12 @@ HostQuantumReport DikeHost::runQuantum() {
   const util::Tick quantaTicks =
       util::millisToTicks(config_.dike.params.quantaLengthMs);
   const util::Tick nowTicks = quantumIndex_ * quantaTicks;
-  const auto pairs =
-      selector_.formPairs(observer_, config_.dike.params.swapSize * 2);
+  // Arena-backed selection, matching core/dike_scheduler.cpp: the scratch
+  // and pair buffers are members, so steady-state quanta allocate nothing
+  // and the host path cannot drift from the simulator pipeline.
+  selector_.formPairsInto(observer_, config_.dike.params.swapSize * 2,
+                          selectorScratch_, pairs_);
+  const std::vector<core::ThreadPair>& pairs = pairs_;
   const int maxSwaps = config_.dike.params.swapSize / 2;
 
   for (const core::ThreadPair& pair : pairs) {

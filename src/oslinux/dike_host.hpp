@@ -104,6 +104,8 @@ class DikeHost {
   core::Selector selector_;
   core::Predictor predictor_;
   core::Decider decider_;
+  core::SelectorScratch selectorScratch_;   // arena for formPairsInto
+  std::vector<core::ThreadPair> pairs_;     // reused pair buffer
 
   std::vector<int> cpus_;           // schedulable cpus, dense order
   std::vector<int> cpuSocket_;      // socket per cpus_ index

@@ -34,6 +34,17 @@ SchedulerView::SchedulerView(sim::Machine& machine,
                              ActuationHook* hook)
     : machine_(&machine), sample_(&sample), hook_(hook) {}
 
+SchedulerView::SchedulerView(SchedulerView& parent,
+                             const sim::QuantumSample& clusterSample,
+                             const std::vector<int>& clusterOfCore,
+                             int cluster)
+    : machine_(parent.machine_),
+      sample_(&clusterSample),
+      hook_(nullptr),  // the parent applies its hook when we delegate
+      parent_(&parent),
+      clusterOfCore_(&clusterOfCore),
+      cluster_(cluster) {}
+
 int SchedulerView::coreCount() const {
   return machine_->topology().coreCount();
 }
@@ -47,12 +58,16 @@ int SchedulerView::socketOf(int coreId) const {
 }
 
 int SchedulerView::coreOccupant(int coreId) const {
+  if (clusterOfCore_ != nullptr &&
+      (*clusterOfCore_)[static_cast<std::size_t>(coreId)] != cluster_)
+    return kForeignCore;
   return machine_->coreOccupant(coreId);
 }
 
 util::Tick SchedulerView::now() const { return machine_->now(); }
 
 bool SchedulerView::swap(int threadA, int threadB) {
+  if (parent_ != nullptr) return parent_->swap(threadA, threadB);
   if (hook_ != nullptr && !hook_->onSwapAttempt(threadA, threadB, now())) {
     ++failedActuations_;
     return false;
@@ -63,6 +78,7 @@ bool SchedulerView::swap(int threadA, int threadB) {
 }
 
 bool SchedulerView::migrateTo(int threadId, int coreId) {
+  if (parent_ != nullptr) return parent_->migrateTo(threadId, coreId);
   if (hook_ != nullptr && !hook_->onMigrationAttempt(threadId, coreId, now())) {
     ++failedActuations_;
     return false;

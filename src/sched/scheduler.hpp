@@ -44,8 +44,23 @@ class ActuationHook {
 /// Per-quantum window a scheduler operates through.
 class SchedulerView {
  public:
+  /// coreOccupant() result for a core outside a cluster-scoped view's
+  /// domain. Distinct from -1 ("free"): foreign cores read as occupied (so
+  /// free-core scans skip them) but the sentinel is negative (so occupant
+  /// walks never mistake it for a thread id).
+  static constexpr int kForeignCore = -2;
+
   SchedulerView(sim::Machine& machine, const sim::QuantumSample& sample,
                 ActuationHook* hook = nullptr);
+
+  /// Cluster-scoped child view: presents `clusterSample` (the parent
+  /// quantum's rows filtered to one cluster) while delegating every
+  /// actuation and topology query to `parent`, whose swap/migration
+  /// counters keep the totals. Cores whose `clusterOfCore` entry differs
+  /// from `cluster` read as kForeignCore. Used by ClusteredDikeScheduler;
+  /// `parent`, and `clusterOfCore` must outlive this view.
+  SchedulerView(SchedulerView& parent, const sim::QuantumSample& clusterSample,
+                const std::vector<int>& clusterOfCore, int cluster);
 
   /// Counter readings for the quantum that just ended.
   [[nodiscard]] const sim::QuantumSample& sample() const noexcept {
@@ -56,7 +71,8 @@ class SchedulerView {
   [[nodiscard]] int coreCount() const;
   [[nodiscard]] int socketCount() const;
   [[nodiscard]] int socketOf(int coreId) const;
-  /// Thread currently occupying a core, or -1.
+  /// Thread currently occupying a core, -1 when free, or kForeignCore when
+  /// the core lies outside this (cluster-scoped) view's domain.
   [[nodiscard]] int coreOccupant(int coreId) const;
 
   [[nodiscard]] util::Tick now() const;
@@ -75,23 +91,29 @@ class SchedulerView {
   void resume(int threadId);
   [[nodiscard]] bool isSuspended(int threadId) const;
 
-  /// Swaps performed through this view during the current quantum.
+  /// Swaps performed through this view during the current quantum. Child
+  /// views report the parent's tally (actuations land on the parent).
   [[nodiscard]] std::int64_t swapsThisQuantum() const noexcept {
-    return swaps_;
+    return parent_ != nullptr ? parent_->swaps_ : swaps_;
   }
   /// Free-core migrations performed through this view this quantum.
   [[nodiscard]] std::int64_t migrationsThisQuantum() const noexcept {
-    return migrations_;
+    return parent_ != nullptr ? parent_->migrations_ : migrations_;
   }
   /// Actuations (swaps + migrations) an ActuationHook failed this quantum.
   [[nodiscard]] std::int64_t failedActuationsThisQuantum() const noexcept {
-    return failedActuations_;
+    return parent_ != nullptr ? parent_->failedActuations_ : failedActuations_;
   }
 
  private:
   sim::Machine* machine_;
   const sim::QuantumSample* sample_;
   ActuationHook* hook_ = nullptr;
+  /// Set on cluster-scoped child views; actuations and counters then live
+  /// on the parent so adapter totals see every swap exactly once.
+  SchedulerView* parent_ = nullptr;
+  const std::vector<int>* clusterOfCore_ = nullptr;
+  int cluster_ = -1;
   std::int64_t swaps_ = 0;
   std::int64_t migrations_ = 0;
   std::int64_t failedActuations_ = 0;

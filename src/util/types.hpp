@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <type_traits>
+#include <utility>
 
 namespace dike::util {
 
@@ -36,9 +38,26 @@ template <typename To, typename From>
 }
 
 /// Size of a container as a plain int (indices in this codebase are ints).
+/// Checked: containers on scaled paths can exceed INT_MAX elements only
+/// through a bug, so this asserts rather than silently wrapping.
 template <typename Container>
 [[nodiscard]] constexpr int isize(const Container& c) noexcept {
-  return static_cast<int>(c.size());
+  return narrow<int>(c.size());
+}
+
+/// Checked narrowing to int that *throws* instead of asserting. Use on
+/// untrusted inputs (checkpoint restore, parsed configs) where an
+/// out-of-range value must surface as a typed error, not a wrapped counter.
+/// The exception type is a template parameter so call sites can raise their
+/// module's own error (e.g. ckpt::CheckpointError) with a contextual message.
+template <typename E, typename From>
+[[nodiscard]] int checkedInt(From v, const char* what) {
+  static_assert(std::is_integral_v<From>);
+  if (std::cmp_less(v, std::numeric_limits<int>::min()) ||
+      std::cmp_greater(v, std::numeric_limits<int>::max()))
+    throw E{std::string{what} + " is out of int range (" +
+            std::to_string(static_cast<long long>(v)) + ")"};
+  return static_cast<int>(v);
 }
 
 }  // namespace dike::util

@@ -36,9 +36,13 @@ if(NOT code EQUAL 0)
   message(FATAL_ERROR "bench_sim_throughput failed (exit ${code})")
 endif()
 
+# Default budgets beyond the two flags include the clustered-scheduler
+# scaling floor (--min-cluster-speedup=5): the >= 8-cluster, >= 4096-thread
+# rows of both reports must beat the flat pipeline's decide p99 by >= 5x.
 execute_process(COMMAND ${BENCH_CHECK} ${BASELINE} ${FRESH}
                         --max-regression-pct=${MAX_PCT}
                         --max-live-overhead-pct=${MAX_LIVE_PCT}
+                        --out=${WORK_DIR}/verdict.json
                 RESULT_VARIABLE code)
 if(NOT code EQUAL 0)
   message(FATAL_ERROR "bench_check gate failed (exit ${code})")

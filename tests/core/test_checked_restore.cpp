@@ -1,0 +1,130 @@
+// Checked integer restores: every int-typed counter on the checkpoint path
+// narrows through util::checkedInt, so a corrupt or wildly-scaled stream
+// fails the load with a typed, named error instead of silently wrapping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "ckpt/archive.hpp"
+#include "core/decider.hpp"
+#include "core/dike_scheduler.hpp"
+#include "util/types.hpp"
+
+namespace dike::core {
+namespace {
+
+TEST(CheckedInt, PassesRepresentableValues) {
+  EXPECT_EQ(util::checkedInt<ckpt::CheckpointError>(std::int64_t{42}, "x"),
+            42);
+  EXPECT_EQ(util::checkedInt<ckpt::CheckpointError>(
+                std::int64_t{std::numeric_limits<int>::max()}, "x"),
+            std::numeric_limits<int>::max());
+  EXPECT_EQ(util::checkedInt<ckpt::CheckpointError>(
+                std::int64_t{std::numeric_limits<int>::min()}, "x"),
+            std::numeric_limits<int>::min());
+}
+
+TEST(CheckedInt, ThrowsTypedErrorNamingTheField) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  try {
+    (void)util::checkedInt<ckpt::CheckpointError>(big, "some counter");
+    FAIL() << "out-of-range value was accepted";
+  } catch (const ckpt::CheckpointError& e) {
+    EXPECT_NE(std::string{e.what()}.find("some counter"), std::string::npos);
+  }
+  EXPECT_THROW((void)util::checkedInt<ckpt::CheckpointError>(
+                   -(std::int64_t{1} << 40), "x"),
+               ckpt::CheckpointError);
+}
+
+TEST(CheckedRestore, DeciderRejectsOutOfRangeThreadId) {
+  // Hand-crafted stream in Decider::saveState's exact layout, with one
+  // thread id beyond int range.
+  ckpt::BinWriter w;
+  w.beginSection("decider");
+  const std::int64_t ids[] = {7, std::int64_t{1} << 40};
+  const std::int64_t ticks[] = {100, 200};
+  w.vecI64("migrationThreadIds", ids);
+  w.vecI64("migrationTicks", ticks);
+  w.vecI64("failureThreadIds", {});
+  w.vecI64("failureTicks", {});
+  w.vecI64("failureCounts", {});
+  w.endSection();
+
+  Decider decider;
+  const std::string bytes = w.take();  // BinReader views, does not own
+  ckpt::BinReader r{bytes};
+  try {
+    decider.loadState(r);
+    FAIL() << "out-of-range migration thread id was accepted";
+  } catch (const ckpt::CheckpointError& e) {
+    EXPECT_NE(std::string{e.what()}.find("migration thread id"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckedRestore, DeciderRejectsOutOfRangeFailureCount) {
+  ckpt::BinWriter w;
+  w.beginSection("decider");
+  w.vecI64("migrationThreadIds", {});
+  w.vecI64("migrationTicks", {});
+  const std::int64_t ids[] = {3};
+  const std::int64_t ticks[] = {50};
+  const std::int64_t counts[] = {std::int64_t{1} << 33};
+  w.vecI64("failureThreadIds", ids);
+  w.vecI64("failureTicks", ticks);
+  w.vecI64("failureCounts", counts);
+  w.endSection();
+
+  Decider decider;
+  const std::string bytes = w.take();
+  ckpt::BinReader r{bytes};
+  EXPECT_THROW(decider.loadState(r), ckpt::CheckpointError);
+}
+
+/// Overwrite the 8-byte payload of the first i64 field called `name` in a
+/// serialized archive (tag, u32 name length, name bytes, little-endian
+/// payload).
+std::string patchI64(std::string bytes, std::string_view name,
+                     std::int64_t value) {
+  const std::size_t pos = bytes.find(name);
+  EXPECT_NE(pos, std::string::npos) << "field " << name << " not found";
+  std::size_t off = pos + name.size();
+  for (int i = 0; i < 8; ++i)
+    bytes[off + static_cast<std::size_t>(i)] = static_cast<char>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF);
+  return bytes;
+}
+
+TEST(CheckedRestore, DikeSchedulerRejectsOutOfRangeSwapSize) {
+  DikeScheduler source;
+  ckpt::BinWriter w;
+  source.saveState(w);
+  const std::string corrupted =
+      patchI64(w.take(), "swapSize", std::int64_t{1} << 40);
+
+  DikeScheduler target;
+  ckpt::BinReader r{corrupted};
+  try {
+    target.loadState(r);
+    FAIL() << "out-of-range swapSize was accepted";
+  } catch (const ckpt::CheckpointError& e) {
+    EXPECT_NE(std::string{e.what()}.find("swapSize"), std::string::npos);
+  }
+}
+
+TEST(CheckedRestore, DikeSchedulerRoundTripsUncorrupted) {
+  DikeScheduler source;
+  ckpt::BinWriter w;
+  source.saveState(w);
+
+  DikeScheduler target;
+  const std::string bytes = w.take();
+  ckpt::BinReader r{bytes};
+  EXPECT_NO_THROW(target.loadState(r));
+}
+
+}  // namespace
+}  // namespace dike::core

@@ -267,7 +267,14 @@ class ReplayCorruption : public ::testing::Test {
   void SetUp() override {
     RunSession session{smallSpec(SchedulerKind::Dike)};
     ASSERT_TRUE(session.stepQuantum());
-    path_ = tempPath("replay_corruption.ckpt");
+    // Unique per test: under `ctest -j4` each fixture test is its own
+    // process, and concurrent SetUps racing on one shared file (and its
+    // .tmp staging twin) can publish interleaved bytes.
+    path_ = tempPath(std::string{"replay_corruption_"} +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name() +
+                     ".ckpt");
     session.writeCheckpoint(path_);
     std::ifstream in{path_, std::ios::binary};
     bytes_.assign(std::istreambuf_iterator<char>{in},

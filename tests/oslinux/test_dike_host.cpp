@@ -116,5 +116,53 @@ TEST(DikeHost, PrunesDeadProcesses) {
   EXPECT_GE(host.managedThreadCount(), 1);
 }
 
+TEST(DikeHost, ArenaPairFormingMatchesAllocatingOnLiveObservations) {
+  // The host's quantum loop uses the arena-backed formPairsInto with a
+  // scratch and pair buffer reused across quanta. Feed the host's own
+  // live observer state through both selector entry points — with a
+  // deliberately dirtied scratch — and require identical pair sequences.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> busy;
+  for (int i = 0; i < 3; ++i) {
+    busy.emplace_back([&stop] {
+      volatile double x = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) x = x * 1.0000001 + 1e-9;
+    });
+  }
+
+  HostConfig cfg;
+  cfg.usePerf = false;
+  cfg.dike.params.quantaLengthMs = 30;
+  DikeHost host{cfg};
+  ASSERT_FALSE(host.addProcess(getpid()));
+  const std::error_code ec = host.initialize();
+  if (ec) {
+    stop = true;
+    for (auto& t : busy) t.join();
+    GTEST_SKIP() << "affinity pinning not permitted: " << ec.message();
+  }
+  for (int q = 0; q < 3; ++q) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    (void)host.runQuantum();
+  }
+  stop = true;
+  for (auto& t : busy) t.join();
+  ASSERT_TRUE(host.observer().ready());
+
+  const core::Selector selector{core::SelectorConfig{
+      cfg.dike.fairnessThreshold, cfg.dike.rotateWhenNoViolator,
+      cfg.dike.pairRateMargin}};
+  core::SelectorScratch scratch;
+  std::vector<core::ThreadPair> pairs;
+  for (const int swapSize : {2, 8, cfg.dike.params.swapSize * 2}) {
+    const std::vector<core::ThreadPair> reference =
+        selector.formPairs(host.observer(), swapSize);
+    selector.formPairsInto(host.observer(), swapSize, scratch, pairs);
+    ASSERT_EQ(reference.size(), pairs.size()) << "swapSize=" << swapSize;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_EQ(reference[i], pairs[i]) << "swapSize=" << swapSize;
+  }
+}
+
 }  // namespace
 }  // namespace dike::oslinux

@@ -14,8 +14,19 @@
 // --max-live-overhead-pct (default 5%) over a plain run. Baselines
 // predating the field are accepted — only the candidate is checked.
 //
+// Finally, it gates the clustered scheduler's large-machine scaling claim:
+// every thread_scaling row at >= 8 clusters on a >= 4096-thread machine
+// must show the clustered decide-latency p99 beating the flat pipeline by
+// at least --min-cluster-speedup (default 5x). Both files are checked when
+// they carry the section; files without it (older baselines, capped smoke
+// runs) are accepted. --min-cluster-speedup=0 disables the check.
+//
 //   bench_check <baseline.json> <candidate.json> [--max-regression-pct P]
-//               [--max-live-overhead-pct P]
+//               [--max-live-overhead-pct P] [--min-cluster-speedup S]
+//               [--out verdict.json]
+//
+// --out writes a small machine-readable verdict ({"ok": ..., ...}) for
+// harnesses that archive gate results instead of scraping stdout.
 //
 // Exit codes: 0 within budget, 1 regression beyond budget, 2 usage or
 // malformed input.
@@ -53,6 +64,52 @@ std::map<int, double> leapRates(const dike::util::JsonValue& doc,
   return rates;
 }
 
+/// Check a report's thread_scaling rows against the cluster-speedup floor.
+/// Returns false (after printing the offenders) when a gated row is below
+/// the floor; reports without the section pass vacuously.
+bool checkClusterSpeedups(const dike::util::JsonValue& doc,
+                          const std::string& label, double minSpeedup) {
+  const auto curve = doc.get("thread_scaling");
+  if (!curve || !curve->isArray()) return true;
+  bool ok = true;
+  for (const dike::util::JsonValue& row : curve->asArray()) {
+    const int threads = row.intOr("threads", 0);
+    const int clusters = row.intOr("clusters", 0);
+    const double speedup = row.numberOr("speedup_p99", 0.0);
+    if (clusters < 8 || threads < 4096) continue;
+    std::printf("%s: n=%d, %d clusters: clustered decide p99 %.2fx flat "
+                "(floor %.2fx)\n",
+                label.c_str(), threads, clusters, speedup, minSpeedup);
+    if (speedup < minSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: %s thread_scaling n=%d (%d clusters) speedup "
+                   "%.2fx < %.2fx floor\n",
+                   label.c_str(), threads, clusters, speedup, minSpeedup);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Write the machine-readable verdict (--out). Failure to write is a usage
+/// error (exit 2), reported by the caller.
+bool writeVerdict(const std::string& path, bool ok, double geomeanRatio,
+                  const std::string& reason) {
+  dike::util::JsonObject verdict;
+  verdict.emplace("ok", ok);
+  verdict.emplace("leap_geomean_ratio", geomeanRatio);
+  if (!reason.empty()) verdict.emplace("reason", reason);
+  const dike::util::JsonValue doc{std::move(verdict)};
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string text = doc.dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,19 +118,26 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> "
-                 "[--max-regression-pct P] [--max-live-overhead-pct P]\n",
+                 "[--max-regression-pct P] [--max-live-overhead-pct P] "
+                 "[--min-cluster-speedup S] [--out verdict.json]\n",
                  argv[0]);
     return 2;
   }
   const double maxRegressionPct = args.getDouble("max-regression-pct", 10.0);
   const double maxLiveOverheadPct =
       args.getDouble("max-live-overhead-pct", 5.0);
+  const double minClusterSpeedup = args.getDouble("min-cluster-speedup", 5.0);
+  const std::string outPath = args.getOr("out", "");
 
+  double geo = 0.0;
+  std::string reason;
+  int code = 0;
   try {
+    const dike::util::JsonValue baselineDoc =
+        dike::util::parseJsonFile(positional[0]);
     const dike::util::JsonValue candidateDoc =
         dike::util::parseJsonFile(positional[1]);
-    const auto baseline =
-        leapRates(dike::util::parseJsonFile(positional[0]), positional[0]);
+    const auto baseline = leapRates(baselineDoc, positional[0]);
     const auto candidate = leapRates(candidateDoc, positional[1]);
 
     std::vector<double> ratios;
@@ -94,7 +158,7 @@ int main(int argc, char** argv) {
                   it->second, ratio);
     }
 
-    const double geo = dike::util::geometricMean(ratios);
+    geo = dike::util::geometricMean(ratios);
     const double regressionPct = (1.0 - geo) * 100.0;
     std::printf("geomean ratio: %.3fx (%+.1f%%, budget -%.1f%%)\n", geo,
                 (geo - 1.0) * 100.0, maxRegressionPct);
@@ -102,26 +166,47 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "FAIL: leap throughput regressed %.1f%% > %.1f%% budget\n",
                    regressionPct, maxRegressionPct);
-      return 1;
+      reason = "leap throughput regression beyond budget";
+      code = 1;
     }
 
-    if (const auto live = candidateDoc.get("live_overhead_pct");
-        live && live->isNumber()) {
-      const double liveOverheadPct = live->asNumber();
-      std::printf("live-plane overhead: %+.1f%% (budget +%.1f%%)\n",
-                  liveOverheadPct, maxLiveOverheadPct);
-      if (liveOverheadPct > maxLiveOverheadPct) {
-        std::fprintf(
-            stderr,
-            "FAIL: live observability overhead %.1f%% > %.1f%% budget\n",
-            liveOverheadPct, maxLiveOverheadPct);
-        return 1;
+    if (code == 0) {
+      if (const auto live = candidateDoc.get("live_overhead_pct");
+          live && live->isNumber()) {
+        const double liveOverheadPct = live->asNumber();
+        std::printf("live-plane overhead: %+.1f%% (budget +%.1f%%)\n",
+                    liveOverheadPct, maxLiveOverheadPct);
+        if (liveOverheadPct > maxLiveOverheadPct) {
+          std::fprintf(
+              stderr,
+              "FAIL: live observability overhead %.1f%% > %.1f%% budget\n",
+              liveOverheadPct, maxLiveOverheadPct);
+          reason = "live observability overhead beyond budget";
+          code = 1;
+        }
       }
     }
-    std::printf("OK: within regression budget\n");
-    return 0;
+
+    if (code == 0 && minClusterSpeedup > 0.0) {
+      if (!checkClusterSpeedups(baselineDoc, "baseline", minClusterSpeedup) ||
+          !checkClusterSpeedups(candidateDoc, "candidate",
+                                minClusterSpeedup)) {
+        reason = "clustered decide-latency speedup below floor";
+        code = 1;
+      }
+    }
+
+    if (code == 0) std::printf("OK: within regression budget\n");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_check: %s\n", e.what());
+    reason = e.what();
+    code = 2;
+  }
+
+  if (!outPath.empty() &&
+      !writeVerdict(outPath, code == 0, geo, reason)) {
+    std::fprintf(stderr, "bench_check: cannot write %s\n", outPath.c_str());
     return 2;
   }
+  return code;
 }
