@@ -310,6 +310,7 @@ class DecideLatencyPolicy final : public dike::sim::QuantumPolicy {
     if (clustered_ != nullptr) {
       clustered_->onQuantum(view);
       decideNs.push_back(clustered_->lastDecideNs());
+      decideWallNs.push_back(clustered_->lastDecideWallNs());
       scatterNs.push_back(clustered_->lastScatterNs());
     } else {
       const auto start = std::chrono::steady_clock::now();
@@ -317,10 +318,12 @@ class DecideLatencyPolicy final : public dike::sim::QuantumPolicy {
       decideNs.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - start)
                              .count());
+      decideWallNs.push_back(decideNs.back());
     }
   }
 
   std::vector<std::int64_t> decideNs;
+  std::vector<std::int64_t> decideWallNs;  ///< whole-quantum critical path
   std::vector<std::int64_t> scatterNs;
 
  private:
@@ -349,12 +352,13 @@ dike::wl::WorkloadSpec scalingWorkload(int threads) {
 struct ScalingRun {
   std::int64_t decideP99Ns = 0;
   std::int64_t decideP50Ns = 0;
+  std::int64_t decideWallP99Ns = 0;
   std::int64_t scatterP99Ns = 0;
   double ticksPerSec = 0.0;
 };
 
 ScalingRun runScalingPointOnce(const ScalingPoint& point, int clusters,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, int decideJobs = 1) {
   std::vector<dike::sim::SocketSpec> sockets;
   for (int s = 0; s < point.sockets; ++s) {
     dike::sim::SocketSpec socket;
@@ -379,6 +383,7 @@ ScalingRun runScalingPointOnce(const ScalingPoint& point, int clusters,
 
   dike::core::DikeConfig cfg;
   cfg.cluster.clusters = clusters;
+  cfg.cluster.decideJobs = decideJobs;
   const std::unique_ptr<dike::sched::Scheduler> scheduler =
       clusters >= 1
           ? std::make_unique<dike::core::ClusteredDikeScheduler>(cfg)
@@ -400,11 +405,13 @@ ScalingRun runScalingPointOnce(const ScalingPoint& point, int clusters,
       samples.erase(samples.begin(), samples.begin() + kWarmupQuanta);
   };
   dropWarmup(policy.decideNs);
+  dropWarmup(policy.decideWallNs);
   dropWarmup(policy.scatterNs);
 
   ScalingRun run;
   run.decideP99Ns = percentile(policy.decideNs, 99);
   run.decideP50Ns = percentile(policy.decideNs, 50);
+  run.decideWallP99Ns = percentile(policy.decideWallNs, 99);
   run.scatterP99Ns = percentile(policy.scatterNs, 99);
   run.ticksPerSec = static_cast<double>(outcome.finishTick) / sec;
   return run;
@@ -416,13 +423,16 @@ ScalingRun runScalingPointOnce(const ScalingPoint& point, int clusters,
 /// across repetitions is the machine's actual cost, same reasoning as
 /// runLiveOverhead's best-of-N.
 ScalingRun runScalingPoint(const ScalingPoint& point, int clusters,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, int decideJobs = 1) {
   constexpr int kReps = 3;
-  ScalingRun best = runScalingPointOnce(point, clusters, seed);
+  ScalingRun best = runScalingPointOnce(point, clusters, seed, decideJobs);
   for (int rep = 1; rep < kReps; ++rep) {
-    const ScalingRun next = runScalingPointOnce(point, clusters, seed);
+    const ScalingRun next =
+        runScalingPointOnce(point, clusters, seed, decideJobs);
     best.decideP99Ns = std::min(best.decideP99Ns, next.decideP99Ns);
     best.decideP50Ns = std::min(best.decideP50Ns, next.decideP50Ns);
+    best.decideWallP99Ns =
+        std::min(best.decideWallP99Ns, next.decideWallP99Ns);
     best.scatterP99Ns = std::min(best.scatterP99Ns, next.scatterP99Ns);
     best.ticksPerSec = std::max(best.ticksPerSec, next.ticksPerSec);
   }
@@ -486,6 +496,68 @@ void runThreadScaling(const BenchOptions& opts, int maxThreads,
   out.emplace("thread_scaling", std::move(curve));
 }
 
+/// Intra-quantum parallelism curve: the largest clustered scaling point
+/// that fits --max-threads, decided with decideJobs = 1, 2, 4, ... up to
+/// hardware_concurrency. The metric is the *wall-clock* decide p99
+/// (lastDecideWallNs: concurrent plans + serial commits + rebalance) — the
+/// quantity the shared task pool actually shortens; the modeled
+/// max-over-clusters latency in thread_scaling is jobs-invariant by
+/// design. bench_check gates the jobs >= 4 speedup
+/// (--min-decide-parallel-speedup); on hosts without enough cores the
+/// curve degenerates honestly and the gate passes vacuously (with a loud
+/// warning).
+void runDecideParallelScaling(const BenchOptions& opts, int maxThreads,
+                              dike::util::JsonObject& out) {
+  const ScalingPoint* point = nullptr;
+  for (const ScalingPoint& candidate : kScalingPoints)
+    if (candidate.threads <= maxThreads) point = &candidate;
+  if (point == nullptr) {
+    std::printf("=== Intra-quantum decide parallelism ===\n"
+                "(skipped: --max-threads=%d below the smallest scaling "
+                "point)\n\n",
+                maxThreads);
+    out.emplace("decide_parallel_scaling", dike::util::JsonArray{});
+    return;
+  }
+
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> jobCounts;
+  for (int j = 1; j < hw; j *= 2) jobCounts.push_back(j);
+  jobCounts.push_back(hw);
+
+  std::printf("=== Intra-quantum decide parallelism (n=%d, %d clusters) "
+              "===\n",
+              point->threads, point->clusters);
+  dike::util::TextTable table{
+      {"decide jobs", "decide p99 us", "speedup vs serial"}};
+  dike::util::JsonArray curve;
+  double serialP99 = 0.0;
+  for (const int jobs : jobCounts) {
+    const ScalingRun run =
+        runScalingPoint(*point, point->clusters, opts.seed, jobs);
+    const double p99 = static_cast<double>(run.decideWallP99Ns);
+    if (jobs == 1) serialP99 = p99;
+    const double speedup = serialP99 / std::max(1.0, p99);
+    table.newRow().cell(jobs).cell(p99 / 1e3, 1).cell(speedup, 2);
+
+    dike::util::JsonObject row;
+    row.emplace("jobs", jobs);
+    row.emplace("decide_p99_ns", p99);
+    row.emplace("speedup_vs_serial", speedup);
+    curve.emplace_back(std::move(row));
+  }
+  table.print();
+  if (jobCounts.size() < 2)
+    std::printf("(single-point curve: hardware_concurrency=%d — the host "
+                "cannot demonstrate plan-phase parallelism)\n",
+                hw);
+  std::printf("\n");
+  out.emplace("decide_parallel_threads", point->threads);
+  out.emplace("decide_parallel_clusters", point->clusters);
+  out.emplace("decide_parallel_scaling", std::move(curve));
+}
+
 void BM_RunLeap(benchmark::State& state) {
   for (auto _ : state) {
     dike::exp::RunSpec spec;
@@ -530,6 +602,7 @@ int main(int argc, char** argv) {
   runLiveOverhead(opts, out);
   runSweepThroughput(opts, out);
   runThreadScaling(opts, maxThreads, out);
+  runDecideParallelScaling(opts, maxThreads, out);
 
   const dike::util::JsonValue doc{std::move(out)};
   if (FILE* f = std::fopen(jsonPath.c_str(), "w")) {

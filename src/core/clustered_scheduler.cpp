@@ -6,7 +6,9 @@
 #include <string>
 
 #include "ckpt/archive.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
+#include "util/task_pool.hpp"
 #include "util/types.hpp"
 
 namespace dike::core {
@@ -35,6 +37,21 @@ ClusteredDikeScheduler::ClusteredDikeScheduler(DikeConfig config)
     throw std::invalid_argument{"cluster.rebalanceStreak must be > 0"};
   if (config.cluster.rebalanceBudget <= 0)
     throw std::invalid_argument{"cluster.rebalanceBudget must be > 0"};
+  if (config.cluster.decideJobs < 0)
+    throw std::invalid_argument{"cluster.decideJobs must be >= 0"};
+}
+
+void ClusteredDikeScheduler::setDecideJobs(int jobs) {
+  if (jobs < 0) throw std::invalid_argument{"decideJobs must be >= 0"};
+  config_.cluster.decideJobs = jobs;
+}
+
+int ClusteredDikeScheduler::effectiveDecideJobs() const {
+  const int configured = config_.cluster.decideJobs;
+  const int resolved = configured == 0 ? util::defaultJobs() : configured;
+  // More workers than clusters would only idle; clusterCount_ is 0 before
+  // the first quantum, so floor at 1.
+  return std::min(resolved, std::max(clusterCount_, 1));
 }
 
 std::string_view ClusteredDikeScheduler::name() const {
@@ -112,35 +129,78 @@ void ClusteredDikeScheduler::onQuantum(sched::SchedulerView& view) {
   scatterSample(view);
   lastScatterNs_ = nsSince(scatterStart);
 
-  // Run every cluster pipeline. Serial in this process, but the instances
-  // are independent (cluster-local samples, cluster-scoped views) — as
-  // deployed, each runs on its own socket — so the quantum's decide latency
-  // is the slowest instance, not the sum.
-  std::int64_t maxClusterNs = 0;
-  bool anyActed = false;
+  const auto decideStart = Clock::now();
+
+  // Child views and per-cluster wiring, rebuilt every quantum (the views
+  // hold a pointer to this quantum's parent view).
+  childViews_.clear();
+  childViews_.reserve(static_cast<std::size_t>(clusterCount_));
   for (int k = 0; k < clusterCount_; ++k) {
     DikeScheduler& sub = *clusters_[static_cast<std::size_t>(k)];
     sub.setFaultsActiveHint(faultsActiveHint());
     sub.setDecisionTrace(decisionTrace());
-    sched::SchedulerView clusterView{
-        view, clusterSamples_[static_cast<std::size_t>(k)], clusterOfCore_, k};
+    childViews_.emplace_back(
+        view, clusterSamples_[static_cast<std::size_t>(k)], clusterOfCore_, k);
+  }
+  planNs_.assign(static_cast<std::size_t>(clusterCount_), 0);
+  commitNs_.assign(static_cast<std::size_t>(clusterCount_), 0);
+
+  // Plan phase: every cluster observes/predicts/selects over its own state
+  // and a read-only view. The instances are independent by construction
+  // (cluster-local samples, actuations never cross cluster lines, foreign
+  // cores read as a sentinel), so the shared pool may run plans
+  // concurrently — and decideJobs=1 runs the *same* plan-all-then-
+  // commit-all sequence inline, which is what keeps every jobs value
+  // byte-identical.
+  const int jobs = effectiveDecideJobs();
+  const auto planOne = [this](std::size_t k) {
     const auto start = Clock::now();
-    sub.onQuantum(clusterView);
-    maxClusterNs = std::max(maxClusterNs, nsSince(start));
-    anyActed = anyActed || sub.lastQuantumStats().acted;
+    clusters_[k]->planQuantum(childViews_[k]);
+    planNs_[k] = nsSince(start);
+  };
+  if (jobs <= 1) {
+    for (std::size_t k = 0; k < clusters_.size(); ++k) planOne(k);
+  } else {
+    util::TaskPool::shared().forEach(clusters_.size(), planOne, jobs);
+  }
+
+  // Commit phase: serial, ascending cluster order — actuations with their
+  // hook / fault-injector feedback, decision-trace appends, counters. This
+  // is the order the fully-serial pipeline actuated in, so traces, faults,
+  // and checkpoints are unchanged.
+  bool anyActed = false;
+  std::int64_t maxClusterNs = 0;
+  for (int k = 0; k < clusterCount_; ++k) {
+    const std::size_t kk = static_cast<std::size_t>(k);
+    const auto start = Clock::now();
+    clusters_[kk]->commitQuantum(childViews_[kk]);
+    commitNs_[kk] = nsSince(start);
+    anyActed = anyActed || clusters_[kk]->lastQuantumStats().acted;
+    maxClusterNs = std::max(maxClusterNs, planNs_[kk] + commitNs_[kk]);
   }
 
   const auto rebalanceStart = Clock::now();
   rebalance(view);
+  // Modeled per-instance latency: as deployed each cluster instance runs on
+  // its own socket, so the slowest plan+commit, plus the rebalancer, is the
+  // quantum's decide latency regardless of how this process executed it.
   lastDecideNs_ = maxClusterNs + nsSince(rebalanceStart);
 
   refreshAggregates(anyActed);
+  lastDecideWallNs_ = nsSince(decideStart);
+  // One decide-latency record per quantum: the wall-clock critical path of
+  // the (possibly parallel) decide step, which is what an online scheduler
+  // would actually steal from the applications.
+  if (telemetry::liveEnabled())
+    telemetry::publish(telemetry::EventKind::DecideLatency,
+                       static_cast<std::uint32_t>(quantumIndex_), view.now(),
+                       static_cast<double>(lastDecideWallNs_));
   ++quantumIndex_;
+  childViews_.clear();  // the parent view dies when this call returns
 }
 
 void ClusteredDikeScheduler::rebalance(sched::SchedulerView& view) {
   if (++quantaSinceRebalance_ < config_.cluster.rebalanceQuanta) return;
-  quantaSinceRebalance_ = 0;
 
   // Cheap top-level signal: each cluster's own unfairness, already computed
   // by its observer this quantum — O(K) to inspect.
@@ -149,11 +209,16 @@ void ClusteredDikeScheduler::rebalance(sched::SchedulerView& view) {
   for (int k = 0; k < clusterCount_; ++k) {
     const Observer& obs =
         clusters_[static_cast<std::size_t>(k)]->observer();
-    if (!obs.ready()) return;  // too early to judge imbalance
+    // Too early to judge imbalance. Return with the cadence counter still
+    // accumulated (it only resets below, once every cluster is warm), so
+    // the attempt retries next quantum instead of silently waiting out a
+    // whole fresh cadence.
+    if (!obs.ready()) return;
     const double u = obs.systemUnfairness();
     if (worst < 0 || u > worstU) worst = k, worstU = u;
     if (best < 0 || u < bestU) best = k, bestU = u;
   }
+  quantaSinceRebalance_ = 0;
   if (worst < 0 || worst == best ||
       worstU - bestU <= config_.cluster.rebalanceThreshold) {
     imbalanceStreak_ = 0;

@@ -25,6 +25,8 @@
 
 namespace dike::core {
 
+struct ClusteredSchedulerTestPeer;
+
 class ClusteredDikeScheduler final : public DikeScheduler {
  public:
   explicit ClusteredDikeScheduler(DikeConfig config);
@@ -65,12 +67,34 @@ class ClusteredDikeScheduler final : public DikeScheduler {
   [[nodiscard]] std::int64_t rebalanceMoves() const noexcept {
     return rebalanceMoves_;
   }
+  /// Wall-clock decide time of the last quantum, in nanoseconds: cluster
+  /// plans (concurrent when decideJobs > 1) + serial commits + rebalance,
+  /// excluding the sample scatter. This is the parallel critical path the
+  /// live plane's decide-latency record reports in multi-cluster mode,
+  /// unlike the *modeled* per-instance latency of lastDecideNs().
+  [[nodiscard]] std::int64_t lastDecideWallNs() const noexcept {
+    return lastDecideWallNs_;
+  }
+
+  /// Worker budget for the parallel plan phase (cluster.decideJobs):
+  /// 1 = serial fast path, 0 = util::defaultJobs() (the DIKE_JOBS knob),
+  /// N = at most N concurrent cluster plans. An execution knob only — any
+  /// value produces byte-identical decisions, reports, and checkpoints.
+  void setDecideJobs(int jobs);
+  [[nodiscard]] int decideJobs() const noexcept {
+    return config_.cluster.decideJobs;
+  }
 
  protected:
   void saveExtraState(ckpt::BinWriter& w) const override;
   void loadExtraState(ckpt::BinReader& r) override;
 
  private:
+  /// White-box seam for the rebalance-cadence regression tests (the
+  /// warmup early-return is unreachable through onQuantum, which always
+  /// observes before rebalancing).
+  friend struct ClusteredSchedulerTestPeer;
+
   [[nodiscard]] bool flatMode() const noexcept {
     return configuredClusters_ <= 1;
   }
@@ -79,6 +103,8 @@ class ClusteredDikeScheduler final : public DikeScheduler {
   void scatterSample(const sched::SchedulerView& view);
   void rebalance(sched::SchedulerView& view);
   void refreshAggregates(bool anyActed);
+  /// decideJobs resolved against DIKE_JOBS and the cluster count.
+  [[nodiscard]] int effectiveDecideJobs() const;
 
   int configuredClusters_;
   int clusterCount_ = 0;  ///< resolved (min(configured, cores)); 0 = not yet
@@ -86,6 +112,13 @@ class ClusteredDikeScheduler final : public DikeScheduler {
   std::vector<std::unique_ptr<DikeScheduler>> clusters_;
   /// Per-cluster sample buffers; capacity persists across quanta.
   std::vector<sim::QuantumSample> clusterSamples_;
+  /// Cluster-scoped child views of the current quantum's parent view.
+  /// Rebuilt (and cleared — they hold a pointer to the parent) every
+  /// quantum; a vector only so plan and commit share one set of views.
+  std::vector<sched::SchedulerView> childViews_;
+  /// Per-cluster phase timings of the last quantum (scratch).
+  std::vector<std::int64_t> planNs_;
+  std::vector<std::int64_t> commitNs_;
 
   // Rebalancer state (serialized — cadence survives restore).
   int quantaSinceRebalance_ = 0;
@@ -94,6 +127,7 @@ class ClusteredDikeScheduler final : public DikeScheduler {
 
   std::int64_t lastDecideNs_ = 0;
   std::int64_t lastScatterNs_ = 0;
+  std::int64_t lastDecideWallNs_ = 0;
 };
 
 }  // namespace dike::core

@@ -116,9 +116,25 @@ struct ClusterConfig {
   int rebalanceStreak = 3;
   /// Threads moved per rebalance action (whole-thread migrations).
   int rebalanceBudget = 2;
+  /// Worker budget for the intra-quantum plan phase: the K cluster plans
+  /// may run concurrently on the shared util::TaskPool. 1 (default) is the
+  /// serial fast path, 0 resolves to util::defaultJobs() (the DIKE_JOBS
+  /// knob), N caps the concurrent plans at N. Purely an execution knob:
+  /// every value yields byte-identical decisions, reports, and checkpoints.
+  int decideJobs = 1;
 
-  [[nodiscard]] friend bool operator==(const ClusterConfig&,
-                                       const ClusterConfig&) = default;
+  /// decideJobs is deliberately excluded: it is how a run *executes*, not
+  /// what it computes. Two configs differing only in decideJobs are the
+  /// same logical configuration (the replay codec omits the knob for the
+  /// same reason, so checkpoints byte-match across jobs counts).
+  [[nodiscard]] friend bool operator==(const ClusterConfig& a,
+                                       const ClusterConfig& b) {
+    return a.clusters == b.clusters &&
+           a.rebalanceQuanta == b.rebalanceQuanta &&
+           a.rebalanceThreshold == b.rebalanceThreshold &&
+           a.rebalanceStreak == b.rebalanceStreak &&
+           a.rebalanceBudget == b.rebalanceBudget;
+  }
 };
 
 /// Full Dike configuration.

@@ -61,13 +61,32 @@ double DikeScheduler::observedRate(int threadId) const noexcept {
 
 void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   DIKE_SCOPE_TIMER("core.dike.on_quantum");
-  // Live-plane timing: wall-clock the whole decide step (everything below)
-  // so the /metrics latency summary reflects what an online scheduler would
+  // Live-plane timing: wall-clock the whole decide step (plan + commit) so
+  // the /metrics latency summary reflects what an online scheduler would
   // steal from the application. Only costs a clock read when live is on.
   const bool live = telemetry::liveEnabled();
   const auto decideStart =
       live ? std::chrono::steady_clock::now()
            : std::chrono::steady_clock::time_point{};
+  // The record id is the quantum being decided; commitQuantum advances the
+  // index, so capture it first.
+  const std::int64_t decidedQuantum = quantumIndex_;
+  planQuantum(view);
+  commitQuantum(view);
+  if (live) {
+    const auto elapsed = std::chrono::steady_clock::now() - decideStart;
+    telemetry::publish(
+        telemetry::EventKind::DecideLatency,
+        static_cast<std::uint32_t>(decidedQuantum), view.now(),
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+}
+
+void DikeScheduler::planQuantum(sched::SchedulerView& view) {
+  DIKE_SCOPE_TIMER("core.dike.plan_quantum");
+  const bool live = telemetry::liveEnabled();
   // Close the loop: score the predictions registered last quantum against
   // the rates just measured.
   tracker_.scoreQuantum(view.sample(), view.now());
@@ -94,19 +113,19 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   makeObservationInto(view, arena_.obs);
   observer_.observe(arena_.obs);
 
-  QuantumDecisionStats stats;
+  plan_ = QuantumPlan{};
+  QuantumDecisionStats& stats = plan_.stats;
   stats.quantumIndex = quantumIndex_;
   stats.unfairness = observer_.systemUnfairness();
   stats.workloadType = observer_.workloadType();
 
   // Decision record: built only when a sink is attached (zero cost
-  // otherwise). The previous record's realised-fairness slot is back-filled
-  // with the unfairness just observed — its predicted-vs-realised delta.
-  telemetry::DecisionRecord record;
-  telemetry::DecisionRecord* rec = nullptr;
-  if (decisionTrace_ != nullptr) {
-    decisionTrace_->annotateLastUnfairnessNext(stats.unfairness);
-    rec = &record;
+  // otherwise). Filled locally here; every *append to the shared trace*
+  // (including the previous record's realised-fairness back-fill) waits for
+  // commitQuantum, where cluster order is serial again.
+  plan_.traced = decisionTrace_ != nullptr;
+  if (plan_.traced) {
+    telemetry::DecisionRecord* rec = &plan_.record;
     rec->tick = view.now();
     rec->quantumIndex = quantumIndex_;
     rec->unfairness = stats.unfairness;
@@ -115,6 +134,7 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   }
 
   const bool fair = stats.unfairness < config_.fairnessThreshold;
+  plan_.fair = fair;
 
   // Fairness watchdog. Armed only while the fault layer says injection is
   // active: a clean run never enters the fallback, so fault-free outputs
@@ -136,16 +156,12 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
     }
   }
 
-  const bool fallbackQuantum = fallbackLeft_ > 0;
-  if (fallbackQuantum) {
-    // The predictive pipeline has stalled under faults; stop trusting the
-    // counters it feeds on and run one blind round-robin rotation instead.
+  plan_.fallbackQuantum = fallbackLeft_ > 0;
+  if (plan_.fallbackQuantum) {
+    // The predictive pipeline has stalled under faults; commitQuantum will
+    // run one blind round-robin rotation instead of the swap walk.
     stats.acted = true;
     stats.fallbackActive = true;
-    rotateRoundRobin(view, stats);
-    --fallbackLeft_;
-    ++totals_.fallbackQuanta;
-    DIKE_COUNTER("core.dike.fallback_quantum");
   } else if (!fair) {
     stats.acted = true;
 
@@ -154,14 +170,41 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
       params_ = optimizer_.optimize(params_, observer_.workloadType(),
                                     config_.goal);
 
-    // Selector -> Predictor -> Decider -> Migrator. The Selector oversupplies
-    // candidates (2x) because the Decider will reject some on cool-down or
-    // profit; swapSize bounds the swaps actually *executed* per quantum.
-    const int maxSwaps = params_.swapSize / 2;
+    // Selector: form candidate pairs into this instance's arena. The
+    // Predictor/Decider walk over them stays in commitQuantum — actuation
+    // results (hook vetoes) feed back into the walk, so it cannot be
+    // planned ahead.
     selector_.formPairsInto(observer_, params_.swapSize * 2, arena_.selector,
                             arena_.pairs);
+    stats.pairsConsidered = util::isize(arena_.pairs);
+  }
+  plan_.planned = true;
+}
+
+void DikeScheduler::commitQuantum(sched::SchedulerView& view) {
+  DIKE_SCOPE_TIMER("core.dike.commit_quantum");
+  QuantumDecisionStats& stats = plan_.stats;
+  telemetry::DecisionRecord* rec = plan_.traced ? &plan_.record : nullptr;
+  const bool fair = plan_.fair;
+  // Back-fill the previous record's realised-fairness slot with the
+  // unfairness this plan observed — the trace sees exactly the per-cluster
+  // (annotate, append) sequence the serial pipeline produced.
+  if (plan_.traced)
+    decisionTrace_->annotateLastUnfairnessNext(stats.unfairness);
+
+  if (plan_.fallbackQuantum) {
+    // Blind round-robin rotation: trust no counters (they got us here).
+    rotateRoundRobin(view, stats);
+    --fallbackLeft_;
+    ++totals_.fallbackQuanta;
+    DIKE_COUNTER("core.dike.fallback_quantum");
+  } else if (!fair) {
+    // Predictor -> Decider -> Migrator over the planned pairs. The Selector
+    // oversupplied candidates (2x) because the Decider will reject some on
+    // cool-down or profit; swapSize bounds the swaps actually *executed*
+    // per quantum.
+    const int maxSwaps = params_.swapSize / 2;
     const std::vector<ThreadPair>& pairs = arena_.pairs;
-    stats.pairsConsidered = util::isize(pairs);
     const auto traceSwap = [&](const ThreadPair& pair,
                                const SwapPrediction* prediction,
                                telemetry::SwapOutcome outcome) {
@@ -225,7 +268,7 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   }
   stats.params = params_;
 
-  if (!fair && !fallbackQuantum && config_.useFreeCores)
+  if (!fair && !plan_.fallbackQuantum && config_.useFreeCores)
     migrateToFreeCores(view, rec, stats);
 
   // Persistence prediction for every live thread that did not migrate
@@ -245,7 +288,7 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
       rec->rationale = "swapped";
     else
       rec->rationale = "rotation-blocked";
-    decisionTrace_->record(std::move(record));
+    decisionTrace_->record(std::move(plan_.record));
   }
 
   lastStats_ = stats;
@@ -257,16 +300,8 @@ void DikeScheduler::onQuantum(sched::SchedulerView& view) {
   totals_.swapsExecuted += stats.swapsExecuted;
   totals_.swapsFailed += stats.swapsFailed;
   totals_.migrationsFailed += stats.migrationsFailed;
-  if (live) {
-    const auto elapsed = std::chrono::steady_clock::now() - decideStart;
-    telemetry::publish(
-        telemetry::EventKind::DecideLatency,
-        static_cast<std::uint32_t>(quantumIndex_), view.now(),
-        static_cast<double>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
-  }
   ++quantumIndex_;
+  plan_.planned = false;
 }
 
 void DikeScheduler::rotateRoundRobin(sched::SchedulerView& view,

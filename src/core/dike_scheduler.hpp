@@ -56,6 +56,28 @@ class DikeScheduler : public sched::Scheduler {
   [[nodiscard]] util::Tick quantumTicks() const override;
   void onQuantum(sched::SchedulerView& view) override;
 
+  /// The quantum pipeline, split for intra-quantum parallelism.
+  ///
+  /// planQuantum runs everything that only touches this instance's own
+  /// state and only *reads* the view: prediction scoring, the divergence
+  /// watchdog, observation, the fairness check and watchdog bookkeeping,
+  /// the optimizer step, and Selector pair formation (into this instance's
+  /// arena). It performs no actuation and never writes the (shared)
+  /// decision trace, so plans of disjoint cluster instances may run
+  /// concurrently.
+  ///
+  /// commitQuantum then applies the plan: actuations (swaps, fallback
+  /// rotation, free-core migrations) with their hook/decider/tracker
+  /// feedback, decision-trace appends, and the stats/totals updates.
+  /// Commits must run serially, in ascending cluster order, on one thread.
+  ///
+  /// onQuantum is exactly planQuantum + commitQuantum; calling the pair
+  /// directly (as ClusteredDikeScheduler does) is byte-equivalent.
+  /// Checkpoints are only taken at quantum boundaries, so the scratch plan
+  /// is never serialized.
+  void planQuantum(sched::SchedulerView& view);
+  void commitQuantum(sched::SchedulerView& view);
+
   [[nodiscard]] const DikeConfig& configuration() const noexcept {
     return config_;
   }
@@ -138,6 +160,19 @@ class DikeScheduler : public sched::Scheduler {
   int fallbackLeft_ = 0;
   /// Per-quantum scratch; capacity persists across quanta, contents do not.
   QuantumArena arena_;
+
+  /// planQuantum -> commitQuantum hand-off. Scratch only: dead outside the
+  /// plan/commit pair, so it is never serialized (checkpoints are taken at
+  /// quantum boundaries).
+  struct QuantumPlan {
+    QuantumDecisionStats stats{};
+    telemetry::DecisionRecord record{};
+    bool traced = false;
+    bool fair = false;
+    bool fallbackQuantum = false;
+    bool planned = false;
+  };
+  QuantumPlan plan_;
 };
 
 }  // namespace dike::core

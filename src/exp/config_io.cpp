@@ -120,6 +120,10 @@ void decodeDike(const util::JsonValue& d, core::DikeConfig& out) {
         c->intOr("rebalanceStreak", out.cluster.rebalanceStreak);
     out.cluster.rebalanceBudget =
         c->intOr("rebalanceBudget", out.cluster.rebalanceBudget);
+    out.cluster.decideJobs = c->intOr("decideJobs", out.cluster.decideJobs);
+    if (out.cluster.decideJobs < 0)
+      throw std::runtime_error{
+          "'dike.cluster.decideJobs' must be >= 0 (0 = DIKE_JOBS/auto)"};
   }
   if (const auto r = d.get("resilience")) {
     out.resilience.divergenceWatchdog =

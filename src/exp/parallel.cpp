@@ -1,107 +1,25 @@
 #include "exp/parallel.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
-
-#include <atomic>
-#include <chrono>
 
 #include "ckpt/checkpoint.hpp"
 #include "exp/replay.hpp"
 #include "telemetry/live.hpp"
 #include "telemetry/registry.hpp"
 #include "util/json.hpp"
-#include "util/log.hpp"
 
 namespace dike::exp {
 
-int defaultJobs() {
-  if (const char* env = std::getenv("DIKE_JOBS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0)
-      return static_cast<int>(std::min<long>(v, 1024));
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-ThreadPool::ThreadPool(int jobs) {
-  jobCount_ = jobs > 0 ? jobs : defaultJobs();
-  workers_.reserve(static_cast<std::size_t>(jobCount_));
-  for (int i = 0; i < jobCount_; ++i)
-    workers_.emplace_back([this, i] {
-      // Tag the worker's log lines so interleaved output is attributable.
-      util::Log::setThreadTag("w" + std::to_string(i));
-      workerLoop();
-    });
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard lock{mu_};
-    stopping_ = true;
-  }
-  taskReady_.notify_all();
-  // std::jthread joins on destruction; workers drain the queue first.
-}
-
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    const std::lock_guard lock{mu_};
-    queue_.push_back(std::move(task));
-    ++unfinished_;
-  }
-  taskReady_.notify_one();
-}
-
-void ThreadPool::waitIdle() {
-  std::unique_lock lock{mu_};
-  idle_.wait(lock, [this] { return unfinished_ == 0; });
-}
-
-void ThreadPool::workerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock{mu_};
-      taskReady_.wait(lock,
-                      [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    {
-      DIKE_SCOPE_TIMER("exp.pool.task_time");
-      const bool live = telemetry::liveEnabled();
-      const auto jobStart = live ? std::chrono::steady_clock::now()
-                                 : std::chrono::steady_clock::time_point{};
-      task();
-      if (live) {
-        // Process-wide job ordinal: pools are created per sweep, but the
-        // live plane only needs a distinguishing id per record.
-        static std::atomic<std::uint32_t> jobOrdinal{0};
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - jobStart;
-        telemetry::publish(
-            telemetry::EventKind::SweepJobSeconds,
-            jobOrdinal.fetch_add(1, std::memory_order_relaxed), 0,
-            elapsed.count());
-      }
-    }
-    DIKE_COUNTER("exp.pool.tasks");
-    {
-      const std::lock_guard lock{mu_};
-      --unfinished_;
-      if (unfinished_ == 0) idle_.notify_all();
-    }
-  }
-}
+int defaultJobs() { return util::defaultJobs(); }
 
 void parallelFor(std::size_t count,
                  const std::function<void(std::size_t)>& fn, int jobs) {
@@ -114,22 +32,27 @@ void parallelFor(std::size_t count,
     return;
   }
 
-  std::vector<std::exception_ptr> errors(count);
-  {
-    ThreadPool pool{jobs};
-    for (std::size_t i = 0; i < count; ++i) {
-      pool.submit([&fn, &errors, i] {
-        try {
-          fn(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
+  // Task telemetry lives here, not in the pool: util cannot depend on the
+  // telemetry layer, and only experiment fan-out wants per-job accounting.
+  const auto instrumented = [&fn](std::size_t i) {
+    DIKE_SCOPE_TIMER("exp.pool.task_time");
+    const bool live = telemetry::liveEnabled();
+    const auto jobStart = live ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+    fn(i);
+    if (live) {
+      // Process-wide job ordinal: the pool is shared, but the live plane
+      // only needs a distinguishing id per record.
+      static std::atomic<std::uint32_t> jobOrdinal{0};
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - jobStart;
+      telemetry::publish(telemetry::EventKind::SweepJobSeconds,
+                         jobOrdinal.fetch_add(1, std::memory_order_relaxed),
+                         0, elapsed.count());
     }
-    pool.waitIdle();
-  }
-  for (const std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
+    DIKE_COUNTER("exp.pool.tasks");
+  };
+  util::TaskPool::shared().forEach(count, instrumented, jobs);
 }
 
 std::vector<RunMetrics> runWorkloadsParallel(std::span<const RunSpec> specs,

@@ -1,61 +1,40 @@
-// Parallel experiment execution: a small std::jthread pool that fans
-// independent simulations out across hardware threads.
+// Parallel experiment execution on the process-wide util::TaskPool.
 //
 // Every RunSpec owns its Machine and RNG seed, so runs are share-nothing
 // and the fan-out is embarrassingly parallel; results land at the index of
 // their spec, so the output is deterministic and independent of the worker
 // count (the pool-determinism test in tests/exp pins this down).
+//
+// The sweep no longer spins up a private pool: it fans out through
+// util::TaskPool::shared(), the same pool the clustered scheduler's decide
+// phase uses, so sweep-level and decide-level parallelism share one
+// DIKE_JOBS budget and nesting the two cannot oversubscribe the machine.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <exception>
 #include <functional>
-#include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "util/task_pool.hpp"
 
 namespace dike::exp {
 
-/// Worker count used when a caller passes jobs <= 0: the DIKE_JOBS
-/// environment variable when set to a positive integer, otherwise
+/// Worker count used when a caller passes jobs <= 0. Forwards to
+/// util::defaultJobs(): DIKE_JOBS when set to a positive integer, otherwise
 /// std::thread::hardware_concurrency() (at least 1).
 [[nodiscard]] int defaultJobs();
 
-/// A fixed-size worker pool over a FIFO work queue. Tasks must not throw —
-/// parallelFor() wraps user callables and captures their exceptions.
-class ThreadPool {
- public:
-  explicit ThreadPool(int jobs = 0);
-  ~ThreadPool();
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  void submit(std::function<void()> task);
-  /// Block until the queue is empty and no task is running.
-  void waitIdle();
-  [[nodiscard]] int jobs() const noexcept { return jobCount_; }
-
- private:
-  void workerLoop();
-
-  std::mutex mu_;
-  std::condition_variable taskReady_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t unfinished_ = 0;  // queued + running
-  bool stopping_ = false;
-  int jobCount_ = 0;
-  std::vector<std::jthread> workers_;
-};
+/// The sweep pool is the shared util pool; the alias keeps existing
+/// exp-layer callers and tests source-compatible.
+using ThreadPool = util::TaskPool;
 
 /// Run fn(0..count-1) across `jobs` workers (<= 0 picks defaultJobs();
 /// 1 runs inline on the calling thread). Blocks until every index has run.
 /// If any invocation throws, the first exception (by index order) is
-/// rethrown after all workers drain.
+/// rethrown after all workers drain. Each invocation is wrapped in the
+/// exp-layer task telemetry (exp.pool.task_time / exp.pool.tasks and the
+/// live SweepJobSeconds feed) before it reaches the shared pool.
 void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
                  int jobs = 0);
 

@@ -9,6 +9,7 @@
 
 #include "ckpt/archive.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "core/clustered_scheduler.hpp"
 #include "core/dike_scheduler.hpp"
 #include "exp/stream_listener.hpp"
 #include "fault/fault_policy.hpp"
@@ -126,6 +127,11 @@ util::JsonValue dikeConfigToJson(const core::DikeConfig& c) {
   // contract, and dike_diff compares embedded specs verbatim — the
   // equivalence check depends on these specs matching too.
   if (c.cluster.clusters >= 2) {
+    // decideJobs is deliberately NOT encoded: it is an execution knob
+    // (plan-phase worker count), not logical configuration — a checkpoint
+    // taken under decideJobs=N must byte-match one taken under decideJobs=1
+    // (the decide-jobs equivalence test in the scale tier cmp's exactly
+    // this), and a restore may freely pick a different jobs count.
     util::JsonObject cl;
     cl["clusters"] = c.cluster.clusters;
     cl["rebalanceQuanta"] = c.cluster.rebalanceQuanta;
@@ -520,6 +526,12 @@ void RunSession::attachQuantumStream(telemetry::QuantumStreamWriter& writer) {
   adapter_->setListener(streamListener_.get());
 }
 
+void RunSession::setDecideJobs(int jobs) {
+  if (auto* clustered =
+          dynamic_cast<core::ClusteredDikeScheduler*>(scheduler_.get()))
+    clustered->setDecideJobs(jobs);
+}
+
 bool RunSession::done() const {
   return machine_->allFinished() || machine_->now() >= limits_.maxTicks;
 }
@@ -663,9 +675,10 @@ RunMetrics runWorkloadCheckpointed(const RunSpec& spec,
 }
 
 RunMetrics resumeWorkload(const std::string& checkpointPath,
-                          const CheckpointOptions& opts) {
+                          const CheckpointOptions& opts, int decideJobs) {
   const std::unique_ptr<RunSession> session =
       RunSession::restore(checkpointPath);
+  if (decideJobs >= 0) session->setDecideJobs(decideJobs);
   return session->finish(opts);
 }
 

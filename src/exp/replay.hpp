@@ -115,6 +115,12 @@ class RunSession {
       const std::string& path,
       telemetry::QuantumStreamWriter* stream = nullptr);
 
+  /// Override the clustered scheduler's plan-phase worker budget for this
+  /// session (see ClusterConfig::decideJobs; the knob is not part of any
+  /// checkpoint, so a restored run may pick a different value freely).
+  /// No-op when the active scheduler is not the clustered Dike.
+  void setDecideJobs(int jobs);
+
   /// Completed quanta so far.
   [[nodiscard]] std::int64_t quantumIndex() const noexcept {
     return quantumIndex_;
@@ -145,9 +151,13 @@ class RunSession {
                                                  const CheckpointOptions& opts);
 
 /// Resume a checkpointed run to completion and collect the final report —
-/// byte-identical to the report of the uninterrupted run.
+/// byte-identical to the report of the uninterrupted run. `decideJobs >= 0`
+/// overrides the clustered scheduler's plan-phase worker budget for the
+/// resumed portion (-1 keeps the spec's value); the result is byte-
+/// identical either way.
 [[nodiscard]] RunMetrics resumeWorkload(const std::string& checkpointPath,
-                                        const CheckpointOptions& opts = {});
+                                        const CheckpointOptions& opts = {},
+                                        int decideJobs = -1);
 
 /// Compare two checkpoint payloads token by token. Returns nullopt when
 /// they are identical, else a one-line description of the first diverging

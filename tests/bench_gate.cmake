@@ -39,9 +39,14 @@ endif()
 # Default budgets beyond the two flags include the clustered-scheduler
 # scaling floor (--min-cluster-speedup=5): the >= 8-cluster, >= 4096-thread
 # rows of both reports must beat the flat pipeline's decide p99 by >= 5x.
+# --min-decide-parallel-speedup=2 additionally requires the candidate's
+# decide_parallel_scaling rows with jobs >= 4 to halve the wall-clock
+# decide p99 vs the serial plan phase; a single-point curve (low-core
+# host) passes vacuously with a loud warning from bench_check.
 execute_process(COMMAND ${BENCH_CHECK} ${BASELINE} ${FRESH}
                         --max-regression-pct=${MAX_PCT}
                         --max-live-overhead-pct=${MAX_LIVE_PCT}
+                        --min-decide-parallel-speedup=2
                         --out=${WORK_DIR}/verdict.json
                 RESULT_VARIABLE code)
 if(NOT code EQUAL 0)

@@ -16,6 +16,25 @@
 #include "workload/workloads.hpp"
 
 namespace dike::core {
+
+/// White-box seam (friend of ClusteredDikeScheduler): the rebalancer's
+/// warmup early-return is unreachable through onQuantum — every cluster
+/// observes during the plan phase, so its observer is always ready by the
+/// time rebalance runs — which makes the cadence-counter regression below
+/// untestable end to end. The peer drives rebalance directly against
+/// never-warmed observers instead.
+struct ClusteredSchedulerTestPeer {
+  static void resolveGeometry(ClusteredDikeScheduler& s, int coreCount) {
+    s.resolveGeometry(coreCount);
+  }
+  static void rebalance(ClusteredDikeScheduler& s, sched::SchedulerView& v) {
+    s.rebalance(v);
+  }
+  static int quantaSinceRebalance(const ClusteredDikeScheduler& s) {
+    return s.quantaSinceRebalance_;
+  }
+};
+
 namespace {
 
 /// A 4-socket, 16-vcore machine (alternating fast/slow) filled by a
@@ -190,6 +209,80 @@ TEST(ClusteredDikeScheduler, RejectsCorruptGeometry) {
   ClusteredDikeScheduler target{clusteredConfig(4)};
   ckpt::BinReader r{saved};
   EXPECT_THROW(target.loadState(r), ckpt::CheckpointError);
+}
+
+TEST(ClusteredDikeScheduler, RejectsInvalidDecideJobs) {
+  DikeConfig bad = clusteredConfig(2);
+  bad.cluster.decideJobs = -1;
+  EXPECT_THROW(ClusteredDikeScheduler{bad}, std::invalid_argument);
+
+  ClusteredDikeScheduler scheduler{clusteredConfig(2)};
+  EXPECT_EQ(scheduler.decideJobs(), 1);
+  EXPECT_THROW(scheduler.setDecideJobs(-1), std::invalid_argument);
+  scheduler.setDecideJobs(4);
+  EXPECT_EQ(scheduler.decideJobs(), 4);
+}
+
+/// The tentpole's equivalence contract in-process: a serial plan phase and
+/// a 4-way concurrent one must produce the same run tick for tick — same
+/// finish, same actuation counts, and byte-identical scheduler state.
+TEST(ClusteredDikeScheduler, DecideJobsDoNotChangeAnyByte) {
+  sim::Machine serialMachine = clusterMachine();
+  DikeConfig serialCfg = clusteredConfig(4);
+  serialCfg.cluster.decideJobs = 1;
+  ClusteredDikeScheduler serial{serialCfg};
+  sched::SchedulerAdapter serialAdapter{serial};
+  const sim::RunOutcome serialOutcome =
+      sim::runMachine(serialMachine, serialAdapter);
+
+  sim::Machine pooledMachine = clusterMachine();
+  DikeConfig pooledCfg = clusteredConfig(4);
+  pooledCfg.cluster.decideJobs = 4;
+  ClusteredDikeScheduler pooled{pooledCfg};
+  sched::SchedulerAdapter pooledAdapter{pooled};
+  const sim::RunOutcome pooledOutcome =
+      sim::runMachine(pooledMachine, pooledAdapter);
+
+  EXPECT_EQ(serialOutcome.finishTick, pooledOutcome.finishTick);
+  EXPECT_EQ(serialMachine.swapCount(), pooledMachine.swapCount());
+  EXPECT_EQ(serialMachine.migrationCount(), pooledMachine.migrationCount());
+  EXPECT_EQ(stateBytes(serial), stateBytes(pooled));
+}
+
+/// Regression: a not-ready observer used to hit the warmup early-return
+/// *after* the cadence counter had already been reset to 0, silently
+/// stretching the rebalance cadence to 2x rebalanceQuanta. The counter
+/// must stay accumulated across not-ready attempts (retry next quantum)
+/// and only reset once every cluster is warm.
+TEST(ClusteredDikeScheduler, RebalanceRetriesWhileObserversWarmUp) {
+  sim::Machine machine = clusterMachine();
+  DikeConfig cfg = clusteredConfig(4);
+  cfg.cluster.rebalanceQuanta = 3;
+  ClusteredDikeScheduler scheduler{cfg};
+  ClusteredSchedulerTestPeer::resolveGeometry(
+      scheduler, machine.topology().coreCount());
+
+  // Drive rebalance directly with never-warmed observers. The view is only
+  // touched past the cadence and readiness gates, so a dummy sample works.
+  sim::QuantumSample sample;
+  sched::SchedulerView view{machine, sample};
+  for (int q = 1; q <= 2; ++q) {
+    ClusteredSchedulerTestPeer::rebalance(scheduler, view);
+    EXPECT_EQ(ClusteredSchedulerTestPeer::quantaSinceRebalance(scheduler), q)
+        << "below cadence, attempt " << q;
+  }
+  ClusteredSchedulerTestPeer::rebalance(scheduler, view);
+  EXPECT_EQ(ClusteredSchedulerTestPeer::quantaSinceRebalance(scheduler), 3)
+      << "not-ready attempt must keep the cadence counter accumulated";
+  ClusteredSchedulerTestPeer::rebalance(scheduler, view);
+  EXPECT_EQ(ClusteredSchedulerTestPeer::quantaSinceRebalance(scheduler), 4)
+      << "every later quantum retries instead of waiting a fresh cadence";
+
+  // One real quantum warms every cluster's observer; the pending attempt
+  // then goes through and the counter finally resets.
+  sched::SchedulerAdapter adapter{scheduler};
+  adapter.onQuantum(machine);
+  EXPECT_EQ(ClusteredSchedulerTestPeer::quantaSinceRebalance(scheduler), 0);
 }
 
 TEST(ClusteredDikeScheduler, ForeignCoreSentinelNeverLeaksIntoFlatRuns) {

@@ -1,0 +1,91 @@
+# Intra-quantum parallelism equivalence, end to end: the same multi-cluster
+# config run with --decide-jobs 1 (serial plan phase) and --decide-jobs 4
+# (concurrent plans on the shared task pool) must be byte-identical — same
+# report JSON, byte-identical checkpoint files (cmp, not just dike_diff's
+# token comparison), and identical per-quantum metric streams. Checked on a
+# plain config and on one with the fault layer active, so the plan/commit
+# split holds under failed actuations and corrupted samples too. Finally a
+# checkpoint written under jobs=4 is resumed under jobs=1: the knob is not
+# part of any checkpoint, so the resumed report must still match.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DDIKE_RUN=<dike_run binary> -DDIKE_DIFF=<dike_diff binary>
+#   -DCONFIG=<multi-cluster json> -DCONFIG_FAULT=<faulted multi-cluster
+#   json> -DWORK_DIR=<scratch dir>
+foreach(var DIKE_RUN DIKE_DIFF CONFIG CONFIG_FAULT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR
+            "decide_jobs_equivalence.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    list(JOIN ARGN " " pretty)
+    message(FATAL_ERROR "step failed (exit ${code}): ${pretty}")
+  endif()
+endfunction()
+
+function(require_identical tag what a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+            "${tag}: ${what} differ between --decide-jobs 1 and 4 "
+            "(${a} vs ${b})")
+  endif()
+endfunction()
+
+# check_pair(tag config): run the config twice (jobs=1, jobs=4) with
+# rolling checkpoints; require byte-identical reports and checkpoints
+# (both cmp and dike_diff, which also validates the container).
+function(check_pair tag config)
+  set(J1_CKPT "${WORK_DIR}/${tag}_j1.ckpt")
+  set(J4_CKPT "${WORK_DIR}/${tag}_j4.ckpt")
+  set(J1_JSON "${WORK_DIR}/${tag}_j1.json")
+  set(J4_JSON "${WORK_DIR}/${tag}_j4.json")
+  run_step("${DIKE_RUN}" "${config}" --decide-jobs 1
+           --checkpoint-out "${J1_CKPT}" --checkpoint-every 2
+           --json "${J1_JSON}")
+  run_step("${DIKE_RUN}" "${config}" --decide-jobs 4
+           --checkpoint-out "${J4_CKPT}" --checkpoint-every 2
+           --json "${J4_JSON}")
+  require_identical(${tag} "reports" "${J1_JSON}" "${J4_JSON}")
+  require_identical(${tag} "checkpoint files" "${J1_CKPT}" "${J4_CKPT}")
+  execute_process(COMMAND "${DIKE_DIFF}" "${J1_CKPT}" "${J4_CKPT}"
+                  RESULT_VARIABLE code OUTPUT_VARIABLE out)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+            "${tag}: dike_diff saw jobs=1 vs jobs=4 diverge: ${out}")
+  endif()
+endfunction()
+
+check_pair(plain "${CONFIG}")
+check_pair(faults "${CONFIG_FAULT}")
+
+# Per-quantum metric streams (grid mode attaches the stream to the first
+# cell): the stream written under concurrent plans must be byte-identical
+# to the serial one.
+run_step("${DIKE_RUN}" "${CONFIG}" --decide-jobs 1
+         --quantum-metrics "${WORK_DIR}/stream_j1.csv"
+         --json "${WORK_DIR}/grid_j1.json")
+run_step("${DIKE_RUN}" "${CONFIG}" --decide-jobs 4
+         --quantum-metrics "${WORK_DIR}/stream_j4.csv"
+         --json "${WORK_DIR}/grid_j4.json")
+require_identical(stream "quantum-metric streams"
+                  "${WORK_DIR}/stream_j1.csv" "${WORK_DIR}/stream_j4.csv")
+require_identical(stream "grid reports"
+                  "${WORK_DIR}/grid_j1.json" "${WORK_DIR}/grid_j4.json")
+
+# Cross-jobs resume: the rolling checkpoint written under jobs=4, resumed
+# to completion under jobs=1, must reproduce the uninterrupted report.
+run_step("${DIKE_RUN}" --resume-from "${WORK_DIR}/plain_j4.ckpt"
+         --decide-jobs 1 --json "${WORK_DIR}/resumed_j1.json")
+require_identical(resume "resumed report vs uninterrupted"
+                  "${WORK_DIR}/resumed_j1.json" "${WORK_DIR}/plain_j1.json")
+
+message(STATUS "decide-jobs equivalence passed in ${WORK_DIR}")

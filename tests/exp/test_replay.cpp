@@ -143,6 +143,77 @@ TEST(Replay, DikeWithActiveFaultsIsByteExact) {
   EXPECT_EQ(report(stepped.finish()), uninterrupted);
 }
 
+/// A multi-cluster spec: a 4-socket machine (alternating fast/slow, 4
+/// cores each) driven by the clustered Dike with `clusters = 4` and the
+/// given plan-phase worker budget.
+RunSpec clusteredSpec(int decideJobs) {
+  RunSpec spec = smallSpec(SchedulerKind::Dike);
+  // Two 8-thread apps exactly fill the 16 cores below (Table-II workload 3
+  // at the default threadsPerApp would overflow the machine).
+  wl::WorkloadSpec workload;
+  workload.id = 0;
+  workload.name = "decide-jobs";
+  workload.apps = {"stream_omp", "hotspot"};
+  workload.includeKmeans = false;
+  spec.customWorkload = workload;
+  for (int s = 0; s < 4; ++s) {
+    sim::SocketSpec socket;
+    socket.physicalCores = 4;
+    socket.smtWays = 1;
+    socket.freqGhz = s % 2 == 0 ? 2.33 : 1.21;
+    socket.type = s % 2 == 0 ? sim::CoreType::Fast : sim::CoreType::Slow;
+    spec.topology.push_back(socket);
+  }
+  core::DikeConfig cfg;
+  cfg.cluster.clusters = 4;
+  cfg.cluster.decideJobs = decideJobs;
+  spec.dikeConfig = cfg;
+  return spec;
+}
+
+// The intra-quantum parallelism contract across a checkpoint boundary: a
+// run checkpointed mid-flight under a 4-way concurrent plan phase and
+// restored under the serial one must stay in lockstep byte for byte.
+// decideJobs is deliberately not part of any checkpoint (it is how a run
+// executes, not what it computes), so the payloads must already match at
+// the restore point — pool state leaking into a checkpoint would show up
+// as an immediate divergence here.
+TEST(Replay, DecideJobsLockstep) {
+  RunSession pooled{clusteredSpec(/*decideJobs=*/4)};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(pooled.stepQuantum());
+  const std::string path = tempPath("decide_jobs_lockstep.ckpt");
+  pooled.writeCheckpoint(path);
+
+  const std::unique_ptr<RunSession> serial = RunSession::restore(path);
+  serial->setDecideJobs(1);
+  ASSERT_EQ(firstDivergence(pooled.checkpointPayload(),
+                            serial->checkpointPayload()),
+            std::nullopt)
+      << "checkpoint written under decideJobs=4 differs from its restore";
+
+  for (int i = 0; i < 5; ++i) {
+    const bool pooledMore = pooled.stepQuantum();
+    const bool serialMore = serial->stepQuantum();
+    ASSERT_EQ(pooledMore, serialMore)
+        << "runs disagree on completion at quantum "
+        << pooled.quantumIndex();
+    ASSERT_EQ(firstDivergence(pooled.checkpointPayload(),
+                              serial->checkpointPayload()),
+              std::nullopt)
+        << "diverged at quantum " << pooled.quantumIndex();
+    if (!pooledMore) break;
+  }
+  EXPECT_EQ(report(pooled.finish()), report(serial->finish()));
+}
+
+// The same contract end to end: uninterrupted runs under decideJobs 1 and
+// 4 print byte-identical reports.
+TEST(Replay, DecideJobsReportsAreByteIdentical) {
+  const std::string serial = report(RunSession{clusteredSpec(1)}.finish());
+  const std::string pooled = report(RunSession{clusteredSpec(4)}.finish());
+  EXPECT_EQ(serial, pooled);
+}
+
 // The wrappers dike_run uses: rolling checkpoints during a full run, then
 // resume from the last one — the resumed report matches the original.
 TEST(Replay, RunCheckpointedThenResumeMatches) {

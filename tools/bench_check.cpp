@@ -14,16 +14,26 @@
 // --max-live-overhead-pct (default 5%) over a plain run. Baselines
 // predating the field are accepted — only the candidate is checked.
 //
-// Finally, it gates the clustered scheduler's large-machine scaling claim:
+// It also gates the clustered scheduler's large-machine scaling claim:
 // every thread_scaling row at >= 8 clusters on a >= 4096-thread machine
 // must show the clustered decide-latency p99 beating the flat pipeline by
 // at least --min-cluster-speedup (default 5x). Both files are checked when
 // they carry the section; files without it (older baselines, capped smoke
 // runs) are accepted. --min-cluster-speedup=0 disables the check.
 //
+// Finally, it gates intra-quantum plan parallelism: every candidate
+// decide_parallel_scaling row with jobs >= 4 must show the wall-clock
+// decide p99 beating the serial (jobs=1) run by at least
+// --min-decide-parallel-speedup (default 2x). A curve without such rows —
+// in particular the single-point curve a low-core host produces — passes
+// vacuously, but LOUDLY: any scaling curve with fewer than two points
+// prints a prominent warning so nobody mistakes a degenerate measurement
+// for a demonstrated claim. --min-decide-parallel-speedup=0 disables the
+// check.
+//
 //   bench_check <baseline.json> <candidate.json> [--max-regression-pct P]
 //               [--max-live-overhead-pct P] [--min-cluster-speedup S]
-//               [--out verdict.json]
+//               [--min-decide-parallel-speedup S] [--out verdict.json]
 //
 // --out writes a small machine-readable verdict ({"ok": ..., ...}) for
 // harnesses that archive gate results instead of scraping stdout.
@@ -91,6 +101,53 @@ bool checkClusterSpeedups(const dike::util::JsonValue& doc,
   return ok;
 }
 
+/// Loud degenerate-curve warning: a scaling section with fewer than two
+/// points proves nothing (the committed BENCH_sim.json once carried a
+/// hardware_concurrency=1 sweep that read like a measured claim). The
+/// banner keeps a vacuous gate pass from looking like a demonstrated one.
+void warnIfSinglePoint(const dike::util::JsonValue& doc,
+                       const std::string& label, const char* section) {
+  const auto curve = doc.get(section);
+  if (!curve || !curve->isArray()) return;
+  const std::size_t points = curve->asArray().size();
+  if (points >= 2) return;
+  std::fprintf(stderr,
+               "**************************************************\n"
+               "* WARNING: %s \"%s\" has %zu point(s).\n"
+               "* The curve is degenerate (low-core host?); any\n"
+               "* parallel-speedup gate on it passes VACUOUSLY and\n"
+               "* demonstrates nothing. Regenerate the baseline on\n"
+               "* a multi-core machine before citing it.\n"
+               "**************************************************\n",
+               label.c_str(), section, points);
+}
+
+/// Gate the candidate's decide_parallel_scaling rows with jobs >= 4
+/// against the wall-clock speedup floor. Reports without the section, or
+/// without any gated row (degenerate single-point curves), pass vacuously.
+bool checkDecideParallelSpeedup(const dike::util::JsonValue& doc,
+                                const std::string& label, double minSpeedup) {
+  const auto curve = doc.get("decide_parallel_scaling");
+  if (!curve || !curve->isArray()) return true;
+  bool ok = true;
+  for (const dike::util::JsonValue& row : curve->asArray()) {
+    const int jobs = row.intOr("jobs", 0);
+    const double speedup = row.numberOr("speedup_vs_serial", 0.0);
+    if (jobs < 4) continue;
+    std::printf("%s: decide jobs=%d: wall decide p99 %.2fx serial "
+                "(floor %.2fx)\n",
+                label.c_str(), jobs, speedup, minSpeedup);
+    if (speedup < minSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: %s decide_parallel_scaling jobs=%d speedup "
+                   "%.2fx < %.2fx floor\n",
+                   label.c_str(), jobs, speedup, minSpeedup);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 /// Write the machine-readable verdict (--out). Failure to write is a usage
 /// error (exit 2), reported by the caller.
 bool writeVerdict(const std::string& path, bool ok, double geomeanRatio,
@@ -119,7 +176,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> "
                  "[--max-regression-pct P] [--max-live-overhead-pct P] "
-                 "[--min-cluster-speedup S] [--out verdict.json]\n",
+                 "[--min-cluster-speedup S] "
+                 "[--min-decide-parallel-speedup S] [--out verdict.json]\n",
                  argv[0]);
     return 2;
   }
@@ -127,6 +185,8 @@ int main(int argc, char** argv) {
   const double maxLiveOverheadPct =
       args.getDouble("max-live-overhead-pct", 5.0);
   const double minClusterSpeedup = args.getDouble("min-cluster-speedup", 5.0);
+  const double minDecideParallelSpeedup =
+      args.getDouble("min-decide-parallel-speedup", 2.0);
   const std::string outPath = args.getOr("out", "");
 
   double geo = 0.0;
@@ -192,6 +252,21 @@ int main(int argc, char** argv) {
           !checkClusterSpeedups(candidateDoc, "candidate",
                                 minClusterSpeedup)) {
         reason = "clustered decide-latency speedup below floor";
+        code = 1;
+      }
+    }
+
+    // Degenerate curves pass every gate vacuously — say so, loudly, for
+    // both files and both scaling sections.
+    warnIfSinglePoint(baselineDoc, "baseline", "sweep_scaling");
+    warnIfSinglePoint(candidateDoc, "candidate", "sweep_scaling");
+    warnIfSinglePoint(baselineDoc, "baseline", "decide_parallel_scaling");
+    warnIfSinglePoint(candidateDoc, "candidate", "decide_parallel_scaling");
+
+    if (code == 0 && minDecideParallelSpeedup > 0.0) {
+      if (!checkDecideParallelSpeedup(candidateDoc, "candidate",
+                                      minDecideParallelSpeedup)) {
+        reason = "intra-quantum decide parallel speedup below floor";
         code = 1;
       }
     }

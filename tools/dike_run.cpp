@@ -6,9 +6,9 @@
 //            [--telemetry] [--registry-out reg.json]
 //            [--trace-out chrome.json] [--events-csv events.csv]
 //            [--quantum-metrics qm.csv] [--trace-capacity N]
-//            [--faults faults.json]
+//            [--faults faults.json] [--decide-jobs N]
 //            [--checkpoint-out run.ckpt [--checkpoint-every N]]
-//   dike_run --resume-from run.ckpt [--json out.json]
+//   dike_run --resume-from run.ckpt [--json out.json] [--decide-jobs N]
 //   dike_run --print-default-config
 //
 // The config schema is documented in src/exp/config_io.hpp; every machine
@@ -89,6 +89,19 @@ void printDefaultConfig() {
   doc.emplace("slo", std::move(slo));
   doc.emplace("faults", std::move(faults));
   std::printf("%s\n", dike::util::JsonValue{std::move(doc)}.dump(2).c_str());
+}
+
+/// --decide-jobs N: worker budget for the clustered scheduler's intra-
+/// quantum plan phase (ClusterConfig::decideJobs). Returns -1 when the flag
+/// is absent (keep the config's value). Purely an execution knob — any
+/// value yields byte-identical reports, streams, and checkpoints.
+int decideJobsFlag(const dike::util::CliArgs& args) {
+  if (!args.has("decide-jobs")) return -1;
+  const std::int64_t jobs = args.getInt64("decide-jobs", -1);
+  if (jobs < 0 || jobs > 1024)
+    throw std::runtime_error{
+        "--decide-jobs must be in [0, 1024] (0 = DIKE_JOBS/auto)"};
+  return static_cast<int>(jobs);
 }
 
 /// Rolling-checkpoint options from --checkpoint-out / --checkpoint-every.
@@ -199,7 +212,8 @@ int main(int argc, char** argv) {
   if (const auto ckptPath = args.get("resume-from")) {
     try {
       printSingleRunReport(
-          dike::exp::resumeWorkload(*ckptPath, checkpointOptions(args)),
+          dike::exp::resumeWorkload(*ckptPath, checkpointOptions(args),
+                                    decideJobsFlag(args)),
           args);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
@@ -215,9 +229,11 @@ int main(int argc, char** argv) {
                  "          [--quantum-metrics qm.csv] [--trace-capacity N]\n"
                  "          [--checkpoint-out run.ckpt [--checkpoint-every N]]\n"
                  "          [--sweep-state state.json] [--jobs N]\n"
+                 "          [--decide-jobs N]\n"
                  "          [--live-metrics PORT [--live-port-file p.txt]\n"
                  "           [--live-hold-ms N]]\n"
                  "       %s --resume-from run.ckpt [--json out.json]\n"
+                 "          [--decide-jobs N]\n"
                  "       %s --print-default-config\n",
                  args.programName().c_str(), args.programName().c_str(),
                  args.programName().c_str());
@@ -246,6 +262,10 @@ int main(int argc, char** argv) {
         throw std::runtime_error{"--trace-capacity must be a positive count"};
       config.telemetry.traceCapacity = static_cast<std::size_t>(capacity);
     }
+    // --decide-jobs overrides the config's dike.cluster.decideJobs (plan-
+    // phase parallelism; no effect on any output bytes).
+    if (const int decideJobs = decideJobsFlag(args); decideJobs >= 0)
+      config.dike.cluster.decideJobs = decideJobs;
     // --faults overrides (or adds) the config's "faults" section with a
     // standalone fault-plan JSON file.
     if (const auto faultsPath = args.get("faults"))
